@@ -1,0 +1,83 @@
+// Command ucgen generates the synthetic stand-in datasets (Collins, Gavin,
+// Krogan, DBLP) as edge-list files, plus ground-truth complex files for the
+// PPI networks.
+//
+// Usage:
+//
+//	ucgen -dataset krogan -out krogan.txt -truth krogan_complexes.txt
+//	ucgen -dataset krogan -curated -truth mips.txt -out krogan.txt
+//	ucgen -dataset dblp -authors 25000 -out dblp.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ucgraph/internal/datasets"
+	"ucgraph/internal/gio"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "krogan", "dataset: collins, gavin, krogan, dblp")
+		out     = flag.String("out", "", "output edge-list file (default <dataset>.txt)")
+		truth   = flag.String("truth", "", "also write ground-truth complexes to this file")
+		curated = flag.Bool("curated", false, "write the curated (MIPS-like) subset instead of all complexes (krogan only)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		authors = flag.Int("authors", 25000, "authors for the dblp dataset")
+	)
+	flag.Parse()
+
+	var (
+		ds  *datasets.Dataset
+		err error
+	)
+	switch *dataset {
+	case "collins":
+		ds, err = datasets.Collins(*seed)
+	case "gavin":
+		ds, err = datasets.Gavin(*seed)
+	case "krogan":
+		ds, err = datasets.Krogan(*seed)
+	case "dblp":
+		cfg := datasets.DefaultDBLPConfig()
+		cfg.Authors = *authors
+		ds, err = datasets.DBLP(cfg, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "ucgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = *dataset + ".txt"
+	}
+	if err := gio.SaveGraph(path, ds.Graph); err != nil {
+		fmt.Fprintf(os.Stderr, "ucgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: wrote %d nodes, %d edges to %s\n",
+		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), path)
+
+	if *truth != "" {
+		complexes := ds.Complexes
+		if *curated {
+			complexes = ds.Curated
+		}
+		if len(complexes) == 0 {
+			fmt.Fprintf(os.Stderr, "ucgen: dataset %s has no %scomplexes\n",
+				ds.Name, map[bool]string{true: "curated ", false: ""}[*curated])
+			os.Exit(1)
+		}
+		if err := gio.SaveGroundTruth(*truth, complexes); err != nil {
+			fmt.Fprintf(os.Stderr, "ucgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: wrote %d complexes to %s\n", ds.Name, len(complexes), *truth)
+	}
+}

@@ -1,0 +1,81 @@
+// Query toolkit tour: k-nearest neighbors under probabilistic distances,
+// influence maximization, representative worlds and reliability
+// statistics on one uncertain graph.
+//
+// The graph is a Gavin-like PPI network (mostly low-probability edges),
+// where the difference between probability-aware and topology-only
+// reasoning is largest.
+//
+// Run with: go run ./examples/queries
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ucgraph"
+)
+
+func main() {
+	ds, err := ucgraph.SyntheticGavin(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("Gavin-like PPI network: %d proteins, %d interactions\n\n",
+		g.NumNodes(), g.NumEdges())
+
+	// --- Reliability profile -------------------------------------------
+	fmt.Printf("expected components per world: %.1f (of %d nodes)\n",
+		ucgraph.ExpectedComponents(g, 1, 300), g.NumNodes())
+	fmt.Printf("all-terminal reliability:      %.4f\n",
+		ucgraph.AllTerminalReliability(g, 1, 300))
+
+	// --- k-NN under probabilistic distances ----------------------------
+	src := ucgraph.NodeID(0)
+	dd := ucgraph.SampleDistances(g, src, 7, 2000)
+	fmt.Printf("\n5 nearest neighbors of protein %d:\n", src)
+	fmt.Printf("  %-22s %-28s\n", "by median distance", "by reliability")
+	med := dd.KNN(5, ucgraph.MedianDistance)
+	rel := dd.KNN(5, ucgraph.ByReliability)
+	for i := 0; i < 5; i++ {
+		left, right := "-", "-"
+		if i < len(med) {
+			left = fmt.Sprintf("%4d (d=%d, rel %.2f)", med[i].Node, med[i].Distance, med[i].Reliability)
+		}
+		if i < len(rel) {
+			right = fmt.Sprintf("%4d (rel %.2f)", rel[i].Node, rel[i].Reliability)
+		}
+		fmt.Printf("  %-22s %-28s\n", left, right)
+	}
+
+	// --- Influence maximization ----------------------------------------
+	res, err := ucgraph.MaximizeInfluence(g, 5, 11, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-5 influence seeds (Independent Cascade):\n")
+	for i, s := range res.Seeds {
+		fmt.Printf("  seed %d: node %4d, cumulative expected spread %.1f\n",
+			i+1, s, res.Spread[i])
+	}
+	fmt.Printf("  (%d sigma evaluations thanks to CELF, vs %d naive)\n",
+		res.Evaluations, g.NumNodes()*len(res.Seeds))
+
+	// --- Representative worlds -----------------------------------------
+	mp, err := ucgraph.MostProbableWorld(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := ucgraph.RepresentativeWorld(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrepresentative instances (original has %d edges, all uncertain):\n", g.NumEdges())
+	fmt.Printf("  most-probable world:   %5d edges, degree discrepancy %.0f\n",
+		mp.NumEdges(), ucgraph.DegreeDiscrepancy(g, mp))
+	fmt.Printf("  expected-degree world: %5d edges, degree discrepancy %.0f\n",
+		rep.NumEdges(), ucgraph.DegreeDiscrepancy(g, rep))
+	fmt.Println("\nOn a low-probability network the most-probable world loses most of")
+	fmt.Println("the structure; the expected-degree instance preserves it.")
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a small uncertain graph, cluster it with MCP and ACP,
+// and inspect the result.
+//
+// The graph models two teams of collaborators connected by one unreliable
+// link; a 2-clustering should recover the teams.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ucgraph"
+)
+
+func main() {
+	// Two 4-node blobs (high-probability edges) bridged by a weak edge.
+	b := ucgraph.NewBuilder(8)
+	addBlob := func(base ucgraph.NodeID) {
+		for i := ucgraph.NodeID(0); i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if err := b.AddEdge(base+i, base+j, 0.9); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	addBlob(0)
+	addBlob(4)
+	if err := b.AddEdge(0, 4, 0.1); err != nil {
+		log.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d uncertain edges\n", g.NumNodes(), g.NumEdges())
+
+	// Pairwise connection probability: inside a blob vs across the bridge.
+	inside := ucgraph.ConnectionProbability(g, 0, 3, 1, 20000)
+	across := ucgraph.ConnectionProbability(g, 0, 7, 1, 20000)
+	fmt.Printf("Pr(0 ~ 3) = %.3f (same blob)\n", inside)
+	fmt.Printf("Pr(0 ~ 7) = %.3f (across the bridge)\n", across)
+
+	// MCP: maximize the minimum connection probability to a center.
+	cl, stats, err := ucgraph.MCP(g, 2, ucgraph.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMCP found %d clusters (final guess q = %.3f, %d min-partial runs)\n",
+		cl.K(), stats.FinalQ, stats.Invocations)
+	for i, members := range cl.Clusters() {
+		fmt.Printf("  cluster %d (center %d): %v\n", i, cl.Centers[i], members)
+	}
+	fmt.Printf("  p_min = %.3f   p_avg = %.3f\n",
+		ucgraph.MinProb(g, cl, 7, 2000), ucgraph.AvgProb(g, cl, 7, 2000))
+
+	// ACP: maximize the average connection probability instead.
+	acl, _, err := ucgraph.ACP(g, 2, ucgraph.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inner, outer := ucgraph.AVPR(g, acl, 7, 2000)
+	fmt.Printf("\nACP clustering: inner-AVPR = %.3f, outer-AVPR = %.3f\n", inner, outer)
+}

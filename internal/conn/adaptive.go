@@ -1,0 +1,135 @@
+package conn
+
+import (
+	"math"
+
+	"ucgraph/internal/graph"
+)
+
+// This file implements the progressive sampling variant sketched at the end
+// of Section 4.2 of the paper: estimating connection probabilities with
+// relative-error guarantees *without* a prior lower bound pL. It follows
+// the optimal stopping-rule approach of Dagum, Karp, Luby and Ross ("An
+// optimal algorithm for Monte Carlo estimation"), which the progressive
+// schedule of Pietracaprina et al. [28] generalizes: keep sampling until
+// the number of successes reaches a threshold that depends only on
+// (eps, delta), at which point successes/samples is an (eps, delta)
+// relative approximation of the true probability. The expected sample
+// count is O(ln(1/delta) / (eps^2 p)) — within a constant factor of the
+// best possible — and no knowledge of p is needed in advance.
+
+// StoppingRuleThreshold returns the success-count threshold Upsilon of the
+// Dagum-Karp-Luby-Ross stopping rule for an (eps, delta) relative-error
+// guarantee: Upsilon = 1 + 4(e-2)(1+eps) ln(2/delta) / eps^2.
+func StoppingRuleThreshold(eps, delta float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("conn: StoppingRuleThreshold needs eps, delta in (0,1)")
+	}
+	const e2 = math.E - 2
+	return int(math.Ceil(1 + 4*e2*(1+eps)*math.Log(2/delta)/(eps*eps)))
+}
+
+// AdaptiveResult reports an adaptive estimation outcome.
+type AdaptiveResult struct {
+	// P is the estimated probability.
+	P float64
+	// Samples is the number of worlds consumed.
+	Samples int
+	// Successes is the number of worlds where the event held.
+	Successes int
+	// Converged is false only if MaxSamples was hit before the stopping
+	// rule fired; P is then the plain frequency estimate (an upper
+	// confidence argument still bounds the true probability by roughly
+	// Upsilon/MaxSamples).
+	Converged bool
+}
+
+// AdaptivePair estimates Pr(u ~ v) to relative error eps with confidence
+// 1-delta using the stopping rule, consuming worlds from the estimator's
+// stream until the success threshold is reached or maxSamples worlds have
+// been inspected (maxSamples <= 0 selects 2^22). Unlike Pair, it needs no
+// lower bound on the probability: cheap for well-connected pairs,
+// gracefully capped for nearly-disconnected ones.
+func (mc *MonteCarlo) AdaptivePair(u, v graph.NodeID, eps, delta float64, maxSamples int) AdaptiveResult {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 22
+	}
+	upsilon := StoppingRuleThreshold(eps, delta)
+	successes, samples := 0, 0
+	const chunk = 64
+	for samples < maxSamples {
+		batch := chunk
+		if samples+batch > maxSamples {
+			batch = maxSamples - samples
+		}
+		mc.labels.Grow(samples + batch)
+		for i := 0; i < batch; i++ {
+			w := samples + i
+			if mc.labels.Connected(w, u, v) {
+				successes++
+				if successes >= upsilon {
+					n := w + 1
+					return AdaptiveResult{
+						P:         float64(upsilon) / float64(n),
+						Samples:   n,
+						Successes: successes,
+						Converged: true,
+					}
+				}
+			}
+		}
+		samples += batch
+	}
+	p := 0.0
+	if samples > 0 {
+		p = float64(successes) / float64(samples)
+	}
+	return AdaptiveResult{P: p, Samples: samples, Successes: successes}
+}
+
+// DecideThreshold reports whether Pr(u ~ v) >= q, distinguishing the cases
+// Pr >= q and Pr < (1-eps)q with confidence 1-delta (outcomes in the
+// indifference band may go either way). It is the decision primitive a
+// pL-free min-partial would use: the sample count adapts to the distance
+// between the true probability and the threshold.
+func (mc *MonteCarlo) DecideThreshold(u, v graph.NodeID, q, eps, delta float64) bool {
+	if q <= 0 {
+		return true
+	}
+	if q > 1 {
+		return false
+	}
+	// Sequential test on a doubling schedule with confidence split across
+	// rounds: at round t, r_t = r0 * 2^t samples and delta_t = delta/2^(t+1).
+	// Accept when the empirical estimate clears the midpoint of the band
+	// with margin, reject when it falls below with margin; the margins
+	// shrink as sqrt(ln(1/delta_t)/r_t), so the test terminates once they
+	// are smaller than eps*q/4.
+	mid := q * (1 - eps/2)
+	r := 64
+	round := 0
+	for {
+		mc.labels.Grow(r)
+		successes := 0
+		for w := 0; w < r; w++ {
+			if mc.labels.Connected(w, u, v) {
+				successes++
+			}
+		}
+		est := float64(successes) / float64(r)
+		deltaT := delta / math.Pow(2, float64(round+1))
+		margin := math.Sqrt(math.Log(2/deltaT) / (2 * float64(r))) // Hoeffding
+		if est >= mid+margin {
+			return true
+		}
+		if est <= mid-margin {
+			return false
+		}
+		if margin <= eps*q/4 {
+			// Band resolved to within the indifference region.
+			return est >= mid
+		}
+		r *= 2
+		round++
+	}
+}

@@ -1,0 +1,394 @@
+// Package conn estimates connection probabilities in uncertain graphs.
+//
+// The connection probability Pr(u ~ v) is the probability that u and v lie
+// in the same connected component of a random possible world; the
+// d-connection probability Pr(u ~d v) additionally requires hop distance at
+// most d (Section 3.4 of the paper). Exact computation is #P-complete, so
+// the practical estimator is Monte Carlo sampling over possible worlds
+// (Equations 3–5), with the progressive sample-size schedules of Section 4
+// (Equations 9–10).
+//
+// The package provides:
+//
+//   - Oracle: the interface consumed by the clustering algorithms in
+//     internal/core. An oracle answers "estimate Pr(c ~d u) for every u".
+//   - MonteCarlo: the sampling estimator (the real implementation).
+//   - Exact: exact enumeration of all 2^m worlds for tiny graphs — the
+//     testing oracle that theorems are checked against.
+//   - Sample-size formulas: SampleSize (Eq. 4), MCPSamples (Eq. 9),
+//     ACPSamples (Eq. 10), and the practical schedule used in Section 5.
+package conn
+
+import (
+	"fmt"
+	"math"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/sampler"
+)
+
+// Unlimited is the depth value meaning "no path-length constraint".
+const Unlimited = -1
+
+// Oracle answers connection-probability queries from a center to all nodes.
+//
+// FromCenter returns estimates of Pr(c ~depth u) for every node u; depth < 0
+// (Unlimited) means the unconstrained connection probability. r is the
+// Monte Carlo sample size; exact oracles ignore it. The returned slice is
+// owned by the caller.
+type Oracle interface {
+	NumNodes() int
+	FromCenter(c graph.NodeID, depth int, r int) []float64
+}
+
+// MonteCarlo estimates connection probabilities by sampling possible
+// worlds. Unlimited-depth queries are answered from cached per-world
+// component labels (union–find, O(n) per world per query); depth-limited
+// queries run a depth-bounded BFS per world on the same implicit world
+// stream, so limited and unlimited views are mutually consistent.
+//
+// Because worlds are deterministic and shared, per-center tally vectors are
+// cached and extended incrementally when later phases of the progressive
+// sampling schedule request more samples for a center already queried —
+// the dominant cost saver for the guessing schedules of Algorithms 2-3.
+//
+// MonteCarlo is not safe for concurrent use.
+type MonteCarlo struct {
+	g      *graph.Uncertain
+	labels *sampler.LabelSet
+	reach  *sampler.ReachCounter
+
+	cache      map[cacheKey]*centerTally
+	cacheOrder []cacheKey // FIFO eviction order
+	maxCache   int
+}
+
+// cacheKey identifies a cached center query.
+type cacheKey struct {
+	c     graph.NodeID
+	depth int
+}
+
+// centerTally holds per-node connection counts over the first rDone worlds.
+type centerTally struct {
+	counts []int32
+	rDone  int
+}
+
+// NewMonteCarlo returns an estimator over g's possible worlds under seed.
+func NewMonteCarlo(g *graph.Uncertain, seed uint64) *MonteCarlo {
+	n := g.NumNodes()
+	// Bound the tally cache to ~64 MiB (4 bytes per node per entry).
+	maxCache := 64 << 20 / (4 * n)
+	if maxCache < 64 {
+		maxCache = 64
+	}
+	return &MonteCarlo{
+		g:        g,
+		labels:   sampler.NewLabelSet(g, seed),
+		reach:    sampler.NewReachCounter(g, seed),
+		cache:    make(map[cacheKey]*centerTally),
+		maxCache: maxCache,
+	}
+}
+
+// NumNodes returns the number of nodes of the underlying graph.
+func (mc *MonteCarlo) NumNodes() int { return mc.g.NumNodes() }
+
+// Graph returns the underlying graph.
+func (mc *MonteCarlo) Graph() *graph.Uncertain { return mc.g }
+
+// WorldsMaterialized returns how many worlds the label cache currently
+// holds (observability for tests and progress reporting).
+func (mc *MonteCarlo) WorldsMaterialized() int { return mc.labels.Worlds() }
+
+// FromCenter implements Oracle. Tally vectors are cached per (center,
+// depth) and extended when r grows; if a cached tally already covers more
+// worlds than requested, the higher-precision estimate is returned.
+func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
+	if r < 1 {
+		r = 1
+	}
+	if depth < 0 {
+		depth = Unlimited
+	}
+	key := cacheKey{c: c, depth: depth}
+	tally, ok := mc.cache[key]
+	if !ok {
+		if len(mc.cacheOrder) >= mc.maxCache {
+			oldest := mc.cacheOrder[0]
+			mc.cacheOrder = mc.cacheOrder[1:]
+			delete(mc.cache, oldest)
+		}
+		tally = &centerTally{counts: make([]int32, mc.g.NumNodes())}
+		mc.cache[key] = tally
+		mc.cacheOrder = append(mc.cacheOrder, key)
+	}
+	if r > tally.rDone {
+		if depth < 0 {
+			mc.labels.Grow(r)
+			mc.labels.CountConnectedFrom(c, tally.rDone, r, tally.counts)
+		} else {
+			mc.reach.CountWithin(c, depth, tally.rDone, r, tally.counts)
+		}
+		tally.rDone = r
+	}
+	out := make([]float64, len(tally.counts))
+	inv := 1 / float64(tally.rDone)
+	for i, cnt := range tally.counts {
+		out[i] = float64(cnt) * inv
+	}
+	return out
+}
+
+// Pair estimates Pr(u ~ v) with r samples.
+func (mc *MonteCarlo) Pair(u, v graph.NodeID, r int) float64 {
+	return mc.labels.EstimatePair(u, v, r)
+}
+
+// Labels exposes the underlying label cache (used by metrics to compute
+// AVPR statistics over the same worlds).
+func (mc *MonteCarlo) Labels() *sampler.LabelSet { return mc.labels }
+
+// MaxExactEdges caps the graph size accepted by Exact: enumerating 2^m
+// worlds beyond ~22 edges is pointless even for tests.
+const MaxExactEdges = 22
+
+// Exact computes connection probabilities exactly by enumerating all 2^m
+// possible worlds. It exists to validate the Monte Carlo estimator and the
+// theoretical guarantees on tiny instances.
+type Exact struct {
+	g *graph.Uncertain
+}
+
+// NewExact returns an exact oracle for g, refusing graphs with more than
+// MaxExactEdges edges.
+func NewExact(g *graph.Uncertain) (*Exact, error) {
+	if g.NumEdges() > MaxExactEdges {
+		return nil, fmt.Errorf("conn: exact oracle limited to %d edges, graph has %d",
+			MaxExactEdges, g.NumEdges())
+	}
+	return &Exact{g: g}, nil
+}
+
+// NumNodes returns the number of nodes of the underlying graph.
+func (ex *Exact) NumNodes() int { return ex.g.NumNodes() }
+
+// FromCenter implements Oracle: exact Pr(c ~depth u) for all u.
+// The sample-size hint r is ignored.
+func (ex *Exact) FromCenter(c graph.NodeID, depth int, _ int) []float64 {
+	n := ex.g.NumNodes()
+	m := ex.g.NumEdges()
+	edges := ex.g.Edges()
+	out := make([]float64, n)
+	uf := graph.NewUnionFind(n)
+	// BFS scratch for depth-limited worlds.
+	dist := make([]int32, n)
+	queue := make([]graph.NodeID, 0, n)
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		w := 1.0
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				w *= edges[i].P
+			} else {
+				w *= 1 - edges[i].P
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		if depth < 0 {
+			uf.Reset()
+			for i := 0; i < m; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					uf.Union(edges[i].U, edges[i].V)
+				}
+			}
+			rc := uf.Find(c)
+			for u := 0; u < n; u++ {
+				if uf.Find(int32(u)) == rc {
+					out[u] += w
+				}
+			}
+			continue
+		}
+		// Depth-limited: BFS on the world's edges.
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[c] = 0
+		queue = queue[:0]
+		queue = append(queue, c)
+		out[c] += w
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if int(dist[u]) >= depth {
+				continue
+			}
+			nodes, ids, _ := ex.g.NeighborSlices(u)
+			for j, v := range nodes {
+				if dist[v] >= 0 || mask&(1<<uint(ids[j])) == 0 {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+				out[v] += w
+			}
+		}
+	}
+	return out
+}
+
+// Pair returns the exact Pr(u ~ v).
+func (ex *Exact) Pair(u, v graph.NodeID) float64 {
+	return ex.FromCenter(u, Unlimited, 0)[v]
+}
+
+// PairWithin returns the exact Pr(u ~d v).
+func (ex *Exact) PairWithin(u, v graph.NodeID, depth int) float64 {
+	return ex.FromCenter(u, depth, 0)[v]
+}
+
+// TreePathProbability returns Pr(u ~ v) for a tree (forest) graph, where it
+// equals the product of edge probabilities along the unique u–v path, or 0
+// if u and v are in different trees. It is an independent closed-form
+// reference for tests; the result is unspecified if g has cycles.
+func TreePathProbability(g *graph.Uncertain, u, v graph.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	// BFS from u remembering the probability product to each node.
+	prod := make([]float64, g.NumNodes())
+	seen := make([]bool, g.NumNodes())
+	prod[u], seen[u] = 1, true
+	queue := []graph.NodeID{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == v {
+			return prod[x]
+		}
+		nodes, _, probs := g.NeighborSlices(x)
+		for j, y := range nodes {
+			if !seen[y] {
+				seen[y] = true
+				prod[y] = prod[x] * probs[j]
+				queue = append(queue, y)
+			}
+		}
+	}
+	return 0
+}
+
+// Harmonic returns H(n) = sum_{i=1..n} 1/i, the harmonic number appearing in
+// the ACP bounds (Lemma 3).
+func Harmonic(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// SampleSize returns the number of samples r that makes the Monte Carlo
+// estimate of a probability >= q an (eps, delta)-approximation (Equation 4):
+// r >= 3 ln(2/delta) / (eps^2 q).
+func SampleSize(q, eps, delta float64) int {
+	if q <= 0 || eps <= 0 || delta <= 0 {
+		panic("conn: SampleSize arguments must be positive")
+	}
+	return int(math.Ceil(3 * math.Log(2/delta) / (eps * eps * q)))
+}
+
+// MCPSamples returns the per-iteration sample count of the MCP
+// implementation (Equation 9):
+// r = ceil( 12/(q eps^2) * ln( 2 n^3 (1 + floor(log_{1+gamma} 1/pL)) ) ).
+func MCPSamples(q, eps, gamma, pL float64, n int) int {
+	if q <= 0 || eps <= 0 || gamma <= 0 || pL <= 0 || pL > 1 || n < 1 {
+		panic("conn: MCPSamples arguments out of range")
+	}
+	guesses := 1 + math.Floor(math.Log(1/pL)/math.Log(1+gamma))
+	ln := math.Log(2 * math.Pow(float64(n), 3) * guesses)
+	return int(math.Ceil(12 / (q * eps * eps) * ln))
+}
+
+// ACPSamples returns the per-iteration sample count of the ACP
+// implementation (Equation 10):
+// r = ceil( 12/(q^3 eps^2) * ln( 2 n^3 (1 + floor(log_{1+gamma} H(n)/pL)) ) ).
+func ACPSamples(q, eps, gamma, pL float64, n int) int {
+	if q <= 0 || eps <= 0 || gamma <= 0 || pL <= 0 || pL > 1 || n < 1 {
+		panic("conn: ACPSamples arguments out of range")
+	}
+	guesses := 1 + math.Floor(math.Log(Harmonic(n)/pL)/math.Log(1+gamma))
+	ln := math.Log(2 * math.Pow(float64(n), 3) * guesses)
+	q3 := q * q * q
+	return int(math.Ceil(12 / (q3 * eps * eps) * ln))
+}
+
+// Schedule chooses per-phase Monte Carlo sample sizes. The zero value is
+// invalid; use DefaultSchedule or RigorousSchedule.
+type Schedule struct {
+	// Min is the floor on the sample count. Section 5 reports that starting
+	// the progressive schedule from 50 samples is accurate in practice.
+	Min int
+	// Max caps the sample count so that tiny probability guesses do not
+	// request astronomically many worlds.
+	Max int
+	// Coef scales the 1/q (or 1/q^3) growth: r ~ Coef/q.
+	Coef float64
+	// Cubic selects the ACP-style 1/q^3 growth instead of 1/q.
+	Cubic bool
+	// Rigorous switches to the conservative union-bound counts of
+	// Equations 9–10 (still clamped to Max). Eps, Gamma, PL and N configure
+	// those formulas.
+	Rigorous bool
+	Eps      float64
+	Gamma    float64
+	PL       float64
+	N        int
+}
+
+// DefaultSchedule is the practical schedule of Section 5 for an n-node
+// graph: start at 50 samples and grow like 1/q, capped.
+func DefaultSchedule(n int) Schedule {
+	return Schedule{Min: 50, Max: 4096, Coef: 8}
+}
+
+// RigorousSchedule is the Eq. (9)/(10) schedule with the given parameters.
+func RigorousSchedule(n int, eps, gamma, pL float64, cubic bool) Schedule {
+	return Schedule{
+		Min: 1, Max: 1 << 22, Cubic: cubic,
+		Rigorous: true, Eps: eps, Gamma: gamma, PL: pL, N: n,
+	}
+}
+
+// Samples returns the sample count for probability guess q.
+func (s Schedule) Samples(q float64) int {
+	if q <= 0 {
+		q = 1e-12
+	}
+	if q > 1 {
+		q = 1
+	}
+	var r int
+	if s.Rigorous {
+		if s.Cubic {
+			r = ACPSamples(q, s.Eps, s.Gamma, s.PL, s.N)
+		} else {
+			r = MCPSamples(q, s.Eps, s.Gamma, s.PL, s.N)
+		}
+	} else {
+		den := q
+		if s.Cubic {
+			den = q * q * q
+		}
+		r = int(math.Ceil(s.Coef / den))
+	}
+	if r < s.Min {
+		r = s.Min
+	}
+	if s.Max > 0 && r > s.Max {
+		r = s.Max
+	}
+	return r
+}

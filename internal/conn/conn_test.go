@@ -1,0 +1,480 @@
+package conn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: p})
+	}
+	return mustGraph(t, n, edges)
+}
+
+// randomTinyGraph builds a random graph with <= 10 edges for exact checks.
+func randomTinyGraph(x *rng.Xoshiro256) *graph.Uncertain {
+	n := 4 + x.Intn(4)
+	b := graph.NewBuilder(n)
+	m := 3 + x.Intn(7)
+	for i := 0; i < m; i++ {
+		u, v := int32(x.Intn(n)), int32(x.Intn(n))
+		if u == v {
+			continue
+		}
+		p := 0.05 + 0.9*x.Float64()
+		_ = b.AddEdge(u, v, p)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestExactSingleEdge(t *testing.T) {
+	g := pathGraph(t, 2, 0.37)
+	ex, err := NewExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Pair(0, 1); math.Abs(got-0.37) > 1e-12 {
+		t.Fatalf("Pair(0,1) = %v, want 0.37", got)
+	}
+	if got := ex.Pair(0, 0); got != 1 {
+		t.Fatalf("Pair(0,0) = %v, want 1", got)
+	}
+}
+
+func TestExactSeriesPath(t *testing.T) {
+	// Path probabilities multiply on a tree.
+	g := pathGraph(t, 4, 0.5)
+	ex, err := NewExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{1, 0.5, 0.25, 0.125}
+	got := ex.FromCenter(0, Unlimited, 0)
+	for i, w := range wants {
+		if math.Abs(got[i]-w) > 1e-12 {
+			t.Fatalf("FromCenter[%d] = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestExactParallelEdgesViaTriangle(t *testing.T) {
+	// Triangle 0-1, 1-2, 0-2 each with p: Pr(0~2) = p + p^2 - p^3 ... compute
+	// by inclusion-exclusion: direct edge present (p) OR (direct absent,
+	// both hops present): p + (1-p)p^2. For p=0.5: 0.5 + 0.5*0.25 = 0.625.
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 0, V: 2, P: 0.5}})
+	ex, err := NewExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Pair(0, 2); math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("triangle Pair(0,2) = %v, want 0.625", got)
+	}
+}
+
+func TestExactSymmetry(t *testing.T) {
+	x := rng.NewXoshiro256(5)
+	for iter := 0; iter < 20; iter++ {
+		g := randomTinyGraph(x)
+		ex, err := NewExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			fu := ex.FromCenter(int32(u), Unlimited, 0)
+			for v := u + 1; v < n; v++ {
+				fv := ex.FromCenter(int32(v), Unlimited, 0)
+				if math.Abs(fu[v]-fv[u]) > 1e-12 {
+					t.Fatalf("Pr(%d~%d)=%v but Pr(%d~%d)=%v", u, v, fu[v], v, u, fv[u])
+				}
+			}
+		}
+	}
+}
+
+// TestExactTriangleInequality verifies Theorem 1:
+// Pr(u ~ z) >= Pr(u ~ v) * Pr(v ~ z) for all triplets, on random tiny graphs.
+func TestExactTriangleInequality(t *testing.T) {
+	x := rng.NewXoshiro256(42)
+	for iter := 0; iter < 30; iter++ {
+		g := randomTinyGraph(x)
+		ex, err := NewExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumNodes()
+		from := make([][]float64, n)
+		for u := 0; u < n; u++ {
+			from[u] = ex.FromCenter(int32(u), Unlimited, 0)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				for z := 0; z < n; z++ {
+					if from[u][z] < from[u][v]*from[v][z]-1e-9 {
+						t.Fatalf("Theorem 1 violated: Pr(%d~%d)=%v < Pr(%d~%d)*Pr(%d~%d) = %v*%v",
+							u, z, from[u][z], u, v, v, z, from[u][v], from[v][z])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExactDepthTriangleInequality verifies Inequality (6):
+// Pr(u ~d z) >= Pr(u ~d1 v) * Pr(v ~d2 z) with d = d1 + d2.
+func TestExactDepthTriangleInequality(t *testing.T) {
+	x := rng.NewXoshiro256(43)
+	for iter := 0; iter < 20; iter++ {
+		g := randomTinyGraph(x)
+		ex, err := NewExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumNodes()
+		for _, d1 := range []int{1, 2} {
+			for _, d2 := range []int{1, 2} {
+				d := d1 + d2
+				for u := 0; u < n; u++ {
+					fu1 := ex.FromCenter(int32(u), d1, 0)
+					fud := ex.FromCenter(int32(u), d, 0)
+					for v := 0; v < n; v++ {
+						fv2 := ex.FromCenter(int32(v), d2, 0)
+						for z := 0; z < n; z++ {
+							if fud[z] < fu1[v]*fv2[z]-1e-9 {
+								t.Fatalf("Ineq. 6 violated: Pr(u~%dz)=%v < %v (d1=%d d2=%d)",
+									d, fud[z], fu1[v]*fv2[z], d1, d2)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExactDepthMonotoneAndConvergent(t *testing.T) {
+	x := rng.NewXoshiro256(44)
+	for iter := 0; iter < 20; iter++ {
+		g := randomTinyGraph(x)
+		ex, err := NewExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			unlimited := ex.FromCenter(int32(u), Unlimited, 0)
+			prev := ex.FromCenter(int32(u), 0, 0)
+			for d := 1; d <= n; d++ {
+				cur := ex.FromCenter(int32(u), d, 0)
+				for v := 0; v < n; v++ {
+					if cur[v] < prev[v]-1e-12 {
+						t.Fatalf("depth monotonicity violated at d=%d", d)
+					}
+				}
+				prev = cur
+			}
+			// Depth n-1 suffices to reach anything reachable.
+			for v := 0; v < n; v++ {
+				if math.Abs(prev[v]-unlimited[v]) > 1e-12 {
+					t.Fatalf("depth-n limit differs from unlimited at node %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestExactRejectsBigGraphs(t *testing.T) {
+	g := pathGraph(t, MaxExactEdges+2, 0.5)
+	if _, err := NewExact(g); err == nil {
+		t.Fatal("NewExact accepted a graph with too many edges")
+	}
+}
+
+func TestExactDepthZero(t *testing.T) {
+	g := pathGraph(t, 3, 0.9)
+	ex, err := NewExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ex.FromCenter(0, 0, 0)
+	if got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("depth-0 connection probabilities = %v, want [1 0 0]", got)
+	}
+}
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	x := rng.NewXoshiro256(7)
+	for iter := 0; iter < 10; iter++ {
+		g := randomTinyGraph(x)
+		ex, err := NewExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := NewMonteCarlo(g, uint64(iter))
+		const r = 20000
+		for c := int32(0); c < int32(g.NumNodes()); c += 2 {
+			want := ex.FromCenter(c, Unlimited, 0)
+			got := mc.FromCenter(c, Unlimited, r)
+			for u := range want {
+				sigma := math.Sqrt(want[u]*(1-want[u])/r) + 1e-9
+				if math.Abs(got[u]-want[u]) > 6*sigma {
+					t.Fatalf("MC vs exact at center %d node %d: %v vs %v", c, u, got[u], want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestMonteCarloDepthMatchesExact(t *testing.T) {
+	x := rng.NewXoshiro256(8)
+	for iter := 0; iter < 5; iter++ {
+		g := randomTinyGraph(x)
+		ex, err := NewExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := NewMonteCarlo(g, uint64(100+iter))
+		const r = 20000
+		for _, d := range []int{1, 2, 3} {
+			want := ex.FromCenter(0, d, 0)
+			got := mc.FromCenter(0, d, r)
+			for u := range want {
+				sigma := math.Sqrt(want[u]*(1-want[u])/r) + 1e-9
+				if math.Abs(got[u]-want[u]) > 6*sigma {
+					t.Fatalf("depth-%d MC vs exact at node %d: %v vs %v", d, u, got[u], want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestMonteCarloPair(t *testing.T) {
+	g := pathGraph(t, 3, 0.5)
+	mc := NewMonteCarlo(g, 9)
+	got := mc.Pair(0, 2, 30000)
+	want := 0.25
+	sigma := math.Sqrt(want * (1 - want) / 30000)
+	if math.Abs(got-want) > 6*sigma {
+		t.Fatalf("Pair(0,2) = %v, want ~%v", got, want)
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	g := pathGraph(t, 10, 0.4)
+	a := NewMonteCarlo(g, 55)
+	b := NewMonteCarlo(g, 55)
+	ea := a.FromCenter(0, Unlimited, 500)
+	eb := b.FromCenter(0, Unlimited, 500)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same-seed estimators disagree")
+		}
+	}
+}
+
+func TestMonteCarloGrowsMonotonically(t *testing.T) {
+	g := pathGraph(t, 5, 0.5)
+	mc := NewMonteCarlo(g, 3)
+	mc.FromCenter(0, Unlimited, 100)
+	if mc.WorldsMaterialized() != 100 {
+		t.Fatalf("materialized %d worlds, want 100", mc.WorldsMaterialized())
+	}
+	mc.FromCenter(0, Unlimited, 50)
+	if mc.WorldsMaterialized() != 100 {
+		t.Fatalf("shrank to %d worlds", mc.WorldsMaterialized())
+	}
+}
+
+func TestTreePathProbability(t *testing.T) {
+	// A small star-plus-path tree.
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 0, V: 2, P: 0.25},
+		{U: 2, V: 3, P: 0.8}, {U: 3, V: 4, P: 0.1},
+	})
+	cases := []struct {
+		u, v graph.NodeID
+		want float64
+	}{
+		{0, 0, 1},
+		{0, 1, 0.5},
+		{1, 2, 0.125},
+		{0, 4, 0.02},
+		{1, 4, 0.01},
+		{0, 5, 0}, // isolated node
+	}
+	for _, c := range cases {
+		if got := TreePathProbability(g, c.u, c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("TreePathProbability(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestTreePathMatchesExact(t *testing.T) {
+	x := rng.NewXoshiro256(11)
+	for iter := 0; iter < 20; iter++ {
+		// Random tree on n nodes.
+		n := 3 + x.Intn(8)
+		b := graph.NewBuilder(n)
+		for i := 1; i < n; i++ {
+			if err := b.AddEdge(int32(x.Intn(i)), int32(i), 0.1+0.85*x.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := int32(0); u < int32(n); u++ {
+			f := ex.FromCenter(u, Unlimited, 0)
+			for v := int32(0); v < int32(n); v++ {
+				if math.Abs(f[v]-TreePathProbability(g, u, v)) > 1e-9 {
+					t.Fatalf("tree closed form vs exact at (%d,%d): %v vs %v",
+						u, v, TreePathProbability(g, u, v), f[v])
+				}
+			}
+		}
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if Harmonic(1) != 1 {
+		t.Fatalf("H(1) = %v", Harmonic(1))
+	}
+	if math.Abs(Harmonic(2)-1.5) > 1e-12 {
+		t.Fatalf("H(2) = %v", Harmonic(2))
+	}
+	// H(n) ~ ln n + gamma.
+	const n = 100000
+	want := math.Log(n) + 0.5772156649
+	if math.Abs(Harmonic(n)-want) > 1e-4 {
+		t.Fatalf("H(%d) = %v, want ~%v", n, Harmonic(n), want)
+	}
+}
+
+func TestSampleSizeFormula(t *testing.T) {
+	// r >= 3 ln(2/delta) / (eps^2 q); spot check one value.
+	got := SampleSize(0.1, 0.5, 0.01)
+	want := int(math.Ceil(3 * math.Log(200) / (0.25 * 0.1)))
+	if got != want {
+		t.Fatalf("SampleSize = %d, want %d", got, want)
+	}
+	// Decreasing q increases r.
+	if SampleSize(0.01, 0.5, 0.01) <= got {
+		t.Fatal("SampleSize must grow as q shrinks")
+	}
+}
+
+func TestSampleSizePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SampleSize(0, 0.5, 0.1) },
+		func() { SampleSize(0.5, 0, 0.1) },
+		func() { SampleSize(0.5, 0.5, 0) },
+		func() { MCPSamples(0, 0.5, 0.1, 0.01, 10) },
+		func() { ACPSamples(0.5, 0.5, 0.1, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on invalid arguments")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMCPAndACPSampleGrowth(t *testing.T) {
+	// Eq. 9 grows like 1/q, Eq. 10 like 1/q^3.
+	a1 := MCPSamples(0.5, 0.5, 0.1, 1e-4, 1000)
+	a2 := MCPSamples(0.25, 0.5, 0.1, 1e-4, 1000)
+	if a2 < 2*a1-2 || a2 > 2*a1+2 {
+		t.Fatalf("MCPSamples not ~linear in 1/q: r(0.5)=%d r(0.25)=%d", a1, a2)
+	}
+	b1 := ACPSamples(0.5, 0.5, 0.1, 1e-4, 1000)
+	b2 := ACPSamples(0.25, 0.5, 0.1, 1e-4, 1000)
+	if b2 < 8*b1-8 || b2 > 8*b1+8 {
+		t.Fatalf("ACPSamples not ~cubic in 1/q: r(0.5)=%d r(0.25)=%d", b1, b2)
+	}
+}
+
+func TestScheduleClamping(t *testing.T) {
+	s := DefaultSchedule(1000)
+	if r := s.Samples(1); r != s.Min {
+		t.Fatalf("Samples(1) = %d, want the Min %d", r, s.Min)
+	}
+	if r := s.Samples(1e-9); r != s.Max {
+		t.Fatalf("Samples(1e-9) = %d, want the Max %d", r, s.Max)
+	}
+	// Monotone nonincreasing in q.
+	prev := s.Samples(1)
+	for _, q := range []float64{0.5, 0.2, 0.1, 0.05, 0.01, 0.001} {
+		cur := s.Samples(q)
+		if cur < prev {
+			t.Fatalf("schedule not monotone: r(%v) = %d < previous %d", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestScheduleRigorous(t *testing.T) {
+	s := RigorousSchedule(100, 0.5, 0.1, 1e-4, false)
+	if got, want := s.Samples(0.5), MCPSamples(0.5, 0.5, 0.1, 1e-4, 100); got != want {
+		t.Fatalf("rigorous schedule = %d, want MCPSamples = %d", got, want)
+	}
+	sc := RigorousSchedule(100, 0.5, 0.1, 1e-4, true)
+	if got, want := sc.Samples(0.5), ACPSamples(0.5, 0.5, 0.1, 1e-4, 100); got != want {
+		t.Fatalf("rigorous cubic schedule = %d, want ACPSamples = %d", got, want)
+	}
+}
+
+func TestScheduleCubicGrowsFaster(t *testing.T) {
+	lin := Schedule{Min: 1, Max: 1 << 30, Coef: 1}
+	cub := Schedule{Min: 1, Max: 1 << 30, Coef: 1, Cubic: true}
+	if cub.Samples(0.1) <= lin.Samples(0.1) {
+		t.Fatal("cubic schedule must exceed linear schedule for q < 1")
+	}
+}
+
+// TestQuickMCWithinConfidence: the (eps, delta) bound of Eq. (5) holds
+// empirically — with r = SampleSize(q, eps, delta) samples the estimate of a
+// single-edge probability q lands within eps*q of q (checked with margin).
+func TestQuickMCWithinConfidence(t *testing.T) {
+	f := func(seed uint64) bool {
+		q := 0.2 + float64(seed%60)/100 // q in [0.2, 0.8)
+		g, err := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1, P: q}})
+		if err != nil {
+			return false
+		}
+		mc := NewMonteCarlo(g, seed)
+		r := SampleSize(q, 0.3, 0.01)
+		got := mc.Pair(0, 1, r)
+		return math.Abs(got-q)/q <= 0.45 // eps=0.3 plus slack for delta failures
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+//
+//   - accelerated guess schedule + binary search (Section 5) versus the
+//     literal geometric schedule of Algorithm 2;
+//   - candidate-set size alpha (1 as in the paper's experiments, vs 4, vs
+//     all uncovered nodes);
+//   - Monte Carlo sample-size cap of the practical schedule.
+//
+// Run with: go test -bench=Ablation ./internal/core/
+
+import (
+	"testing"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+// benchGraph builds a 600-node planted-community graph with mixed edge
+// probabilities — large enough for schedule differences to show, small
+// enough to iterate.
+func benchGraph(b *testing.B) *graph.Uncertain {
+	b.Helper()
+	x := rng.NewXoshiro256(1)
+	gb := graph.NewBuilder(600)
+	// 60 communities of 10, dense inside, sparse across.
+	for c := 0; c < 60; c++ {
+		base := int32(c * 10)
+		for i := int32(0); i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				if x.Float64() < 0.5 {
+					_ = gb.AddEdge(base+i, base+j, 0.3+0.6*x.Float64())
+				}
+			}
+		}
+		next := int32(((c + 1) % 60) * 10)
+		_ = gb.AddEdge(base+int32(x.Intn(10)), next+int32(x.Intn(10)), 0.1+0.3*x.Float64())
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func runMCP(b *testing.B, g *graph.Uncertain, opt Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = uint64(i)
+		oracle := conn.NewMonteCarlo(g, uint64(i))
+		if _, _, err := MCP(oracle, 40, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationScheduleAccelerated(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	runMCP(b, g, Options{Schedule: conn.Schedule{Min: 50, Max: 512, Coef: 8}})
+}
+
+func BenchmarkAblationScheduleGeometric(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	runMCP(b, g, Options{Geometric: true, Schedule: conn.Schedule{Min: 50, Max: 512, Coef: 8}})
+}
+
+func BenchmarkAblationAlpha1(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	runMCP(b, g, Options{Alpha: 1, Schedule: conn.Schedule{Min: 50, Max: 512, Coef: 8}})
+}
+
+func BenchmarkAblationAlpha4(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	runMCP(b, g, Options{Alpha: 4, Schedule: conn.Schedule{Min: 50, Max: 512, Coef: 8}})
+}
+
+func BenchmarkAblationAlphaAll(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	runMCP(b, g, Options{Alpha: -1, Schedule: conn.Schedule{Min: 50, Max: 512, Coef: 8}})
+}
+
+func BenchmarkAblationSamples128(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	runMCP(b, g, Options{Schedule: conn.Schedule{Min: 50, Max: 128, Coef: 8}})
+}
+
+func BenchmarkAblationSamples1024(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	runMCP(b, g, Options{Schedule: conn.Schedule{Min: 50, Max: 1024, Coef: 8}})
+}
+
+// BenchmarkAblationMinPartialOnly isolates one min-partial invocation from
+// the guessing schedule around it.
+func BenchmarkAblationMinPartialOnly(b *testing.B) {
+	g := benchGraph(b)
+	oracle := conn.NewMonteCarlo(g, 1)
+	rnd := rng.NewXoshiro256(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinPartial(oracle, rnd, PartialParams{
+			K: 40, Q: 0.3, QBar: 0.3, Alpha: 1,
+			Depth: conn.Unlimited, DepthSel: conn.Unlimited, R: 128,
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the paper's clustering algorithms for uncertain
+// graphs: the partial-clustering primitive min-partial (Algorithm 1), the
+// MCP algorithm (Algorithm 2), the ACP algorithm (Algorithm 3), and their
+// depth-limited variants (Algorithm 4, Section 3.4), together with the
+// progressive Monte Carlo sampling integration of Section 4 and the
+// accelerated guessing schedule with final binary search described in
+// Section 5.
+package core
+
+import (
+	"math"
+
+	"ucgraph/internal/graph"
+)
+
+// Unassigned marks a node not covered by any cluster in a partial
+// clustering.
+const Unassigned int32 = -1
+
+// Clustering is a (possibly partial) k-clustering of the nodes 0..n-1: k
+// centers and, for each node, the index of its cluster (or Unassigned) plus
+// the estimated connection probability to that cluster's center.
+type Clustering struct {
+	// Centers holds the k cluster centers; cluster i is centered at
+	// Centers[i].
+	Centers []graph.NodeID
+	// Assign maps each node to its cluster index in [0, k), or Unassigned.
+	Assign []int32
+	// Prob holds, for each assigned node u, the estimated (d-)connection
+	// probability Pr(center(u) ~ u) used by the algorithm; 0 for unassigned
+	// nodes.
+	Prob []float64
+}
+
+// K returns the number of clusters.
+func (c *Clustering) K() int { return len(c.Centers) }
+
+// N returns the number of nodes.
+func (c *Clustering) N() int { return len(c.Assign) }
+
+// Covered returns the number of assigned nodes.
+func (c *Clustering) Covered() int {
+	n := 0
+	for _, a := range c.Assign {
+		if a != Unassigned {
+			n++
+		}
+	}
+	return n
+}
+
+// IsFull reports whether every node is assigned.
+func (c *Clustering) IsFull() bool { return c.Covered() == c.N() }
+
+// MinProb returns the minimum estimated connection probability over
+// assigned nodes (Equation 1 on the partial clustering). It returns 0 for a
+// clustering with unassigned nodes only, and 1 for an empty clustering.
+func (c *Clustering) MinProb() float64 {
+	min := 1.0
+	seen := false
+	for u, a := range c.Assign {
+		if a == Unassigned {
+			continue
+		}
+		seen = true
+		if c.Prob[u] < min {
+			min = c.Prob[u]
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return min
+}
+
+// AvgProb returns (1/n) * sum of estimated connection probabilities, with
+// unassigned nodes contributing 0 (Equation 2; the quantity phi of
+// Algorithm 3).
+func (c *Clustering) AvgProb() float64 {
+	if len(c.Assign) == 0 {
+		return 0
+	}
+	s := 0.0
+	for u, a := range c.Assign {
+		if a != Unassigned {
+			s += c.Prob[u]
+		}
+	}
+	return s / float64(len(c.Assign))
+}
+
+// Clusters materializes the clusters as node lists, indexed by cluster.
+// Unassigned nodes appear in no list.
+func (c *Clustering) Clusters() [][]graph.NodeID {
+	out := make([][]graph.NodeID, len(c.Centers))
+	for u, a := range c.Assign {
+		if a != Unassigned {
+			out[a] = append(out[a], graph.NodeID(u))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (c *Clustering) Clone() *Clustering {
+	cp := &Clustering{
+		Centers: make([]graph.NodeID, len(c.Centers)),
+		Assign:  make([]int32, len(c.Assign)),
+		Prob:    make([]float64, len(c.Prob)),
+	}
+	copy(cp.Centers, c.Centers)
+	copy(cp.Assign, c.Assign)
+	copy(cp.Prob, c.Prob)
+	return cp
+}
+
+// Complete assigns every unassigned node to the cluster whose center has
+// the highest estimated connection probability to it, per the streaming
+// argmax recorded in bestIdx/bestProb (from the min-partial run). Nodes
+// with zero probability to every center are attached to cluster 0, matching
+// the "assign arbitrarily" completion of Algorithm 3 (their recorded
+// probability stays 0 either way).
+func (c *Clustering) Complete(bestIdx []int32, bestProb []float64) {
+	for u, a := range c.Assign {
+		if a != Unassigned {
+			continue
+		}
+		if bestIdx[u] >= 0 {
+			c.Assign[u] = bestIdx[u]
+			c.Prob[u] = bestProb[u]
+		} else {
+			c.Assign[u] = 0
+			c.Prob[u] = 0
+		}
+	}
+}
+
+// Validate checks structural invariants: every center is assigned to its
+// own cluster with probability 1, cluster indices are in range, and
+// probabilities are in [0, 1]. It returns a description of the first
+// violation, or "" if none.
+func (c *Clustering) Validate() string {
+	k := len(c.Centers)
+	for i, ctr := range c.Centers {
+		if int(ctr) < 0 || int(ctr) >= len(c.Assign) {
+			return "center out of range"
+		}
+		if c.Assign[ctr] != int32(i) {
+			return "center not assigned to its own cluster"
+		}
+	}
+	for u, a := range c.Assign {
+		if a == Unassigned {
+			if c.Prob[u] != 0 {
+				return "unassigned node with nonzero probability"
+			}
+			continue
+		}
+		if int(a) < 0 || int(a) >= k {
+			return "cluster index out of range"
+		}
+		if c.Prob[u] < 0 || c.Prob[u] > 1 {
+			return "probability out of [0,1]"
+		}
+		if math.IsNaN(c.Prob[u]) {
+			return "NaN probability"
+		}
+	}
+	return ""
+}

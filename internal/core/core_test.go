@@ -1,0 +1,661 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: p})
+	}
+	return mustGraph(t, n, edges)
+}
+
+// twoCliques builds two dense high-probability blobs joined by one weak
+// edge: the canonical 2-clusterable uncertain graph.
+func twoCliques(t *testing.T, size int, pIn, pBridge float64) *graph.Uncertain {
+	t.Helper()
+	var edges []graph.Edge
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, graph.Edge{U: int32(base + i), V: int32(base + j), P: pIn})
+			}
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: int32(size), P: pBridge})
+	return mustGraph(t, 2*size, edges)
+}
+
+func exactOracle(t *testing.T, g *graph.Uncertain) *conn.Exact {
+	t.Helper()
+	ex, err := conn.NewExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// bruteForceOpt computes p_opt-min(k) and p_opt-avg(k) exactly on a tiny
+// graph: for every k-subset of centers, assign each node to its
+// best-connected center; the optimal min (avg) over subsets is the optimum.
+func bruteForceOpt(ex *conn.Exact, n, k, depth int) (optMin, optAvg float64) {
+	from := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		from[u] = ex.FromCenter(int32(u), depth, 0)
+	}
+	centers := make([]int, k)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == k {
+			minP, sumP := 1.0, 0.0
+			for u := 0; u < n; u++ {
+				best := 0.0
+				for _, c := range centers {
+					if from[c][u] > best {
+						best = from[c][u]
+					}
+				}
+				if best < minP {
+					minP = best
+				}
+				sumP += best
+			}
+			if minP > optMin {
+				optMin = minP
+			}
+			if avg := sumP / float64(n); avg > optAvg {
+				optAvg = avg
+			}
+			return
+		}
+		for c := start; c < n; c++ {
+			centers[idx] = c
+			rec(c+1, idx+1)
+		}
+	}
+	rec(0, 0)
+	return optMin, optAvg
+}
+
+func TestMinPartialInvariants(t *testing.T) {
+	g := twoCliques(t, 3, 0.9, 0.2)
+	ex := exactOracle(t, g)
+	rnd := rng.NewXoshiro256(1)
+	for _, q := range []float64{0.9, 0.5, 0.1} {
+		res := MinPartial(ex, rnd, PartialParams{
+			K: 2, Q: q, QBar: q, Alpha: 1, Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+		})
+		cl := res.Clustering
+		if msg := cl.Validate(); msg != "" {
+			t.Fatalf("q=%v: invalid clustering: %s", q, msg)
+		}
+		if cl.K() != 2 {
+			t.Fatalf("q=%v: K = %d, want 2", q, cl.K())
+		}
+		// Every covered node's probability must meet the threshold.
+		for u, a := range cl.Assign {
+			if a == Unassigned {
+				continue
+			}
+			if cl.Prob[u] < q && cl.Prob[u] != 1 { // centers have prob 1
+				// Prob is the best-center estimate, which is >= the
+				// remover's estimate >= q (eps = 0 here).
+				t.Fatalf("q=%v: node %d covered with prob %v < q", q, u, cl.Prob[u])
+			}
+		}
+	}
+}
+
+func TestMinPartialCoversMaximally(t *testing.T) {
+	// On two 0.9-cliques with a 0.2 bridge, threshold 0.5 with k=2 must
+	// cover everything (each clique is internally well connected).
+	g := twoCliques(t, 3, 0.9, 0.2)
+	ex := exactOracle(t, g)
+	rnd := rng.NewXoshiro256(2)
+	res := MinPartial(ex, rnd, PartialParams{
+		K: 2, Q: 0.5, QBar: 0.5, Alpha: -1, Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+	})
+	if !res.Clustering.IsFull() {
+		t.Fatalf("expected full coverage, covered %d/%d", res.Clustering.Covered(), res.Clustering.N())
+	}
+}
+
+func TestMinPartialHighThresholdLeavesUncovered(t *testing.T) {
+	// Threshold 0.99 on a 0.5-path: only the centers themselves covered.
+	g := pathGraph(t, 6, 0.5)
+	ex := exactOracle(t, g)
+	rnd := rng.NewXoshiro256(3)
+	res := MinPartial(ex, rnd, PartialParams{
+		K: 2, Q: 0.99, QBar: 0.99, Alpha: 1, Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+	})
+	if got := res.Clustering.Covered(); got != 2 {
+		t.Fatalf("covered %d nodes, want exactly the 2 centers", got)
+	}
+}
+
+func TestMinPartialKClampedToN(t *testing.T) {
+	g := pathGraph(t, 3, 0.5)
+	ex := exactOracle(t, g)
+	rnd := rng.NewXoshiro256(4)
+	res := MinPartial(ex, rnd, PartialParams{
+		K: 10, Q: 0.5, QBar: 0.5, Alpha: 1, Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+	})
+	if res.Clustering.K() > 3 {
+		t.Fatalf("K = %d exceeds node count", res.Clustering.K())
+	}
+	if msg := res.Clustering.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestMinPartialPadsCentersWhenCoverageEarly(t *testing.T) {
+	// A 4-clique of certain edges is fully covered by one center; with k=3
+	// the algorithm must still return 3 distinct centers.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j), P: 1})
+		}
+	}
+	g := mustGraph(t, 4, edges)
+	ex := exactOracle(t, g)
+	rnd := rng.NewXoshiro256(5)
+	res := MinPartial(ex, rnd, PartialParams{
+		K: 3, Q: 0.9, QBar: 0.9, Alpha: 1, Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+	})
+	cl := res.Clustering
+	if cl.K() != 3 {
+		t.Fatalf("K = %d, want 3", cl.K())
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, c := range cl.Centers {
+		if seen[c] {
+			t.Fatalf("duplicate center %d", c)
+		}
+		seen[c] = true
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	if !cl.IsFull() {
+		t.Fatal("clique with p=1 must be fully covered")
+	}
+}
+
+// TestLemma2FullCoverage: for q <= p_opt-min(k)^2, min-partial covers all
+// nodes (Lemma 2), regardless of candidate choices.
+func TestLemma2FullCoverage(t *testing.T) {
+	graphs := []*graph.Uncertain{
+		twoCliques(t, 3, 0.8, 0.3),
+		pathGraph(t, 7, 0.7),
+		mustGraph(t, 5, []graph.Edge{
+			{U: 0, V: 1, P: 0.6}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.9},
+			{U: 3, V: 4, P: 0.4}, {U: 4, V: 0, P: 0.8},
+		}),
+	}
+	for gi, g := range graphs {
+		ex := exactOracle(t, g)
+		for _, k := range []int{1, 2, 3} {
+			optMin, _ := bruteForceOpt(ex, g.NumNodes(), k, conn.Unlimited)
+			q := optMin * optMin
+			for seed := uint64(0); seed < 5; seed++ {
+				rnd := rng.NewXoshiro256(seed)
+				res := MinPartial(ex, rnd, PartialParams{
+					K: k, Q: q, QBar: q, Alpha: 1, Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+				})
+				if !res.Clustering.IsFull() {
+					t.Fatalf("graph %d k=%d seed %d: q = p_opt^2 = %v left %d nodes uncovered (Lemma 2)",
+						gi, k, seed, q, res.Clustering.N()-res.Clustering.Covered())
+				}
+			}
+		}
+	}
+}
+
+// TestMCPApproximationBound: the returned clustering satisfies
+// min-prob >= (1-eps) * (1-gamma) * p_opt-min(k)^2 with the exact oracle
+// (binary-search variant; the geometric variant satisfies the Theorem 3
+// bound (1-eps) * p_opt^2 / (1+gamma)).
+func TestMCPApproximationBound(t *testing.T) {
+	graphs := []*graph.Uncertain{
+		twoCliques(t, 3, 0.8, 0.3),
+		pathGraph(t, 6, 0.6),
+		mustGraph(t, 5, []graph.Edge{
+			{U: 0, V: 1, P: 0.6}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.9},
+			{U: 3, V: 4, P: 0.4}, {U: 4, V: 0, P: 0.8},
+		}),
+	}
+	const eps, gamma = 0.01, 0.1
+	for gi, g := range graphs {
+		ex := exactOracle(t, g)
+		for _, k := range []int{1, 2, 3} {
+			optMin, _ := bruteForceOpt(ex, g.NumNodes(), k, conn.Unlimited)
+			for _, geometric := range []bool{false, true} {
+				cl, st, err := MCP(ex, k, Options{Eps: eps, Gamma: gamma, Geometric: geometric, Seed: 7})
+				if err != nil {
+					t.Fatalf("graph %d k=%d: %v", gi, k, err)
+				}
+				if !cl.IsFull() {
+					t.Fatalf("graph %d k=%d: MCP returned a partial clustering", gi, k)
+				}
+				if msg := cl.Validate(); msg != "" {
+					t.Fatalf("graph %d k=%d: %s", gi, k, msg)
+				}
+				bound := (1 - eps) * optMin * optMin
+				if geometric {
+					bound /= 1 + gamma
+				} else {
+					bound *= 1 - gamma
+				}
+				if cl.MinProb() < bound-1e-9 {
+					t.Fatalf("graph %d k=%d geometric=%v: min-prob %v < bound %v (p_opt %v, finalQ %v)",
+						gi, k, geometric, cl.MinProb(), bound, optMin, st.FinalQ)
+				}
+			}
+		}
+	}
+}
+
+// TestACPApproximationBound: Theorem 4/8 bound (very loose, but must hold),
+// plus structural checks.
+func TestACPApproximationBound(t *testing.T) {
+	graphs := []*graph.Uncertain{
+		twoCliques(t, 3, 0.8, 0.3),
+		pathGraph(t, 6, 0.6),
+	}
+	const eps, gamma = 0.01, 0.1
+	for gi, g := range graphs {
+		ex := exactOracle(t, g)
+		n := g.NumNodes()
+		for _, k := range []int{1, 2, 3} {
+			_, optAvg := bruteForceOpt(ex, n, k, conn.Unlimited)
+			for _, geometric := range []bool{false, true} {
+				cl, _, err := ACP(ex, k, Options{Eps: eps, Gamma: gamma, Geometric: geometric, Seed: 11})
+				if err != nil {
+					t.Fatalf("graph %d k=%d: %v", gi, k, err)
+				}
+				if !cl.IsFull() {
+					t.Fatalf("graph %d k=%d: ACP returned a partial clustering", gi, k)
+				}
+				if msg := cl.Validate(); msg != "" {
+					t.Fatalf("graph %d k=%d: %s", gi, k, msg)
+				}
+				x := (1 - eps) * optAvg / ((1 + gamma) * conn.Harmonic(n))
+				bound := x * x * x
+				if cl.AvgProb() < bound-1e-9 {
+					t.Fatalf("graph %d k=%d geometric=%v: avg-prob %v < bound %v",
+						gi, k, geometric, cl.AvgProb(), bound)
+				}
+			}
+		}
+	}
+}
+
+// TestACPQualityOnSeparableGraph: on two cliques, ACP with k=2 should find
+// an average connection probability close to optimal, far beyond the loose
+// theoretical bound.
+func TestACPQualityOnSeparableGraph(t *testing.T) {
+	g := twoCliques(t, 3, 0.9, 0.1)
+	ex := exactOracle(t, g)
+	_, optAvg := bruteForceOpt(ex, g.NumNodes(), 2, conn.Unlimited)
+	cl, _, err := ACP(ex, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.AvgProb() < 0.8*optAvg {
+		t.Fatalf("ACP avg-prob %v far below optimum %v", cl.AvgProb(), optAvg)
+	}
+}
+
+func TestMCPSeparatesCliques(t *testing.T) {
+	// MCP with k=2 must put the two cliques in different clusters.
+	g := twoCliques(t, 4, 0.9, 0.05)
+	mc := conn.NewMonteCarlo(g, 42)
+	cl, _, err := MCP(mc, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u < 4; u++ {
+		if cl.Assign[u] != cl.Assign[0] {
+			t.Fatalf("clique A split: node %d in cluster %d, node 0 in %d", u, cl.Assign[u], cl.Assign[0])
+		}
+	}
+	for u := 5; u < 8; u++ {
+		if cl.Assign[u] != cl.Assign[4] {
+			t.Fatalf("clique B split: node %d in cluster %d, node 4 in %d", u, cl.Assign[u], cl.Assign[4])
+		}
+	}
+	if cl.Assign[0] == cl.Assign[4] {
+		t.Fatal("the two cliques ended up in the same cluster")
+	}
+}
+
+func TestMCPRejectsBadK(t *testing.T) {
+	g := pathGraph(t, 4, 0.5)
+	ex := exactOracle(t, g)
+	if _, _, err := MCP(ex, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := MCP(ex, 4, Options{}); err == nil {
+		t.Fatal("k=n accepted")
+	}
+	if _, _, err := ACP(ex, 0, Options{}); err == nil {
+		t.Fatal("ACP k=0 accepted")
+	}
+}
+
+func TestMCPDisconnectedNeedsEnoughClusters(t *testing.T) {
+	// Two disconnected components, k=1: no full clustering exists above any
+	// positive floor, so MCP must report ErrNoClustering.
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1, P: 0.9}, {U: 2, V: 3, P: 0.9}})
+	ex := exactOracle(t, g)
+	_, _, err := MCP(ex, 1, Options{})
+	if err != ErrNoClustering {
+		t.Fatalf("err = %v, want ErrNoClustering", err)
+	}
+	// With k=2 it succeeds.
+	cl, _, err := MCP(ex, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.IsFull() {
+		t.Fatal("k=2 on two components must cover everything")
+	}
+}
+
+func TestMCPDeterministicPerSeed(t *testing.T) {
+	g := twoCliques(t, 4, 0.8, 0.2)
+	run := func() *Clustering {
+		mc := conn.NewMonteCarlo(g, 77)
+		cl, _, err := MCP(mc, 2, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	a, b := run(), run()
+	for u := range a.Assign {
+		if a.Assign[u] != b.Assign[u] {
+			t.Fatalf("same seeds produced different clusterings at node %d", u)
+		}
+	}
+}
+
+func TestMCPDepthLimitedPath(t *testing.T) {
+	// Path of 5 certain edges, k=2, depth 1: every node must be adjacent to
+	// its center, which is only possible if coverage fails for large
+	// thresholds... with p=1 and d=1, a 2-clustering covering all 5 nodes
+	// of a path does not exist (a center covers at most itself and its
+	// neighbors: two centers cover at most 6 nodes but the path needs
+	// specific placement: centers at 1 and 3 cover {0,1,2} and {2,3,4} —
+	// that IS full coverage).
+	g := pathGraph(t, 5, 1.0)
+	ex := exactOracle(t, g)
+	cl, _, err := MCP(ex, 2, Options{Depth: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.IsFull() {
+		t.Fatal("depth-1 2-clustering of a 5-path with certain edges exists (centers 1,3)")
+	}
+	// Every node must be within 1 hop of its center.
+	hops := map[graph.NodeID][]int32{}
+	for _, c := range cl.Centers {
+		hops[c] = g.BFSAll(c)
+	}
+	for u, a := range cl.Assign {
+		c := cl.Centers[a]
+		if hops[c][u] > 1 {
+			t.Fatalf("node %d at %d hops from its center %d (depth limit 1)", u, hops[c][u], c)
+		}
+	}
+}
+
+func TestMCPDepthLimitedInfeasible(t *testing.T) {
+	// Path of 7 certain edges, k=2, depth 1: two depth-1 stars cover at
+	// most 6 nodes, so no full clustering exists -> ErrNoClustering.
+	g := pathGraph(t, 7, 1.0)
+	ex := exactOracle(t, g)
+	if _, _, err := MCP(ex, 2, Options{Depth: 1, Seed: 2}); err != ErrNoClustering {
+		t.Fatalf("err = %v, want ErrNoClustering", err)
+	}
+}
+
+// TestMCPDepthBoundTheorem5: min-prob_d >= (1-eps)(1-gamma) *
+// p_opt-min(k, floor(d/2))^2 with the exact oracle.
+func TestMCPDepthBoundTheorem5(t *testing.T) {
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.8}, {U: 2, V: 3, P: 0.7},
+		{U: 3, V: 4, P: 0.9}, {U: 4, V: 5, P: 0.8}, {U: 5, V: 0, P: 0.6},
+	})
+	ex := exactOracle(t, g)
+	const eps, gamma = 0.01, 0.1
+	for _, d := range []int{2, 4} {
+		for _, k := range []int{2, 3} {
+			optMinHalf, _ := bruteForceOpt(ex, g.NumNodes(), k, d/2)
+			cl, _, err := MCP(ex, k, Options{Depth: d, Eps: eps, Gamma: gamma, Seed: 9})
+			if err != nil {
+				t.Fatalf("d=%d k=%d: %v", d, k, err)
+			}
+			bound := (1 - eps) * (1 - gamma) * optMinHalf * optMinHalf
+			if cl.MinProb() < bound-1e-9 {
+				t.Fatalf("d=%d k=%d: min-prob %v < Theorem 5 bound %v", d, k, cl.MinProb(), bound)
+			}
+		}
+	}
+}
+
+func TestACPDepthLimited(t *testing.T) {
+	g := pathGraph(t, 5, 1.0)
+	ex := exactOracle(t, g)
+	cl, _, err := ACP(ex, 2, Options{Depth: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	// With certain edges, the best depth-1 2-clustering of a 5-path covers
+	// all nodes (centers 1 and 3): avg-prob = 1.
+	if cl.AvgProb() < 0.99 {
+		t.Fatalf("avg-prob %v, want ~1 for certain 5-path with centers 1,3", cl.AvgProb())
+	}
+}
+
+func TestACPTheoreticalDepthSel(t *testing.T) {
+	g := pathGraph(t, 6, 0.9)
+	ex := exactOracle(t, g)
+	cl, _, err := ACP(ex, 2, Options{Depth: 3, TheoreticalDepthSel: true, Geometric: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	if !cl.IsFull() {
+		t.Fatal("ACP must return a full clustering")
+	}
+}
+
+func TestMCPMonteCarloOnPath(t *testing.T) {
+	// End-to-end with the Monte Carlo oracle: 8-path with p=0.9, k=2.
+	// Optimal 2-clustering centers ~2 and ~5 give min-prob 0.9^2 = 0.81;
+	// the guarantee is min-prob >= ~(1-gamma)(0.81)^2 ~ 0.59, but in
+	// practice MCP lands near the optimum. Assert the guarantee.
+	g := pathGraph(t, 8, 0.9)
+	mc := conn.NewMonteCarlo(g, 13)
+	cl, _, err := MCP(mc, 2, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.MinProb() < 0.55 {
+		t.Fatalf("min-prob %v below guarantee on easy path", cl.MinProb())
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := twoCliques(t, 3, 0.8, 0.2)
+	mc := conn.NewMonteCarlo(g, 5)
+	_, st, err := MCP(mc, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Invocations < 1 || st.OracleCalls < 1 || st.MaxSamples < 1 || st.FinalQ <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestClusteringHelpers(t *testing.T) {
+	cl := &Clustering{
+		Centers: []graph.NodeID{0, 3},
+		Assign:  []int32{0, 0, Unassigned, 1},
+		Prob:    []float64{1, 0.5, 0, 1},
+	}
+	if cl.K() != 2 || cl.N() != 4 {
+		t.Fatalf("K/N = %d/%d", cl.K(), cl.N())
+	}
+	if cl.Covered() != 3 || cl.IsFull() {
+		t.Fatalf("Covered = %d, IsFull = %v", cl.Covered(), cl.IsFull())
+	}
+	if cl.MinProb() != 0.5 {
+		t.Fatalf("MinProb = %v, want 0.5 (uncovered excluded)", cl.MinProb())
+	}
+	if got, want := cl.AvgProb(), 2.5/4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AvgProb = %v, want %v", got, want)
+	}
+	cls := cl.Clusters()
+	if len(cls) != 2 || len(cls[0]) != 2 || len(cls[1]) != 1 {
+		t.Fatalf("Clusters = %v", cls)
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	// Completion attaches node 2 to its best center.
+	cl2 := cl.Clone()
+	cl2.Complete([]int32{0, 0, 1, 1}, []float64{1, 0.5, 0.25, 1})
+	if cl2.Assign[2] != 1 || cl2.Prob[2] != 0.25 {
+		t.Fatalf("Complete: node 2 -> cluster %d prob %v", cl2.Assign[2], cl2.Prob[2])
+	}
+	if !cl2.IsFull() {
+		t.Fatal("completed clustering must be full")
+	}
+	// Clone independence.
+	cl2.Assign[0] = 1
+	if cl.Assign[0] != 0 {
+		t.Fatal("Clone shares memory with the original")
+	}
+}
+
+func TestValidateCatchesBrokenClusterings(t *testing.T) {
+	bad := &Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 5},
+		Prob:    []float64{1, 0.5},
+	}
+	if bad.Validate() == "" {
+		t.Fatal("out-of-range cluster index not caught")
+	}
+	bad2 := &Clustering{
+		Centers: []graph.NodeID{0, 1},
+		Assign:  []int32{1, 1}, // center 0 sits in cluster 1
+		Prob:    []float64{1, 1},
+	}
+	if bad2.Validate() == "" {
+		t.Fatal("center assigned to foreign cluster not caught")
+	}
+	bad3 := &Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, Unassigned},
+		Prob:    []float64{1, 0.3},
+	}
+	if bad3.Validate() == "" {
+		t.Fatal("unassigned node with nonzero prob not caught")
+	}
+}
+
+func TestEmptyAndDegenerateClusterings(t *testing.T) {
+	empty := &Clustering{}
+	if empty.MinProb() != 0 || empty.AvgProb() != 0 {
+		t.Fatal("empty clustering metrics should be 0")
+	}
+	allUnassigned := &Clustering{Centers: nil, Assign: []int32{Unassigned, Unassigned}, Prob: []float64{0, 0}}
+	if allUnassigned.MinProb() != 0 {
+		t.Fatal("MinProb of fully-unassigned clustering should be 0")
+	}
+}
+
+func TestMCPKEqualsNMinusOne(t *testing.T) {
+	g := pathGraph(t, 4, 0.5)
+	ex := exactOracle(t, g)
+	cl, _, err := MCP(ex, 3, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K() != 3 || !cl.IsFull() {
+		t.Fatalf("k=n-1: K=%d full=%v", cl.K(), cl.IsFull())
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	// With 3 centers among 4 path nodes, min-prob is at least 0.5 * slack.
+	if cl.MinProb() < 0.4 {
+		t.Fatalf("min-prob %v too low for k=3 on a 4-path", cl.MinProb())
+	}
+}
+
+func TestAlphaGreaterThanOneImproves(t *testing.T) {
+	// Larger alpha considers more candidates; the paper reports similar
+	// scores with lower variance. Here: both must produce valid, full
+	// clusterings of the clique pair.
+	g := twoCliques(t, 4, 0.9, 0.1)
+	for _, alpha := range []int{1, 3, -1} {
+		mc := conn.NewMonteCarlo(g, 21)
+		cl, _, err := MCP(mc, 2, Options{Alpha: alpha, Seed: 17})
+		if err != nil {
+			t.Fatalf("alpha=%d: %v", alpha, err)
+		}
+		if !cl.IsFull() {
+			t.Fatalf("alpha=%d: partial clustering", alpha)
+		}
+		if msg := cl.Validate(); msg != "" {
+			t.Fatalf("alpha=%d: %s", alpha, msg)
+		}
+	}
+}
+
+func TestGeometricScheduleMoreInvocationsThanAccelerated(t *testing.T) {
+	// The accelerated schedule exists to cut invocations on low-probability
+	// graphs; verify it does at least as few min-partial runs.
+	g := pathGraph(t, 10, 0.3) // pmin ~ 0.3^9: deep geometric descent
+	mcA := conn.NewMonteCarlo(g, 31)
+	_, stA, err := MCP(mcA, 2, Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcG := conn.NewMonteCarlo(g, 31)
+	_, stG, err := MCP(mcG, 2, Options{Seed: 19, Geometric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Invocations > stG.Invocations {
+		t.Fatalf("accelerated used %d invocations, geometric %d", stA.Invocations, stG.Invocations)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+// randomConnectedGraph builds a random connected uncertain graph with
+// n in [6, 14) nodes: a random spanning tree plus extra random edges.
+func randomConnectedGraph(x *rng.Xoshiro256) *graph.Uncertain {
+	n := 6 + x.Intn(8)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(int32(x.Intn(i)), int32(i), 0.1+0.85*x.Float64())
+	}
+	extra := x.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		u, v := int32(x.Intn(n)), int32(x.Intn(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 0.1+0.85*x.Float64())
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestQuickMCPStructuralInvariants: on random connected graphs, MCP with
+// the Monte Carlo oracle always returns a full, valid clustering with
+// exactly k clusters and distinct centers.
+func TestQuickMCPStructuralInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := rng.NewXoshiro256(seed)
+		g := randomConnectedGraph(x)
+		k := 1 + x.Intn(g.NumNodes()-1)
+		oracle := conn.NewMonteCarlo(g, seed)
+		cl, _, err := MCP(oracle, k, Options{
+			Seed:     seed,
+			Schedule: conn.Schedule{Min: 32, Max: 128, Coef: 4},
+		})
+		if err != nil {
+			return false
+		}
+		if cl.K() != k || !cl.IsFull() || cl.Validate() != "" {
+			return false
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, c := range cl.Centers {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickACPStructuralInvariants: same for ACP, plus the invariant that
+// the returned (completed) clustering's average probability is at least
+// the partial phi it was selected by (completion only adds probability).
+func TestQuickACPStructuralInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := rng.NewXoshiro256(seed)
+		g := randomConnectedGraph(x)
+		k := 1 + x.Intn(g.NumNodes()-1)
+		oracle := conn.NewMonteCarlo(g, seed)
+		cl, st, err := ACP(oracle, k, Options{
+			Seed:     seed,
+			Schedule: conn.Schedule{Min: 32, Max: 128, Coef: 4},
+		})
+		if err != nil {
+			return false
+		}
+		if cl.K() != k || !cl.IsFull() || cl.Validate() != "" {
+			return false
+		}
+		return st.Invocations >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinPartialThresholdInvariant: every node covered by
+// min-partial has estimated connection probability at least
+// (1 - eps/2) * q to some selected center.
+func TestQuickMinPartialThresholdInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := rng.NewXoshiro256(seed)
+		g := randomConnectedGraph(x)
+		k := 1 + x.Intn(3)
+		q := 0.05 + 0.9*x.Float64()
+		eps := 0.1
+		oracle := conn.NewMonteCarlo(g, seed)
+		rnd := rng.NewXoshiro256(seed + 1)
+		res := MinPartial(oracle, rnd, PartialParams{
+			K: k, Q: q, QBar: q, Alpha: 1,
+			Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+			R: 200, Eps: eps,
+		})
+		cl := res.Clustering
+		if cl.Validate() != "" {
+			return false
+		}
+		thresh := (1 - eps/2) * q
+		for u, a := range cl.Assign {
+			if a == Unassigned {
+				continue
+			}
+			// Prob is the best-center estimate; centers carry 1.
+			if cl.Prob[u] < thresh && cl.Prob[u] != 1 {
+				return false
+			}
+			_ = u
+		}
+		// BestProb must dominate the recorded per-node probabilities.
+		for u := range cl.Assign {
+			if cl.Prob[u] > res.BestProb[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaximalityInvariant: every uncovered node has estimated
+// connection probability below q to every selected center — the
+// "maximal coverage" guarantee of Algorithm 1.
+func TestQuickMaximalityInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := rng.NewXoshiro256(seed)
+		g := randomConnectedGraph(x)
+		q := 0.3 + 0.6*x.Float64()
+		oracle := conn.NewMonteCarlo(g, seed)
+		rnd := rng.NewXoshiro256(seed + 1)
+		res := MinPartial(oracle, rnd, PartialParams{
+			K: 2, Q: q, QBar: q, Alpha: 1,
+			Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+			R: 200, Eps: 0,
+		})
+		cl := res.Clustering
+		for u, a := range cl.Assign {
+			if a != Unassigned {
+				continue
+			}
+			// BestProb[u] is the max estimate over all centers; an
+			// uncovered node must sit strictly below the threshold.
+			if res.BestProb[u] >= q {
+				_ = u
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+// Torture tests: degenerate structures and extreme probabilities that the
+// drivers must survive without panics, invalid clusterings or hangs.
+
+import (
+	"testing"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+// run both drivers on g with every k in ks and check structural sanity.
+func tortureRun(t *testing.T, g *graph.Uncertain, ks []int, expectErr bool) {
+	t.Helper()
+	sched := conn.Schedule{Min: 32, Max: 128, Coef: 4}
+	for _, k := range ks {
+		for _, algo := range []string{"mcp", "acp"} {
+			oracle := conn.NewMonteCarlo(g, 1)
+			var (
+				cl  *Clustering
+				err error
+			)
+			opt := Options{Seed: 1, Schedule: sched}
+			if algo == "mcp" {
+				cl, _, err = MCP(oracle, k, opt)
+			} else {
+				cl, _, err = ACP(oracle, k, opt)
+			}
+			if expectErr {
+				if err == nil && algo == "mcp" {
+					t.Fatalf("%s k=%d: expected an error", algo, k)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", algo, k, err)
+			}
+			if msg := cl.Validate(); msg != "" {
+				t.Fatalf("%s k=%d: %s", algo, k, msg)
+			}
+			if cl.K() != k {
+				t.Fatalf("%s k=%d: got %d clusters", algo, k, cl.K())
+			}
+		}
+	}
+}
+
+func TestTortureSingleEdgeGraph(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.5}})
+	tortureRun(t, g, []int{1}, false)
+}
+
+func TestTortureExtremeProbabilities(t *testing.T) {
+	// Mix of nearly-0 and nearly-1 probabilities.
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, P: 1e-9}, {U: 1, V: 2, P: 1 - 1e-12},
+		{U: 2, V: 3, P: 1e-9}, {U: 3, V: 4, P: 0.999999},
+		{U: 4, V: 5, P: 1e-9}, {U: 5, V: 0, P: 1},
+	})
+	// The graph is topologically connected, so a 1-clustering exists but
+	// only at probability ~1e-9, far below the floor: MCP must fail
+	// cleanly. Larger k (3 strong pairs) must succeed.
+	oracle := conn.NewMonteCarlo(g, 1)
+	if _, _, err := MCP(oracle, 1, Options{Seed: 1, Schedule: conn.Schedule{Min: 32, Max: 128, Coef: 4}}); err != ErrNoClustering {
+		t.Fatalf("k=1 on ~1e-9 connectivity: err = %v, want ErrNoClustering", err)
+	}
+	tortureRun(t, g, []int{3, 5}, false)
+}
+
+func TestTortureStar(t *testing.T) {
+	// Star with a certain hub: any k works.
+	var edges []graph.Edge
+	for i := 1; i < 12; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(i), P: 1})
+	}
+	g := mustGraph(t, 12, edges)
+	tortureRun(t, g, []int{1, 2, 5, 11}, false)
+}
+
+func TestTortureCompleteGraph(t *testing.T) {
+	var edges []graph.Edge
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j), P: 0.5})
+		}
+	}
+	g := mustGraph(t, 9, edges)
+	tortureRun(t, g, []int{1, 4, 8}, false)
+}
+
+func TestTortureManyComponents(t *testing.T) {
+	// 5 disconnected edges: k < 5 must fail for MCP, k = 5 succeeds.
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		edges = append(edges, graph.Edge{U: int32(2 * i), V: int32(2*i + 1), P: 0.9})
+	}
+	g := mustGraph(t, 10, edges)
+	oracle := conn.NewMonteCarlo(g, 1)
+	if _, _, err := MCP(oracle, 3, Options{Seed: 1, Schedule: conn.Schedule{Min: 32, Max: 128, Coef: 4}}); err != ErrNoClustering {
+		t.Fatalf("k=3 on 5 components: err = %v, want ErrNoClustering", err)
+	}
+	tortureRun(t, g, []int{5, 7}, false)
+}
+
+func TestTortureAllCertain(t *testing.T) {
+	// Fully certain connected graph: p_min = 1 achievable for any k; the
+	// driver must terminate at the very first guess.
+	g := mustGraph(t, 8, []graph.Edge{
+		{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}, {U: 2, V: 3, P: 1}, {U: 3, V: 4, P: 1},
+		{U: 4, V: 5, P: 1}, {U: 5, V: 6, P: 1}, {U: 6, V: 7, P: 1}, {U: 7, V: 0, P: 1},
+	})
+	oracle := conn.NewMonteCarlo(g, 1)
+	cl, st, err := MCP(oracle, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.MinProb() != 1 {
+		t.Fatalf("min-prob = %v on a certain graph", cl.MinProb())
+	}
+	if st.Invocations > 3 {
+		t.Fatalf("certain graph took %d invocations", st.Invocations)
+	}
+}
+
+func TestTortureDepthZero(t *testing.T) {
+	// Depth 0 means only self-connections: no k < n clustering can cover
+	// everything, so MCP must report failure (and not loop forever).
+	g := pathGraph(t, 4, 0.9)
+	oracle := conn.NewMonteCarlo(g, 1)
+	// Depth: 0 is normalized to Unlimited by withDefaults (0 is the zero
+	// value); use the explicit MinPartial to exercise a literal depth-0.
+	rnd := rng.NewXoshiro256(1)
+	res := MinPartial(oracle, rnd, PartialParams{
+		K: 2, Q: 0.5, QBar: 0.5, Alpha: 1, Depth: 0, DepthSel: 0, R: 64,
+	})
+	if res.Clustering.Covered() != 2 {
+		t.Fatalf("depth-0 covered %d nodes, want exactly the 2 centers", res.Clustering.Covered())
+	}
+}
+
+func TestTortureHugeKRejected(t *testing.T) {
+	g := pathGraph(t, 5, 0.5)
+	oracle := conn.NewMonteCarlo(g, 1)
+	if _, _, err := MCP(oracle, 5, Options{}); err == nil {
+		t.Fatal("k = n accepted")
+	}
+	if _, _, err := ACP(oracle, 1000, Options{}); err == nil {
+		t.Fatal("k >> n accepted")
+	}
+}
+
+func TestTortureRepeatedRunsShareOracle(t *testing.T) {
+	// Running MCP twice against one oracle must work (world cache reuse)
+	// and produce identical results for identical options.
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, P: 0.8}, {U: 1, V: 2, P: 0.8}, {U: 3, V: 4, P: 0.8},
+		{U: 4, V: 5, P: 0.8}, {U: 2, V: 3, P: 0.1},
+	})
+	oracle := conn.NewMonteCarlo(g, 9)
+	a, _, err := MCP(oracle, 2, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MCP(oracle, 2, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Assign {
+		if a.Assign[u] != b.Assign[u] {
+			t.Fatal("shared-oracle reruns diverged")
+		}
+	}
+}

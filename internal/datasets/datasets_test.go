@@ -1,0 +1,309 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"ucgraph/internal/graph"
+)
+
+// statsOK checks a dataset's size against targets with a tolerance.
+func statsOK(t *testing.T, ds *Dataset, wantNodes, wantEdges int, tol float64) {
+	t.Helper()
+	n, m := ds.Graph.NumNodes(), ds.Graph.NumEdges()
+	if math.Abs(float64(n-wantNodes)) > tol*float64(wantNodes) {
+		t.Fatalf("%s: %d nodes, want ~%d", ds.Name, n, wantNodes)
+	}
+	if math.Abs(float64(m-wantEdges)) > tol*float64(wantEdges) {
+		t.Fatalf("%s: %d edges, want ~%d", ds.Name, m, wantEdges)
+	}
+}
+
+// probHistogram buckets the edge probabilities of a graph.
+func probHistogram(g *graph.Uncertain) (low, mid, high float64) {
+	var l, m, h int
+	for _, e := range g.Edges() {
+		switch {
+		case e.P < 0.4:
+			l++
+		case e.P < 0.9:
+			m++
+		default:
+			h++
+		}
+	}
+	tot := float64(g.NumEdges())
+	return float64(l) / tot, float64(m) / tot, float64(h) / tot
+}
+
+func TestCollinsStats(t *testing.T) {
+	ds, err := Collins(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: 1004 nodes, 8323 edges (tolerance 6%: the LCC restriction
+	// and random fill make exact counts seed-dependent).
+	statsOK(t, ds, 1004, 8323, 0.06)
+	// Mostly high-probability edges: most of the mass above 0.75.
+	var above75 int
+	var sum float64
+	for _, e := range ds.Graph.Edges() {
+		if e.P >= 0.75 {
+			above75++
+		}
+		sum += e.P
+	}
+	tot := float64(ds.Graph.NumEdges())
+	if f := float64(above75) / tot; f < 0.6 {
+		t.Fatalf("collins: only %.2f of edges have p >= 0.75 (want high-probability profile)", f)
+	}
+	if mean := sum / tot; mean < 0.75 {
+		t.Fatalf("collins: mean edge probability %.2f, want >= 0.75", mean)
+	}
+	low, _, _ := probHistogram(ds.Graph)
+	if low > 0.15 {
+		t.Fatalf("collins: %.2f of edges below 0.4 (too many low-probability edges)", low)
+	}
+	if len(ds.Complexes) < 20 {
+		t.Fatalf("collins: only %d complexes planted", len(ds.Complexes))
+	}
+}
+
+func TestGavinStats(t *testing.T) {
+	ds, err := Gavin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsOK(t, ds, 1727, 7534, 0.06)
+	low, _, _ := probHistogram(ds.Graph)
+	if low < 0.5 {
+		t.Fatalf("gavin: only %.2f of edges below 0.4 (want low-probability profile)", low)
+	}
+}
+
+func TestKroganStats(t *testing.T) {
+	ds, err := Krogan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsOK(t, ds, 2559, 7031, 0.06)
+	// ~25% of edges above 0.9, rest spread over [0.27, 0.9].
+	var above, below, tiny int
+	for _, e := range ds.Graph.Edges() {
+		switch {
+		case e.P > 0.9:
+			above++
+		case e.P >= 0.27:
+			below++
+		default:
+			tiny++
+		}
+	}
+	tot := float64(ds.Graph.NumEdges())
+	if f := float64(above) / tot; f < 0.15 || f > 0.40 {
+		t.Fatalf("krogan: %.2f of edges above 0.9, want ~0.25", f)
+	}
+	if f := float64(tiny) / tot; f > 0.05 {
+		t.Fatalf("krogan: %.2f of edges below 0.27, want ~0", f)
+	}
+	if len(ds.Curated) == 0 {
+		t.Fatal("krogan: no curated (MIPS-like) complexes")
+	}
+	if len(ds.Curated) >= len(ds.Complexes) {
+		t.Fatalf("krogan: curated subset (%d) not smaller than complexes (%d)",
+			len(ds.Curated), len(ds.Complexes))
+	}
+}
+
+func TestKroganCuratedPairsScale(t *testing.T) {
+	// The MIPS ground truth used in the paper has 3874 pairs; our curated
+	// subset should be in the same order of magnitude (10^3-10^4).
+	ds, err := Krogan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := 0
+	for _, cx := range ds.Curated {
+		pairs += len(cx) * (len(cx) - 1) / 2
+	}
+	if pairs < 500 || pairs > 20000 {
+		t.Fatalf("curated ground truth has %d pairs, want O(10^3)", pairs)
+	}
+}
+
+func TestComplexesAreValid(t *testing.T) {
+	for _, gen := range []func(uint64) (*Dataset, error){Collins, Gavin, Krogan} {
+		ds, err := gen(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := ds.Graph.NumNodes()
+		for ci, cx := range ds.Complexes {
+			if len(cx) < 2 {
+				t.Fatalf("%s: complex %d has %d members", ds.Name, ci, len(cx))
+			}
+			seen := map[graph.NodeID]bool{}
+			for _, u := range cx {
+				if int(u) < 0 || int(u) >= n {
+					t.Fatalf("%s: complex %d references node %d outside graph", ds.Name, ci, u)
+				}
+				if seen[u] {
+					t.Fatalf("%s: complex %d repeats node %d", ds.Name, ci, u)
+				}
+				seen[u] = true
+			}
+		}
+	}
+}
+
+func TestComplexesAreInternallyDense(t *testing.T) {
+	// Planted complexes must be much denser than the background: the mean
+	// intra-complex edge density should far exceed the global density.
+	ds, err := Krogan(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	var intraEdges, intraPairs int
+	for _, cx := range ds.Complexes {
+		for i := 0; i < len(cx); i++ {
+			for j := i + 1; j < len(cx); j++ {
+				intraPairs++
+				if _, ok := g.HasEdge(cx[i], cx[j]); ok {
+					intraEdges++
+				}
+			}
+		}
+	}
+	intraDens := float64(intraEdges) / float64(intraPairs)
+	n := float64(g.NumNodes())
+	globalDens := float64(g.NumEdges()) / (n * (n - 1) / 2)
+	if intraDens < 20*globalDens {
+		t.Fatalf("intra-complex density %.4f not >> global density %.6f", intraDens, globalDens)
+	}
+}
+
+func TestDatasetsAreConnected(t *testing.T) {
+	for _, gen := range []func(uint64) (*Dataset, error){Collins, Gavin, Krogan} {
+		ds, err := gen(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, count := ds.Graph.Components(); count != 1 {
+			t.Fatalf("%s: LCC-restricted graph has %d components", ds.Name, count)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := Krogan(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Krogan(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs between same-seed runs", i)
+		}
+	}
+	if len(a.Curated) != len(b.Curated) {
+		t.Fatal("curated subsets differ between same-seed runs")
+	}
+}
+
+func TestGeneratorsSeedSensitive(t *testing.T) {
+	a, err := Collins(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collins(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	limit := len(ea)
+	if len(eb) < limit {
+		limit = len(eb)
+	}
+	for i := 0; i < limit; i++ {
+		if ea[i] == eb[i] {
+			same++
+		}
+	}
+	if same == limit {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestDBLPSmall(t *testing.T) {
+	ds, err := DBLP(DBLPConfig{Authors: 2000, PapersPerAuthor: 1.45, CommunitySize: 40, CrossCommunity: 0.12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := ds.Graph.NumNodes(), ds.Graph.NumEdges()
+	if n < 1000 {
+		t.Fatalf("DBLP LCC too small: %d nodes", n)
+	}
+	// Edge/node ratio should be in the ballpark of the real DBLP (~3.7).
+	ratio := float64(m) / float64(n)
+	if ratio < 1.5 || ratio > 7 {
+		t.Fatalf("DBLP edges/nodes = %.2f, want ~2-5", ratio)
+	}
+	if _, count := ds.Graph.Components(); count != 1 {
+		t.Fatalf("DBLP LCC has %d components", count)
+	}
+}
+
+func TestDBLPProbabilityMass(t *testing.T) {
+	// ~80% of edges at p = 0.39 (single collaboration), ~12% at 0.63,
+	// the rest higher.
+	ds, err := DBLP(DBLPConfig{Authors: 3000, PapersPerAuthor: 1.45, CommunitySize: 40, CrossCommunity: 0.12}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one, two, more int
+	for _, e := range ds.Graph.Edges() {
+		switch {
+		case math.Abs(e.P-0.39346934) < 1e-6:
+			one++
+		case math.Abs(e.P-0.63212055) < 1e-6:
+			two++
+		default:
+			more++
+		}
+	}
+	tot := float64(ds.Graph.NumEdges())
+	if f := float64(one) / tot; f < 0.6 || f > 0.95 {
+		t.Fatalf("DBLP: %.2f of edges from single collaborations, want ~0.8", f)
+	}
+	if f := float64(more) / tot; f > 0.25 {
+		t.Fatalf("DBLP: %.2f of edges with 3+ collaborations, want ~0.08", f)
+	}
+}
+
+func TestDBLPRejectsTinyConfigs(t *testing.T) {
+	if _, err := DBLP(DBLPConfig{Authors: 5}, 1); err == nil {
+		t.Fatal("DBLP accepted a 5-author config")
+	}
+}
+
+func TestDBLPZeroConfigUsesDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default DBLP config is ~25k nodes")
+	}
+	ds, err := DBLP(DBLPConfig{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumNodes() < 15000 {
+		t.Fatalf("default DBLP too small: %d nodes", ds.Graph.NumNodes())
+	}
+}

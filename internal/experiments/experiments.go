@@ -1,0 +1,395 @@
+// Package experiments reproduces the tables and figures of the paper's
+// evaluation (Section 5) on the synthetic stand-in datasets:
+//
+//   - Table 1: dataset statistics (nodes/edges of the LCC);
+//   - Figure 1: p_min and p_avg of gmm/mcl/mcp/acp across graphs and k;
+//   - Figure 2: inner-AVPR and outer-AVPR on the same grid;
+//   - Figure 3: running times on the same grid;
+//   - Figure 4: running time versus k for mcp and mcl on DBLP;
+//   - Table 2: TPR/FPR of depth-limited mcp/acp versus mcl and kpt on the
+//     Krogan graph against the curated (MIPS-like) ground truth.
+//
+// The paper's methodology is followed: mcl is run at fixed inflation values
+// and the resulting cluster counts become the k targets handed to the other
+// algorithms, since mcl's granularity cannot be controlled directly.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/core"
+	"ucgraph/internal/datasets"
+	"ucgraph/internal/gmm"
+	"ucgraph/internal/kpt"
+	"ucgraph/internal/mcl"
+	"ucgraph/internal/metrics"
+	"ucgraph/internal/sampler"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed drives dataset synthesis, world sampling and algorithm
+	// randomness.
+	Seed uint64
+	// MetricSamples is the number of possible worlds used to score
+	// clusterings (default 192).
+	MetricSamples int
+	// ScheduleMax caps the per-phase Monte Carlo sample size of mcp/acp
+	// (default 768).
+	ScheduleMax int
+	// DBLPAuthors sizes the synthetic DBLP instance (default 6000; the
+	// paper-scale instance is 636751).
+	DBLPAuthors int
+	// Graphs restricts the run to the named datasets (default all four).
+	Graphs []string
+	// MCLMaxNNZ caps MCL matrix columns (default 128).
+	MCLMaxNNZ int
+	// Runs averages the randomized algorithms (gmm, mcp, acp) over this
+	// many seeds per cell (default 1; the paper averages >= 100).
+	Runs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MetricSamples <= 0 {
+		c.MetricSamples = 192
+	}
+	if c.ScheduleMax <= 0 {
+		c.ScheduleMax = 768
+	}
+	if c.DBLPAuthors <= 0 {
+		c.DBLPAuthors = 6000
+	}
+	if len(c.Graphs) == 0 {
+		c.Graphs = []string{"collins", "gavin", "krogan", "dblp"}
+	}
+	if c.MCLMaxNNZ <= 0 {
+		c.MCLMaxNNZ = 128
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	return c
+}
+
+// loadDataset materializes one of the four synthetic datasets by name.
+func loadDataset(name string, cfg Config) (*datasets.Dataset, error) {
+	switch name {
+	case "collins":
+		return datasets.Collins(cfg.Seed)
+	case "gavin":
+		return datasets.Gavin(cfg.Seed)
+	case "krogan":
+		return datasets.Krogan(cfg.Seed)
+	case "dblp":
+		return datasets.DBLP(datasets.DBLPConfig{
+			Authors:         cfg.DBLPAuthors,
+			PapersPerAuthor: 1.45,
+			CommunitySize:   55,
+			CrossCommunity:  0.12,
+		}, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+}
+
+// inflations returns the mcl inflation sweep for a dataset, matching
+// Section 5.1 (1.2/1.5/2.0 for the PPI networks, 1.15/1.2/1.3 for DBLP).
+func inflations(name string) []float64 {
+	if name == "dblp" {
+		return []float64{1.15, 1.2, 1.3}
+	}
+	return []float64{1.2, 1.5, 2.0}
+}
+
+// DatasetStats is one row of Table 1.
+type DatasetStats struct {
+	Name  string
+	Nodes int
+	Edges int
+}
+
+// Table1 reproduces Table 1: the LCC sizes of the four datasets.
+func Table1(cfg Config) ([]DatasetStats, error) {
+	cfg = cfg.withDefaults()
+	var out []DatasetStats
+	for _, name := range cfg.Graphs {
+		ds, err := loadDataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DatasetStats{
+			Name:  ds.Name,
+			Nodes: ds.Graph.NumNodes(),
+			Edges: ds.Graph.NumEdges(),
+		})
+	}
+	return out, nil
+}
+
+// Cell is one (graph, k, algorithm) measurement of the quality grid; it
+// carries everything Figures 1, 2 and 3 report.
+type Cell struct {
+	Graph     string
+	K         int
+	Algo      string
+	PMin      float64
+	PAvg      float64
+	InnerAVPR float64
+	OuterAVPR float64
+	Millis    float64
+}
+
+// QualityGrid reproduces the measurement grid behind Figures 1-3: for each
+// dataset, mcl is run at its three inflation values; each run's cluster
+// count becomes the k for gmm, mcp and acp; all four clusterings are scored
+// on a shared sample of possible worlds.
+func QualityGrid(cfg Config) ([]Cell, error) {
+	cfg = cfg.withDefaults()
+	var out []Cell
+	for _, name := range cfg.Graphs {
+		ds, err := loadDataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		g := ds.Graph
+		ls := sampler.NewLabelSet(g, cfg.Seed+0x5eed)
+		ls.Grow(cfg.MetricSamples)
+		opts := core.Options{
+			Seed:     cfg.Seed,
+			Schedule: conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+		}
+		for _, inf := range inflations(name) {
+			// mcl first: it defines the granularity target.
+			t0 := time.Now()
+			mclRes := mcl.Cluster(g, mcl.Options{Inflation: inf, MaxNNZPerColumn: cfg.MCLMaxNNZ})
+			mclMillis := float64(time.Since(t0).Microseconds()) / 1000
+			k := mclRes.Clustering.K()
+			if k < 1 || k >= g.NumNodes() {
+				continue // degenerate granularity; skip this inflation
+			}
+			out = append(out, score(name, k, "mcl", mclRes.Clustering, ls, cfg, mclMillis))
+
+			// The randomized algorithms are averaged over cfg.Runs seeds,
+			// mirroring the paper's averaging over >= 100 runs.
+			averaged, err := averageRuns(cfg, name, k, "gmm", ls, func(seed uint64) (*core.Clustering, error) {
+				return gmm.Cluster(g, k, seed)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, averaged)
+
+			averaged, err = averageRuns(cfg, name, k, "mcp", ls, func(seed uint64) (*core.Clustering, error) {
+				o := opts
+				o.Seed = seed
+				cl, _, err := core.MCP(conn.NewMonteCarlo(g, seed+1), k, o)
+				return cl, err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: mcp on %s k=%d: %v", name, k, err)
+			}
+			out = append(out, averaged)
+
+			averaged, err = averageRuns(cfg, name, k, "acp", ls, func(seed uint64) (*core.Clustering, error) {
+				o := opts
+				o.Seed = seed
+				cl, _, err := core.ACP(conn.NewMonteCarlo(g, seed+2), k, o)
+				return cl, err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: acp on %s k=%d: %v", name, k, err)
+			}
+			out = append(out, averaged)
+		}
+	}
+	return out, nil
+}
+
+// averageRuns executes a randomized algorithm cfg.Runs times with distinct
+// seeds and averages all Cell fields (metrics and wall time).
+func averageRuns(cfg Config, graphName string, k int, algo string, ls *sampler.LabelSet, run func(seed uint64) (*core.Clustering, error)) (Cell, error) {
+	var acc Cell
+	for i := 0; i < cfg.Runs; i++ {
+		t0 := time.Now()
+		cl, err := run(cfg.Seed + uint64(1000*i))
+		if err != nil {
+			return Cell{}, err
+		}
+		c := score(graphName, k, algo, cl, ls, cfg,
+			float64(time.Since(t0).Microseconds())/1000)
+		acc.PMin += c.PMin
+		acc.PAvg += c.PAvg
+		acc.InnerAVPR += c.InnerAVPR
+		acc.OuterAVPR += c.OuterAVPR
+		acc.Millis += c.Millis
+	}
+	inv := 1 / float64(cfg.Runs)
+	return Cell{
+		Graph: graphName, K: k, Algo: algo,
+		PMin: acc.PMin * inv, PAvg: acc.PAvg * inv,
+		InnerAVPR: acc.InnerAVPR * inv, OuterAVPR: acc.OuterAVPR * inv,
+		Millis: acc.Millis * inv,
+	}, nil
+}
+
+// score evaluates one clustering into a Cell.
+func score(graphName string, k int, algo string, cl *core.Clustering, ls *sampler.LabelSet, cfg Config, millis float64) Cell {
+	inner, outer := metrics.AVPR(cl, ls, cfg.MetricSamples)
+	return Cell{
+		Graph:     graphName,
+		K:         k,
+		Algo:      algo,
+		PMin:      metrics.PMin(cl, ls, cfg.MetricSamples),
+		PAvg:      metrics.PAvg(cl, ls, cfg.MetricSamples),
+		InnerAVPR: inner,
+		OuterAVPR: outer,
+		Millis:    millis,
+	}
+}
+
+// ScalePoint is one measurement of Figure 4: running time versus k on the
+// DBLP graph for mcp and mcl.
+type ScalePoint struct {
+	K         int
+	MCPMillis float64
+	MCLMillis float64
+}
+
+// Figure4 reproduces Figure 4. The k values sweep the same relative
+// granularities as the paper (k/n of roughly 0.0004 to 0.024); mcl cannot
+// hit a k target directly, so as in the paper the comparison pairs each
+// mcp run at k with the mcl run whose granularity is closest.
+func Figure4(cfg Config) ([]ScalePoint, error) {
+	cfg = cfg.withDefaults()
+	ds, err := loadDataset("dblp", cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Graph
+	n := g.NumNodes()
+
+	// mcl sweep: one run per inflation, recording (k, time).
+	type mclRun struct {
+		k      int
+		millis float64
+	}
+	var mclRuns []mclRun
+	for _, inf := range []float64{1.15, 1.2, 1.3, 1.5, 2.0} {
+		t0 := time.Now()
+		res := mcl.Cluster(g, mcl.Options{Inflation: inf, MaxNNZPerColumn: cfg.MCLMaxNNZ})
+		mclRuns = append(mclRuns, mclRun{
+			k:      res.Clustering.K(),
+			millis: float64(time.Since(t0).Microseconds()) / 1000,
+		})
+	}
+	sort.Slice(mclRuns, func(i, j int) bool { return mclRuns[i].k < mclRuns[j].k })
+
+	// mcp sweep over the paper's relative granularities.
+	ratios := []float64{0.0004, 0.0008, 0.0016, 0.0029, 0.0083, 0.024}
+	var out []ScalePoint
+	opts := core.Options{
+		Seed:     cfg.Seed,
+		Schedule: conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+	}
+	seenK := map[int]bool{}
+	for _, ratio := range ratios {
+		k := int(ratio * float64(n))
+		if k < 2 {
+			k = 2
+		}
+		if k >= n || seenK[k] {
+			continue
+		}
+		seenK[k] = true
+		t0 := time.Now()
+		oracle := conn.NewMonteCarlo(g, cfg.Seed+3)
+		if _, _, err := core.MCP(oracle, k, opts); err != nil {
+			return nil, fmt.Errorf("experiments: figure4 mcp k=%d: %v", k, err)
+		}
+		sp := ScalePoint{K: k, MCPMillis: float64(time.Since(t0).Microseconds()) / 1000}
+		// Closest mcl run by cluster count.
+		bestDiff := -1
+		for _, mr := range mclRuns {
+			d := mr.k - k
+			if d < 0 {
+				d = -d
+			}
+			if bestDiff < 0 || d < bestDiff {
+				bestDiff = d
+				sp.MCLMillis = mr.millis
+			}
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// PredictionRow is one row of Table 2: protein-complex prediction quality.
+type PredictionRow struct {
+	Algo  string
+	Depth int // 0 for the depth-free baselines
+	TPR   float64
+	FPR   float64
+}
+
+// Table2 reproduces Table 2: depth-limited mcp and acp (d in {2,3,4,6,8})
+// against mcl and kpt on the Krogan graph, scored on the curated
+// (MIPS-like) complex ground truth. The cluster target k is the cluster
+// count of the mcl reference run, mirroring the paper's use of the
+// published 547-cluster mcl clustering.
+func Table2(cfg Config) ([]PredictionRow, error) {
+	cfg = cfg.withDefaults()
+	ds, err := datasets.Krogan(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Graph
+	truth := ds.Curated
+
+	// Reference mcl clustering (inflation 2.0, biological-significance
+	// configuration in the original study).
+	mclRes := mcl.Cluster(g, mcl.Options{Inflation: 2.0, MaxNNZPerColumn: cfg.MCLMaxNNZ})
+	k := mclRes.Clustering.K()
+	if k < 2 {
+		return nil, fmt.Errorf("experiments: mcl found %d clusters on krogan", k)
+	}
+	if k >= g.NumNodes() {
+		k = g.NumNodes() - 1
+	}
+
+	var out []PredictionRow
+	opts := core.Options{
+		Seed:     cfg.Seed,
+		Schedule: conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+	}
+	for _, d := range []int{2, 3, 4, 6, 8} {
+		dOpts := opts
+		dOpts.Depth = d
+		oracle := conn.NewMonteCarlo(g, cfg.Seed+10)
+		mcpCl, _, err := core.MCP(oracle, k, dOpts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 mcp d=%d: %v", d, err)
+		}
+		conf := metrics.PairConfusion(mcpCl, truth)
+		out = append(out, PredictionRow{Algo: "mcp", Depth: d, TPR: conf.TPR(), FPR: conf.FPR()})
+
+		oracle = conn.NewMonteCarlo(g, cfg.Seed+11)
+		acpCl, _, err := core.ACP(oracle, k, dOpts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 acp d=%d: %v", d, err)
+		}
+		conf = metrics.PairConfusion(acpCl, truth)
+		out = append(out, PredictionRow{Algo: "acp", Depth: d, TPR: conf.TPR(), FPR: conf.FPR()})
+	}
+
+	conf := metrics.PairConfusion(mclRes.Clustering, truth)
+	out = append(out, PredictionRow{Algo: "mcl", TPR: conf.TPR(), FPR: conf.FPR()})
+
+	kptCl := kpt.Cluster(g, cfg.Seed)
+	conf = metrics.PairConfusion(kptCl, truth)
+	out = append(out, PredictionRow{Algo: "kpt", TPR: conf.TPR(), FPR: conf.FPR()})
+	return out, nil
+}

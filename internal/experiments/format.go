@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatTable1 renders Table 1 like the paper: graph, nodes, edges.
+func FormatTable1(rows []DatasetStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: graphs (largest connected component)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s\n", "graph", "nodes", "edges")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %10d\n", r.Name, r.Nodes, r.Edges)
+	}
+	return b.String()
+}
+
+// gridOrder sorts cells by (graph, k, algorithm) with the paper's
+// algorithm order.
+func gridOrder(cells []Cell) []Cell {
+	algoRank := map[string]int{"gmm": 0, "mcl": 1, "mcp": 2, "acp": 3}
+	graphRank := map[string]int{"collins": 0, "gavin": 1, "krogan": 2, "dblp": 3}
+	out := make([]Cell, len(cells))
+	copy(out, cells)
+	sort.Slice(out, func(i, j int) bool {
+		if graphRank[out[i].Graph] != graphRank[out[j].Graph] {
+			return graphRank[out[i].Graph] < graphRank[out[j].Graph]
+		}
+		if out[i].K != out[j].K {
+			return out[i].K < out[j].K
+		}
+		return algoRank[out[i].Algo] < algoRank[out[j].Algo]
+	})
+	return out
+}
+
+// formatGrid renders one metric of the quality grid as a figure-like table.
+func formatGrid(title string, cells []Cell, value func(Cell) float64, format string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-10s %8s %-6s %12s\n", "graph", "k", "algo", "value")
+	for _, c := range gridOrder(cells) {
+		fmt.Fprintf(&b, "%-10s %8d %-6s "+format+"\n", c.Graph, c.K, c.Algo, value(c))
+	}
+	return b.String()
+}
+
+// FormatFigure1 renders the p_min and p_avg series of Figure 1.
+func FormatFigure1(cells []Cell) string {
+	return formatGrid("Figure 1 (top): minimum connection probability p_min", cells,
+		func(c Cell) float64 { return c.PMin }, "%12.3f") +
+		"\n" +
+		formatGrid("Figure 1 (bottom): average connection probability p_avg", cells,
+			func(c Cell) float64 { return c.PAvg }, "%12.3f")
+}
+
+// FormatFigure2 renders the inner/outer AVPR series of Figure 2.
+func FormatFigure2(cells []Cell) string {
+	return formatGrid("Figure 2 (top): inner-AVPR (higher is better)", cells,
+		func(c Cell) float64 { return c.InnerAVPR }, "%12.3f") +
+		"\n" +
+		formatGrid("Figure 2 (bottom): outer-AVPR (lower is better)", cells,
+			func(c Cell) float64 { return c.OuterAVPR }, "%12.3f")
+}
+
+// FormatFigure3 renders the running-time series of Figure 3.
+func FormatFigure3(cells []Cell) string {
+	return formatGrid("Figure 3: running time (ms)", cells,
+		func(c Cell) float64 { return c.Millis }, "%12.1f")
+}
+
+// FormatFigure4 renders the DBLP scaling series of Figure 4.
+func FormatFigure4(points []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 4: running time vs k on DBLP")
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "k", "mcp (ms)", "mcl (ms)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f\n", p.K, p.MCPMillis, p.MCLMillis)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2: TPR/FPR of the predictors.
+func FormatTable2(rows []PredictionRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: protein-complex prediction on Krogan vs curated ground truth")
+	fmt.Fprintf(&b, "%-6s %6s %8s %8s\n", "algo", "depth", "TPR", "FPR")
+	for _, r := range rows {
+		depth := "-"
+		if r.Depth > 0 {
+			depth = fmt.Sprintf("%d", r.Depth)
+		}
+		fmt.Fprintf(&b, "%-6s %6s %8.3f %8.3f\n", r.Algo, depth, r.TPR, r.FPR)
+	}
+	return b.String()
+}

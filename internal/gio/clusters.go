@@ -1,0 +1,108 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ucgraph/internal/core"
+	"ucgraph/internal/graph"
+)
+
+// WriteClusters writes a clustering, one cluster per line: the center
+// first, then the other members in ascending order. Unassigned nodes are
+// omitted. The format round-trips through ReadClusters.
+func WriteClusters(w io.Writer, cl *core.Clustering) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ucgraph clustering: %d clusters, %d/%d nodes covered\n",
+		cl.K(), cl.Covered(), cl.N())
+	for i, members := range cl.Clusters() {
+		if _, err := fmt.Fprintf(bw, "%d", cl.Centers[i]); err != nil {
+			return err
+		}
+		for _, u := range members {
+			if u != cl.Centers[i] {
+				if _, err := fmt.Fprintf(bw, " %d", u); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadClusters parses a clustering written by WriteClusters for a graph
+// with n nodes. Connection probabilities are not stored in the format, so
+// Prob is 1 for centers and 0 elsewhere; re-estimate with metrics if
+// needed.
+func ReadClusters(r io.Reader, n int) (*core.Clustering, error) {
+	cl := &core.Clustering{
+		Assign: make([]int32, n),
+		Prob:   make([]float64, n),
+	}
+	for i := range cl.Assign {
+		cl.Assign[i] = core.Unassigned
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := int32(len(cl.Centers))
+		for fi, f := range strings.Fields(line) {
+			id, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad node id %q: %v", lineNo, f, err)
+			}
+			u := graph.NodeID(id)
+			if int(u) < 0 || int(u) >= n {
+				return nil, fmt.Errorf("gio: line %d: node %d outside graph of %d nodes", lineNo, u, n)
+			}
+			if cl.Assign[u] != core.Unassigned {
+				return nil, fmt.Errorf("gio: line %d: node %d appears in two clusters", lineNo, u)
+			}
+			cl.Assign[u] = idx
+			if fi == 0 {
+				cl.Centers = append(cl.Centers, u)
+				cl.Prob[u] = 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: read: %v", err)
+	}
+	return cl, nil
+}
+
+// SaveClusters writes a clustering to a file.
+func SaveClusters(path string, cl *core.Clustering) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteClusters(f, cl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadClusters reads a clustering from a file for a graph with n nodes.
+func LoadClusters(path string, n int) (*core.Clustering, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadClusters(f, n)
+}

@@ -1,0 +1,108 @@
+package gio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ucgraph/internal/core"
+	"ucgraph/internal/graph"
+)
+
+func sampleClustering() *core.Clustering {
+	return &core.Clustering{
+		Centers: []graph.NodeID{2, 5},
+		Assign:  []int32{0, 0, 0, 1, core.Unassigned, 1},
+		Prob:    []float64{0.7, 0.8, 1, 0.9, 0, 1},
+	}
+}
+
+func TestClustersRoundTrip(t *testing.T) {
+	cl := sampleClustering()
+	var buf bytes.Buffer
+	if err := WriteClusters(&buf, cl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClusters(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != 2 {
+		t.Fatalf("K = %d, want 2", got.K())
+	}
+	for u, want := range cl.Assign {
+		if got.Assign[u] != want {
+			t.Fatalf("node %d: assign %d, want %d", u, got.Assign[u], want)
+		}
+	}
+	// Centers are preserved in order.
+	if got.Centers[0] != 2 || got.Centers[1] != 5 {
+		t.Fatalf("centers = %v", got.Centers)
+	}
+	if msg := got.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestClustersCenterFirstOnLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClusters(&buf, sampleClustering()); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		first := strings.Fields(line)[0]
+		if first != "2" && first != "5" {
+			t.Fatalf("line %q does not start with a center", line)
+		}
+	}
+}
+
+func TestReadClustersErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad id":        "1 x 3\n",
+		"out of range":  "1 99\n",
+		"negative":      "-1 2\n",
+		"duplicate":     "0 1\n1 2\n",
+		"dup same line": "0 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadClusters(strings.NewReader(in), 6); err == nil {
+			t.Errorf("%s: no error for %q", name, in)
+		}
+	}
+}
+
+func TestReadClustersPartial(t *testing.T) {
+	// Only nodes 0-2 clustered; 3-5 stay unassigned.
+	got, err := ReadClusters(strings.NewReader("0 1 2\n"), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Covered() != 3 {
+		t.Fatalf("covered %d, want 3", got.Covered())
+	}
+	for u := 3; u < 6; u++ {
+		if got.Assign[u] != core.Unassigned {
+			t.Fatalf("node %d should be unassigned", u)
+		}
+	}
+}
+
+func TestClustersFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cl.txt")
+	if err := SaveClusters(path, sampleClustering()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClusters(path, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != 2 || got.Covered() != 5 {
+		t.Fatalf("loaded K=%d covered=%d", got.K(), got.Covered())
+	}
+}

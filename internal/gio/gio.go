@@ -1,0 +1,172 @@
+// Package gio reads and writes uncertain graphs and clustering ground truth
+// in plain text formats.
+//
+// Graph format (the same edge-list format used by the paper's reference
+// implementation): one edge per line, "u v p" with integer node IDs and a
+// float probability; lines starting with '#' and blank lines are ignored.
+//
+// Ground-truth format (protein complexes): one complex per line, the
+// whitespace-separated integer IDs of its members; '#' comments allowed.
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ucgraph/internal/graph"
+)
+
+// ReadGraph parses an uncertain graph from r.
+func ReadGraph(r io.Reader) (*graph.Uncertain, error) {
+	b := graph.NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("gio: line %d: want 'u v p', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad node id %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad node id %q: %v", lineNo, fields[1], err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad probability %q: %v", lineNo, fields[2], err)
+		}
+		if err := b.AddEdge(int32(u), int32(v), p); err != nil {
+			return nil, fmt.Errorf("gio: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: read: %v", err)
+	}
+	return b.Build()
+}
+
+// WriteGraph writes g in the edge-list format. Edges are written in edge-ID
+// order, so output is deterministic.
+func WriteGraph(w io.Writer, g *graph.Uncertain) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ucgraph uncertain graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.P); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadGraph reads an uncertain graph from a file.
+func LoadGraph(path string) (*graph.Uncertain, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(f)
+}
+
+// SaveGraph writes an uncertain graph to a file.
+func SaveGraph(path string, g *graph.Uncertain) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGraph(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGroundTruth parses complexes (one per line) from r.
+func ReadGroundTruth(r io.Reader) ([][]graph.NodeID, error) {
+	var out [][]graph.NodeID
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		complexNodes := make([]graph.NodeID, 0, len(fields))
+		for _, f := range fields {
+			id, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad member id %q: %v", lineNo, f, err)
+			}
+			complexNodes = append(complexNodes, int32(id))
+		}
+		out = append(out, complexNodes)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: read: %v", err)
+	}
+	return out, nil
+}
+
+// WriteGroundTruth writes complexes, one per line, members sorted.
+func WriteGroundTruth(w io.Writer, complexes [][]graph.NodeID) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range complexes {
+		sorted := make([]graph.NodeID, len(c))
+		copy(sorted, c)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, id := range sorted {
+			if i > 0 {
+				if _, err := fmt.Fprint(bw, " "); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d", id); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadGroundTruth reads complexes from a file.
+func LoadGroundTruth(path string) ([][]graph.NodeID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGroundTruth(f)
+}
+
+// SaveGroundTruth writes complexes to a file.
+func SaveGroundTruth(path string, complexes [][]graph.NodeID) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGroundTruth(f, complexes); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

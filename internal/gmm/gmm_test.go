@@ -1,0 +1,200 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+
+	"ucgraph/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: p})
+	}
+	return mustGraph(t, n, edges)
+}
+
+func TestGMMBasic(t *testing.T) {
+	g := pathGraph(t, 10, 0.5)
+	cl, err := Cluster(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K() != 3 {
+		t.Fatalf("K = %d, want 3", cl.K())
+	}
+	if !cl.IsFull() {
+		t.Fatal("GMM must assign every node")
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestGMMRejectsBadK(t *testing.T) {
+	g := pathGraph(t, 4, 0.5)
+	if _, err := Cluster(g, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Cluster(g, 4, 1); err == nil {
+		t.Fatal("k=n accepted")
+	}
+}
+
+func TestGMMCentersDistinct(t *testing.T) {
+	g := pathGraph(t, 12, 0.8)
+	cl, err := Cluster(g, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, c := range cl.Centers {
+		if seen[c] {
+			t.Fatalf("duplicate center %d", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGMMFarthestPointOnPath(t *testing.T) {
+	// On a uniform path with k=2, after the random first center c, the
+	// second center must be the endpoint farthest from c.
+	g := pathGraph(t, 11, 0.5)
+	for seed := uint64(0); seed < 10; seed++ {
+		cl, err := Cluster(g, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0, c1 := cl.Centers[0], cl.Centers[1]
+		var want graph.NodeID
+		if c0 <= 5 {
+			want = 10
+		} else {
+			want = 0
+		}
+		if c1 != want {
+			t.Fatalf("seed %d: first center %d, second %d, want farthest endpoint %d",
+				seed, c0, c1, want)
+		}
+	}
+}
+
+func TestGMMAssignsToClosestCenter(t *testing.T) {
+	g := pathGraph(t, 10, 0.5)
+	cl, err := Cluster(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node's cluster center must be (one of) the hop-closest centers
+	// (uniform weights make hops = distance order).
+	d0 := g.BFSAll(cl.Centers[0])
+	d1 := g.BFSAll(cl.Centers[1])
+	for u := 0; u < 10; u++ {
+		a := cl.Assign[u]
+		du0, du1 := d0[u], d1[u]
+		if a == 0 && du0 > du1 {
+			t.Fatalf("node %d assigned to center 0 at distance %d but center 1 is at %d", u, du0, du1)
+		}
+		if a == 1 && du1 > du0 {
+			t.Fatalf("node %d assigned to center 1 at distance %d but center 0 is at %d", u, du1, du0)
+		}
+	}
+}
+
+func TestGMMDisconnectedPicksBothComponents(t *testing.T) {
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.9},
+		{U: 3, V: 4, P: 0.9}, {U: 4, V: 5, P: 0.9},
+	})
+	cl, err := Cluster(g, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two centers must land in different components (the farthest
+	// node from any first center is at infinite distance in the other
+	// component).
+	compOf := func(u graph.NodeID) int {
+		if u <= 2 {
+			return 0
+		}
+		return 1
+	}
+	if compOf(cl.Centers[0]) == compOf(cl.Centers[1]) {
+		t.Fatalf("centers %v landed in the same component", cl.Centers)
+	}
+	if !cl.IsFull() {
+		t.Fatal("all nodes must be assigned when k covers all components")
+	}
+}
+
+func TestGMMProbIsPathProduct(t *testing.T) {
+	// Prob must be exp(-dist) = product of probabilities along the most
+	// probable path to the center.
+	g := pathGraph(t, 5, 0.5)
+	cl, err := Cluster(g, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cl.Centers[0]
+	hops := g.BFSAll(c)
+	for u := 0; u < 5; u++ {
+		want := math.Pow(0.5, float64(hops[u]))
+		if math.Abs(cl.Prob[u]-want) > 1e-9 {
+			t.Fatalf("Prob[%d] = %v, want %v", u, cl.Prob[u], want)
+		}
+	}
+}
+
+func TestGMMDeterministicPerSeed(t *testing.T) {
+	g := pathGraph(t, 20, 0.7)
+	a, err := Cluster(g, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(g, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Assign {
+		if a.Assign[u] != b.Assign[u] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestGMMKCenter2ApproxOnPath(t *testing.T) {
+	// Gonzalez is a 2-approximation for k-center. On a uniform 12-path
+	// with k=3, the optimal max hop radius is 2 (centers 2, 6, 10 cover
+	// within 2 hops); GMM must achieve radius <= 4.
+	g := pathGraph(t, 12, 0.5)
+	for seed := uint64(0); seed < 5; seed++ {
+		cl, err := Cluster(g, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists := make([][]int32, 3)
+		for i, c := range cl.Centers {
+			dists[i] = g.BFSAll(c)
+		}
+		worst := int32(0)
+		for u := 0; u < 12; u++ {
+			if d := dists[cl.Assign[u]][u]; d > worst {
+				worst = d
+			}
+		}
+		if worst > 4 {
+			t.Fatalf("seed %d: GMM radius %d exceeds 2x optimal (4)", seed, worst)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by size and path halving.
+// It is the workhorse of possible-world connectivity: one instance is reset
+// and refilled per sampled world.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+	}
+	uf.Reset()
+	return uf
+}
+
+// Reset returns every element to its own singleton set. It reuses the
+// existing arrays, so a single UnionFind can serve many sampled worlds
+// without reallocation.
+func (uf *UnionFind) Reset() {
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+}
+
+// Len returns the number of elements.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// Find returns the representative of x's set, halving paths as it walks.
+func (uf *UnionFind) Find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y and reports whether a merge happened.
+func (uf *UnionFind) Union(x, y int32) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.size[rx] < uf.size[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	uf.size[rx] += uf.size[ry]
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int32) bool {
+	return uf.Find(x) == uf.Find(y)
+}
+
+// SetSize returns the size of x's set.
+func (uf *UnionFind) SetSize(x int32) int32 {
+	return uf.size[uf.Find(x)]
+}
+
+// Labels writes, for each element, the representative of its set into out,
+// which must have length Len(). The labels are canonical (the
+// representative's own index), so two elements are connected iff their
+// labels are equal.
+func (uf *UnionFind) Labels(out []int32) {
+	for i := range uf.parent {
+		out[i] = uf.Find(int32(i))
+	}
+}

@@ -1,0 +1,180 @@
+package influence
+
+import (
+	"math"
+	"testing"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/sampler"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSpreadSingleEdge(t *testing.T) {
+	// sigma({0}) on a single 0.4 edge = 1 + 0.4.
+	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.4}})
+	ls := sampler.NewLabelSet(g, 1)
+	const r = 30000
+	got := Spread(ls, []graph.NodeID{0}, r)
+	sigma := math.Sqrt(0.4 * 0.6 / r)
+	if math.Abs(got-1.4) > 6*sigma {
+		t.Fatalf("Spread = %v, want ~1.4", got)
+	}
+}
+
+func TestSpreadEmptySeeds(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.4}})
+	ls := sampler.NewLabelSet(g, 1)
+	if got := Spread(ls, nil, 100); got != 0 {
+		t.Fatalf("Spread(empty) = %v", got)
+	}
+}
+
+func TestSpreadUnionNotSum(t *testing.T) {
+	// Two seeds in the same certain component cover it once.
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}})
+	ls := sampler.NewLabelSet(g, 2)
+	if got := Spread(ls, []graph.NodeID{0, 2}, 100); got != 3 {
+		t.Fatalf("Spread = %v, want 3 (no double counting)", got)
+	}
+}
+
+func TestSpreadMonotone(t *testing.T) {
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 3, V: 4, P: 0.5}, {U: 4, V: 5, P: 0.5},
+	})
+	ls := sampler.NewLabelSet(g, 3)
+	const r = 2000
+	s1 := Spread(ls, []graph.NodeID{0}, r)
+	s2 := Spread(ls, []graph.NodeID{0, 3}, r)
+	if s2 < s1 {
+		t.Fatalf("spread not monotone: %v -> %v", s1, s2)
+	}
+}
+
+func TestGreedyPicksHub(t *testing.T) {
+	// Star with strong edges: the hub has the largest spread and must be
+	// the first seed.
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, P: 0.8}, {U: 0, V: 2, P: 0.8}, {U: 0, V: 3, P: 0.8},
+		{U: 0, V: 4, P: 0.8}, {U: 0, V: 5, P: 0.8},
+	})
+	ls := sampler.NewLabelSet(g, 5)
+	res, err := Greedy(ls, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("first seed = %d, want hub 0", res.Seeds[0])
+	}
+	// sigma(hub) = 1 + 5*0.8 = 5.
+	if math.Abs(res.Spread[0]-5) > 0.2 {
+		t.Fatalf("hub spread = %v, want ~5", res.Spread[0])
+	}
+}
+
+func TestGreedyCoversComponents(t *testing.T) {
+	// Two certain components: with k=2 greedy must take one seed in each.
+	g := mustGraph(t, 7, []graph.Edge{
+		{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}, {U: 2, V: 3, P: 1}, // size 4
+		{U: 4, V: 5, P: 1}, {U: 5, V: 6, P: 1}, // size 3
+	})
+	ls := sampler.NewLabelSet(g, 7)
+	res, err := Greedy(ls, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := func(u graph.NodeID) bool { return u <= 3 }
+	if inA(res.Seeds[0]) == inA(res.Seeds[1]) {
+		t.Fatalf("seeds %v land in the same component", res.Seeds)
+	}
+	if math.Abs(res.Spread[1]-7) > 1e-9 {
+		t.Fatalf("total spread = %v, want 7", res.Spread[1])
+	}
+	// First pick must be the bigger component.
+	if !inA(res.Seeds[0]) {
+		t.Fatalf("greedy picked the smaller component first: %v", res.Seeds)
+	}
+}
+
+func TestGreedySpreadNondecreasingMarginals(t *testing.T) {
+	// Submodularity: recorded marginal gains must be non-increasing.
+	g := mustGraph(t, 10, []graph.Edge{
+		{U: 0, V: 1, P: 0.6}, {U: 1, V: 2, P: 0.6}, {U: 2, V: 3, P: 0.6},
+		{U: 3, V: 4, P: 0.6}, {U: 4, V: 5, P: 0.6}, {U: 5, V: 6, P: 0.6},
+		{U: 6, V: 7, P: 0.6}, {U: 7, V: 8, P: 0.6}, {U: 8, V: 9, P: 0.6},
+	})
+	ls := sampler.NewLabelSet(g, 9)
+	res, err := Greedy(ls, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for i, s := range res.Spread {
+		gain := s
+		if i > 0 {
+			gain = s - res.Spread[i-1]
+		}
+		if gain > prev+1e-9 {
+			t.Fatalf("marginal gains increased at pick %d: %v after %v", i, gain, prev)
+		}
+		prev = gain
+	}
+}
+
+func TestGreedyCELFSavesEvaluations(t *testing.T) {
+	// CELF must evaluate far fewer than n*k marginals on a graph with many
+	// nodes. n=60 path, k=4: naive greedy would do 60*4=240 evaluations.
+	edges := make([]graph.Edge, 0, 59)
+	for i := 0; i < 59; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: 0.4})
+	}
+	g := mustGraph(t, 60, edges)
+	ls := sampler.NewLabelSet(g, 11)
+	res, err := Greedy(ls, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations >= 240 {
+		t.Fatalf("CELF did %d evaluations, naive would do 240", res.Evaluations)
+	}
+	if len(res.Seeds) != 4 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+}
+
+func TestGreedyRejectsBadK(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 0.5}})
+	ls := sampler.NewLabelSet(g, 1)
+	if _, err := Greedy(ls, 0, 100); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Greedy(ls, 4, 100); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestGreedySeedsDistinct(t *testing.T) {
+	g := mustGraph(t, 5, []graph.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.9}, {U: 2, V: 3, P: 0.9}, {U: 3, V: 4, P: 0.9},
+	})
+	ls := sampler.NewLabelSet(g, 13)
+	res, err := Greedy(ls, 5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+}

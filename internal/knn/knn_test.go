@@ -1,0 +1,174 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"ucgraph/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: p})
+	}
+	return mustGraph(t, n, edges)
+}
+
+func TestCertainGraphDistancesAreBFS(t *testing.T) {
+	g := pathGraph(t, 6, 1.0)
+	dd := Sample(g, 0, 1, 100)
+	for v := int32(0); v < 6; v++ {
+		if got := dd.Median(v); got != v {
+			t.Fatalf("median distance to %d = %d, want %d", v, got, v)
+		}
+		if got := dd.Majority(v); got != v {
+			t.Fatalf("majority distance to %d = %d, want %d", v, got, v)
+		}
+		ed, rel := dd.ExpectedReliable(v)
+		if math.Abs(ed-float64(v)) > 1e-12 || rel != 1 {
+			t.Fatalf("expected-reliable to %d = (%v, %v)", v, ed, rel)
+		}
+		if dd.Reliability(v) != 1 {
+			t.Fatalf("reliability to %d = %v, want 1", v, dd.Reliability(v))
+		}
+	}
+}
+
+func TestReliabilityMatchesPathProduct(t *testing.T) {
+	g := pathGraph(t, 4, 0.7)
+	const r = 30000
+	dd := Sample(g, 0, 7, r)
+	for v, want := range []float64{1, 0.7, 0.49, 0.343} {
+		got := dd.Reliability(graph.NodeID(v))
+		sigma := math.Sqrt(want*(1-want)/r) + 1e-9
+		if math.Abs(got-want) > 6*sigma {
+			t.Fatalf("reliability to %d = %v, want ~%v", v, got, want)
+		}
+	}
+}
+
+func TestMedianVsMajorityDiverge(t *testing.T) {
+	// Node 2 is reachable from 0 either directly (p = 0.4, distance 1) or
+	// via node 1 (both p = 0.9, distance 2). Finite-distance masses:
+	// d=1 with prob 0.4; d=2 with prob 0.81*(0.6) = 0.486. The majority
+	// finite distance is 2; the median (cumulative >= 0.5 including
+	// unreachable mass) is also 2 here (0.4 + 0.486 = 0.886 >= 0.5 at d=2).
+	// A cleaner median check: quantile 0.4 is distance 1.
+	g := mustGraph(t, 3, []graph.Edge{
+		{U: 0, V: 2, P: 0.4}, {U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.9},
+	})
+	const r = 40000
+	dd := Sample(g, 0, 3, r)
+	if got := dd.Majority(2); got != 2 {
+		t.Fatalf("majority distance = %d, want 2", got)
+	}
+	if got := dd.Quantile(2, 0.35); got != 1 {
+		t.Fatalf("0.35-quantile = %d, want 1", got)
+	}
+	if got := dd.Median(2); got != 2 {
+		t.Fatalf("median = %d, want 2", got)
+	}
+}
+
+func TestMedianInfiniteWhenMostlyDisconnected(t *testing.T) {
+	g := pathGraph(t, 2, 0.2) // connected in only 20% of worlds
+	dd := Sample(g, 0, 9, 20000)
+	if got := dd.Median(1); got != Infinite {
+		t.Fatalf("median = %d, want Infinite (reliability 0.2)", got)
+	}
+	if got := dd.Quantile(1, 0.1); got != 1 {
+		t.Fatalf("0.1-quantile = %d, want 1", got)
+	}
+}
+
+func TestKNNCertainPath(t *testing.T) {
+	g := pathGraph(t, 7, 1.0)
+	dd := Sample(g, 3, 1, 50)
+	nb := dd.KNN(2, MedianDistance)
+	if len(nb) != 2 {
+		t.Fatalf("got %d neighbors, want 2", len(nb))
+	}
+	// Nodes 2 and 4 are at distance 1.
+	got := map[graph.NodeID]bool{nb[0].Node: true, nb[1].Node: true}
+	if !got[2] || !got[4] {
+		t.Fatalf("2-NN of node 3 = %v, want {2,4}", nb)
+	}
+}
+
+func TestKNNByReliabilityPrefersStrongPaths(t *testing.T) {
+	// From 0: node 1 via p=0.95; node 2 via a 0.5 direct edge. Node 1 is
+	// more reliable and must rank first even though both are 1 hop.
+	g := mustGraph(t, 3, []graph.Edge{
+		{U: 0, V: 1, P: 0.95}, {U: 0, V: 2, P: 0.5},
+	})
+	dd := Sample(g, 0, 5, 20000)
+	nb := dd.KNN(2, ByReliability)
+	if nb[0].Node != 1 || nb[1].Node != 2 {
+		t.Fatalf("reliability ranking = %v, want node 1 first", nb)
+	}
+	if nb[0].Reliability < nb[1].Reliability {
+		t.Fatal("ranking not by descending reliability")
+	}
+}
+
+func TestKNNExcludesUnreachable(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{{U: 0, V: 1, P: 0.9}, {U: 2, V: 3, P: 0.9}})
+	dd := Sample(g, 0, 11, 500)
+	nb := dd.KNN(10, MedianDistance)
+	if len(nb) != 1 || nb[0].Node != 1 {
+		t.Fatalf("KNN across components = %v, want just node 1", nb)
+	}
+}
+
+func TestKNNExpectedReliableRequiresHalf(t *testing.T) {
+	// Node 2 reachable only via a 0.3 edge: reliability < 0.5, so the
+	// ExpectedReliableDistance measure must drop it.
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.3}})
+	dd := Sample(g, 0, 13, 20000)
+	nb := dd.KNN(5, ExpectedReliableDistance)
+	for _, x := range nb {
+		if x.Node == 2 {
+			t.Fatalf("node with reliability %v included by ERD", dd.Reliability(2))
+		}
+	}
+}
+
+func TestKNNDeterministicPerSeed(t *testing.T) {
+	g := pathGraph(t, 10, 0.6)
+	a := Sample(g, 0, 21, 500).KNN(5, MedianDistance)
+	b := Sample(g, 0, 21, 500).KNN(5, MedianDistance)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different rankings")
+		}
+	}
+}
+
+func TestKNNTriangleInequalityCounterexample(t *testing.T) {
+	// Reproduce the [29] observation quoted by the paper: median distance
+	// violates the triangle inequality. Take a 2-path 0-1-2 with p = 0.6
+	// on each edge: Median(0,1) = Median(1,2) = 1, but Pr(0~2) = 0.36 <
+	// 0.5, so Median(0,2) = Infinite > 1 + 1.
+	g := pathGraph(t, 3, 0.6)
+	const r = 20000
+	d01 := Sample(g, 0, 31, r).Median(1)
+	d12 := Sample(g, 1, 31, r).Median(2)
+	d02 := Sample(g, 0, 31, r).Median(2)
+	if d01 != 1 || d12 != 1 {
+		t.Fatalf("adjacent medians = %d, %d, want 1, 1", d01, d12)
+	}
+	if d02 != Infinite {
+		t.Fatalf("Median(0,2) = %d, want Infinite (triangle inequality violated)", d02)
+	}
+}

@@ -1,0 +1,143 @@
+package kpt
+
+import (
+	"testing"
+
+	"ucgraph/internal/core"
+	"ucgraph/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestKPTHighProbCliqueOneCluster(t *testing.T) {
+	// A clique with p = 0.9 everywhere: the first pivot absorbs everyone.
+	var edges []graph.Edge
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j), P: 0.9})
+		}
+	}
+	g := mustGraph(t, 6, edges)
+	cl := Cluster(g, 1)
+	if cl.K() != 1 {
+		t.Fatalf("K = %d, want 1", cl.K())
+	}
+	if !cl.IsFull() {
+		t.Fatal("every node must be clustered")
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestKPTLowProbAllSingletons(t *testing.T) {
+	// All probabilities <= 1/2: no absorption, n singleton clusters.
+	g := mustGraph(t, 5, []graph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.3}, {U: 2, V: 3, P: 0.5}, {U: 3, V: 4, P: 0.1},
+	})
+	cl := Cluster(g, 2)
+	if cl.K() != 5 {
+		t.Fatalf("K = %d, want 5 singletons (all p <= 0.5)", cl.K())
+	}
+}
+
+func TestKPTPivotAbsorbsOnlyNeighbors(t *testing.T) {
+	// Star with strong edges: center pivot absorbs all leaves; leaf pivot
+	// absorbs only the center.
+	g := mustGraph(t, 5, []graph.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 0, V: 2, P: 0.9}, {U: 0, V: 3, P: 0.9}, {U: 0, V: 4, P: 0.9},
+	})
+	for seed := uint64(0); seed < 20; seed++ {
+		cl := Cluster(g, seed)
+		if msg := cl.Validate(); msg != "" {
+			t.Fatalf("seed %d: %s", seed, msg)
+		}
+		if !cl.IsFull() {
+			t.Fatalf("seed %d: unassigned nodes", seed)
+		}
+		// Clusters are either {center + leaves} (1 cluster + nothing else)
+		// or {leaf, center} + singletons.
+		switch cl.K() {
+		case 1:
+			// center was the first pivot
+		case 4:
+			// a leaf was first: it absorbed the center, 3 singletons left
+		default:
+			t.Fatalf("seed %d: K = %d, want 1 or 4", seed, cl.K())
+		}
+	}
+}
+
+func TestKPTDeterministicPerSeed(t *testing.T) {
+	g := mustGraph(t, 8, []graph.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.6}, {U: 2, V: 3, P: 0.9},
+		{U: 4, V: 5, P: 0.7}, {U: 5, V: 6, P: 0.9}, {U: 6, V: 7, P: 0.4},
+	})
+	a, b := Cluster(g, 5), Cluster(g, 5)
+	for u := range a.Assign {
+		if a.Assign[u] != b.Assign[u] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+	// Different seeds explore different permutations; over several seeds
+	// at least two distinct K values should appear on this graph.
+	ks := map[int]bool{}
+	for seed := uint64(0); seed < 10; seed++ {
+		ks[Cluster(g, seed).K()] = true
+	}
+	if len(ks) < 2 {
+		t.Log("warning: all seeds produced the same cluster count (possible but unlikely)")
+	}
+}
+
+func TestKPTProbField(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 0.8}, {U: 1, V: 2, P: 0.6}})
+	cl := Cluster(g, 3)
+	for u, a := range cl.Assign {
+		if a == core.Unassigned {
+			t.Fatalf("node %d unassigned", u)
+		}
+		if graph.NodeID(u) == cl.Centers[a] {
+			if cl.Prob[u] != 1 {
+				t.Fatalf("pivot %d has prob %v, want 1", u, cl.Prob[u])
+			}
+		} else if cl.Prob[u] <= 0.5 {
+			t.Fatalf("absorbed node %d has prob %v, want > 0.5", u, cl.Prob[u])
+		}
+	}
+}
+
+func TestKPTEveryNodeExactlyOneCluster(t *testing.T) {
+	// Partition property on a denser graph.
+	var edges []graph.Edge
+	for i := 0; i < 20; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32((i + 1) % 20), P: 0.7})
+		edges = append(edges, graph.Edge{U: int32(i), V: int32((i + 5) % 20), P: 0.6})
+	}
+	g := mustGraph(t, 20, edges)
+	cl := Cluster(g, 9)
+	counts := make([]int, cl.K())
+	for _, a := range cl.Assign {
+		if a == core.Unassigned {
+			t.Fatal("unassigned node")
+		}
+		counts[a]++
+	}
+	total := 0
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("cluster %d empty", i)
+		}
+		total += c
+	}
+	if total != 20 {
+		t.Fatalf("cluster sizes sum to %d, want 20", total)
+	}
+}

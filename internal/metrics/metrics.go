@@ -1,0 +1,258 @@
+// Package metrics evaluates clusterings of uncertain graphs with the
+// measures used in the paper's experimental section:
+//
+//   - p_min: the minimum connection probability of a node to its cluster
+//     center (Equation 1, reported in Figure 1 top);
+//   - p_avg: the average connection probability of nodes to their cluster
+//     centers (Equation 2, Figure 1 bottom);
+//   - inner-AVPR / outer-AVPR: the average pairwise reliability of node
+//     pairs inside the same cluster / across clusters (Figure 2);
+//   - the pair confusion matrix (TPR/FPR) against protein-complex ground
+//     truth (Table 2).
+//
+// All probability metrics are Monte Carlo estimates computed world-by-world
+// on a sampler.LabelSet, so different algorithms can be scored on the exact
+// same sample of possible worlds.
+package metrics
+
+import (
+	"ucgraph/internal/core"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/sampler"
+)
+
+// ClusterProbs estimates, for every node u, the connection probability
+// Pr(center(u) ~ u) over the first r worlds of ls. Unassigned nodes get 0.
+//
+// The computation is world-wise — one O(n) scan per world over the
+// component labels — so its cost is independent of the number of clusters.
+func ClusterProbs(cl *core.Clustering, ls *sampler.LabelSet, r int) []float64 {
+	n := cl.N()
+	ls.Grow(r)
+	counts := make([]int32, n)
+	centerOf := make([]graph.NodeID, n)
+	for u := 0; u < n; u++ {
+		if a := cl.Assign[u]; a != core.Unassigned {
+			centerOf[u] = cl.Centers[a]
+		} else {
+			centerOf[u] = -1
+		}
+	}
+	for w := 0; w < r; w++ {
+		lab := ls.WorldLabels(w)
+		for u := 0; u < n; u++ {
+			c := centerOf[u]
+			if c >= 0 && lab[u] == lab[c] {
+				counts[u]++
+			}
+		}
+	}
+	out := make([]float64, n)
+	inv := 1 / float64(r)
+	for u, cnt := range counts {
+		if centerOf[u] >= 0 {
+			out[u] = float64(cnt) * inv
+		}
+	}
+	return out
+}
+
+// PMin returns the estimated minimum connection probability of any node to
+// its cluster center (p_min of Figure 1). Unassigned nodes count as 0, so a
+// partial clustering scores 0.
+func PMin(cl *core.Clustering, ls *sampler.LabelSet, r int) float64 {
+	probs := ClusterProbs(cl, ls, r)
+	min := 1.0
+	for u, p := range probs {
+		if cl.Assign[u] == core.Unassigned {
+			return 0
+		}
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// PAvg returns the estimated average connection probability of nodes to
+// their cluster centers (p_avg of Figure 1); unassigned nodes contribute 0.
+func PAvg(cl *core.Clustering, ls *sampler.LabelSet, r int) float64 {
+	probs := ClusterProbs(cl, ls, r)
+	if len(probs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range probs {
+		s += p
+	}
+	return s / float64(len(probs))
+}
+
+// AVPR returns the inner and outer Average Vertex Pairwise Reliability of
+// the clustering (Section 5.1):
+//
+//	inner-AVPR = avg over same-cluster pairs   of Pr(u ~ v)
+//	outer-AVPR = avg over cross-cluster pairs  of Pr(u ~ v)
+//
+// Estimated over the first r worlds of ls. A clustering with no
+// same-cluster (resp. cross-cluster) pairs reports 0 for that component.
+func AVPR(cl *core.Clustering, ls *sampler.LabelSet, r int) (inner, outer float64) {
+	n := cl.N()
+	ls.Grow(r)
+
+	// Static pair counts.
+	k := cl.K()
+	clusterSize := make([]int64, k)
+	assigned := int64(0)
+	for _, a := range cl.Assign {
+		if a != core.Unassigned {
+			clusterSize[a]++
+			assigned++
+		}
+	}
+	var innerPairs int64
+	for _, s := range clusterSize {
+		innerPairs += s * (s - 1) / 2
+	}
+	totalPairs := assigned * (assigned - 1) / 2
+	outerPairs := totalPairs - innerPairs
+
+	// Per-world connected-pair counts, grouped by (cluster, component) for
+	// the inner count and by component alone for the total count.
+	var innerConnected, totalConnected int64
+	compCount := make([]int64, n)  // indexed by component label
+	groupCount := make([]int64, n) // per-cluster scratch, epoch-free via touched lists
+	compTouched := make([]int32, 0, n)
+	groupTouched := make([]int32, 0, n)
+	clusters := cl.Clusters()
+	for w := 0; w < r; w++ {
+		lab := ls.WorldLabels(w)
+		// Total connected pairs among assigned nodes.
+		compTouched = compTouched[:0]
+		for u := 0; u < n; u++ {
+			if cl.Assign[u] == core.Unassigned {
+				continue
+			}
+			l := lab[u]
+			if compCount[l] == 0 {
+				compTouched = append(compTouched, l)
+			}
+			compCount[l]++
+		}
+		for _, l := range compTouched {
+			c := compCount[l]
+			totalConnected += c * (c - 1) / 2
+			compCount[l] = 0
+		}
+		// Inner connected pairs, cluster by cluster.
+		for _, members := range clusters {
+			groupTouched = groupTouched[:0]
+			for _, u := range members {
+				l := lab[u]
+				if groupCount[l] == 0 {
+					groupTouched = append(groupTouched, l)
+				}
+				groupCount[l]++
+			}
+			for _, l := range groupTouched {
+				c := groupCount[l]
+				innerConnected += c * (c - 1) / 2
+				groupCount[l] = 0
+			}
+		}
+	}
+
+	if innerPairs > 0 {
+		inner = float64(innerConnected) / (float64(innerPairs) * float64(r))
+	}
+	if outerPairs > 0 {
+		outer = float64(totalConnected-innerConnected) / (float64(outerPairs) * float64(r))
+	}
+	return inner, outer
+}
+
+// Confusion is a pair-level confusion matrix against ground-truth
+// complexes: a pair of nodes placed in the same cluster is a true positive
+// if some ground-truth complex contains both, a false positive otherwise
+// (Section 5.2).
+type Confusion struct {
+	TP, FP, FN, TN int64
+}
+
+// TPR returns the true positive rate TP / (TP + FN); 0 when undefined.
+func (c Confusion) TPR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns the false positive rate FP / (FP + TN); 0 when undefined.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Precision returns TP / (TP + FP); 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// pairKey canonicalizes an unordered node pair.
+func pairKey(u, v graph.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// PairConfusion scores a clustering against ground-truth complexes.
+// Following Section 5.2, the evaluation is restricted to nodes that appear
+// in at least one complex (the MIPS-covered proteins): positive pairs are
+// pairs co-occurring in some complex, negatives are all other pairs of
+// covered nodes.
+func PairConfusion(cl *core.Clustering, complexes [][]graph.NodeID) Confusion {
+	covered := map[graph.NodeID]bool{}
+	positive := map[uint64]bool{}
+	for _, cx := range complexes {
+		for i, u := range cx {
+			covered[u] = true
+			for _, v := range cx[i+1:] {
+				if u != v {
+					positive[pairKey(u, v)] = true
+				}
+			}
+		}
+	}
+	nCovered := int64(len(covered))
+	totalPairs := nCovered * (nCovered - 1) / 2
+	totalPositive := int64(len(positive))
+
+	var conf Confusion
+	// Predicted-positive pairs: same-cluster pairs of covered nodes.
+	for _, members := range cl.Clusters() {
+		var cov []graph.NodeID
+		for _, u := range members {
+			if covered[u] {
+				cov = append(cov, u)
+			}
+		}
+		for i, u := range cov {
+			for _, v := range cov[i+1:] {
+				if positive[pairKey(u, v)] {
+					conf.TP++
+				} else {
+					conf.FP++
+				}
+			}
+		}
+	}
+	conf.FN = totalPositive - conf.TP
+	conf.TN = totalPairs - totalPositive - conf.FP
+	return conf
+}

@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ucgraph/internal/core"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/sampler"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: p})
+	}
+	return mustGraph(t, n, edges)
+}
+
+func TestClusterProbsPath(t *testing.T) {
+	// 4-path with p = 0.8, one cluster centered at node 0: the true
+	// probabilities are 1, 0.8, 0.64, 0.512.
+	g := pathGraph(t, 4, 0.8)
+	ls := sampler.NewLabelSet(g, 1)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 0, 0, 0},
+		Prob:    []float64{1, 0, 0, 0},
+	}
+	const r = 40000
+	probs := ClusterProbs(cl, ls, r)
+	wants := []float64{1, 0.8, 0.64, 0.512}
+	for u, want := range wants {
+		sigma := math.Sqrt(want*(1-want)/r) + 1e-9
+		if math.Abs(probs[u]-want) > 6*sigma {
+			t.Fatalf("probs[%d] = %v, want ~%v", u, probs[u], want)
+		}
+	}
+}
+
+func TestClusterProbsUnassignedZero(t *testing.T) {
+	g := pathGraph(t, 3, 0.9)
+	ls := sampler.NewLabelSet(g, 2)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 0, core.Unassigned},
+		Prob:    []float64{1, 0.9, 0},
+	}
+	probs := ClusterProbs(cl, ls, 200)
+	if probs[2] != 0 {
+		t.Fatalf("unassigned node probability = %v, want 0", probs[2])
+	}
+}
+
+func TestPMinAndPAvg(t *testing.T) {
+	// Two certain cliques, clustered correctly: p_min = p_avg = 1.
+	var edges []graph.Edge
+	for c := 0; c < 2; c++ {
+		b := int32(c * 3)
+		edges = append(edges,
+			graph.Edge{U: b, V: b + 1, P: 1}, graph.Edge{U: b + 1, V: b + 2, P: 1},
+			graph.Edge{U: b, V: b + 2, P: 1})
+	}
+	g := mustGraph(t, 6, edges)
+	ls := sampler.NewLabelSet(g, 3)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0, 3},
+		Assign:  []int32{0, 0, 0, 1, 1, 1},
+		Prob:    []float64{1, 1, 1, 1, 1, 1},
+	}
+	if got := PMin(cl, ls, 100); got != 1 {
+		t.Fatalf("PMin = %v, want 1", got)
+	}
+	if got := PAvg(cl, ls, 100); got != 1 {
+		t.Fatalf("PAvg = %v, want 1", got)
+	}
+	// Clustered wrongly (cross-clique), p_min = 0: the cliques are never
+	// connected to each other.
+	bad := &core.Clustering{
+		Centers: []graph.NodeID{0, 1},
+		Assign:  []int32{0, 1, 0, 1, 0, 1},
+		Prob:    []float64{1, 1, 1, 1, 1, 1},
+	}
+	if got := PMin(bad, ls, 100); got != 0 {
+		t.Fatalf("PMin of cross-clique clustering = %v, want 0", got)
+	}
+	// p_avg: nodes 0,1,2 connected to their centers (same clique), 3,4,5
+	// never -> avg = 0.5.
+	if got := PAvg(bad, ls, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PAvg = %v, want 0.5", got)
+	}
+}
+
+func TestPMinPartialClusteringIsZero(t *testing.T) {
+	g := pathGraph(t, 3, 0.9)
+	ls := sampler.NewLabelSet(g, 5)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 0, core.Unassigned},
+		Prob:    []float64{1, 0.9, 0},
+	}
+	if got := PMin(cl, ls, 100); got != 0 {
+		t.Fatalf("PMin of partial clustering = %v, want 0", got)
+	}
+}
+
+func TestAVPRCertainCliques(t *testing.T) {
+	// Two certain triangles, correct clustering: inner = 1, outer = 0.
+	var edges []graph.Edge
+	for c := 0; c < 2; c++ {
+		b := int32(c * 3)
+		edges = append(edges,
+			graph.Edge{U: b, V: b + 1, P: 1}, graph.Edge{U: b + 1, V: b + 2, P: 1},
+			graph.Edge{U: b, V: b + 2, P: 1})
+	}
+	g := mustGraph(t, 6, edges)
+	ls := sampler.NewLabelSet(g, 7)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0, 3},
+		Assign:  []int32{0, 0, 0, 1, 1, 1},
+		Prob:    []float64{1, 1, 1, 1, 1, 1},
+	}
+	inner, outer := AVPR(cl, ls, 200)
+	if inner != 1 {
+		t.Fatalf("inner-AVPR = %v, want 1", inner)
+	}
+	if outer != 0 {
+		t.Fatalf("outer-AVPR = %v, want 0", outer)
+	}
+}
+
+func TestAVPRSingleEdgeExact(t *testing.T) {
+	// Two nodes, p = 0.3, same cluster: inner-AVPR must estimate 0.3; no
+	// cross pairs -> outer = 0.
+	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.3}})
+	ls := sampler.NewLabelSet(g, 11)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 0},
+		Prob:    []float64{1, 0.3},
+	}
+	const r = 30000
+	inner, outer := AVPR(cl, ls, r)
+	sigma := math.Sqrt(0.3 * 0.7 / r)
+	if math.Abs(inner-0.3) > 6*sigma {
+		t.Fatalf("inner-AVPR = %v, want ~0.3", inner)
+	}
+	if outer != 0 {
+		t.Fatalf("outer-AVPR = %v, want 0 (no cross pairs)", outer)
+	}
+}
+
+func TestAVPRCrossPair(t *testing.T) {
+	// Two nodes with p = 0.4 split into two singleton clusters:
+	// outer-AVPR ~ 0.4, inner undefined -> 0.
+	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.4}})
+	ls := sampler.NewLabelSet(g, 13)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0, 1},
+		Assign:  []int32{0, 1},
+		Prob:    []float64{1, 1},
+	}
+	const r = 30000
+	inner, outer := AVPR(cl, ls, r)
+	if inner != 0 {
+		t.Fatalf("inner-AVPR = %v, want 0 (no inner pairs)", inner)
+	}
+	sigma := math.Sqrt(0.4 * 0.6 / r)
+	if math.Abs(outer-0.4) > 6*sigma {
+		t.Fatalf("outer-AVPR = %v, want ~0.4", outer)
+	}
+}
+
+func TestAVPRHandComputedMixed(t *testing.T) {
+	// Path 0-1-2 with p=0.5 each; clusters {0,1} and {2}.
+	// Pairs: (0,1) inner, Pr = 0.5. (0,2): Pr = 0.25, (1,2): Pr = 0.5 outer.
+	// inner = 0.5; outer = (0.25+0.5)/2 = 0.375.
+	g := pathGraph(t, 3, 0.5)
+	ls := sampler.NewLabelSet(g, 17)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0, 2},
+		Assign:  []int32{0, 0, 1},
+		Prob:    []float64{1, 0.5, 1},
+	}
+	const r = 60000
+	inner, outer := AVPR(cl, ls, r)
+	if math.Abs(inner-0.5) > 0.02 {
+		t.Fatalf("inner-AVPR = %v, want ~0.5", inner)
+	}
+	if math.Abs(outer-0.375) > 0.02 {
+		t.Fatalf("outer-AVPR = %v, want ~0.375", outer)
+	}
+}
+
+func TestAVPRIgnoresUnassigned(t *testing.T) {
+	// Unassigned nodes must not contribute to either metric.
+	g := pathGraph(t, 4, 1.0)
+	ls := sampler.NewLabelSet(g, 19)
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 0, core.Unassigned, core.Unassigned},
+		Prob:    []float64{1, 1, 0, 0},
+	}
+	inner, outer := AVPR(cl, ls, 100)
+	if inner != 1 {
+		t.Fatalf("inner-AVPR = %v, want 1", inner)
+	}
+	if outer != 0 {
+		t.Fatalf("outer-AVPR = %v, want 0 (no assigned cross pairs)", outer)
+	}
+}
+
+func TestConfusionRates(t *testing.T) {
+	c := Confusion{TP: 30, FP: 10, FN: 20, TN: 40}
+	if got := c.TPR(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("TPR = %v, want 0.6", got)
+	}
+	if got := c.FPR(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("FPR = %v, want 0.2", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Precision = %v, want 0.75", got)
+	}
+	zero := Confusion{}
+	if zero.TPR() != 0 || zero.FPR() != 0 || zero.Precision() != 0 {
+		t.Fatal("zero confusion must report 0 rates")
+	}
+}
+
+func TestPairConfusionPerfectClustering(t *testing.T) {
+	// Clusters exactly match the complexes.
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0, 3},
+		Assign:  []int32{0, 0, 0, 1, 1},
+		Prob:    []float64{1, 1, 1, 1, 1},
+	}
+	complexes := [][]graph.NodeID{{0, 1, 2}, {3, 4}}
+	conf := PairConfusion(cl, complexes)
+	if conf.TP != 4 || conf.FP != 0 { // C(3,2)+C(2,2) = 3+1
+		t.Fatalf("TP=%d FP=%d, want 4, 0", conf.TP, conf.FP)
+	}
+	if conf.TPR() != 1 || conf.FPR() != 0 {
+		t.Fatalf("TPR=%v FPR=%v, want 1, 0", conf.TPR(), conf.FPR())
+	}
+}
+
+func TestPairConfusionAllInOneCluster(t *testing.T) {
+	// One big cluster: every positive pair found (TPR 1) but all negative
+	// pairs reported too (FPR 1).
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 0, 0, 0},
+		Prob:    []float64{1, 1, 1, 1},
+	}
+	complexes := [][]graph.NodeID{{0, 1}, {2, 3}}
+	conf := PairConfusion(cl, complexes)
+	if conf.TPR() != 1 {
+		t.Fatalf("TPR = %v, want 1", conf.TPR())
+	}
+	if conf.FPR() != 1 {
+		t.Fatalf("FPR = %v, want 1", conf.FPR())
+	}
+	// 4 covered nodes -> 6 pairs; 2 positive, 4 negative.
+	if conf.TP != 2 || conf.FP != 4 || conf.FN != 0 || conf.TN != 0 {
+		t.Fatalf("confusion = %+v", conf)
+	}
+}
+
+func TestPairConfusionSingletons(t *testing.T) {
+	// All singleton clusters: nothing predicted positive.
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0, 1, 2},
+		Assign:  []int32{0, 1, 2},
+		Prob:    []float64{1, 1, 1},
+	}
+	complexes := [][]graph.NodeID{{0, 1, 2}}
+	conf := PairConfusion(cl, complexes)
+	if conf.TP != 0 || conf.FP != 0 {
+		t.Fatalf("TP=%d FP=%d, want 0, 0", conf.TP, conf.FP)
+	}
+	if conf.FN != 3 {
+		t.Fatalf("FN = %d, want 3", conf.FN)
+	}
+}
+
+func TestPairConfusionIgnoresUncoveredNodes(t *testing.T) {
+	// Node 9 is clustered with 0 and 1 but appears in no complex: pairs
+	// involving it must not count at all.
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign: []int32{0, 0, core.Unassigned, core.Unassigned, core.Unassigned,
+			core.Unassigned, core.Unassigned, core.Unassigned, core.Unassigned, 0},
+		Prob: []float64{1, 1, 0, 0, 0, 0, 0, 0, 0, 1},
+	}
+	complexes := [][]graph.NodeID{{0, 1}}
+	conf := PairConfusion(cl, complexes)
+	if conf.TP != 1 || conf.FP != 0 || conf.FN != 0 || conf.TN != 0 {
+		t.Fatalf("confusion = %+v, want TP=1 only", conf)
+	}
+}
+
+func TestPairConfusionOverlappingComplexes(t *testing.T) {
+	// Overlapping complexes must not double-count pairs: {0,1,2} and
+	// {1,2,3} share the pair (1,2).
+	cl := &core.Clustering{
+		Centers: []graph.NodeID{0},
+		Assign:  []int32{0, 0, 0, 0},
+		Prob:    []float64{1, 1, 1, 1},
+	}
+	complexes := [][]graph.NodeID{{0, 1, 2}, {1, 2, 3}}
+	conf := PairConfusion(cl, complexes)
+	// Positive pairs: (0,1),(0,2),(1,2),(1,3),(2,3) = 5; (0,3) negative.
+	if conf.TP != 5 || conf.FP != 1 {
+		t.Fatalf("TP=%d FP=%d, want 5, 1", conf.TP, conf.FP)
+	}
+}

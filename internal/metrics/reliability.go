@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"ucgraph/internal/graph"
+	"ucgraph/internal/sampler"
+)
+
+// This file provides classical network-reliability statistics (Section 1.1
+// of the paper traces the uncertain-graph model back to this literature),
+// estimated over the same shared possible-world streams as the clustering
+// metrics.
+
+// ExpectedComponents estimates the expected number of connected components
+// of a random possible world, over the first r worlds of ls.
+func ExpectedComponents(ls *sampler.LabelSet, r int) float64 {
+	ls.Grow(r)
+	n := ls.Graph().NumNodes()
+	seen := make([]bool, n)
+	total := 0
+	for w := 0; w < r; w++ {
+		lab := ls.WorldLabels(w)
+		count := 0
+		for _, l := range lab {
+			if !seen[l] {
+				seen[l] = true
+				count++
+			}
+		}
+		for _, l := range lab {
+			seen[l] = false
+		}
+		total += count
+	}
+	return float64(total) / float64(r)
+}
+
+// SetReliability estimates the probability that all nodes of set lie in
+// one connected component of a random possible world (k-terminal
+// reliability). An empty or singleton set has reliability 1.
+func SetReliability(ls *sampler.LabelSet, set []graph.NodeID, r int) float64 {
+	if len(set) <= 1 {
+		return 1
+	}
+	ls.Grow(r)
+	hits := 0
+	for w := 0; w < r; w++ {
+		lab := ls.WorldLabels(w)
+		l0 := lab[set[0]]
+		ok := true
+		for _, u := range set[1:] {
+			if lab[u] != l0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(r)
+}
+
+// AllTerminalReliability estimates the probability that a random possible
+// world is connected (all nodes in one component).
+func AllTerminalReliability(ls *sampler.LabelSet, r int) float64 {
+	n := ls.Graph().NumNodes()
+	set := make([]graph.NodeID, n)
+	for i := range set {
+		set[i] = graph.NodeID(i)
+	}
+	return SetReliability(ls, set, r)
+}
+
+// LargestComponentFraction estimates the expected fraction of nodes in the
+// largest component of a random possible world.
+func LargestComponentFraction(ls *sampler.LabelSet, r int) float64 {
+	ls.Grow(r)
+	n := ls.Graph().NumNodes()
+	count := make([]int32, n)
+	total := 0.0
+	for w := 0; w < r; w++ {
+		lab := ls.WorldLabels(w)
+		max := int32(0)
+		for _, l := range lab {
+			count[l]++
+			if count[l] > max {
+				max = count[l]
+			}
+		}
+		for _, l := range lab {
+			count[l] = 0
+		}
+		total += float64(max) / float64(n)
+	}
+	return total / float64(r)
+}

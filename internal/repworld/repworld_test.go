@@ -1,0 +1,147 @@
+package repworld
+
+import (
+	"math"
+	"testing"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMostProbableKeepsMajorityEdges(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.2},
+	})
+	kept := MostProbable(g)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d edges, want 2 (p >= 0.5)", len(kept))
+	}
+	for _, id := range kept {
+		if g.EdgeByID(id).P < 0.5 {
+			t.Fatalf("kept an edge with p = %v", g.EdgeByID(id).P)
+		}
+	}
+}
+
+func TestDiscrepancyHandComputed(t *testing.T) {
+	// Single edge p=0.4: most-probable world drops it. Expected degrees
+	// are 0.4 and 0.4 -> discrepancy 0.8 for the empty world, 1.2 for the
+	// full world.
+	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.4}})
+	if got := Discrepancy(g, nil); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("empty-world discrepancy = %v, want 0.8", got)
+	}
+	if got := Discrepancy(g, []int32{0}); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("full-world discrepancy = %v, want 1.2", got)
+	}
+}
+
+func TestAverageDegreeFixesLowProbDenseBias(t *testing.T) {
+	// A 6-clique of p=0.4 edges: the most-probable world is empty (every
+	// node loses its expected degree of 2), while the expected degree
+	// profile wants each node to keep ~2 incident edges. The ADR greedy
+	// must keep a substantial number of edges and beat the most-probable
+	// world's discrepancy by a wide margin.
+	var edges []graph.Edge
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j), P: 0.4})
+		}
+	}
+	g := mustGraph(t, 6, edges)
+	mp := MostProbable(g)
+	if len(mp) != 0 {
+		t.Fatalf("most-probable world of a 0.4-clique kept %d edges", len(mp))
+	}
+	adr := AverageDegree(g)
+	if len(adr) < 4 {
+		t.Fatalf("ADR kept only %d edges", len(adr))
+	}
+	dMP := Discrepancy(g, mp)
+	dADR := Discrepancy(g, adr)
+	if dADR > dMP/2 {
+		t.Fatalf("ADR discrepancy %v not far below most-probable %v", dADR, dMP)
+	}
+}
+
+func TestAverageDegreeNeverWorseThanMostProbable(t *testing.T) {
+	x := rng.NewXoshiro256(5)
+	for iter := 0; iter < 20; iter++ {
+		n := 6 + x.Intn(10)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(x.Intn(n)), int32(x.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v, 0.05+0.9*x.Float64())
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dMP := Discrepancy(g, MostProbable(g))
+		dADR := Discrepancy(g, AverageDegree(g))
+		if dADR > dMP+1e-9 {
+			t.Fatalf("iter %d: ADR discrepancy %v exceeds most-probable %v", iter, dADR, dMP)
+		}
+	}
+}
+
+func TestAverageDegreeKeepsHighProbEdges(t *testing.T) {
+	// Certain edges must always stay: dropping an edge with p = 1 can
+	// never reduce the discrepancy.
+	g := mustGraph(t, 4, []graph.Edge{
+		{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}, {U: 2, V: 3, P: 0.1},
+	})
+	kept := AverageDegree(g)
+	has := map[int32]bool{}
+	for _, id := range kept {
+		has[id] = true
+	}
+	for id := int32(0); id < int32(g.NumEdges()); id++ {
+		if g.EdgeByID(id).P == 1 && !has[id] {
+			t.Fatalf("ADR dropped a certain edge (id %d)", id)
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.6}, {U: 2, V: 3, P: 0.2},
+	})
+	world, err := Materialize(g, MostProbable(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.NumNodes() != 4 {
+		t.Fatalf("materialized world has %d nodes, want 4", world.NumNodes())
+	}
+	if world.NumEdges() != 2 {
+		t.Fatalf("materialized world has %d edges, want 2", world.NumEdges())
+	}
+	for _, e := range world.Edges() {
+		if e.P != 1 {
+			t.Fatalf("materialized edge has p = %v, want 1", e.P)
+		}
+	}
+}
+
+func TestMaterializeEmptyWorld(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 0.2}})
+	world, err := Materialize(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.NumNodes() != 3 || world.NumEdges() != 0 {
+		t.Fatalf("empty world = %d nodes %d edges", world.NumNodes(), world.NumEdges())
+	}
+}

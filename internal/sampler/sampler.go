@@ -1,0 +1,275 @@
+// Package sampler materializes possible worlds of an uncertain graph.
+//
+// A possible world G ⊑ G keeps each edge e independently with probability
+// p(e). The package offers two complementary views:
+//
+//   - Implicit worlds (World): world i of a seeded stream is defined by
+//     stateless hash coins, so edge presence can be queried on the fly
+//     without storing anything. Depth-limited BFS runs directly on implicit
+//     worlds.
+//
+//   - Label matrices (LabelSet): for connectivity queries repeated against
+//     many nodes, the sampler computes per-world connected-component labels
+//     with a union–find pass and caches them. Two nodes are connected in
+//     world i iff their labels agree, so estimating Pr(u ~ c) for all u
+//     against a center c is a single O(n) scan per world.
+//
+// Both views of the same (seed, world index) pair describe the same world:
+// the label matrix is just a connectivity index over the implicit world.
+package sampler
+
+import (
+	"runtime"
+	"sync"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+// World is an implicitly represented possible world: edge presence is
+// decided by stateless hash coins keyed on (seed, index, edge).
+type World struct {
+	G     *graph.Uncertain
+	Seed  uint64
+	Index uint64
+}
+
+// Contains reports whether the edge with the given ID is present.
+func (w World) Contains(edgeID int32) bool {
+	return rng.EdgeCoin(w.Seed, w.Index, uint64(edgeID), w.G.CoinThreshold(edgeID))
+}
+
+// NumEdgesPresent counts the edges present in this world (testing helper;
+// O(m)).
+func (w World) NumEdgesPresent() int {
+	c := 0
+	for id := int32(0); id < int32(w.G.NumEdges()); id++ {
+		if w.Contains(id) {
+			c++
+		}
+	}
+	return c
+}
+
+// ComponentLabels computes the connected-component labels of this world
+// into out (length NumNodes). uf is scratch space and is reset.
+func (w World) ComponentLabels(uf *graph.UnionFind, out []int32) {
+	uf.Reset()
+	for id, e := range w.G.Edges() {
+		if rng.EdgeCoin(w.Seed, w.Index, uint64(id), w.G.CoinThreshold(int32(id))) {
+			uf.Union(e.U, e.V)
+		}
+	}
+	uf.Labels(out)
+}
+
+// BFSWithin visits all nodes at hop distance <= maxDepth from src in this
+// world and calls visit(v, depth) for each (including src at depth 0).
+// A maxDepth < 0 means unlimited. The two scratch slices must have length
+// NumNodes; seen is an epoch array: entries equal to epoch mean "visited".
+// Using epochs lets callers reuse the arrays across many BFS runs without
+// clearing them.
+func (w World) BFSWithin(src graph.NodeID, maxDepth int, seen []uint32, epoch uint32, queue []graph.NodeID, visit func(v graph.NodeID, depth int32)) {
+	seen[src] = epoch
+	queue = queue[:0]
+	queue = append(queue, src)
+	visit(src, 0)
+	depth := int32(0)
+	frontierEnd := 1
+	i := 0
+	for i < len(queue) {
+		if maxDepth >= 0 && depth >= int32(maxDepth) {
+			break
+		}
+		// Expand one full depth layer.
+		for ; i < frontierEnd; i++ {
+			u := queue[i]
+			nodes, ids, _ := w.G.NeighborSlices(u)
+			for j, v := range nodes {
+				if seen[v] == epoch {
+					continue
+				}
+				id := ids[j]
+				if !rng.EdgeCoin(w.Seed, w.Index, uint64(id), w.G.CoinThreshold(id)) {
+					continue
+				}
+				seen[v] = epoch
+				queue = append(queue, v)
+				visit(v, depth+1)
+			}
+		}
+		depth++
+		frontierEnd = len(queue)
+	}
+}
+
+// LabelSet is a cache of per-world component labels for worlds
+// [0, Worlds()) of a seeded stream. It supports deterministic extension:
+// growing the set re-uses the exact same worlds and appends new ones, which
+// is what the progressive sampling schedule of Section 4 requires.
+type LabelSet struct {
+	g    *graph.Uncertain
+	seed uint64
+	n    int
+	lab  [][]int32 // lab[i] = component labels of world i
+}
+
+// NewLabelSet returns an empty label cache for g under the given seed.
+func NewLabelSet(g *graph.Uncertain, seed uint64) *LabelSet {
+	return &LabelSet{g: g, seed: seed, n: g.NumNodes()}
+}
+
+// Graph returns the underlying graph.
+func (ls *LabelSet) Graph() *graph.Uncertain { return ls.g }
+
+// Seed returns the stream seed.
+func (ls *LabelSet) Seed() uint64 { return ls.seed }
+
+// Worlds returns the number of materialized worlds.
+func (ls *LabelSet) Worlds() int { return len(ls.lab) }
+
+// Grow extends the cache so that it holds at least r worlds. Worlds are
+// computed in parallel across available CPUs. Growing never changes
+// already-materialized worlds.
+func (ls *LabelSet) Grow(r int) {
+	cur := len(ls.lab)
+	if r <= cur {
+		return
+	}
+	add := r - cur
+	newLab := make([][]int32, add)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > add {
+		workers = add
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, add)
+	for i := 0; i < add; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			uf := graph.NewUnionFind(ls.n)
+			for i := range next {
+				out := make([]int32, ls.n)
+				world := World{G: ls.g, Seed: ls.seed, Index: uint64(cur + i)}
+				world.ComponentLabels(uf, out)
+				newLab[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	ls.lab = append(ls.lab, newLab...)
+}
+
+// WorldLabels returns the component labels of world i. Callers must not
+// modify the returned slice.
+func (ls *LabelSet) WorldLabels(i int) []int32 { return ls.lab[i] }
+
+// Connected reports whether u and v are connected in world i.
+func (ls *LabelSet) Connected(i int, u, v graph.NodeID) bool {
+	return ls.lab[i][u] == ls.lab[i][v]
+}
+
+// CountConnectedFrom adds, for every node u, the number of worlds in
+// [lo, hi) where u and c share a component, into counts (length NumNodes).
+// counts is not cleared, so callers can accumulate across ranges.
+func (ls *LabelSet) CountConnectedFrom(c graph.NodeID, lo, hi int, counts []int32) {
+	for i := lo; i < hi; i++ {
+		lab := ls.lab[i]
+		lc := lab[c]
+		for u, lu := range lab {
+			if lu == lc {
+				counts[u]++
+			}
+		}
+	}
+}
+
+// EstimateFrom returns the Monte Carlo estimates of Pr(u ~ c) for all nodes
+// u, using the first r worlds (growing the cache if needed).
+func (ls *LabelSet) EstimateFrom(c graph.NodeID, r int) []float64 {
+	ls.Grow(r)
+	counts := make([]int32, ls.n)
+	ls.CountConnectedFrom(c, 0, r, counts)
+	out := make([]float64, ls.n)
+	inv := 1 / float64(r)
+	for i, cnt := range counts {
+		out[i] = float64(cnt) * inv
+	}
+	return out
+}
+
+// EstimatePair returns the Monte Carlo estimate of Pr(u ~ v) using the
+// first r worlds.
+func (ls *LabelSet) EstimatePair(u, v graph.NodeID, r int) float64 {
+	ls.Grow(r)
+	cnt := 0
+	for i := 0; i < r; i++ {
+		if ls.lab[i][u] == ls.lab[i][v] {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(r)
+}
+
+// ReachCounter runs depth-limited reachability queries against the implicit
+// worlds of a seeded stream. It owns reusable scratch buffers, so it is not
+// safe for concurrent use; create one per goroutine.
+type ReachCounter struct {
+	g     *graph.Uncertain
+	seed  uint64
+	seen  []uint32
+	epoch uint32
+	queue []graph.NodeID
+}
+
+// NewReachCounter returns a counter over g's worlds under seed. It shares
+// the world stream with a LabelSet built from the same (g, seed): world i
+// has identical edges in both views.
+func NewReachCounter(g *graph.Uncertain, seed uint64) *ReachCounter {
+	return &ReachCounter{
+		g:     g,
+		seed:  seed,
+		seen:  make([]uint32, g.NumNodes()),
+		queue: make([]graph.NodeID, 0, g.NumNodes()),
+	}
+}
+
+// CountWithin adds, for every node u, the number of worlds in [lo, hi) where
+// u is within maxDepth hops of c, into counts (length NumNodes; not
+// cleared). maxDepth < 0 means unconstrained reachability.
+func (rc *ReachCounter) CountWithin(c graph.NodeID, maxDepth int, lo, hi int, counts []int32) {
+	for i := lo; i < hi; i++ {
+		rc.epoch++
+		if rc.epoch == 0 { // wrapped; clear and restart epochs
+			for j := range rc.seen {
+				rc.seen[j] = 0
+			}
+			rc.epoch = 1
+		}
+		w := World{G: rc.g, Seed: rc.seed, Index: uint64(i)}
+		w.BFSWithin(c, maxDepth, rc.seen, rc.epoch, rc.queue, func(v graph.NodeID, _ int32) {
+			counts[v]++
+		})
+	}
+}
+
+// EstimateWithin returns Monte Carlo estimates of the d-connection
+// probability Pr(u ~d c) for all u, over worlds [0, r).
+func (rc *ReachCounter) EstimateWithin(c graph.NodeID, maxDepth, r int) []float64 {
+	counts := make([]int32, rc.g.NumNodes())
+	rc.CountWithin(c, maxDepth, 0, r, counts)
+	out := make([]float64, len(counts))
+	inv := 1 / float64(r)
+	for i, cnt := range counts {
+		out[i] = float64(cnt) * inv
+	}
+	return out
+}

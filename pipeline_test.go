@@ -1,0 +1,126 @@
+package ucgraph
+
+// End-to-end pipeline test: synthesize a dataset, round-trip it through
+// the file formats, cluster it with every algorithm, persist and reload
+// the clustering, and score everything — the full workflow a downstream
+// user runs, in one test.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ucgraph/internal/gio"
+)
+
+func TestFullPipeline(t *testing.T) {
+	dir := t.TempDir()
+
+	// 1. Synthesize and persist a dataset with ground truth.
+	ds, err := SyntheticKrogan(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphPath := filepath.Join(dir, "krogan.txt")
+	truthPath := filepath.Join(dir, "mips.txt")
+	if err := SaveGraph(graphPath, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := gio.SaveGroundTruth(truthPath, ds.Curated); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Reload and verify identity.
+	g, err := LoadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != ds.Graph.NumNodes() || g.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatalf("graph round trip: %d/%d -> %d/%d",
+			ds.Graph.NumNodes(), ds.Graph.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	truth, err := gio.LoadGroundTruth(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != len(ds.Curated) {
+		t.Fatalf("truth round trip: %d -> %d complexes", len(ds.Curated), len(truth))
+	}
+
+	// 3. Cluster with every algorithm at a shared k.
+	mclRes := MCL(g, MCLOptions{Inflation: 2.0, MaxNNZPerColumn: 64})
+	k := mclRes.Clustering.K()
+	if k < 2 || k >= g.NumNodes() {
+		t.Fatalf("mcl granularity k = %d unusable", k)
+	}
+	sched := Schedule{Min: 32, Max: 128, Coef: 4}
+	est := NewEstimator(g, 1)
+	mcpCl, _, err := MCPWithOracle(est, k, Options{Seed: 1, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acpCl, _, err := ACPWithOracle(est, k, Options{Seed: 1, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmmCl, err := GMM(g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kptCl := KPT(g, 1)
+
+	// 4. Persist and reload the MCP clustering.
+	clPath := filepath.Join(dir, "clusters.txt")
+	if err := gio.SaveClusters(clPath, mcpCl); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := gio.LoadClusters(clPath, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range mcpCl.Assign {
+		if mcpCl.Assign[u] != reloaded.Assign[u] {
+			t.Fatalf("clustering round trip changed node %d", u)
+		}
+	}
+
+	// 5. Score everything on shared worlds; mcp must win p_min, and the
+	// uncertainty-aware algorithms must separate inner from outer AVPR.
+	const r = 64
+	pm := map[string]float64{
+		"mcp": MinProb(g, mcpCl, 9, r),
+		"acp": MinProb(g, acpCl, 9, r),
+		"gmm": MinProb(g, gmmCl, 9, r),
+		"mcl": MinProb(g, mclRes.Clustering, 9, r),
+		"kpt": MinProb(g, kptCl, 9, r),
+	}
+	for algo, v := range pm {
+		if v < 0 || v > 1 {
+			t.Fatalf("%s p_min out of range: %v", algo, v)
+		}
+	}
+	if pm["mcp"] < pm["gmm"] || pm["mcp"] < pm["mcl"] {
+		t.Fatalf("mcp p_min %v not best (gmm %v, mcl %v)", pm["mcp"], pm["gmm"], pm["mcl"])
+	}
+	inner, outer := AVPR(g, mcpCl, 9, r)
+	if inner <= outer {
+		t.Fatalf("mcp inner-AVPR %v <= outer-AVPR %v", inner, outer)
+	}
+
+	// 6. Prediction quality against the reloaded ground truth.
+	conf := PairConfusion(mcpCl, truth)
+	if conf.TPR() <= 0 {
+		t.Fatal("pipeline TPR is zero")
+	}
+	if conf.TP+conf.FN == 0 {
+		t.Fatal("no positive pairs in reloaded ground truth")
+	}
+
+	// 7. The written files are non-trivial.
+	for _, p := range []string{graphPath, truthPath, clPath} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty", p)
+		}
+	}
+}

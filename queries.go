@@ -1,0 +1,144 @@
+package ucgraph
+
+// This file exposes the companion query primitives built on the same
+// possible-world machinery as the clustering algorithms: k-nearest
+// neighbors under probabilistic distances (Potamias et al., the paper that
+// introduced the uncertain-graph model), influence-spread maximization
+// (Kempe et al., discussed in Section 1.1), representative-world
+// extraction (Parchas et al.), network-reliability statistics, and the
+// pL-free adaptive estimation sketched in Section 4.2.
+
+import (
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/influence"
+	"ucgraph/internal/knn"
+	"ucgraph/internal/metrics"
+	"ucgraph/internal/repworld"
+	"ucgraph/internal/sampler"
+)
+
+// DistanceDistribution is the sampled hop-distance distribution from one
+// source node, supporting the probabilistic distance measures of the
+// uncertain-graph k-NN literature.
+type DistanceDistribution = knn.DistanceDistribution
+
+// KNNMeasure selects a node-ranking criterion for nearest-neighbor queries.
+type KNNMeasure = knn.Measure
+
+// Nearest-neighbor ranking criteria.
+const (
+	// MedianDistance ranks by the median hop distance.
+	MedianDistance = knn.MedianDistance
+	// MajorityDistance ranks by the most probable finite hop distance.
+	MajorityDistance = knn.MajorityDistance
+	// ExpectedReliableDistance ranks by expected distance conditioned on
+	// connectivity (reliability >= 1/2 required).
+	ExpectedReliableDistance = knn.ExpectedReliableDistance
+	// ByReliability ranks by Pr(s ~ v) descending.
+	ByReliability = knn.ByReliability
+)
+
+// Neighbor is one ranked nearest-neighbor answer.
+type Neighbor = knn.Neighbor
+
+// InfiniteDistance marks an unreachable hop distance.
+const InfiniteDistance = knn.Infinite
+
+// SampleDistances computes the hop-distance distribution from src over r
+// sampled possible worlds, the basis for KNN queries:
+//
+//	dd := ucgraph.SampleDistances(g, src, seed, 1000)
+//	nearest := dd.KNN(10, ucgraph.MedianDistance)
+func SampleDistances(g *Graph, src NodeID, seed uint64, r int) *DistanceDistribution {
+	return knn.Sample(g, src, seed, r)
+}
+
+// InfluenceResult is the outcome of greedy influence maximization.
+type InfluenceResult = influence.Result
+
+// InfluenceSpread estimates sigma(S): the expected number of nodes
+// connected to at least one seed in a random possible world (the
+// live-edge view of the Independent Cascade model on undirected graphs).
+func InfluenceSpread(g *Graph, seeds []NodeID, seed uint64, r int) float64 {
+	ls := sampler.NewLabelSet(g, seed)
+	return influence.Spread(ls, seeds, r)
+}
+
+// MaximizeInfluence greedily selects k seeds maximizing the expected
+// spread, with CELF lazy evaluation; the result is a (1 - 1/e - eps)
+// approximation of the optimal seed set by submodularity.
+func MaximizeInfluence(g *Graph, k int, seed uint64, r int) (*InfluenceResult, error) {
+	ls := sampler.NewLabelSet(g, seed)
+	return influence.Greedy(ls, k, r)
+}
+
+// MostProbableWorld returns the deterministic graph keeping exactly the
+// edges with p >= 1/2 — the single most likely possible world.
+func MostProbableWorld(g *Graph) (*Graph, error) {
+	return repworld.Materialize(g, repworld.MostProbable(g))
+}
+
+// RepresentativeWorld returns a deterministic instance of g whose node
+// degrees track the expected degrees of the uncertain graph (the
+// ADR-style greedy of Parchas et al.), a better proxy than the most
+// probable world when low-probability regions are dense.
+func RepresentativeWorld(g *Graph) (*Graph, error) {
+	return repworld.Materialize(g, repworld.AverageDegree(g))
+}
+
+// DegreeDiscrepancy returns sum over nodes of |deg_world(v) -
+// E[deg_g(v)]| for a deterministic instance world of g (world must have
+// the same node set).
+func DegreeDiscrepancy(g *Graph, world *Graph) float64 {
+	kept := make([]int32, 0, world.NumEdges())
+	for _, e := range world.Edges() {
+		// Map world edges back onto g's edge IDs by endpoints.
+		if _, ok := g.HasEdge(e.U, e.V); ok {
+			kept = append(kept, findEdgeID(g, e.U, e.V))
+		}
+	}
+	return repworld.Discrepancy(g, kept)
+}
+
+// findEdgeID locates the edge ID of {u, v} in g (which must exist).
+func findEdgeID(g *Graph, u, v NodeID) int32 {
+	var id int32 = -1
+	g.Neighbors(u, func(w graph.NodeID, edgeID int32, _ float64) {
+		if w == v {
+			id = edgeID
+		}
+	})
+	return id
+}
+
+// ExpectedComponents estimates the expected number of connected components
+// of a random possible world.
+func ExpectedComponents(g *Graph, seed uint64, r int) float64 {
+	return metrics.ExpectedComponents(sampler.NewLabelSet(g, seed), r)
+}
+
+// SetReliability estimates the probability that all nodes of set lie in a
+// single connected component of a random possible world (k-terminal
+// reliability).
+func SetReliability(g *Graph, set []NodeID, seed uint64, r int) float64 {
+	return metrics.SetReliability(sampler.NewLabelSet(g, seed), set, r)
+}
+
+// AllTerminalReliability estimates the probability that a random possible
+// world is connected.
+func AllTerminalReliability(g *Graph, seed uint64, r int) float64 {
+	return metrics.AllTerminalReliability(sampler.NewLabelSet(g, seed), r)
+}
+
+// AdaptiveResult reports an adaptive (stopping-rule) estimation outcome.
+type AdaptiveResult = conn.AdaptiveResult
+
+// AdaptiveConnectionProbability estimates Pr(u ~ v) to relative error eps
+// with confidence 1-delta using the Dagum-Karp-Luby-Ross stopping rule —
+// the pL-free progressive sampling sketched at the end of Section 4.2 of
+// the paper. The sample count adapts to the unknown probability
+// (~ln(1/delta)/(eps^2 Pr)), capped at maxSamples (<= 0 for the default).
+func AdaptiveConnectionProbability(g *Graph, u, v NodeID, eps, delta float64, seed uint64, maxSamples int) AdaptiveResult {
+	return conn.NewMonteCarlo(g, seed).AdaptivePair(u, v, eps, delta, maxSamples)
+}

@@ -1,0 +1,250 @@
+// Package ucgraph clusters uncertain graphs with provable guarantees.
+//
+// It is a Go implementation of "Clustering Uncertain Graphs" (Ceccarello,
+// Fantozzi, Pietracaprina, Pucci, Vandin — VLDB 2017). An uncertain graph
+// G = (V, E, p) is a probability space whose outcomes (possible worlds) are
+// subgraphs of G in which each edge e materializes independently with
+// probability p(e). The library partitions V into k clusters around k
+// center nodes so as to maximize either
+//
+//   - the minimum connection probability of a node to its cluster center
+//     (the MCP problem), or
+//   - the average connection probability of a node to its cluster center
+//     (the ACP problem),
+//
+// where the connection probability Pr(u ~ v) is the probability that u and
+// v fall in the same connected component of a random possible world. Both
+// algorithms carry approximation guarantees relative to the optimal
+// k-clustering and keep the number of clusters under exact control, unlike
+// earlier uncertain-graph clustering heuristics.
+//
+// # Quick start
+//
+//	b := ucgraph.NewBuilder(4)
+//	b.AddEdge(0, 1, 0.9)
+//	b.AddEdge(1, 2, 0.8)
+//	b.AddEdge(2, 3, 0.9)
+//	g, _ := b.Build()
+//	cl, stats, err := ucgraph.MCP(g, 2, ucgraph.Options{Seed: 1})
+//
+// The returned Clustering lists the k centers, each node's cluster and the
+// estimated connection probability of each node to its center.
+//
+// # Depth-limited clustering
+//
+// Setting Options.Depth = d restricts connection probabilities to paths of
+// at most d hops (the d-connection probability of Section 3.4), useful when
+// topological proximity matters alongside reliability — e.g. protein
+// complex prediction in PPI networks.
+//
+// # Baselines
+//
+// The package also ships the three comparison algorithms of the paper's
+// evaluation: MCL (Markov Cluster), GMM (k-center on most-probable-path
+// distances) and KPT (pKwikCluster), plus the quality metrics used to
+// compare them (MinProb/AvgProb, inner/outer AVPR, pair confusion against
+// ground-truth communities).
+package ucgraph
+
+import (
+	"io"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/core"
+	"ucgraph/internal/datasets"
+	"ucgraph/internal/gio"
+	"ucgraph/internal/gmm"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/kpt"
+	"ucgraph/internal/mcl"
+	"ucgraph/internal/metrics"
+	"ucgraph/internal/sampler"
+)
+
+// NodeID identifies a node; the nodes of an n-node graph are 0..n-1.
+type NodeID = graph.NodeID
+
+// Edge is one undirected uncertain edge with survival probability P.
+type Edge = graph.Edge
+
+// Graph is an immutable uncertain graph.
+type Graph = graph.Uncertain
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// Clustering is a k-clustering: centers, per-node cluster assignment and
+// per-node estimated connection probability to the assigned center.
+type Clustering = core.Clustering
+
+// Options configures the MCP and ACP drivers; the zero value selects the
+// defaults used in the paper's experiments (gamma 0.1, floor 1e-4,
+// alpha 1, accelerated guess schedule with binary search).
+type Options = core.Options
+
+// Stats reports the work performed by an MCP/ACP run.
+type Stats = core.Stats
+
+// Schedule maps probability guesses to Monte Carlo sample sizes
+// (progressive sampling, Section 4 of the paper).
+type Schedule = conn.Schedule
+
+// Estimator is the Monte Carlo connection-probability oracle. One Estimator
+// owns a deterministic stream of possible worlds; all queries against it
+// are mutually consistent and reproducible.
+type Estimator = conn.MonteCarlo
+
+// MCLOptions configures the MCL baseline.
+type MCLOptions = mcl.Options
+
+// MCLResult is the outcome of an MCL run.
+type MCLResult = mcl.Result
+
+// Confusion is a pair-level confusion matrix against ground-truth
+// communities.
+type Confusion = metrics.Confusion
+
+// Dataset is a synthetic uncertain graph with optional planted ground
+// truth, emulating one of the paper's evaluation datasets.
+type Dataset = datasets.Dataset
+
+// DBLPConfig sizes the synthetic DBLP co-authorship generator.
+type DBLPConfig = datasets.DBLPConfig
+
+// Unassigned marks a node not covered by any cluster in a partial
+// clustering.
+const Unassigned = core.Unassigned
+
+// Unlimited disables the path-length limit on connection probabilities.
+const Unlimited = conn.Unlimited
+
+// ErrNoClustering is returned when no full k-clustering exists above the
+// probability floor (e.g. the graph has more than k connected components).
+var ErrNoClustering = core.ErrNoClustering
+
+// NewBuilder returns a Builder for a graph with n nodes; AddEdge grows the
+// node set as needed.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n nodes from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// ReadGraph parses a graph from "u v p" edge lines.
+func ReadGraph(r io.Reader) (*Graph, error) { return gio.ReadGraph(r) }
+
+// WriteGraph writes a graph as "u v p" edge lines.
+func WriteGraph(w io.Writer, g *Graph) error { return gio.WriteGraph(w, g) }
+
+// LoadGraph reads a graph from a file.
+func LoadGraph(path string) (*Graph, error) { return gio.LoadGraph(path) }
+
+// SaveGraph writes a graph to a file.
+func SaveGraph(path string, g *Graph) error { return gio.SaveGraph(path, g) }
+
+// NewEstimator returns a Monte Carlo connection-probability estimator over
+// g's possible worlds under the given seed.
+func NewEstimator(g *Graph, seed uint64) *Estimator { return conn.NewMonteCarlo(g, seed) }
+
+// MCP partitions g into k clusters maximizing the minimum connection
+// probability of a node to its cluster center (Algorithm 2 of the paper,
+// with the Section 4 progressive-sampling oracle). The result satisfies,
+// with high probability,
+//
+//	min-prob(C) >= (1-eps) * p_opt-min(k)^2 / (1+gamma).
+func MCP(g *Graph, k int, opt Options) (*Clustering, Stats, error) {
+	oracle := conn.NewMonteCarlo(g, estimatorSeed(opt.Seed))
+	return core.MCP(oracle, k, opt)
+}
+
+// MCPWithOracle runs MCP against a caller-supplied estimator, so repeated
+// runs can share sampled worlds.
+func MCPWithOracle(oracle *Estimator, k int, opt Options) (*Clustering, Stats, error) {
+	return core.MCP(oracle, k, opt)
+}
+
+// ACP partitions g into k clusters maximizing the average connection
+// probability of a node to its cluster center (Algorithm 3). The result
+// satisfies, with high probability,
+//
+//	avg-prob(C) >= (1-eps) * (p_opt-avg(k) / ((1+gamma) H(n)))^3.
+func ACP(g *Graph, k int, opt Options) (*Clustering, Stats, error) {
+	oracle := conn.NewMonteCarlo(g, estimatorSeed(opt.Seed))
+	return core.ACP(oracle, k, opt)
+}
+
+// ACPWithOracle runs ACP against a caller-supplied estimator.
+func ACPWithOracle(oracle *Estimator, k int, opt Options) (*Clustering, Stats, error) {
+	return core.ACP(oracle, k, opt)
+}
+
+// estimatorSeed derives the estimator's world-stream seed from the driver
+// seed so that MCP(g, k, opt) is fully reproducible.
+func estimatorSeed(seed uint64) uint64 { return seed ^ 0x77c11a9d5f3b2e01 }
+
+// MCL clusters g with the Markov Cluster algorithm, using edge
+// probabilities as similarity weights. The number of clusters is an
+// emergent property of Options.Inflation.
+func MCL(g *Graph, opt MCLOptions) *MCLResult { return mcl.Cluster(g, opt) }
+
+// GMM clusters g with the Gonzalez k-center baseline on the shortest-path
+// metric w(e) = ln(1/p(e)).
+func GMM(g *Graph, k int, seed uint64) (*Clustering, error) { return gmm.Cluster(g, k, seed) }
+
+// KPT clusters g with pKwikCluster (Kollios, Potamias, Terzi); the number
+// of clusters is an outcome of the random pivot order.
+func KPT(g *Graph, seed uint64) *Clustering { return kpt.Cluster(g, seed) }
+
+// MinProb estimates the minimum connection probability of a node to its
+// cluster center (Equation 1) over r sampled worlds.
+func MinProb(g *Graph, cl *Clustering, seed uint64, r int) float64 {
+	ls := sampler.NewLabelSet(g, seed)
+	return metrics.PMin(cl, ls, r)
+}
+
+// AvgProb estimates the average connection probability of nodes to their
+// cluster centers (Equation 2) over r sampled worlds.
+func AvgProb(g *Graph, cl *Clustering, seed uint64, r int) float64 {
+	ls := sampler.NewLabelSet(g, seed)
+	return metrics.PAvg(cl, ls, r)
+}
+
+// AVPR estimates the inner and outer Average Vertex Pairwise Reliability of
+// a clustering over r sampled worlds: the mean connection probability of
+// same-cluster pairs and of cross-cluster pairs.
+func AVPR(g *Graph, cl *Clustering, seed uint64, r int) (inner, outer float64) {
+	ls := sampler.NewLabelSet(g, seed)
+	return metrics.AVPR(cl, ls, r)
+}
+
+// PairConfusion scores a clustering against ground-truth communities at the
+// node-pair level (Section 5.2): pairs co-clustered and co-complexed are
+// true positives.
+func PairConfusion(cl *Clustering, truth [][]NodeID) Confusion {
+	return metrics.PairConfusion(cl, truth)
+}
+
+// ConnectionProbability estimates Pr(u ~ v) with r sampled worlds.
+func ConnectionProbability(g *Graph, u, v NodeID, seed uint64, r int) float64 {
+	return conn.NewMonteCarlo(g, seed).Pair(u, v, r)
+}
+
+// SyntheticCollins generates the Collins-like PPI dataset (Table 1 row 1):
+// ~1004 nodes, ~8323 edges, mostly high-probability edges, with planted
+// protein complexes as ground truth.
+func SyntheticCollins(seed uint64) (*Dataset, error) { return datasets.Collins(seed) }
+
+// SyntheticGavin generates the Gavin-like PPI dataset: ~1727 nodes, ~7534
+// edges, mostly low-probability edges.
+func SyntheticGavin(seed uint64) (*Dataset, error) { return datasets.Gavin(seed) }
+
+// SyntheticKrogan generates the Krogan-like PPI dataset: ~2559 nodes,
+// ~7031 edges, a quarter of them above probability 0.9. Its Curated field
+// carries a MIPS-like ground-truth subset for prediction experiments.
+func SyntheticKrogan(seed uint64) (*Dataset, error) { return datasets.Krogan(seed) }
+
+// SyntheticDBLP generates a DBLP-like co-authorship uncertain graph with
+// p = 1 - exp(-x/2) for x co-authored papers. The zero config is a
+// laptop-scale default; set Authors to 636751 for the paper-scale graph.
+func SyntheticDBLP(cfg DBLPConfig, seed uint64) (*Dataset, error) {
+	return datasets.DBLP(cfg, seed)
+}

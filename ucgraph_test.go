@@ -1,0 +1,240 @@
+package ucgraph
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// buildTwoBlobs returns two dense 0.9-blobs of the given size joined by a
+// 0.1 bridge.
+func buildTwoBlobs(t *testing.T, size int) *Graph {
+	t.Helper()
+	b := NewBuilder(2 * size)
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if err := b.AddEdge(NodeID(base+i), NodeID(base+j), 0.9); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(0, NodeID(size), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicMCPEndToEnd(t *testing.T) {
+	g := buildTwoBlobs(t, 5)
+	cl, stats, err := MCP(g, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K() != 2 || !cl.IsFull() {
+		t.Fatalf("K=%d full=%v", cl.K(), cl.IsFull())
+	}
+	if stats.Invocations < 1 {
+		t.Fatal("stats empty")
+	}
+	// The two blobs must separate.
+	if cl.Assign[0] == cl.Assign[5] {
+		t.Fatal("blobs merged")
+	}
+	if msg := cl.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestPublicACPEndToEnd(t *testing.T) {
+	g := buildTwoBlobs(t, 5)
+	cl, _, err := ACP(g, 2, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.IsFull() {
+		t.Fatal("ACP returned partial clustering")
+	}
+	if avg := AvgProb(g, cl, 99, 400); avg < 0.8 {
+		t.Fatalf("AvgProb = %v, want > 0.8 on dense blobs", avg)
+	}
+}
+
+func TestPublicReproducibility(t *testing.T) {
+	g := buildTwoBlobs(t, 4)
+	a, _, err := MCP(g, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MCP(g, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Assign {
+		if a.Assign[u] != b.Assign[u] {
+			t.Fatal("same seed, different clusterings")
+		}
+	}
+}
+
+func TestPublicSharedOracle(t *testing.T) {
+	g := buildTwoBlobs(t, 4)
+	est := NewEstimator(g, 3)
+	if _, _, err := MCPWithOracle(est, 2, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ACPWithOracle(est, 2, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if est.WorldsMaterialized() == 0 {
+		t.Fatal("shared oracle sampled no worlds")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g := buildTwoBlobs(t, 5)
+	mclRes := MCL(g, MCLOptions{})
+	if mclRes.Clustering.K() < 1 {
+		t.Fatal("MCL found no clusters")
+	}
+	gmmCl, err := GMM(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmmCl.K() != 2 {
+		t.Fatalf("GMM K = %d", gmmCl.K())
+	}
+	kptCl := KPT(g, 1)
+	if kptCl.K() < 1 {
+		t.Fatal("KPT found no clusters")
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	g := buildTwoBlobs(t, 4)
+	cl, _, err := MCP(g, 2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmin := MinProb(g, cl, 11, 400)
+	pavg := AvgProb(g, cl, 11, 400)
+	if pmin <= 0 || pmin > 1 || pavg < pmin || pavg > 1 {
+		t.Fatalf("pmin=%v pavg=%v", pmin, pavg)
+	}
+	inner, outer := AVPR(g, cl, 11, 400)
+	if inner <= outer {
+		t.Fatalf("inner-AVPR %v should exceed outer-AVPR %v on separable blobs", inner, outer)
+	}
+}
+
+func TestPublicConnectionProbability(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 1, 0.37); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ConnectionProbability(g, 0, 1, 1, 30000)
+	if math.Abs(got-0.37) > 0.02 {
+		t.Fatalf("ConnectionProbability = %v, want ~0.37", got)
+	}
+}
+
+func TestPublicIO(t *testing.T) {
+	g := buildTwoBlobs(t, 3)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestPublicDepthLimit(t *testing.T) {
+	// A certain 5-path with Depth 1 and k=2 has the centers-1,3 solution.
+	b := NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		if err := b.AddEdge(NodeID(i), NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _, err := MCP(g, 2, Options{Seed: 1, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.IsFull() {
+		t.Fatal("depth-1 clustering should cover the 5-path")
+	}
+}
+
+func TestPublicErrNoClustering(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MCP(g, 1, Options{Seed: 1}); err != ErrNoClustering {
+		t.Fatalf("err = %v, want ErrNoClustering", err)
+	}
+}
+
+func TestPublicSyntheticDatasets(t *testing.T) {
+	ds, err := SyntheticKrogan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumNodes() < 2000 || len(ds.Complexes) == 0 || len(ds.Curated) == 0 {
+		t.Fatalf("krogan dataset incomplete: n=%d complexes=%d curated=%d",
+			ds.Graph.NumNodes(), len(ds.Complexes), len(ds.Curated))
+	}
+	small, err := SyntheticDBLP(DBLPConfig{Authors: 800, PapersPerAuthor: 1.4, CommunitySize: 30, CrossCommunity: 0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Graph.NumNodes() < 300 {
+		t.Fatalf("dblp too small: %d", small.Graph.NumNodes())
+	}
+}
+
+func TestPublicPairConfusion(t *testing.T) {
+	ds, err := SyntheticKrogan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth-limited MCP at moderate k, scored against curated truth.
+	est := NewEstimator(ds.Graph, 4)
+	cl, _, err := MCPWithOracle(est, 400, Options{Seed: 4, Depth: 3, Schedule: Schedule{Min: 32, Max: 128, Coef: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := PairConfusion(cl, ds.Curated)
+	if conf.TPR() <= 0 {
+		t.Fatal("TPR should be positive for depth-limited MCP on planted complexes")
+	}
+	if conf.FPR() > 0.2 {
+		t.Fatalf("FPR = %v unexpectedly high", conf.FPR())
+	}
+}
