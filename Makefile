@@ -1,0 +1,37 @@
+# Developer and CI entry points. `make ci` is exactly what the GitHub
+# workflow runs; `make bench` tracks the perf trajectory in BENCH_conn.json.
+
+GO ?= go
+
+.PHONY: build fmt vet test short race bench ci
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt required on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Full suite, including the slow experiment reproductions and torture tests.
+test:
+	$(GO) test ./...
+
+# The fast path CI runs on every push (< ~2 minutes).
+short:
+	$(GO) test -short ./...
+
+# Race detector over the concurrency-bearing packages.
+race:
+	$(GO) test -race -short ./internal/conn ./internal/sampler ./internal/core
+
+# Benchmarks -> BENCH_conn.json so later changes can compare runs.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_conn.json
+	@rm -f bench.out
+	@echo "wrote BENCH_conn.json"
+
+ci: build fmt vet short race

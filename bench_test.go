@@ -222,6 +222,62 @@ func BenchmarkEstimatorFromCenter(b *testing.B) {
 	}
 }
 
+// benchFromCenterWorkers times fresh-center oracle queries (1024 worlds,
+// world cache pre-warmed so tally accumulation dominates) at a fixed
+// engine worker count. Once every center has been queried the estimator
+// is rebuilt off the clock: otherwise iterations beyond NumNodes-1 are
+// pure tally-cache hits and would skew the serial-vs-parallel comparison.
+func benchFromCenterWorkers(b *testing.B, workers, depth int) {
+	g := kroganGraph(b)
+	newEst := func() *Estimator {
+		est := NewEstimator(g, 1)
+		est.SetParallelism(workers)
+		est.FromCenter(0, Unlimited, 1024) // materialize the worlds
+		return est
+	}
+	est := newEst()
+	cycle := g.NumNodes() - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % cycle
+		if i > 0 && j == 0 {
+			b.StopTimer()
+			est = newEst()
+			b.StartTimer()
+		}
+		est.FromCenter(NodeID(1+j), depth, 1024)
+	}
+}
+
+// BenchmarkFromCenterSerial is the single-threaded engine baseline —
+// compare against BenchmarkFromCenterParallel for the speedup trajectory.
+func BenchmarkFromCenterSerial(b *testing.B)   { benchFromCenterWorkers(b, 1, Unlimited) }
+func BenchmarkFromCenterParallel(b *testing.B) { benchFromCenterWorkers(b, 0, Unlimited) }
+
+// Depth-bounded BFS variants of the same comparison.
+func BenchmarkFromCenterDepth3Serial(b *testing.B)   { benchFromCenterWorkers(b, 1, 3) }
+func BenchmarkFromCenterDepth3Parallel(b *testing.B) { benchFromCenterWorkers(b, 0, 3) }
+
+// benchMCPWorkers times one full MCP run (k = 100) at a fixed worker count
+// for both the oracle engine and the candidate fan-out.
+func benchMCPWorkers(b *testing.B, par int) {
+	g := kroganGraph(b)
+	sched := Schedule{Min: 50, Max: 384, Coef: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := conn.NewMonteCarlo(g, uint64(i))
+		oracle.SetParallelism(par)
+		if _, _, err := core.MCP(oracle, 100, Options{Seed: uint64(i), Schedule: sched, Parallelism: par}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCPKroganSerial pins everything to one worker — the
+// single-threaded seed behaviour; BenchmarkMCPKrogan above uses the
+// defaults (all CPUs).
+func BenchmarkMCPKroganSerial(b *testing.B) { benchMCPWorkers(b, 1) }
+
 // BenchmarkWorldSampling times materializing one possible world's
 // component labels on the Krogan-like graph.
 func BenchmarkWorldSampling(b *testing.B) {

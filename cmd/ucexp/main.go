@@ -34,6 +34,7 @@ func main() {
 		dblp    = flag.Int("dblp", 6000, "authors in the synthetic DBLP instance")
 		graphs  = flag.String("graphs", "", "comma-separated dataset subset (default all)")
 		runs    = flag.Int("runs", 1, "average randomized algorithms over this many runs")
+		par     = flag.Int("par", 0, "worker pool size for mcp/acp (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 		ScheduleMax:   *schedMx,
 		DBLPAuthors:   *dblp,
 		Runs:          *runs,
+		Parallelism:   *par,
 	}
 	if *graphs != "" {
 		cfg.Graphs = strings.Split(*graphs, ",")

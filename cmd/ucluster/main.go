@@ -39,6 +39,7 @@ func main() {
 		inflation = flag.Float64("inflation", 2.0, "mcl inflation parameter")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		samples   = flag.Int("samples", 256, "worlds used to score the clustering")
+		par       = flag.Int("par", 0, "worker pool size for mcp/acp (0 = all CPUs, 1 = serial)")
 		out       = flag.String("out", "", "write clusters to this file")
 	)
 	flag.Parse()
@@ -60,7 +61,8 @@ func main() {
 	switch *algo {
 	case "mcp", "acp":
 		oracle := conn.NewMonteCarlo(g, *seed)
-		opts := core.Options{Seed: *seed, Depth: *depth}
+		oracle.SetParallelism(*par)
+		opts := core.Options{Seed: *seed, Depth: *depth, Parallelism: *par}
 		if *depth == 0 {
 			opts.Depth = conn.Unlimited
 		}

@@ -1,0 +1,3 @@
+module ucgraph
+
+go 1.24

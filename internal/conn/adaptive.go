@@ -63,9 +63,10 @@ func (mc *MonteCarlo) AdaptivePair(u, v graph.NodeID, eps, delta float64, maxSam
 			batch = maxSamples - samples
 		}
 		mc.labels.Grow(samples + batch)
+		view := mc.labels.View()
 		for i := 0; i < batch; i++ {
 			w := samples + i
-			if mc.labels.Connected(w, u, v) {
+			if view[w][u] == view[w][v] {
 				successes++
 				if successes >= upsilon {
 					n := w + 1
@@ -110,9 +111,10 @@ func (mc *MonteCarlo) DecideThreshold(u, v graph.NodeID, q, eps, delta float64) 
 	round := 0
 	for {
 		mc.labels.Grow(r)
+		view := mc.labels.View()
 		successes := 0
 		for w := 0; w < r; w++ {
-			if mc.labels.Connected(w, u, v) {
+			if view[w][u] == view[w][v] {
 				successes++
 			}
 		}

@@ -12,7 +12,10 @@
 //
 //   - Oracle: the interface consumed by the clustering algorithms in
 //     internal/core. An oracle answers "estimate Pr(c ~d u) for every u".
-//   - MonteCarlo: the sampling estimator (the real implementation).
+//   - MonteCarlo: the sampling estimator (the real implementation). It is
+//     safe for concurrent use and internally parallel: per-world tally
+//     accumulation is sharded across a worker pool, with estimates that are
+//     bit-identical for every worker count.
 //   - Exact: exact enumeration of all 2^m worlds for tiny graphs — the
 //     testing oracle that theorems are checked against.
 //   - Sample-size formulas: SampleSize (Eq. 4), MCPSamples (Eq. 9),
@@ -22,6 +25,9 @@ package conn
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/sampler"
@@ -35,7 +41,9 @@ const Unlimited = -1
 // FromCenter returns estimates of Pr(c ~depth u) for every node u; depth < 0
 // (Unlimited) means the unconstrained connection probability. r is the
 // Monte Carlo sample size; exact oracles ignore it. The returned slice is
-// owned by the caller.
+// owned by the caller. Implementations must tolerate concurrent FromCenter
+// calls: the clustering drivers fan per-center queries out across
+// goroutines (both MonteCarlo and Exact qualify).
 type Oracle interface {
 	NumNodes() int
 	FromCenter(c graph.NodeID, depth int, r int) []float64
@@ -52,12 +60,43 @@ type Oracle interface {
 // sampling schedule request more samples for a center already queried —
 // the dominant cost saver for the guessing schedules of Algorithms 2-3.
 //
-// MonteCarlo is not safe for concurrent use.
+// MonteCarlo is safe for concurrent use: the tally cache is mutex-guarded,
+// each tally serializes its own extensions, and the label cache publishes
+// immutable world snapshots. FromCenter is also internally parallel — the
+// per-world tally accumulation is sharded across a worker pool (see
+// SetParallelism) with per-worker scratch buffers merged at the end. The
+// per-world counts are integers, so the merged totals — and therefore the
+// returned estimates — are bit-identical for every worker count: same seed
+// means same estimates, serial or parallel.
+//
+// One boundary on that guarantee: when the tally cache overflows maxCache
+// entries (only possible when a run touches more distinct (center, depth)
+// keys than fit in ~64 MiB), concurrent insertions make the FIFO eviction
+// order scheduling-dependent, so a re-queried center may answer at the
+// requested precision instead of a previously cached higher precision.
+// Every answer is still an exact tally over the deterministic world
+// stream; only the precision tier served can vary under eviction
+// pressure.
 type MonteCarlo struct {
 	g      *graph.Uncertain
+	seed   uint64
 	labels *sampler.LabelSet
-	reach  *sampler.ReachCounter
 
+	par atomic.Int32 // configured worker count; <= 0 selects GOMAXPROCS
+
+	// shardSem bounds the extra goroutines spawned across ALL concurrent
+	// FromCenter extensions, so callers that already fan queries out (the
+	// min-partial candidate loop) do not multiply into Parallelism^2
+	// workers. Sized once at first use.
+	semOnce  sync.Once
+	shardSem chan struct{}
+
+	// reachPool recycles depth-limited BFS scratch; ReachCounter is
+	// single-goroutine, so each worker checks one out for the duration of
+	// its shard.
+	reachPool sync.Pool
+
+	mu         sync.Mutex // guards cache and cacheOrder
 	cache      map[cacheKey]*centerTally
 	cacheOrder []cacheKey // FIFO eviction order
 	maxCache   int
@@ -70,7 +109,10 @@ type cacheKey struct {
 }
 
 // centerTally holds per-node connection counts over the first rDone worlds.
+// Its mutex serializes extensions (and snapshotting) of one center's tally,
+// so concurrent queries for the same center never double-count a world.
 type centerTally struct {
+	mu     sync.Mutex
 	counts []int32
 	rDone  int
 }
@@ -83,13 +125,48 @@ func NewMonteCarlo(g *graph.Uncertain, seed uint64) *MonteCarlo {
 	if maxCache < 64 {
 		maxCache = 64
 	}
-	return &MonteCarlo{
+	mc := &MonteCarlo{
 		g:        g,
+		seed:     seed,
 		labels:   sampler.NewLabelSet(g, seed),
-		reach:    sampler.NewReachCounter(g, seed),
 		cache:    make(map[cacheKey]*centerTally),
 		maxCache: maxCache,
 	}
+	mc.reachPool.New = func() any { return sampler.NewReachCounter(g, seed) }
+	return mc
+}
+
+// SetParallelism sets the number of workers FromCenter shards tally
+// accumulation across. p <= 0 (the default) selects GOMAXPROCS; p == 1
+// forces serial accumulation. Estimates do not depend on the setting.
+// Configure it before the first query: the global shard-worker budget is
+// sized once, at first use, to max(p, GOMAXPROCS), so later raises beyond
+// that budget only take partial effect.
+func (mc *MonteCarlo) SetParallelism(p int) {
+	mc.par.Store(int32(p))
+}
+
+// sem returns the shard-worker token bucket, sizing it on first use.
+func (mc *MonteCarlo) sem() chan struct{} {
+	mc.semOnce.Do(func() {
+		capacity := mc.Parallelism()
+		if g := runtime.GOMAXPROCS(0); capacity < g {
+			capacity = g
+		}
+		mc.shardSem = make(chan struct{}, capacity)
+		for i := 0; i < capacity; i++ {
+			mc.shardSem <- struct{}{}
+		}
+	})
+	return mc.shardSem
+}
+
+// Parallelism returns the effective worker count.
+func (mc *MonteCarlo) Parallelism() int {
+	if p := int(mc.par.Load()); p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // NumNodes returns the number of nodes of the underlying graph.
@@ -105,6 +182,7 @@ func (mc *MonteCarlo) WorldsMaterialized() int { return mc.labels.Worlds() }
 // FromCenter implements Oracle. Tally vectors are cached per (center,
 // depth) and extended when r grows; if a cached tally already covers more
 // worlds than requested, the higher-precision estimate is returned.
+// FromCenter may be called from many goroutines at once.
 func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 	if r < 1 {
 		r = 1
@@ -113,6 +191,7 @@ func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 		depth = Unlimited
 	}
 	key := cacheKey{c: c, depth: depth}
+	mc.mu.Lock()
 	tally, ok := mc.cache[key]
 	if !ok {
 		if len(mc.cacheOrder) >= mc.maxCache {
@@ -124,13 +203,14 @@ func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 		mc.cache[key] = tally
 		mc.cacheOrder = append(mc.cacheOrder, key)
 	}
+	mc.mu.Unlock()
+
+	// An evicted tally stays usable by goroutines already holding it; it
+	// just stops being findable, so the worst case is recomputed work.
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
 	if r > tally.rDone {
-		if depth < 0 {
-			mc.labels.Grow(r)
-			mc.labels.CountConnectedFrom(c, tally.rDone, r, tally.counts)
-		} else {
-			mc.reach.CountWithin(c, depth, tally.rDone, r, tally.counts)
-		}
+		mc.extend(key, tally, r)
 		tally.rDone = r
 	}
 	out := make([]float64, len(tally.counts))
@@ -139,6 +219,105 @@ func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 		out[i] = float64(cnt) * inv
 	}
 	return out
+}
+
+// minShardSpan is the smallest world range worth fanning out; below it the
+// goroutine overhead dominates the per-world scans.
+const minShardSpan = 16
+
+// extend accumulates worlds [tally.rDone, r) into tally.counts, sharding
+// the range across the worker pool. Each worker tallies its contiguous
+// chunk of worlds into a private scratch buffer; the buffers are then
+// merged serially. Integer addition is associative and commutative, so the
+// merged counts equal the serial counts exactly, for any worker count.
+//
+// Extra shard goroutines draw tokens from the estimator-wide semaphore
+// (the calling goroutine always works its own chunk token-free), so
+// concurrent FromCenter callers share one worker budget instead of
+// multiplying theirs by ours. A token shortage degrades to fewer, larger
+// chunks — never to blocking. The caller holds tally.mu.
+func (mc *MonteCarlo) extend(key cacheKey, tally *centerTally, r int) {
+	lo, hi := tally.rDone, r
+	if key.depth < 0 {
+		mc.labels.Grow(hi)
+	}
+	span := hi - lo
+	workers := mc.Parallelism()
+	if workers > span {
+		workers = span
+	}
+	if workers <= 1 || span < minShardSpan {
+		mc.countRange(key, lo, hi, tally.counts)
+		return
+	}
+	// Reserve tokens for the extra workers, non-blocking.
+	sem := mc.sem()
+	extra := 0
+	for extra < workers-1 {
+		got := false
+		select {
+		case <-sem:
+			extra++
+			got = true
+		default:
+		}
+		if !got {
+			break
+		}
+	}
+	if extra == 0 {
+		mc.countRange(key, lo, hi, tally.counts)
+		return
+	}
+	workers = extra + 1
+	chunk := (span + workers - 1) / workers
+	scratch := make([][]int32, 0, workers-1)
+	var wg sync.WaitGroup
+	// The first chunk belongs to this goroutine; the rest fan out.
+	for start := lo + chunk; start < hi; start += chunk {
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		buf := make([]int32, len(tally.counts))
+		scratch = append(scratch, buf)
+		wg.Add(1)
+		go func(start, end int, buf []int32) {
+			defer wg.Done()
+			defer func() { sem <- struct{}{} }()
+			mc.countRange(key, start, end, buf)
+		}(start, end, buf)
+	}
+	first := lo + chunk
+	if first > hi {
+		first = hi
+	}
+	mc.countRange(key, lo, first, tally.counts)
+	wg.Wait()
+	// Return any tokens not consumed by spawned goroutines (possible when
+	// chunk rounding used fewer shards than reserved).
+	for spawned := len(scratch); spawned < extra; spawned++ {
+		sem <- struct{}{}
+	}
+	for _, buf := range scratch {
+		for u, cnt := range buf {
+			tally.counts[u] += cnt
+		}
+	}
+}
+
+// countRange adds the connection counts of worlds [lo, hi) into counts:
+// label scans for unlimited depth (the label cache must already cover hi),
+// depth-bounded BFS otherwise. Safe to call from multiple goroutines as
+// long as each call owns its counts buffer.
+func (mc *MonteCarlo) countRange(key cacheKey, lo, hi int, counts []int32) {
+	if key.depth < 0 {
+		mc.labels.CountConnectedFrom(key.c, lo, hi, counts)
+		return
+	}
+	rc := mc.reachPool.Get().(*sampler.ReachCounter)
+	rc.CountWithin(key.c, key.depth, lo, hi, counts)
+	mc.reachPool.Put(rc)
 }
 
 // Pair estimates Pr(u ~ v) with r samples.

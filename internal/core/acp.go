@@ -60,7 +60,7 @@ func ACP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 		res := MinPartial(o, rnd, PartialParams{
 			K: k, Q: rem, QBar: sel, Alpha: alpha,
 			Depth: opt.Depth, DepthSel: depthSel,
-			R: r, Eps: opt.Eps,
+			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
 		})
 		st.Invocations++
 		st.OracleCalls += res.OracleCalls

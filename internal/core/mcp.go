@@ -42,6 +42,13 @@ type Options struct {
 	// q <- q/(1+Gamma) instead of the accelerated Section 5 schedule
 	// q_i = max{1 - Gamma*2^i, PL} with final binary search.
 	Geometric bool
+	// Parallelism caps the goroutines used to score candidate centers
+	// concurrently. <= 0 selects GOMAXPROCS; 1 forces serial execution.
+	// Callers that want the oracle pinned too should hand the same value
+	// to its SetParallelism — the oracle's internal shard budget is
+	// shared, not multiplied, when both fan out. Results are identical
+	// for every setting.
+	Parallelism int
 	// Seed drives candidate selection; estimator seeds are independent.
 	Seed uint64
 }
@@ -112,7 +119,7 @@ func mcpRun(o conn.Oracle, k int, opt Options, rnd *rng.Xoshiro256) (*Clustering
 		res := MinPartial(o, rnd, PartialParams{
 			K: k, Q: q, QBar: q, Alpha: opt.Alpha,
 			Depth: opt.Depth, DepthSel: depthSel,
-			R: r, Eps: opt.Eps,
+			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
 		})
 		st.Invocations++
 		st.OracleCalls += res.OracleCalls

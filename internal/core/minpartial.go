@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"ucgraph/internal/conn"
 	"ucgraph/internal/graph"
 	"ucgraph/internal/rng"
@@ -32,6 +36,23 @@ type PartialParams struct {
 	// Eps is the estimation slack of Section 4.1: thresholds t are tested
 	// as estimate >= (1 - Eps/2) * t. Zero means exact thresholding.
 	Eps float64
+	// Parallelism caps the number of goroutines scoring candidate centers
+	// concurrently (the per-center oracle queries of lines 5-6). <= 0
+	// selects GOMAXPROCS; 1 forces the serial loop. The oracle must be
+	// safe for concurrent FromCenter calls when Parallelism != 1. The
+	// selected centers — and hence the clustering — do not depend on the
+	// setting as long as the oracle itself answers identically under
+	// concurrency (conn.MonteCarlo does, up to the tally-cache overflow
+	// boundary documented on it).
+	Parallelism int
+}
+
+// workers resolves the effective candidate-scoring worker count.
+func (p PartialParams) workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // PartialResult is the outcome of a min-partial run: the partial clustering
@@ -133,26 +154,90 @@ func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialRes
 			pos[u], pos[v] = int32(j), int32(i)
 		}
 
-		// Lines 5-6: score candidates by |Mv| and keep the best.
-		var bestCand graph.NodeID = -1
-		bestScore := -1
-		var bestSelEst []float64
-		for i := 0; i < tsize; i++ {
-			v := uncovered[i]
-			est := o.FromCenter(v, p.DepthSel, p.R)
-			res.OracleCalls++
+		// Lines 5-6: score candidates by |Mv| and keep the best. The
+		// per-candidate oracle queries fan out across a worker pool; the
+		// final argmax scans scores in T order, so the selected center is
+		// identical for every worker count (FromCenter itself is
+		// deterministic). Each worker retains the estimate vector of its
+		// own running best — within a worker indices arrive in increasing
+		// order and ties keep the earlier index, so the worker that scored
+		// the global argmax always still holds its vector — and exactly
+		// tsize oracle calls are made on every path, matching the serial
+		// loop's counts.
+		scores := make([]int, tsize)
+		scoreAt := func(i int) []float64 {
+			est := o.FromCenter(uncovered[i], p.DepthSel, p.R)
 			score := 0
 			for _, u := range uncovered {
 				if est[u] >= selThresh {
 					score++
 				}
 			}
-			if score > bestScore {
-				bestScore, bestCand, bestSelEst = score, v, est
+			scores[i] = score
+			return est
+		}
+		heldEst := make(map[int][]float64, 4) // candidate index -> retained vector
+		if workers := p.workers(); workers > 1 && tsize > 1 {
+			if workers > tsize {
+				workers = tsize
+			}
+			type localBest struct {
+				idx int
+				est []float64
+			}
+			bests := make([]localBest, workers)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					lb := localBest{idx: -1}
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= tsize {
+							break
+						}
+						est := scoreAt(i)
+						if lb.idx < 0 || scores[i] > scores[lb.idx] {
+							lb = localBest{idx: i, est: est}
+						}
+					}
+					bests[w] = lb
+				}(w)
+			}
+			wg.Wait()
+			for _, lb := range bests {
+				if lb.idx >= 0 {
+					heldEst[lb.idx] = lb.est
+				}
+			}
+		} else {
+			running := -1
+			var runningEst []float64
+			for i := 0; i < tsize; i++ {
+				est := scoreAt(i)
+				if running < 0 || scores[i] > scores[running] {
+					running, runningEst = i, est
+				}
+			}
+			heldEst[running] = runningEst
+		}
+		res.OracleCalls += tsize
+		best := 0
+		for i := 1; i < tsize; i++ {
+			if scores[i] > scores[best] {
+				best = i
 			}
 		}
-
-		ci := bestCand
+		bestSelEst, ok := heldEst[best]
+		if !ok {
+			// Unreachable by construction; re-query defensively rather
+			// than crash (a cache hit for the Monte Carlo oracle).
+			bestSelEst = o.FromCenter(uncovered[best], p.DepthSel, p.R)
+			res.OracleCalls++
+		}
+		ci := uncovered[best]
 		clusterIdx := int32(len(cl.Centers))
 		cl.Centers = append(cl.Centers, ci)
 		isCenter[ci] = true

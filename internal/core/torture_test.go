@@ -48,11 +48,17 @@ func tortureRun(t *testing.T, g *graph.Uncertain, ks []int, expectErr bool) {
 }
 
 func TestTortureSingleEdgeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.5}})
 	tortureRun(t, g, []int{1}, false)
 }
 
 func TestTortureExtremeProbabilities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	// Mix of nearly-0 and nearly-1 probabilities.
 	g := mustGraph(t, 6, []graph.Edge{
 		{U: 0, V: 1, P: 1e-9}, {U: 1, V: 2, P: 1 - 1e-12},
@@ -70,6 +76,9 @@ func TestTortureExtremeProbabilities(t *testing.T) {
 }
 
 func TestTortureStar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	// Star with a certain hub: any k works.
 	var edges []graph.Edge
 	for i := 1; i < 12; i++ {
@@ -80,6 +89,9 @@ func TestTortureStar(t *testing.T) {
 }
 
 func TestTortureCompleteGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	var edges []graph.Edge
 	for i := 0; i < 9; i++ {
 		for j := i + 1; j < 9; j++ {
@@ -91,6 +103,9 @@ func TestTortureCompleteGraph(t *testing.T) {
 }
 
 func TestTortureManyComponents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	// 5 disconnected edges: k < 5 must fail for MCP, k = 5 succeeds.
 	var edges []graph.Edge
 	for i := 0; i < 5; i++ {
@@ -105,6 +120,9 @@ func TestTortureManyComponents(t *testing.T) {
 }
 
 func TestTortureAllCertain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	// Fully certain connected graph: p_min = 1 achievable for any k; the
 	// driver must terminate at the very first guess.
 	g := mustGraph(t, 8, []graph.Edge{
@@ -125,6 +143,9 @@ func TestTortureAllCertain(t *testing.T) {
 }
 
 func TestTortureDepthZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	// Depth 0 means only self-connections: no k < n clustering can cover
 	// everything, so MCP must report failure (and not loop forever).
 	g := pathGraph(t, 4, 0.9)
@@ -141,6 +162,9 @@ func TestTortureDepthZero(t *testing.T) {
 }
 
 func TestTortureHugeKRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	g := pathGraph(t, 5, 0.5)
 	oracle := conn.NewMonteCarlo(g, 1)
 	if _, _, err := MCP(oracle, 5, Options{}); err == nil {
@@ -152,6 +176,9 @@ func TestTortureHugeKRejected(t *testing.T) {
 }
 
 func TestTortureRepeatedRunsShareOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture suite; run without -short")
+	}
 	// Running MCP twice against one oracle must work (world cache reuse)
 	// and produce identical results for identical options.
 	g := mustGraph(t, 6, []graph.Edge{

@@ -23,6 +23,7 @@ import (
 	"ucgraph/internal/core"
 	"ucgraph/internal/datasets"
 	"ucgraph/internal/gmm"
+	"ucgraph/internal/graph"
 	"ucgraph/internal/kpt"
 	"ucgraph/internal/mcl"
 	"ucgraph/internal/metrics"
@@ -50,6 +51,17 @@ type Config struct {
 	// Runs averages the randomized algorithms (gmm, mcp, acp) over this
 	// many seeds per cell (default 1; the paper averages >= 100).
 	Runs int
+	// Parallelism bounds the worker pool of the Monte Carlo oracles and
+	// the mcp/acp candidate fan-out (<= 0 selects GOMAXPROCS, 1 forces
+	// serial execution). Results are identical for every setting.
+	Parallelism int
+}
+
+// newOracle builds a Monte Carlo oracle honoring cfg.Parallelism.
+func newOracle(g *graph.Uncertain, seed uint64, cfg Config) *conn.MonteCarlo {
+	o := conn.NewMonteCarlo(g, seed)
+	o.SetParallelism(cfg.Parallelism)
+	return o
 }
 
 func (c Config) withDefaults() Config {
@@ -158,8 +170,9 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 		ls := sampler.NewLabelSet(g, cfg.Seed+0x5eed)
 		ls.Grow(cfg.MetricSamples)
 		opts := core.Options{
-			Seed:     cfg.Seed,
-			Schedule: conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+			Seed:        cfg.Seed,
+			Schedule:    conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+			Parallelism: cfg.Parallelism,
 		}
 		for _, inf := range inflations(name) {
 			// mcl first: it defines the granularity target.
@@ -185,7 +198,7 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 			averaged, err = averageRuns(cfg, name, k, "mcp", ls, func(seed uint64) (*core.Clustering, error) {
 				o := opts
 				o.Seed = seed
-				cl, _, err := core.MCP(conn.NewMonteCarlo(g, seed+1), k, o)
+				cl, _, err := core.MCP(newOracle(g, seed+1, cfg), k, o)
 				return cl, err
 			})
 			if err != nil {
@@ -196,7 +209,7 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 			averaged, err = averageRuns(cfg, name, k, "acp", ls, func(seed uint64) (*core.Clustering, error) {
 				o := opts
 				o.Seed = seed
-				cl, _, err := core.ACP(conn.NewMonteCarlo(g, seed+2), k, o)
+				cl, _, err := core.ACP(newOracle(g, seed+2, cfg), k, o)
 				return cl, err
 			})
 			if err != nil {
@@ -291,8 +304,9 @@ func Figure4(cfg Config) ([]ScalePoint, error) {
 	ratios := []float64{0.0004, 0.0008, 0.0016, 0.0029, 0.0083, 0.024}
 	var out []ScalePoint
 	opts := core.Options{
-		Seed:     cfg.Seed,
-		Schedule: conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+		Seed:        cfg.Seed,
+		Schedule:    conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+		Parallelism: cfg.Parallelism,
 	}
 	seenK := map[int]bool{}
 	for _, ratio := range ratios {
@@ -305,7 +319,7 @@ func Figure4(cfg Config) ([]ScalePoint, error) {
 		}
 		seenK[k] = true
 		t0 := time.Now()
-		oracle := conn.NewMonteCarlo(g, cfg.Seed+3)
+		oracle := newOracle(g, cfg.Seed+3, cfg)
 		if _, _, err := core.MCP(oracle, k, opts); err != nil {
 			return nil, fmt.Errorf("experiments: figure4 mcp k=%d: %v", k, err)
 		}
@@ -362,13 +376,14 @@ func Table2(cfg Config) ([]PredictionRow, error) {
 
 	var out []PredictionRow
 	opts := core.Options{
-		Seed:     cfg.Seed,
-		Schedule: conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+		Seed:        cfg.Seed,
+		Schedule:    conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
+		Parallelism: cfg.Parallelism,
 	}
 	for _, d := range []int{2, 3, 4, 6, 8} {
 		dOpts := opts
 		dOpts.Depth = d
-		oracle := conn.NewMonteCarlo(g, cfg.Seed+10)
+		oracle := newOracle(g, cfg.Seed+10, cfg)
 		mcpCl, _, err := core.MCP(oracle, k, dOpts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table2 mcp d=%d: %v", d, err)
@@ -376,7 +391,7 @@ func Table2(cfg Config) ([]PredictionRow, error) {
 		conf := metrics.PairConfusion(mcpCl, truth)
 		out = append(out, PredictionRow{Algo: "mcp", Depth: d, TPR: conf.TPR(), FPR: conf.FPR()})
 
-		oracle = conn.NewMonteCarlo(g, cfg.Seed+11)
+		oracle = newOracle(g, cfg.Seed+11, cfg)
 		acpCl, _, err := core.ACP(oracle, k, dOpts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table2 acp d=%d: %v", d, err)

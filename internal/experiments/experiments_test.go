@@ -43,6 +43,9 @@ func TestTable1AllDatasets(t *testing.T) {
 }
 
 func TestQualityGridCollins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	cfg := tinyCfg()
 	cfg.Graphs = []string{"collins"}
 	cells, err := QualityGrid(cfg)
@@ -94,6 +97,9 @@ func TestQualityGridCollins(t *testing.T) {
 }
 
 func TestQualityGridAveragedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	cfg := tinyCfg()
 	cfg.Graphs = []string{"collins"}
 	cfg.Runs = 2
@@ -126,6 +132,9 @@ func TestQualityGridUnknownDataset(t *testing.T) {
 }
 
 func TestFigure4Points(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	cfg := tinyCfg()
 	pts, err := Figure4(cfg)
 	if err != nil {
@@ -150,6 +159,9 @@ func TestFigure4Points(t *testing.T) {
 }
 
 func TestTable2Rows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	cfg := tinyCfg()
 	rows, err := Table2(cfg)
 	if err != nil {

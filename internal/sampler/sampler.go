@@ -16,11 +16,17 @@
 //
 // Both views of the same (seed, world index) pair describe the same world:
 // the label matrix is just a connectivity index over the implicit world.
+//
+// LabelSet is safe for concurrent use: worlds are immutable once
+// materialized, Grow calls serialize, and readers observe atomic snapshots
+// of the world list. ReachCounter owns mutable scratch and stays
+// single-goroutine; create one per worker.
 package sampler
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/rng"
@@ -107,16 +113,27 @@ func (w World) BFSWithin(src graph.NodeID, maxDepth int, seen []uint32, epoch ui
 // [0, Worlds()) of a seeded stream. It supports deterministic extension:
 // growing the set re-uses the exact same worlds and appends new ones, which
 // is what the progressive sampling schedule of Section 4 requires.
+//
+// LabelSet is safe for concurrent use. Materialized worlds are immutable,
+// so readers work against an atomically published snapshot of the world
+// list while Grow calls serialize on an internal mutex; a reader holding an
+// older snapshot simply sees a prefix of the stream, which is always a
+// valid set of worlds.
 type LabelSet struct {
 	g    *graph.Uncertain
 	seed uint64
 	n    int
-	lab  [][]int32 // lab[i] = component labels of world i
+
+	mu  sync.Mutex                // serializes Grow
+	lab atomic.Pointer[[][]int32] // published snapshot; lab[i] = labels of world i
 }
 
 // NewLabelSet returns an empty label cache for g under the given seed.
 func NewLabelSet(g *graph.Uncertain, seed uint64) *LabelSet {
-	return &LabelSet{g: g, seed: seed, n: g.NumNodes()}
+	ls := &LabelSet{g: g, seed: seed, n: g.NumNodes()}
+	empty := make([][]int32, 0)
+	ls.lab.Store(&empty)
+	return ls
 }
 
 // Graph returns the underlying graph.
@@ -126,15 +143,28 @@ func (ls *LabelSet) Graph() *graph.Uncertain { return ls.g }
 func (ls *LabelSet) Seed() uint64 { return ls.seed }
 
 // Worlds returns the number of materialized worlds.
-func (ls *LabelSet) Worlds() int { return len(ls.lab) }
+func (ls *LabelSet) Worlds() int { return len(*ls.lab.Load()) }
+
+// View returns a snapshot of the materialized worlds: View()[i] holds the
+// component labels of world i. The snapshot stays valid (and immutable)
+// across later Grow calls; callers must not modify the labels. Hot loops
+// should grab one View instead of calling WorldLabels per world.
+func (ls *LabelSet) View() [][]int32 { return *ls.lab.Load() }
 
 // Grow extends the cache so that it holds at least r worlds. Worlds are
 // computed in parallel across available CPUs. Growing never changes
-// already-materialized worlds.
+// already-materialized worlds, and concurrent Grow calls serialize, so the
+// stream is identical no matter how many goroutines extend it.
 func (ls *LabelSet) Grow(r int) {
-	cur := len(ls.lab)
-	if r <= cur {
+	if r <= len(*ls.lab.Load()) {
 		return
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	old := *ls.lab.Load()
+	cur := len(old)
+	if r <= cur {
+		return // another goroutine grew past r while we waited
 	}
 	add := r - cur
 	newLab := make([][]int32, add)
@@ -165,24 +195,29 @@ func (ls *LabelSet) Grow(r int) {
 		}()
 	}
 	wg.Wait()
-	ls.lab = append(ls.lab, newLab...)
+	combined := make([][]int32, cur+add)
+	copy(combined, old)
+	copy(combined[cur:], newLab)
+	ls.lab.Store(&combined)
 }
 
 // WorldLabels returns the component labels of world i. Callers must not
 // modify the returned slice.
-func (ls *LabelSet) WorldLabels(i int) []int32 { return ls.lab[i] }
+func (ls *LabelSet) WorldLabels(i int) []int32 { return (*ls.lab.Load())[i] }
 
 // Connected reports whether u and v are connected in world i.
 func (ls *LabelSet) Connected(i int, u, v graph.NodeID) bool {
-	return ls.lab[i][u] == ls.lab[i][v]
+	lab := (*ls.lab.Load())[i]
+	return lab[u] == lab[v]
 }
 
 // CountConnectedFrom adds, for every node u, the number of worlds in
 // [lo, hi) where u and c share a component, into counts (length NumNodes).
 // counts is not cleared, so callers can accumulate across ranges.
 func (ls *LabelSet) CountConnectedFrom(c graph.NodeID, lo, hi int, counts []int32) {
+	view := *ls.lab.Load()
 	for i := lo; i < hi; i++ {
-		lab := ls.lab[i]
+		lab := view[i]
 		lc := lab[c]
 		for u, lu := range lab {
 			if lu == lc {
@@ -210,9 +245,10 @@ func (ls *LabelSet) EstimateFrom(c graph.NodeID, r int) []float64 {
 // first r worlds.
 func (ls *LabelSet) EstimatePair(u, v graph.NodeID, r int) float64 {
 	ls.Grow(r)
+	view := *ls.lab.Load()
 	cnt := 0
 	for i := 0; i < r; i++ {
-		if ls.lab[i][u] == ls.lab[i][v] {
+		if view[i][u] == view[i][v] {
 			cnt++
 		}
 	}

@@ -80,6 +80,12 @@ type Clustering = core.Clustering
 // Options configures the MCP and ACP drivers; the zero value selects the
 // defaults used in the paper's experiments (gamma 0.1, floor 1e-4,
 // alpha 1, accelerated guess schedule with binary search).
+// Options.Parallelism bounds the worker pool of both the Monte Carlo
+// estimator and the candidate-scoring fan-out (<= 0 selects GOMAXPROCS,
+// 1 forces serial execution) when MCP/ACP build the estimator themselves;
+// the WithOracle variants apply it to the fan-out only. Results are
+// bit-identical for every setting up to the estimator's tally-cache
+// overflow boundary (see Estimator).
 type Options = core.Options
 
 // Stats reports the work performed by an MCP/ACP run.
@@ -91,7 +97,9 @@ type Schedule = conn.Schedule
 
 // Estimator is the Monte Carlo connection-probability oracle. One Estimator
 // owns a deterministic stream of possible worlds; all queries against it
-// are mutually consistent and reproducible.
+// are mutually consistent and reproducible. Estimators are safe for
+// concurrent use and internally parallel: estimates do not depend on the
+// worker count (see Estimator.SetParallelism).
 type Estimator = conn.MonteCarlo
 
 // MCLOptions configures the MCL baseline.
@@ -153,11 +161,14 @@ func NewEstimator(g *Graph, seed uint64) *Estimator { return conn.NewMonteCarlo(
 //	min-prob(C) >= (1-eps) * p_opt-min(k)^2 / (1+gamma).
 func MCP(g *Graph, k int, opt Options) (*Clustering, Stats, error) {
 	oracle := conn.NewMonteCarlo(g, estimatorSeed(opt.Seed))
+	oracle.SetParallelism(opt.Parallelism)
 	return core.MCP(oracle, k, opt)
 }
 
 // MCPWithOracle runs MCP against a caller-supplied estimator, so repeated
-// runs can share sampled worlds.
+// runs can share sampled worlds. The estimator's own parallelism setting
+// is left untouched — opt.Parallelism only governs the candidate fan-out;
+// configure the estimator with SetParallelism if you want both pinned.
 func MCPWithOracle(oracle *Estimator, k int, opt Options) (*Clustering, Stats, error) {
 	return core.MCP(oracle, k, opt)
 }
@@ -169,10 +180,12 @@ func MCPWithOracle(oracle *Estimator, k int, opt Options) (*Clustering, Stats, e
 //	avg-prob(C) >= (1-eps) * (p_opt-avg(k) / ((1+gamma) H(n)))^3.
 func ACP(g *Graph, k int, opt Options) (*Clustering, Stats, error) {
 	oracle := conn.NewMonteCarlo(g, estimatorSeed(opt.Seed))
+	oracle.SetParallelism(opt.Parallelism)
 	return core.ACP(oracle, k, opt)
 }
 
-// ACPWithOracle runs ACP against a caller-supplied estimator.
+// ACPWithOracle runs ACP against a caller-supplied estimator. Like
+// MCPWithOracle, it leaves the estimator's own parallelism untouched.
 func ACPWithOracle(oracle *Estimator, k int, opt Options) (*Clustering, Stats, error) {
 	return core.ACP(oracle, k, opt)
 }
