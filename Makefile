@@ -1,9 +1,10 @@
 # Developer and CI entry points. `make ci` is exactly what the GitHub
-# workflow runs; `make bench` tracks the perf trajectory in BENCH_conn.json.
+# workflow runs; `make bench` and `make bench-core` track the perf
+# trajectory in BENCH_conn.json / BENCH_core.json.
 
 GO ?= go
 
-.PHONY: build fmt vet test short race bench ci
+.PHONY: build fmt vet test short race bench bench-core ci
 
 build:
 	$(GO) build ./...
@@ -25,13 +26,22 @@ short:
 
 # Race detector over the concurrency-bearing packages.
 race:
-	$(GO) test -race -short ./internal/conn ./internal/sampler ./internal/core
+	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core
 
-# Benchmarks -> BENCH_conn.json so later changes can compare runs.
+# Estimator-level benchmarks -> BENCH_conn.json so later changes can
+# compare runs.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' . | tee bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_conn.json
+	$(GO) run ./cmd/benchjson -suite conn < bench.out > BENCH_conn.json
 	@rm -f bench.out
 	@echo "wrote BENCH_conn.json"
+
+# Algorithm-level benchmarks (MCP/ACP end to end, batched vs serial
+# candidate scoring) -> BENCH_core.json.
+bench-core:
+	$(GO) test -bench='EndToEnd|FromCenters|MinPartialAlpha' -benchmem -run='^$$' ./internal/core | tee bench-core.out
+	$(GO) run ./cmd/benchjson -suite core < bench-core.out > BENCH_core.json
+	@rm -f bench-core.out
+	@echo "wrote BENCH_core.json"
 
 ci: build fmt vet short race

@@ -1,19 +1,23 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into a stable JSON document on stdout, so benchmark runs can be
-// committed (BENCH_conn.json) and diffed across changes.
+// committed (BENCH_conn.json, BENCH_core.json) and diffed across changes.
 //
 // Usage:
 //
-//	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson
+//	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson -suite conn
 //
-// Standard columns (ns/op, B/op, allocs/op) get dedicated fields; every
-// other "value unit" pair — including b.ReportMetric custom metrics —
-// lands in the metrics map keyed by unit.
+// The -suite flag labels the document, so multiple benchmark files (the
+// estimator-level conn suite, the algorithm-level core suite) stay
+// distinguishable after archiving. Standard columns (ns/op, B/op,
+// allocs/op) get dedicated fields; every other "value unit" pair —
+// including b.ReportMetric custom metrics — lands in the metrics map keyed
+// by unit.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -34,6 +38,7 @@ type Benchmark struct {
 
 // Report is the emitted document.
 type Report struct {
+	Suite      string      `json:"suite,omitempty"`
 	GoVersion  string      `json:"go_version"`
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
@@ -81,7 +86,10 @@ func parseLine(line string) (Benchmark, bool) {
 }
 
 func main() {
+	suite := flag.String("suite", "", "label recorded in the emitted document")
+	flag.Parse()
 	report := Report{
+		Suite:     *suite,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,

@@ -27,24 +27,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, figures, figure4, table2")
-		seed    = flag.Uint64("seed", 1, "random seed for datasets and algorithms")
-		samples = flag.Int("samples", 192, "possible worlds used to score clusterings")
-		schedMx = flag.Int("schedmax", 768, "cap on per-phase Monte Carlo samples in mcp/acp")
-		dblp    = flag.Int("dblp", 6000, "authors in the synthetic DBLP instance")
-		graphs  = flag.String("graphs", "", "comma-separated dataset subset (default all)")
-		runs    = flag.Int("runs", 1, "average randomized algorithms over this many runs")
-		par     = flag.Int("par", 0, "worker pool size for mcp/acp (0 = all CPUs, 1 = serial)")
+		exp      = flag.String("exp", "all", "experiment: all, table1, figures, figure4, table2")
+		seed     = flag.Uint64("seed", 1, "random seed for datasets and algorithms")
+		samples  = flag.Int("samples", 192, "possible worlds used to score clusterings")
+		schedMx  = flag.Int("schedmax", 768, "cap on per-phase Monte Carlo samples in mcp/acp")
+		dblp     = flag.Int("dblp", 6000, "authors in the synthetic DBLP instance")
+		graphs   = flag.String("graphs", "", "comma-separated dataset subset (default all)")
+		runs     = flag.Int("runs", 1, "average randomized algorithms over this many runs")
+		par      = flag.Int("par", 0, "worker pool size for mcp/acp (0 = all CPUs, 1 = serial)")
+		worldmem = flag.Int("worldmem", 0, "world-label memory budget per store in MiB (0 = unbounded); results are identical either way")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{
-		Seed:          *seed,
-		MetricSamples: *samples,
-		ScheduleMax:   *schedMx,
-		DBLPAuthors:   *dblp,
-		Runs:          *runs,
-		Parallelism:   *par,
+		Seed:             *seed,
+		MetricSamples:    *samples,
+		ScheduleMax:      *schedMx,
+		DBLPAuthors:      *dblp,
+		Runs:             *runs,
+		Parallelism:      *par,
+		WorldMemBudgetMB: *worldmem,
 	}
 	if *graphs != "" {
 		cfg.Graphs = strings.Split(*graphs, ",")

@@ -27,7 +27,7 @@ import (
 	"ucgraph/internal/kpt"
 	"ucgraph/internal/mcl"
 	"ucgraph/internal/metrics"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 func main() {
@@ -40,6 +40,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		samples   = flag.Int("samples", 256, "worlds used to score the clustering")
 		par       = flag.Int("par", 0, "worker pool size for mcp/acp (0 = all CPUs, 1 = serial)")
+		worldmem  = flag.Int("worldmem", 0, "world-label memory budget per store in MiB (0 = unbounded); results are identical either way")
 		out       = flag.String("out", "", "write clusters to this file")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	worldstore.SetDefaultBudget(int64(*worldmem) << 20)
 
 	g, err := gio.LoadGraph(*in)
 	if err != nil {
@@ -89,10 +91,10 @@ func main() {
 	}
 	elapsed := time.Since(t0)
 
-	ls := sampler.NewLabelSet(g, *seed+0x5eed)
-	pmin := metrics.PMin(cl, ls, *samples)
-	pavg := metrics.PAvg(cl, ls, *samples)
-	inner, outer := metrics.AVPR(cl, ls, *samples)
+	ws := worldstore.Shared(g, *seed+0x5eed)
+	pmin := metrics.PMin(cl, ws, *samples)
+	pavg := metrics.PAvg(cl, ws, *samples)
+	inner, outer := metrics.AVPR(cl, ws, *samples)
 	fmt.Printf("algorithm   %s\n", *algo)
 	fmt.Printf("clusters    %d\n", cl.K())
 	fmt.Printf("covered     %d/%d\n", cl.Covered(), cl.N())

@@ -56,30 +56,34 @@ func (mc *MonteCarlo) AdaptivePair(u, v graph.NodeID, eps, delta float64, maxSam
 	}
 	upsilon := StoppingRuleThreshold(eps, delta)
 	successes, samples := 0, 0
+	stopAt := -1 // world index where the success threshold fired
 	const chunk = 64
-	for samples < maxSamples {
+	for samples < maxSamples && stopAt < 0 {
 		batch := chunk
 		if samples+batch > maxSamples {
 			batch = maxSamples - samples
 		}
-		mc.labels.Grow(samples + batch)
-		view := mc.labels.View()
-		for i := 0; i < batch; i++ {
-			w := samples + i
-			if view[w][u] == view[w][v] {
+		mc.store.Scan(samples, samples+batch, func(w int, lab []int32) {
+			if stopAt >= 0 {
+				return
+			}
+			if lab[u] == lab[v] {
 				successes++
 				if successes >= upsilon {
-					n := w + 1
-					return AdaptiveResult{
-						P:         float64(upsilon) / float64(n),
-						Samples:   n,
-						Successes: successes,
-						Converged: true,
-					}
+					stopAt = w
 				}
 			}
-		}
+		})
 		samples += batch
+	}
+	if stopAt >= 0 {
+		n := stopAt + 1
+		return AdaptiveResult{
+			P:         float64(upsilon) / float64(n),
+			Samples:   n,
+			Successes: successes,
+			Converged: true,
+		}
 	}
 	p := 0.0
 	if samples > 0 {
@@ -110,14 +114,12 @@ func (mc *MonteCarlo) DecideThreshold(u, v graph.NodeID, q, eps, delta float64) 
 	r := 64
 	round := 0
 	for {
-		mc.labels.Grow(r)
-		view := mc.labels.View()
 		successes := 0
-		for w := 0; w < r; w++ {
-			if view[w][u] == view[w][v] {
+		mc.store.Scan(0, r, func(_ int, lab []int32) {
+			if lab[u] == lab[v] {
 				successes++
 			}
-		}
+		})
 		est := float64(successes) / float64(r)
 		deltaT := delta / math.Pow(2, float64(round+1))
 		margin := math.Sqrt(math.Log(2/deltaT) / (2 * float64(r))) // Hoeffding

@@ -147,9 +147,9 @@ func TestFromCenterConcurrentHammer(t *testing.T) {
 	}
 }
 
-// TestLabelSetConcurrentGrow extends one LabelSet from many goroutines and
-// checks the stream is the same as a serially grown one.
-func TestLabelSetConcurrentGrow(t *testing.T) {
+// TestStoreConcurrentGrow extends one shared world store from many
+// goroutines and checks the stream is the same as a serially grown one.
+func TestStoreConcurrentGrow(t *testing.T) {
 	g := gridGraph(t, 8, 8, 0.5)
 	mc := NewMonteCarlo(g, 3)
 	var wg sync.WaitGroup
@@ -157,7 +157,7 @@ func TestLabelSetConcurrentGrow(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			mc.Labels().Grow(100 + 50*i)
+			mc.Store().Grow(100 + 50*i)
 		}(i)
 	}
 	wg.Wait()

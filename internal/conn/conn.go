@@ -11,11 +11,12 @@
 // The package provides:
 //
 //   - Oracle: the interface consumed by the clustering algorithms in
-//     internal/core. An oracle answers "estimate Pr(c ~d u) for every u".
-//   - MonteCarlo: the sampling estimator (the real implementation). It is
-//     safe for concurrent use and internally parallel: per-world tally
-//     accumulation is sharded across a worker pool, with estimates that are
-//     bit-identical for every worker count.
+//     internal/core. An oracle answers "estimate Pr(c ~d u) for every u",
+//     for one center (FromCenter) or a whole candidate batch (FromCenters).
+//   - MonteCarlo: the sampling estimator (the real implementation), built
+//     on the shared world store of internal/worldstore. It is safe for
+//     concurrent use and internally parallel, with estimates that are
+//     bit-identical for every worker count and memory budget.
 //   - Exact: exact enumeration of all 2^m worlds for tiny graphs — the
 //     testing oracle that theorems are checked against.
 //   - Sample-size formulas: SampleSize (Eq. 4), MCPSamples (Eq. 9),
@@ -26,48 +27,63 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // Unlimited is the depth value meaning "no path-length constraint".
 const Unlimited = -1
 
-// Oracle answers connection-probability queries from a center to all nodes.
+// Oracle answers connection-probability queries from centers to all nodes.
 //
 // FromCenter returns estimates of Pr(c ~depth u) for every node u; depth < 0
 // (Unlimited) means the unconstrained connection probability. r is the
 // Monte Carlo sample size; exact oracles ignore it. The returned slice is
-// owned by the caller. Implementations must tolerate concurrent FromCenter
-// calls: the clustering drivers fan per-center queries out across
-// goroutines (both MonteCarlo and Exact qualify).
+// owned by the caller.
+//
+// FromCenters is the batched form: it answers the same query for every
+// center in cs, returning one estimate vector per center (each owned by the
+// caller), and is where implementations amortize work across a candidate
+// batch — the Monte Carlo oracle answers all centers in one pass over each
+// world block instead of one full scan per center. The results must equal
+// calling FromCenter per center.
+//
+// Implementations must tolerate concurrent calls: the clustering drivers
+// fan queries out across goroutines (both MonteCarlo and Exact qualify).
 type Oracle interface {
 	NumNodes() int
 	FromCenter(c graph.NodeID, depth int, r int) []float64
+	FromCenters(cs []graph.NodeID, depth int, r int) [][]float64
 }
 
 // MonteCarlo estimates connection probabilities by sampling possible
-// worlds. Unlimited-depth queries are answered from cached per-world
-// component labels (union–find, O(n) per world per query); depth-limited
-// queries run a depth-bounded BFS per world on the same implicit world
-// stream, so limited and unlimited views are mutually consistent.
+// worlds. Unlimited-depth queries are answered from the per-world component
+// labels of the shared world store (one O(n) scan per world per query);
+// depth-limited queries run a depth-bounded BFS per world on the same
+// implicit world stream, so limited and unlimited views are mutually
+// consistent — and consistent with every other consumer of the same
+// (graph, seed) store (k-NN, influence, metrics, ...).
 //
 // Because worlds are deterministic and shared, per-center tally vectors are
 // cached and extended incrementally when later phases of the progressive
 // sampling schedule request more samples for a center already queried —
 // the dominant cost saver for the guessing schedules of Algorithms 2-3.
 //
-// MonteCarlo is safe for concurrent use: the tally cache is mutex-guarded,
-// each tally serializes its own extensions, and the label cache publishes
-// immutable world snapshots. FromCenter is also internally parallel — the
-// per-world tally accumulation is sharded across a worker pool (see
-// SetParallelism) with per-worker scratch buffers merged at the end. The
-// per-world counts are integers, so the merged totals — and therefore the
-// returned estimates — are bit-identical for every worker count: same seed
-// means same estimates, serial or parallel.
+// MonteCarlo is safe for concurrent use: the tally cache is mutex-guarded
+// and each tally serializes its own extensions. FromCenter is internally
+// parallel — the per-world tally accumulation is sharded across a worker
+// pool (see SetParallelism) with per-worker scratch buffers merged at the
+// end — and FromCenters shards a candidate batch across the same pool,
+// each worker scanning world blocks once for its whole center subset. The
+// per-world counts are integers, so the totals — and therefore the
+// returned estimates — are bit-identical for every worker count and every
+// store memory budget: same seed means same estimates, serial or parallel,
+// bounded or unbounded.
 //
 // One boundary on that guarantee: when the tally cache overflows maxCache
 // entries (only possible when a run touches more distinct (center, depth)
@@ -78,16 +94,16 @@ type Oracle interface {
 // stream; only the precision tier served can vary under eviction
 // pressure.
 type MonteCarlo struct {
-	g      *graph.Uncertain
-	seed   uint64
-	labels *sampler.LabelSet
+	g     *graph.Uncertain
+	seed  uint64
+	store *worldstore.Store
 
 	par atomic.Int32 // configured worker count; <= 0 selects GOMAXPROCS
 
 	// shardSem bounds the extra goroutines spawned across ALL concurrent
-	// FromCenter extensions, so callers that already fan queries out (the
-	// min-partial candidate loop) do not multiply into Parallelism^2
-	// workers. Sized once at first use.
+	// FromCenter/FromCenters extensions, so callers that already fan
+	// queries out do not multiply into Parallelism^2 workers. Sized once at
+	// first use.
 	semOnce  sync.Once
 	shardSem chan struct{}
 
@@ -108,6 +124,14 @@ type cacheKey struct {
 	depth int
 }
 
+// batchSlot tracks one distinct (center, depth) key of a FromCenters batch:
+// its tally and the output positions it answers.
+type batchSlot struct {
+	key   cacheKey
+	tally *centerTally
+	outAt []int
+}
+
 // centerTally holds per-node connection counts over the first rDone worlds.
 // Its mutex serializes extensions (and snapshotting) of one center's tally,
 // so concurrent queries for the same center never double-count a world.
@@ -118,6 +142,9 @@ type centerTally struct {
 }
 
 // NewMonteCarlo returns an estimator over g's possible worlds under seed.
+// The world labels come from the shared store for (g, seed), so every
+// estimator — and every other world consumer — built from the same pair
+// observes the same worlds.
 func NewMonteCarlo(g *graph.Uncertain, seed uint64) *MonteCarlo {
 	n := g.NumNodes()
 	// Bound the tally cache to ~64 MiB (4 bytes per node per entry).
@@ -128,7 +155,7 @@ func NewMonteCarlo(g *graph.Uncertain, seed uint64) *MonteCarlo {
 	mc := &MonteCarlo{
 		g:        g,
 		seed:     seed,
-		labels:   sampler.NewLabelSet(g, seed),
+		store:    worldstore.Shared(g, seed),
 		cache:    make(map[cacheKey]*centerTally),
 		maxCache: maxCache,
 	}
@@ -136,8 +163,8 @@ func NewMonteCarlo(g *graph.Uncertain, seed uint64) *MonteCarlo {
 	return mc
 }
 
-// SetParallelism sets the number of workers FromCenter shards tally
-// accumulation across. p <= 0 (the default) selects GOMAXPROCS; p == 1
+// SetParallelism sets the number of workers FromCenter and FromCenters
+// shard work across. p <= 0 (the default) selects GOMAXPROCS; p == 1
 // forces serial accumulation. Estimates do not depend on the setting.
 // Configure it before the first query: the global shard-worker budget is
 // sized once, at first use, to max(p, GOMAXPROCS), so later raises beyond
@@ -175,9 +202,44 @@ func (mc *MonteCarlo) NumNodes() int { return mc.g.NumNodes() }
 // Graph returns the underlying graph.
 func (mc *MonteCarlo) Graph() *graph.Uncertain { return mc.g }
 
-// WorldsMaterialized returns how many worlds the label cache currently
-// holds (observability for tests and progress reporting).
-func (mc *MonteCarlo) WorldsMaterialized() int { return mc.labels.Worlds() }
+// WorldsMaterialized returns how many worlds of the shared store's stream
+// have been requested so far (observability for tests and progress
+// reporting).
+func (mc *MonteCarlo) WorldsMaterialized() int { return mc.store.Worlds() }
+
+// Store exposes the underlying shared world store (used by metrics and the
+// companion queries to compute statistics over the same worlds).
+func (mc *MonteCarlo) Store() *worldstore.Store { return mc.store }
+
+// lookupTally returns the cached tally for key, inserting an empty one
+// (with FIFO eviction) if absent. Caller must not hold mc.mu.
+func (mc *MonteCarlo) lookupTally(key cacheKey) *centerTally {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	tally, ok := mc.cache[key]
+	if !ok {
+		if len(mc.cacheOrder) >= mc.maxCache {
+			oldest := mc.cacheOrder[0]
+			mc.cacheOrder = mc.cacheOrder[1:]
+			delete(mc.cache, oldest)
+		}
+		tally = &centerTally{counts: make([]int32, mc.g.NumNodes())}
+		mc.cache[key] = tally
+		mc.cacheOrder = append(mc.cacheOrder, key)
+	}
+	return tally
+}
+
+// estimate converts a tally into the caller-owned estimate vector. The
+// caller holds tally.mu.
+func (tally *centerTally) estimate() []float64 {
+	out := make([]float64, len(tally.counts))
+	inv := 1 / float64(tally.rDone)
+	for i, cnt := range tally.counts {
+		out[i] = float64(cnt) * inv
+	}
+	return out
+}
 
 // FromCenter implements Oracle. Tally vectors are cached per (center,
 // depth) and extended when r grows; if a cached tally already covers more
@@ -191,19 +253,7 @@ func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 		depth = Unlimited
 	}
 	key := cacheKey{c: c, depth: depth}
-	mc.mu.Lock()
-	tally, ok := mc.cache[key]
-	if !ok {
-		if len(mc.cacheOrder) >= mc.maxCache {
-			oldest := mc.cacheOrder[0]
-			mc.cacheOrder = mc.cacheOrder[1:]
-			delete(mc.cache, oldest)
-		}
-		tally = &centerTally{counts: make([]int32, mc.g.NumNodes())}
-		mc.cache[key] = tally
-		mc.cacheOrder = append(mc.cacheOrder, key)
-	}
-	mc.mu.Unlock()
+	tally := mc.lookupTally(key)
 
 	// An evicted tally stays usable by goroutines already holding it; it
 	// just stops being findable, so the worst case is recomputed work.
@@ -213,12 +263,176 @@ func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 		mc.extend(key, tally, r)
 		tally.rDone = r
 	}
-	out := make([]float64, len(tally.counts))
-	inv := 1 / float64(tally.rDone)
-	for i, cnt := range tally.counts {
-		out[i] = float64(cnt) * inv
+	return tally.estimate()
+}
+
+// FromCenters implements the batched Oracle query: one estimate vector per
+// center, equal to FromCenter(c, depth, r) for each c. The batch shares
+// the per-center tally cache with FromCenter; centers whose tallies need
+// extension are answered together, sharded across the worker pool so that
+// each worker scans the world blocks ONCE for its whole center subset (via
+// worldstore.CountConnectedFromMulti) instead of once per center. Workers
+// write into disjoint tallies, so the counts — and the estimates — are
+// bit-identical to a serial per-center loop for any worker count.
+func (mc *MonteCarlo) FromCenters(cs []graph.NodeID, depth int, r int) [][]float64 {
+	if len(cs) == 0 {
+		return nil
+	}
+	if r < 1 {
+		r = 1
+	}
+	if depth < 0 {
+		depth = Unlimited
+	}
+
+	// Deduplicate centers (duplicates share one tally) while preserving
+	// first-occurrence order, so cache insertion — and hence FIFO eviction
+	// order — matches the equivalent serial FromCenter loop.
+	slots := make([]*batchSlot, 0, len(cs))
+	byKey := make(map[cacheKey]*batchSlot, len(cs))
+	for i, c := range cs {
+		key := cacheKey{c: c, depth: depth}
+		sl := byKey[key]
+		if sl == nil {
+			sl = &batchSlot{key: key}
+			byKey[key] = sl
+			slots = append(slots, sl)
+		}
+		sl.outAt = append(sl.outAt, i)
+	}
+	for _, sl := range slots {
+		sl.tally = mc.lookupTally(sl.key)
+	}
+
+	// Lock the batch's tallies in canonical center order: concurrent
+	// FromCenters batches over overlapping center sets then acquire in the
+	// same order and cannot deadlock (FromCenter holds at most one tally
+	// lock, so it cannot close a cycle either).
+	locked := make([]*batchSlot, len(slots))
+	copy(locked, slots)
+	sort.Slice(locked, func(i, j int) bool { return locked[i].key.c < locked[j].key.c })
+	for _, sl := range locked {
+		sl.tally.mu.Lock()
+	}
+	defer func() {
+		for _, sl := range locked {
+			sl.tally.mu.Unlock()
+		}
+	}()
+
+	var pending []*batchSlot
+	for _, sl := range slots {
+		if sl.tally.rDone < r {
+			pending = append(pending, sl)
+		}
+	}
+	switch {
+	case len(pending) == 0:
+		// Every tally already covers r worlds.
+	case len(pending) == 1 || depth != Unlimited:
+		// A single center gets the world-sharded extension; depth-limited
+		// batches extend per center too (each extension is BFS-bound and
+		// already sharded over worlds internally).
+		for _, sl := range pending {
+			mc.extend(sl.key, sl.tally, r)
+			sl.tally.rDone = r
+		}
+	default:
+		mc.extendBatch(pending, r)
+	}
+
+	out := make([][]float64, len(cs))
+	for _, sl := range slots {
+		est := sl.tally.estimate()
+		for i, pos := range sl.outAt {
+			if i == 0 {
+				out[pos] = est
+			} else {
+				cp := make([]float64, len(est))
+				copy(cp, est)
+				out[pos] = cp
+			}
+		}
 	}
 	return out
+}
+
+// extendBatch brings every pending tally up to r worlds of unlimited-depth
+// counts. The pending centers are split into contiguous subsets, one per
+// worker; each worker answers its subset with a single blocked pass over
+// the label store (CountConnectedFromMulti), writing directly into its
+// tallies' count vectors. No two workers touch the same tally and each
+// tally's counts depend only on (store, lo, r), so the result is
+// independent of the partition. The caller holds every pending tally's
+// lock; extra workers draw tokens from the estimator-wide semaphore, and a
+// token shortage degrades to fewer, larger subsets — never to blocking.
+func (mc *MonteCarlo) extendBatch(pending []*batchSlot, r int) {
+	mc.store.Grow(r)
+	workers := mc.Parallelism()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	run := func(subset []*batchSlot) {
+		cs := make([]graph.NodeID, len(subset))
+		lo := make([]int, len(subset))
+		counts := make([][]int32, len(subset))
+		for i, sl := range subset {
+			cs[i] = sl.key.c
+			lo[i] = sl.tally.rDone
+			counts[i] = sl.tally.counts
+		}
+		mc.store.CountConnectedFromMulti(cs, lo, r, counts)
+		for _, sl := range subset {
+			sl.tally.rDone = r
+		}
+	}
+	if workers <= 1 {
+		run(pending)
+		return
+	}
+	// Reserve tokens for the extra workers, non-blocking.
+	sem := mc.sem()
+	extra := 0
+	for extra < workers-1 {
+		select {
+		case <-sem:
+			extra++
+			continue
+		default:
+		}
+		break
+	}
+	if extra == 0 {
+		run(pending)
+		return
+	}
+	workers = extra + 1
+	chunk := (len(pending) + workers - 1) / workers
+	var wg sync.WaitGroup
+	spawned := 0
+	for start := chunk; start < len(pending); start += chunk {
+		end := start + chunk
+		if end > len(pending) {
+			end = len(pending)
+		}
+		spawned++
+		wg.Add(1)
+		go func(subset []*batchSlot) {
+			defer wg.Done()
+			defer func() { sem <- struct{}{} }()
+			run(subset)
+		}(pending[start:end])
+	}
+	// Return tokens chunk rounding left unused.
+	for ; spawned < extra; spawned++ {
+		sem <- struct{}{}
+	}
+	first := chunk
+	if first > len(pending) {
+		first = len(pending)
+	}
+	run(pending[:first])
+	wg.Wait()
 }
 
 // minShardSpan is the smallest world range worth fanning out; below it the
@@ -239,7 +453,7 @@ const minShardSpan = 16
 func (mc *MonteCarlo) extend(key cacheKey, tally *centerTally, r int) {
 	lo, hi := tally.rDone, r
 	if key.depth < 0 {
-		mc.labels.Grow(hi)
+		mc.store.Grow(hi)
 	}
 	span := hi - lo
 	workers := mc.Parallelism()
@@ -307,12 +521,12 @@ func (mc *MonteCarlo) extend(key cacheKey, tally *centerTally, r int) {
 }
 
 // countRange adds the connection counts of worlds [lo, hi) into counts:
-// label scans for unlimited depth (the label cache must already cover hi),
-// depth-bounded BFS otherwise. Safe to call from multiple goroutines as
-// long as each call owns its counts buffer.
+// label scans over the shared store for unlimited depth, depth-bounded BFS
+// on the implicit stream otherwise. Safe to call from multiple goroutines
+// as long as each call owns its counts buffer.
 func (mc *MonteCarlo) countRange(key cacheKey, lo, hi int, counts []int32) {
 	if key.depth < 0 {
-		mc.labels.CountConnectedFrom(key.c, lo, hi, counts)
+		mc.store.CountConnectedFrom(key.c, lo, hi, counts)
 		return
 	}
 	rc := mc.reachPool.Get().(*sampler.ReachCounter)
@@ -322,12 +536,8 @@ func (mc *MonteCarlo) countRange(key cacheKey, lo, hi int, counts []int32) {
 
 // Pair estimates Pr(u ~ v) with r samples.
 func (mc *MonteCarlo) Pair(u, v graph.NodeID, r int) float64 {
-	return mc.labels.EstimatePair(u, v, r)
+	return mc.store.EstimatePair(u, v, r)
 }
-
-// Labels exposes the underlying label cache (used by metrics to compute
-// AVPR statistics over the same worlds).
-func (mc *MonteCarlo) Labels() *sampler.LabelSet { return mc.labels }
 
 // MaxExactEdges caps the graph size accepted by Exact: enumerating 2^m
 // worlds beyond ~22 edges is pointless even for tests.
@@ -418,6 +628,16 @@ func (ex *Exact) FromCenter(c graph.NodeID, depth int, _ int) []float64 {
 	return out
 }
 
+// FromCenters implements the batched Oracle query by enumerating per
+// center; exactness leaves nothing to amortize across the batch.
+func (ex *Exact) FromCenters(cs []graph.NodeID, depth int, r int) [][]float64 {
+	out := make([][]float64, len(cs))
+	for i, c := range cs {
+		out[i] = ex.FromCenter(c, depth, r)
+	}
+	return out
+}
+
 // Pair returns the exact Pr(u ~ v).
 func (ex *Exact) Pair(u, v graph.NodeID) float64 {
 	return ex.FromCenter(u, Unlimited, 0)[v]
@@ -441,9 +661,8 @@ func TreePathProbability(g *graph.Uncertain, u, v graph.NodeID) float64 {
 	seen := make([]bool, g.NumNodes())
 	prod[u], seen[u] = 1, true
 	queue := []graph.NodeID{u}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
 		if x == v {
 			return prod[x]
 		}

@@ -1,0 +1,112 @@
+package core
+
+// Benchmarks recorded in BENCH_core.json (see `make bench-core`): the
+// MCP/ACP drivers end to end, and the min-partial candidate-scoring shape
+// comparing the batched FromCenters oracle query against the per-center
+// FromCenter loop it replaced.
+
+import (
+	"runtime"
+	"testing"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+	"ucgraph/internal/worldstore"
+)
+
+// BenchmarkMCPEndToEnd times a full MCP run (guess schedule + binary
+// search) on the 600-node planted-community graph with a fixed seed, so
+// runs are comparable across changes.
+func BenchmarkMCPEndToEnd(b *testing.B) {
+	g := benchGraph(b)
+	opt := Options{Seed: 1, Schedule: conn.Schedule{Min: 50, Max: 512, Coef: 8}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := conn.NewMonteCarlo(g, 1)
+		if _, _, err := MCP(oracle, 40, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACPEndToEnd times a full ACP sweep on the same graph.
+func BenchmarkACPEndToEnd(b *testing.B) {
+	g := benchGraph(b)
+	opt := Options{Seed: 1, Schedule: conn.Schedule{Min: 50, Max: 512, Coef: 8}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := conn.NewMonteCarlo(g, 1)
+		if _, _, err := ACP(oracle, 40, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCandidates is the candidate batch the scoring benchmarks query:
+// alpha=64 spread across the communities, the shape min-partial produces
+// with a large candidate set.
+func benchCandidates(g *graph.Uncertain) []graph.NodeID {
+	cs := make([]graph.NodeID, 64)
+	for i := range cs {
+		cs[i] = graph.NodeID((i * g.NumNodes()) / len(cs))
+	}
+	return cs
+}
+
+// BenchmarkFromCentersBatched scores 64 candidate centers with ONE batched
+// oracle query: all centers answered in one pass over each world block.
+// Each iteration uses a fresh estimator (empty tally cache) over the
+// shared, already-materialized world store, so the timer sees pure tally
+// accumulation — the min-partial candidate-scoring hot path.
+func BenchmarkFromCentersBatched(b *testing.B) {
+	g := benchGraph(b)
+	cs := benchCandidates(g)
+	const r = 512
+	// Keep the shared store referenced for the whole benchmark: the
+	// registry only holds it weakly, so without this a GC between
+	// iterations could drop the materialized worlds and put their
+	// recomputation back inside the timed loop.
+	ws := worldstore.Shared(g, 1)
+	conn.NewMonteCarlo(g, 1).FromCenter(0, conn.Unlimited, r) // materialize worlds
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := conn.NewMonteCarlo(g, 1)
+		oracle.FromCenters(cs, conn.Unlimited, r)
+	}
+	runtime.KeepAlive(ws)
+}
+
+// BenchmarkFromCentersSerialLoop is the pre-batching baseline: the same 64
+// candidates scored with one FromCenter query each (one full label scan
+// per center per world).
+func BenchmarkFromCentersSerialLoop(b *testing.B) {
+	g := benchGraph(b)
+	cs := benchCandidates(g)
+	const r = 512
+	ws := worldstore.Shared(g, 1)                             // see BenchmarkFromCentersBatched
+	conn.NewMonteCarlo(g, 1).FromCenter(0, conn.Unlimited, r) // materialize worlds
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle := conn.NewMonteCarlo(g, 1)
+		for _, c := range cs {
+			oracle.FromCenter(c, conn.Unlimited, r)
+		}
+	}
+	runtime.KeepAlive(ws)
+}
+
+// BenchmarkMinPartialAlpha64 runs one min-partial invocation with a large
+// candidate set — the end-to-end consumer of the batched scoring path.
+func BenchmarkMinPartialAlpha64(b *testing.B) {
+	g := benchGraph(b)
+	oracle := conn.NewMonteCarlo(g, 1)
+	rnd := rng.NewXoshiro256(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinPartial(oracle, rnd, PartialParams{
+			K: 40, Q: 0.3, QBar: 0.3, Alpha: 64,
+			Depth: conn.Unlimited, DepthSel: conn.Unlimited, R: 128,
+		})
+	}
+}

@@ -36,16 +36,22 @@ type PartialParams struct {
 	// Eps is the estimation slack of Section 4.1: thresholds t are tested
 	// as estimate >= (1 - Eps/2) * t. Zero means exact thresholding.
 	Eps float64
-	// Parallelism caps the number of goroutines scoring candidate centers
-	// concurrently (the per-center oracle queries of lines 5-6). <= 0
-	// selects GOMAXPROCS; 1 forces the serial loop. The oracle must be
-	// safe for concurrent FromCenter calls when Parallelism != 1. The
-	// selected centers — and hence the clustering — do not depend on the
-	// setting as long as the oracle itself answers identically under
-	// concurrency (conn.MonteCarlo does, up to the tally-cache overflow
-	// boundary documented on it).
+	// Parallelism caps the number of goroutines scoring the estimate
+	// vectors returned by the batched candidate queries (lines 5-6); the
+	// oracle queries themselves are batched through conn.Oracle.FromCenters
+	// and parallelized inside the oracle. <= 0 selects GOMAXPROCS; 1
+	// forces the serial loop. The selected centers — and hence the
+	// clustering — do not depend on the setting as long as the oracle
+	// itself answers identically under concurrency (conn.MonteCarlo does,
+	// up to the tally-cache overflow boundary documented on it).
 	Parallelism int
 }
+
+// scoreChunk bounds how many candidate centers are handed to one batched
+// FromCenters query (and so how many estimate vectors are alive at once):
+// chunking caps the scoring working set at scoreChunk * n floats even when
+// alpha is "all uncovered nodes". The chunk size does not affect results.
+const scoreChunk = 64
 
 // workers resolves the effective candidate-scoring worker count.
 func (p PartialParams) workers() int {
@@ -155,88 +161,69 @@ func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialRes
 		}
 
 		// Lines 5-6: score candidates by |Mv| and keep the best. The
-		// per-candidate oracle queries fan out across a worker pool; the
-		// final argmax scans scores in T order, so the selected center is
-		// identical for every worker count (FromCenter itself is
-		// deterministic). Each worker retains the estimate vector of its
-		// own running best — within a worker indices arrive in increasing
-		// order and ties keep the earlier index, so the worker that scored
-		// the global argmax always still holds its vector — and exactly
-		// tsize oracle calls are made on every path, matching the serial
-		// loop's counts.
+		// candidates are handed to the oracle in chunks via the batched
+		// FromCenters query, which answers a whole chunk in one pass over
+		// each world block (see conn.MonteCarlo.FromCenters); chunking
+		// bounds the estimate vectors held in memory to scoreChunk * n
+		// floats even when alpha is the whole uncovered set. Scoring each
+		// returned vector against the uncovered set fans out across the
+		// worker pool into fixed slots of the scores array, and the
+		// argmax scans in T order, so the selected center is identical
+		// for every worker count and chunking is invisible (FromCenters
+		// itself matches a serial FromCenter loop). OracleCalls counts
+		// per-center answers, matching the serial loop's accounting.
 		scores := make([]int, tsize)
-		scoreAt := func(i int) []float64 {
-			est := o.FromCenter(uncovered[i], p.DepthSel, p.R)
-			score := 0
-			for _, u := range uncovered {
-				if est[u] >= selThresh {
-					score++
-				}
+		best := -1
+		var bestSelEst []float64
+		for base := 0; base < tsize; base += scoreChunk {
+			end := base + scoreChunk
+			if end > tsize {
+				end = tsize
 			}
-			scores[i] = score
-			return est
-		}
-		heldEst := make(map[int][]float64, 4) // candidate index -> retained vector
-		if workers := p.workers(); workers > 1 && tsize > 1 {
-			if workers > tsize {
-				workers = tsize
-			}
-			type localBest struct {
-				idx int
-				est []float64
-			}
-			bests := make([]localBest, workers)
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					lb := localBest{idx: -1}
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= tsize {
-							break
-						}
-						est := scoreAt(i)
-						if lb.idx < 0 || scores[i] > scores[lb.idx] {
-							lb = localBest{idx: i, est: est}
-						}
+			ests := o.FromCenters(uncovered[base:end:end], p.DepthSel, p.R)
+			scoreAt := func(i int) {
+				est := ests[i-base]
+				score := 0
+				for _, u := range uncovered {
+					if est[u] >= selThresh {
+						score++
 					}
-					bests[w] = lb
-				}(w)
+				}
+				scores[i] = score
 			}
-			wg.Wait()
-			for _, lb := range bests {
-				if lb.idx >= 0 {
-					heldEst[lb.idx] = lb.est
+			if workers := p.workers(); workers > 1 && end-base > 1 {
+				if workers > end-base {
+					workers = end - base
+				}
+				var next atomic.Int64
+				next.Store(int64(base))
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= end {
+								return
+							}
+							scoreAt(i)
+						}
+					}()
+				}
+				wg.Wait()
+			} else {
+				for i := base; i < end; i++ {
+					scoreAt(i)
 				}
 			}
-		} else {
-			running := -1
-			var runningEst []float64
-			for i := 0; i < tsize; i++ {
-				est := scoreAt(i)
-				if running < 0 || scores[i] > scores[running] {
-					running, runningEst = i, est
+			for i := base; i < end; i++ {
+				if best < 0 || scores[i] > scores[best] {
+					best, bestSelEst = i, ests[i-base]
 				}
 			}
-			heldEst[running] = runningEst
 		}
 		res.OracleCalls += tsize
-		best := 0
-		for i := 1; i < tsize; i++ {
-			if scores[i] > scores[best] {
-				best = i
-			}
-		}
-		bestSelEst, ok := heldEst[best]
-		if !ok {
-			// Unreachable by construction; re-query defensively rather
-			// than crash (a cache hit for the Monte Carlo oracle).
-			bestSelEst = o.FromCenter(uncovered[best], p.DepthSel, p.R)
-			res.OracleCalls++
-		}
 		ci := uncovered[best]
 		clusterIdx := int32(len(cl.Centers))
 		cl.Centers = append(cl.Centers, ci)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -45,7 +46,11 @@ func TestQuickMCPStructuralInvariants(t *testing.T) {
 			Schedule: conn.Schedule{Min: 32, Max: 128, Coef: 4},
 		})
 		if err != nil {
-			return false
+			// ErrNoClustering is a documented outcome, not an invariant
+			// violation: on rare weak graphs a node can tally zero
+			// connections to the chosen center across every sampled
+			// world, so even the floor guess leaves it uncovered.
+			return errors.Is(err, ErrNoClustering)
 		}
 		if cl.K() != k || !cl.IsFull() || cl.Validate() != "" {
 			return false
@@ -78,7 +83,8 @@ func TestQuickACPStructuralInvariants(t *testing.T) {
 			Schedule: conn.Schedule{Min: 32, Max: 128, Coef: 4},
 		})
 		if err != nil {
-			return false
+			// See the MCP variant: ErrNoClustering is a legitimate outcome.
+			return errors.Is(err, ErrNoClustering)
 		}
 		if cl.K() != k || !cl.IsFull() || cl.Validate() != "" {
 			return false

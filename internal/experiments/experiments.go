@@ -27,7 +27,7 @@ import (
 	"ucgraph/internal/kpt"
 	"ucgraph/internal/mcl"
 	"ucgraph/internal/metrics"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // Config scales an experiment run.
@@ -55,6 +55,18 @@ type Config struct {
 	// the mcp/acp candidate fan-out (<= 0 selects GOMAXPROCS, 1 forces
 	// serial execution). Results are identical for every setting.
 	Parallelism int
+	// WorldMemBudgetMB, when positive, bounds the label memory of every
+	// world store the run creates (oracles and metric scoring alike) to
+	// this many MiB per store; evicted label blocks are recomputed on
+	// demand. Results are identical for every setting, only speed varies.
+	WorldMemBudgetMB int
+}
+
+// applyBudget installs the configured world-store memory budget for stores
+// created by this run. Zero restores the unbounded default, so a run's
+// budget never leaks into a later run in the same process.
+func (c Config) applyBudget() {
+	worldstore.SetDefaultBudget(int64(c.WorldMemBudgetMB) << 20)
 }
 
 // newOracle builds a Monte Carlo oracle honoring cfg.Parallelism.
@@ -126,6 +138,7 @@ type DatasetStats struct {
 // Table1 reproduces Table 1: the LCC sizes of the four datasets.
 func Table1(cfg Config) ([]DatasetStats, error) {
 	cfg = cfg.withDefaults()
+	cfg.applyBudget()
 	var out []DatasetStats
 	for _, name := range cfg.Graphs {
 		ds, err := loadDataset(name, cfg)
@@ -160,6 +173,7 @@ type Cell struct {
 // on a shared sample of possible worlds.
 func QualityGrid(cfg Config) ([]Cell, error) {
 	cfg = cfg.withDefaults()
+	cfg.applyBudget()
 	var out []Cell
 	for _, name := range cfg.Graphs {
 		ds, err := loadDataset(name, cfg)
@@ -167,8 +181,8 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 			return nil, err
 		}
 		g := ds.Graph
-		ls := sampler.NewLabelSet(g, cfg.Seed+0x5eed)
-		ls.Grow(cfg.MetricSamples)
+		ws := worldstore.Shared(g, cfg.Seed+0x5eed)
+		ws.Grow(cfg.MetricSamples)
 		opts := core.Options{
 			Seed:        cfg.Seed,
 			Schedule:    conn.Schedule{Min: 50, Max: cfg.ScheduleMax, Coef: 8},
@@ -183,11 +197,11 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 			if k < 1 || k >= g.NumNodes() {
 				continue // degenerate granularity; skip this inflation
 			}
-			out = append(out, score(name, k, "mcl", mclRes.Clustering, ls, cfg, mclMillis))
+			out = append(out, score(name, k, "mcl", mclRes.Clustering, ws, cfg, mclMillis))
 
 			// The randomized algorithms are averaged over cfg.Runs seeds,
 			// mirroring the paper's averaging over >= 100 runs.
-			averaged, err := averageRuns(cfg, name, k, "gmm", ls, func(seed uint64) (*core.Clustering, error) {
+			averaged, err := averageRuns(cfg, name, k, "gmm", ws, func(seed uint64) (*core.Clustering, error) {
 				return gmm.Cluster(g, k, seed)
 			})
 			if err != nil {
@@ -195,7 +209,7 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 			}
 			out = append(out, averaged)
 
-			averaged, err = averageRuns(cfg, name, k, "mcp", ls, func(seed uint64) (*core.Clustering, error) {
+			averaged, err = averageRuns(cfg, name, k, "mcp", ws, func(seed uint64) (*core.Clustering, error) {
 				o := opts
 				o.Seed = seed
 				cl, _, err := core.MCP(newOracle(g, seed+1, cfg), k, o)
@@ -206,7 +220,7 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 			}
 			out = append(out, averaged)
 
-			averaged, err = averageRuns(cfg, name, k, "acp", ls, func(seed uint64) (*core.Clustering, error) {
+			averaged, err = averageRuns(cfg, name, k, "acp", ws, func(seed uint64) (*core.Clustering, error) {
 				o := opts
 				o.Seed = seed
 				cl, _, err := core.ACP(newOracle(g, seed+2, cfg), k, o)
@@ -223,7 +237,7 @@ func QualityGrid(cfg Config) ([]Cell, error) {
 
 // averageRuns executes a randomized algorithm cfg.Runs times with distinct
 // seeds and averages all Cell fields (metrics and wall time).
-func averageRuns(cfg Config, graphName string, k int, algo string, ls *sampler.LabelSet, run func(seed uint64) (*core.Clustering, error)) (Cell, error) {
+func averageRuns(cfg Config, graphName string, k int, algo string, ws *worldstore.Store, run func(seed uint64) (*core.Clustering, error)) (Cell, error) {
 	var acc Cell
 	for i := 0; i < cfg.Runs; i++ {
 		t0 := time.Now()
@@ -231,7 +245,7 @@ func averageRuns(cfg Config, graphName string, k int, algo string, ls *sampler.L
 		if err != nil {
 			return Cell{}, err
 		}
-		c := score(graphName, k, algo, cl, ls, cfg,
+		c := score(graphName, k, algo, cl, ws, cfg,
 			float64(time.Since(t0).Microseconds())/1000)
 		acc.PMin += c.PMin
 		acc.PAvg += c.PAvg
@@ -249,14 +263,14 @@ func averageRuns(cfg Config, graphName string, k int, algo string, ls *sampler.L
 }
 
 // score evaluates one clustering into a Cell.
-func score(graphName string, k int, algo string, cl *core.Clustering, ls *sampler.LabelSet, cfg Config, millis float64) Cell {
-	inner, outer := metrics.AVPR(cl, ls, cfg.MetricSamples)
+func score(graphName string, k int, algo string, cl *core.Clustering, ws *worldstore.Store, cfg Config, millis float64) Cell {
+	inner, outer := metrics.AVPR(cl, ws, cfg.MetricSamples)
 	return Cell{
 		Graph:     graphName,
 		K:         k,
 		Algo:      algo,
-		PMin:      metrics.PMin(cl, ls, cfg.MetricSamples),
-		PAvg:      metrics.PAvg(cl, ls, cfg.MetricSamples),
+		PMin:      metrics.PMin(cl, ws, cfg.MetricSamples),
+		PAvg:      metrics.PAvg(cl, ws, cfg.MetricSamples),
 		InnerAVPR: inner,
 		OuterAVPR: outer,
 		Millis:    millis,
@@ -277,6 +291,7 @@ type ScalePoint struct {
 // mcp run at k with the mcl run whose granularity is closest.
 func Figure4(cfg Config) ([]ScalePoint, error) {
 	cfg = cfg.withDefaults()
+	cfg.applyBudget()
 	ds, err := loadDataset("dblp", cfg)
 	if err != nil {
 		return nil, err
@@ -356,6 +371,7 @@ type PredictionRow struct {
 // published 547-cluster mcl clustering.
 func Table2(cfg Config) ([]PredictionRow, error) {
 	cfg = cfg.withDefaults()
+	cfg.applyBudget()
 	ds, err := datasets.Krogan(cfg.Seed)
 	if err != nil {
 		return nil, err

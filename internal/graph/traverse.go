@@ -14,11 +14,14 @@ func (g *Uncertain) BFSAll(src NodeID) []int32 {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := make([]NodeID, 0, 64)
+	queue := make([]NodeID, 0, g.n)
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	// Index cursor instead of re-slicing the queue head: re-slicing keeps
+	// the backing array alive anyway but defeats bounds-check elimination
+	// and obscures the single-allocation behaviour (same idiom as
+	// World.BFSWithin).
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
 		du := dist[u]
 		for i := g.adjStart[u]; i < g.adjStart[u+1]; i++ {
 			v := g.adjNode[i]
@@ -41,26 +44,35 @@ func (g *Uncertain) Components() (labels []int32, count int) {
 	}
 	labels = make([]int32, g.n)
 	uf.Labels(labels)
-	seen := make(map[int32]struct{})
+	// Labels are union-find representatives, i.e. node IDs in [0, n), so a
+	// slice-backed marker counts them without the per-call map allocation
+	// this hot path used to pay.
+	seen := make([]bool, g.n)
 	for _, l := range labels {
-		seen[l] = struct{}{}
+		if !seen[l] {
+			seen[l] = true
+			count++
+		}
 	}
-	return labels, len(seen)
+	return labels, count
 }
 
 // LargestComponent returns the node set of the largest connected component
 // of the underlying topology, sorted ascending.
 func (g *Uncertain) LargestComponent() []NodeID {
 	labels, _ := g.Components()
-	counts := make(map[int32]int32)
+	counts := make([]int32, g.n)
 	for _, l := range labels {
 		counts[l]++
 	}
+	// Scanning labels in increasing order makes the tie-break (smallest
+	// representative wins) deterministic, unlike the map iteration this
+	// replaced.
 	var best int32 = -1
 	var bestCount int32
-	for l, c := range counts {
-		if c > bestCount || (c == bestCount && l < best) {
-			best, bestCount = l, c
+	for l := int32(0); l < g.n; l++ {
+		if counts[l] > bestCount {
+			best, bestCount = l, counts[l]
 		}
 	}
 	nodes := make([]NodeID, 0, bestCount)

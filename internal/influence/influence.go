@@ -8,13 +8,14 @@
 // an uncertain graph", and leaves open whether those k seeds make good
 // cluster centers for the MCP/ACP objectives. This package provides the
 // machinery to ask that question: the expected-spread function sigma(S),
-// its Monte Carlo estimator over the shared possible-world stream, and the
+// its Monte Carlo estimator over the shared possible-world store, and the
 // (1 - 1/e)-approximate greedy maximizer with CELF-style lazy evaluation.
 //
 // On undirected uncertain graphs the live-edge view of Independent Cascade
 // coincides with possible-world reachability, so sigma(S) is the expected
 // number of nodes connected to S in a random world — computable directly
-// from the per-world component labels that the rest of the library caches.
+// from the per-world component labels of the worldstore.Store every other
+// subsystem shares.
 package influence
 
 import (
@@ -22,21 +23,19 @@ import (
 	"fmt"
 
 	"ucgraph/internal/graph"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // Spread estimates sigma(S): the expected number of nodes in the same
-// component as at least one seed, over the first r worlds of ls.
-func Spread(ls *sampler.LabelSet, seeds []graph.NodeID, r int) float64 {
+// component as at least one seed, over the first r worlds of ws.
+func Spread(ws *worldstore.Store, seeds []graph.NodeID, r int) float64 {
 	if len(seeds) == 0 {
 		return 0
 	}
-	ls.Grow(r)
-	n := ls.Graph().NumNodes()
+	n := ws.NumNodes()
 	total := 0
 	live := make(map[int32]struct{}, len(seeds))
-	for w := 0; w < r; w++ {
-		lab := ls.WorldLabels(w)
+	ws.Scan(0, r, func(_ int, lab []int32) {
 		for k := range live {
 			delete(live, k)
 		}
@@ -48,7 +47,7 @@ func Spread(ls *sampler.LabelSet, seeds []graph.NodeID, r int) float64 {
 				total++
 			}
 		}
-	}
+	})
 	return float64(total) / float64(r)
 }
 
@@ -86,25 +85,31 @@ type Result struct {
 // Greedy picks k seeds maximizing expected spread with the lazy-forward
 // (CELF) optimization: marginal gains are re-evaluated only when a stale
 // maximum surfaces, which is valid because sigma is submodular. Spread is
-// estimated over the first r worlds of ls.
-func Greedy(ls *sampler.LabelSet, k, r int) (*Result, error) {
-	n := ls.Graph().NumNodes()
+// estimated over the first r worlds of ws. The initial round — the
+// marginal gain of every node against the empty seed set — is computed for
+// all nodes in one pass over the world blocks instead of one scan per
+// node.
+func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
+	n := ws.NumNodes()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("influence: k = %d out of range [1, %d]", k, n)
 	}
-	ls.Grow(r)
 
 	// Precompute per-world component sizes so that the marginal gain of a
-	// single node given the covered-component set is O(r).
+	// single node given the covered-component set is O(r), and batch the
+	// empty-set gains of all nodes into the same block pass.
 	compSize := make([]map[int32]int32, r)
-	for w := 0; w < r; w++ {
-		lab := ls.WorldLabels(w)
+	gain0 := make([]int64, n)
+	ws.Scan(0, r, func(w int, lab []int32) {
 		sizes := make(map[int32]int32)
 		for _, l := range lab {
 			sizes[l]++
 		}
 		compSize[w] = sizes
-	}
+		for v := 0; v < n; v++ {
+			gain0[v] += int64(sizes[lab[v]])
+		}
+	})
 	// covered[w] holds the component labels already reached by the seed
 	// set in world w.
 	covered := make([]map[int32]struct{}, r)
@@ -115,20 +120,21 @@ func Greedy(ls *sampler.LabelSet, k, r int) (*Result, error) {
 	res := &Result{}
 	marginal := func(v graph.NodeID) float64 {
 		sum := int64(0)
-		for w := 0; w < r; w++ {
-			l := ls.WorldLabels(w)[v]
+		ws.Scan(0, r, func(w int, lab []int32) {
+			l := lab[v]
 			if _, ok := covered[w][l]; !ok {
 				sum += int64(compSize[w][l])
 			}
-		}
+		})
 		res.Evaluations++
 		return float64(sum) / float64(r)
 	}
 
 	h := make(celfHeap, 0, n)
 	for v := 0; v < n; v++ {
-		h = append(h, celfEntry{node: graph.NodeID(v), gain: marginal(graph.NodeID(v)), round: 0})
+		h = append(h, celfEntry{node: graph.NodeID(v), gain: float64(gain0[v]) / float64(r), round: 0})
 	}
+	res.Evaluations += n // the batched initial round evaluated every node
 	heap.Init(&h)
 
 	total := 0.0
@@ -145,9 +151,9 @@ func Greedy(ls *sampler.LabelSet, k, r int) (*Result, error) {
 		res.Seeds = append(res.Seeds, top.node)
 		total += top.gain
 		res.Spread = append(res.Spread, total)
-		for w := 0; w < r; w++ {
-			covered[w][ls.WorldLabels(w)[top.node]] = struct{}{}
-		}
+		ws.Scan(0, r, func(w int, lab []int32) {
+			covered[w][lab[top.node]] = struct{}{}
+		})
 	}
 	return res, nil
 }

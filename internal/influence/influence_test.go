@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"ucgraph/internal/graph"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
@@ -20,9 +20,9 @@ func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
 func TestSpreadSingleEdge(t *testing.T) {
 	// sigma({0}) on a single 0.4 edge = 1 + 0.4.
 	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.4}})
-	ls := sampler.NewLabelSet(g, 1)
+	ws := worldstore.New(g, 1)
 	const r = 30000
-	got := Spread(ls, []graph.NodeID{0}, r)
+	got := Spread(ws, []graph.NodeID{0}, r)
 	sigma := math.Sqrt(0.4 * 0.6 / r)
 	if math.Abs(got-1.4) > 6*sigma {
 		t.Fatalf("Spread = %v, want ~1.4", got)
@@ -31,8 +31,8 @@ func TestSpreadSingleEdge(t *testing.T) {
 
 func TestSpreadEmptySeeds(t *testing.T) {
 	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.4}})
-	ls := sampler.NewLabelSet(g, 1)
-	if got := Spread(ls, nil, 100); got != 0 {
+	ws := worldstore.New(g, 1)
+	if got := Spread(ws, nil, 100); got != 0 {
 		t.Fatalf("Spread(empty) = %v", got)
 	}
 }
@@ -40,8 +40,8 @@ func TestSpreadEmptySeeds(t *testing.T) {
 func TestSpreadUnionNotSum(t *testing.T) {
 	// Two seeds in the same certain component cover it once.
 	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}})
-	ls := sampler.NewLabelSet(g, 2)
-	if got := Spread(ls, []graph.NodeID{0, 2}, 100); got != 3 {
+	ws := worldstore.New(g, 2)
+	if got := Spread(ws, []graph.NodeID{0, 2}, 100); got != 3 {
 		t.Fatalf("Spread = %v, want 3 (no double counting)", got)
 	}
 }
@@ -50,10 +50,10 @@ func TestSpreadMonotone(t *testing.T) {
 	g := mustGraph(t, 6, []graph.Edge{
 		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 3, V: 4, P: 0.5}, {U: 4, V: 5, P: 0.5},
 	})
-	ls := sampler.NewLabelSet(g, 3)
+	ws := worldstore.New(g, 3)
 	const r = 2000
-	s1 := Spread(ls, []graph.NodeID{0}, r)
-	s2 := Spread(ls, []graph.NodeID{0, 3}, r)
+	s1 := Spread(ws, []graph.NodeID{0}, r)
+	s2 := Spread(ws, []graph.NodeID{0, 3}, r)
 	if s2 < s1 {
 		t.Fatalf("spread not monotone: %v -> %v", s1, s2)
 	}
@@ -66,8 +66,8 @@ func TestGreedyPicksHub(t *testing.T) {
 		{U: 0, V: 1, P: 0.8}, {U: 0, V: 2, P: 0.8}, {U: 0, V: 3, P: 0.8},
 		{U: 0, V: 4, P: 0.8}, {U: 0, V: 5, P: 0.8},
 	})
-	ls := sampler.NewLabelSet(g, 5)
-	res, err := Greedy(ls, 1, 4000)
+	ws := worldstore.New(g, 5)
+	res, err := Greedy(ws, 1, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,8 +86,8 @@ func TestGreedyCoversComponents(t *testing.T) {
 		{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}, {U: 2, V: 3, P: 1}, // size 4
 		{U: 4, V: 5, P: 1}, {U: 5, V: 6, P: 1}, // size 3
 	})
-	ls := sampler.NewLabelSet(g, 7)
-	res, err := Greedy(ls, 2, 200)
+	ws := worldstore.New(g, 7)
+	res, err := Greedy(ws, 2, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,8 +111,8 @@ func TestGreedySpreadNondecreasingMarginals(t *testing.T) {
 		{U: 3, V: 4, P: 0.6}, {U: 4, V: 5, P: 0.6}, {U: 5, V: 6, P: 0.6},
 		{U: 6, V: 7, P: 0.6}, {U: 7, V: 8, P: 0.6}, {U: 8, V: 9, P: 0.6},
 	})
-	ls := sampler.NewLabelSet(g, 9)
-	res, err := Greedy(ls, 5, 1000)
+	ws := worldstore.New(g, 9)
+	res, err := Greedy(ws, 5, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,8 +137,8 @@ func TestGreedyCELFSavesEvaluations(t *testing.T) {
 		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: 0.4})
 	}
 	g := mustGraph(t, 60, edges)
-	ls := sampler.NewLabelSet(g, 11)
-	res, err := Greedy(ls, 4, 500)
+	ws := worldstore.New(g, 11)
+	res, err := Greedy(ws, 4, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +152,11 @@ func TestGreedyCELFSavesEvaluations(t *testing.T) {
 
 func TestGreedyRejectsBadK(t *testing.T) {
 	g := mustGraph(t, 3, []graph.Edge{{U: 0, V: 1, P: 0.5}})
-	ls := sampler.NewLabelSet(g, 1)
-	if _, err := Greedy(ls, 0, 100); err == nil {
+	ws := worldstore.New(g, 1)
+	if _, err := Greedy(ws, 0, 100); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := Greedy(ls, 4, 100); err == nil {
+	if _, err := Greedy(ws, 4, 100); err == nil {
 		t.Fatal("k>n accepted")
 	}
 }
@@ -165,8 +165,8 @@ func TestGreedySeedsDistinct(t *testing.T) {
 	g := mustGraph(t, 5, []graph.Edge{
 		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.9}, {U: 2, V: 3, P: 0.9}, {U: 3, V: 4, P: 0.9},
 	})
-	ls := sampler.NewLabelSet(g, 13)
-	res, err := Greedy(ls, 5, 300)
+	ws := worldstore.New(g, 13)
+	res, err := Greedy(ws, 5, 300)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ import (
 	"sort"
 
 	"ucgraph/internal/graph"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // Infinite marks an unreachable distance in a world.
@@ -45,9 +45,18 @@ type DistanceDistribution struct {
 }
 
 // Sample computes the hop-distance distribution from src over the first r
-// worlds of the seeded stream. Worlds are shared with any sampler.LabelSet
-// or conn.MonteCarlo built from the same (g, seed).
+// worlds of the seeded stream, routed through the shared world store for
+// (g, seed): the worlds are the same ones any conn.MonteCarlo estimator or
+// reliability metric built from that pair observes.
 func Sample(g *graph.Uncertain, src graph.NodeID, seed uint64, r int) *DistanceDistribution {
+	return SampleStore(worldstore.Shared(g, seed), src, r)
+}
+
+// SampleStore computes the hop-distance distribution from src over the
+// first r worlds of ws. Hop distances need per-world BFS, so the sampling
+// runs on the store's implicit world view rather than its label blocks.
+func SampleStore(ws *worldstore.Store, src graph.NodeID, r int) *DistanceDistribution {
+	g := ws.Graph()
 	n := g.NumNodes()
 	dd := &DistanceDistribution{
 		Source:      src,
@@ -58,11 +67,12 @@ func Sample(g *graph.Uncertain, src graph.NodeID, seed uint64, r int) *DistanceD
 	for v := range dd.Hist {
 		dd.Hist[v] = make(map[int32]int, 8)
 	}
+	ws.Grow(r)
 	seen := make([]uint32, n)
 	queue := make([]graph.NodeID, 0, n)
 	reached := make([]bool, n)
 	for w := 0; w < r; w++ {
-		world := sampler.World{G: g, Seed: seed, Index: uint64(w)}
+		world := ws.World(w)
 		for v := range reached {
 			reached[v] = false
 		}

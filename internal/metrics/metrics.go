@@ -11,24 +11,24 @@
 //     truth (Table 2).
 //
 // All probability metrics are Monte Carlo estimates computed world-by-world
-// on a sampler.LabelSet, so different algorithms can be scored on the exact
-// same sample of possible worlds.
+// over a shared worldstore.Store, so different algorithms can be scored on
+// the exact same sample of possible worlds — the same worlds the clustering
+// oracle itself sampled, when store seeds coincide.
 package metrics
 
 import (
 	"ucgraph/internal/core"
 	"ucgraph/internal/graph"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // ClusterProbs estimates, for every node u, the connection probability
-// Pr(center(u) ~ u) over the first r worlds of ls. Unassigned nodes get 0.
+// Pr(center(u) ~ u) over the first r worlds of ws. Unassigned nodes get 0.
 //
 // The computation is world-wise — one O(n) scan per world over the
 // component labels — so its cost is independent of the number of clusters.
-func ClusterProbs(cl *core.Clustering, ls *sampler.LabelSet, r int) []float64 {
+func ClusterProbs(cl *core.Clustering, ws *worldstore.Store, r int) []float64 {
 	n := cl.N()
-	ls.Grow(r)
 	counts := make([]int32, n)
 	centerOf := make([]graph.NodeID, n)
 	for u := 0; u < n; u++ {
@@ -38,15 +38,14 @@ func ClusterProbs(cl *core.Clustering, ls *sampler.LabelSet, r int) []float64 {
 			centerOf[u] = -1
 		}
 	}
-	for w := 0; w < r; w++ {
-		lab := ls.WorldLabels(w)
+	ws.Scan(0, r, func(_ int, lab []int32) {
 		for u := 0; u < n; u++ {
 			c := centerOf[u]
 			if c >= 0 && lab[u] == lab[c] {
 				counts[u]++
 			}
 		}
-	}
+	})
 	out := make([]float64, n)
 	inv := 1 / float64(r)
 	for u, cnt := range counts {
@@ -60,8 +59,8 @@ func ClusterProbs(cl *core.Clustering, ls *sampler.LabelSet, r int) []float64 {
 // PMin returns the estimated minimum connection probability of any node to
 // its cluster center (p_min of Figure 1). Unassigned nodes count as 0, so a
 // partial clustering scores 0.
-func PMin(cl *core.Clustering, ls *sampler.LabelSet, r int) float64 {
-	probs := ClusterProbs(cl, ls, r)
+func PMin(cl *core.Clustering, ws *worldstore.Store, r int) float64 {
+	probs := ClusterProbs(cl, ws, r)
 	min := 1.0
 	for u, p := range probs {
 		if cl.Assign[u] == core.Unassigned {
@@ -76,8 +75,8 @@ func PMin(cl *core.Clustering, ls *sampler.LabelSet, r int) float64 {
 
 // PAvg returns the estimated average connection probability of nodes to
 // their cluster centers (p_avg of Figure 1); unassigned nodes contribute 0.
-func PAvg(cl *core.Clustering, ls *sampler.LabelSet, r int) float64 {
-	probs := ClusterProbs(cl, ls, r)
+func PAvg(cl *core.Clustering, ws *worldstore.Store, r int) float64 {
+	probs := ClusterProbs(cl, ws, r)
 	if len(probs) == 0 {
 		return 0
 	}
@@ -94,11 +93,10 @@ func PAvg(cl *core.Clustering, ls *sampler.LabelSet, r int) float64 {
 //	inner-AVPR = avg over same-cluster pairs   of Pr(u ~ v)
 //	outer-AVPR = avg over cross-cluster pairs  of Pr(u ~ v)
 //
-// Estimated over the first r worlds of ls. A clustering with no
+// Estimated over the first r worlds of ws. A clustering with no
 // same-cluster (resp. cross-cluster) pairs reports 0 for that component.
-func AVPR(cl *core.Clustering, ls *sampler.LabelSet, r int) (inner, outer float64) {
+func AVPR(cl *core.Clustering, ws *worldstore.Store, r int) (inner, outer float64) {
 	n := cl.N()
-	ls.Grow(r)
 
 	// Static pair counts.
 	k := cl.K()
@@ -125,8 +123,7 @@ func AVPR(cl *core.Clustering, ls *sampler.LabelSet, r int) (inner, outer float6
 	compTouched := make([]int32, 0, n)
 	groupTouched := make([]int32, 0, n)
 	clusters := cl.Clusters()
-	for w := 0; w < r; w++ {
-		lab := ls.WorldLabels(w)
+	ws.Scan(0, r, func(_ int, lab []int32) {
 		// Total connected pairs among assigned nodes.
 		compTouched = compTouched[:0]
 		for u := 0; u < n; u++ {
@@ -160,7 +157,7 @@ func AVPR(cl *core.Clustering, ls *sampler.LabelSet, r int) (inner, outer float6
 				groupCount[l] = 0
 			}
 		}
-	}
+	})
 
 	if innerPairs > 0 {
 		inner = float64(innerConnected) / (float64(innerPairs) * float64(r))

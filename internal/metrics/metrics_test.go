@@ -6,7 +6,7 @@ import (
 
 	"ucgraph/internal/core"
 	"ucgraph/internal/graph"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
@@ -31,14 +31,14 @@ func TestClusterProbsPath(t *testing.T) {
 	// 4-path with p = 0.8, one cluster centered at node 0: the true
 	// probabilities are 1, 0.8, 0.64, 0.512.
 	g := pathGraph(t, 4, 0.8)
-	ls := sampler.NewLabelSet(g, 1)
+	ws := worldstore.New(g, 1)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0},
 		Assign:  []int32{0, 0, 0, 0},
 		Prob:    []float64{1, 0, 0, 0},
 	}
 	const r = 40000
-	probs := ClusterProbs(cl, ls, r)
+	probs := ClusterProbs(cl, ws, r)
 	wants := []float64{1, 0.8, 0.64, 0.512}
 	for u, want := range wants {
 		sigma := math.Sqrt(want*(1-want)/r) + 1e-9
@@ -50,13 +50,13 @@ func TestClusterProbsPath(t *testing.T) {
 
 func TestClusterProbsUnassignedZero(t *testing.T) {
 	g := pathGraph(t, 3, 0.9)
-	ls := sampler.NewLabelSet(g, 2)
+	ws := worldstore.New(g, 2)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0},
 		Assign:  []int32{0, 0, core.Unassigned},
 		Prob:    []float64{1, 0.9, 0},
 	}
-	probs := ClusterProbs(cl, ls, 200)
+	probs := ClusterProbs(cl, ws, 200)
 	if probs[2] != 0 {
 		t.Fatalf("unassigned node probability = %v, want 0", probs[2])
 	}
@@ -72,16 +72,16 @@ func TestPMinAndPAvg(t *testing.T) {
 			graph.Edge{U: b, V: b + 2, P: 1})
 	}
 	g := mustGraph(t, 6, edges)
-	ls := sampler.NewLabelSet(g, 3)
+	ws := worldstore.New(g, 3)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0, 3},
 		Assign:  []int32{0, 0, 0, 1, 1, 1},
 		Prob:    []float64{1, 1, 1, 1, 1, 1},
 	}
-	if got := PMin(cl, ls, 100); got != 1 {
+	if got := PMin(cl, ws, 100); got != 1 {
 		t.Fatalf("PMin = %v, want 1", got)
 	}
-	if got := PAvg(cl, ls, 100); got != 1 {
+	if got := PAvg(cl, ws, 100); got != 1 {
 		t.Fatalf("PAvg = %v, want 1", got)
 	}
 	// Clustered wrongly (cross-clique), p_min = 0: the cliques are never
@@ -91,25 +91,25 @@ func TestPMinAndPAvg(t *testing.T) {
 		Assign:  []int32{0, 1, 0, 1, 0, 1},
 		Prob:    []float64{1, 1, 1, 1, 1, 1},
 	}
-	if got := PMin(bad, ls, 100); got != 0 {
+	if got := PMin(bad, ws, 100); got != 0 {
 		t.Fatalf("PMin of cross-clique clustering = %v, want 0", got)
 	}
 	// p_avg: nodes 0,1,2 connected to their centers (same clique), 3,4,5
 	// never -> avg = 0.5.
-	if got := PAvg(bad, ls, 100); math.Abs(got-0.5) > 1e-12 {
+	if got := PAvg(bad, ws, 100); math.Abs(got-0.5) > 1e-12 {
 		t.Fatalf("PAvg = %v, want 0.5", got)
 	}
 }
 
 func TestPMinPartialClusteringIsZero(t *testing.T) {
 	g := pathGraph(t, 3, 0.9)
-	ls := sampler.NewLabelSet(g, 5)
+	ws := worldstore.New(g, 5)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0},
 		Assign:  []int32{0, 0, core.Unassigned},
 		Prob:    []float64{1, 0.9, 0},
 	}
-	if got := PMin(cl, ls, 100); got != 0 {
+	if got := PMin(cl, ws, 100); got != 0 {
 		t.Fatalf("PMin of partial clustering = %v, want 0", got)
 	}
 }
@@ -124,13 +124,13 @@ func TestAVPRCertainCliques(t *testing.T) {
 			graph.Edge{U: b, V: b + 2, P: 1})
 	}
 	g := mustGraph(t, 6, edges)
-	ls := sampler.NewLabelSet(g, 7)
+	ws := worldstore.New(g, 7)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0, 3},
 		Assign:  []int32{0, 0, 0, 1, 1, 1},
 		Prob:    []float64{1, 1, 1, 1, 1, 1},
 	}
-	inner, outer := AVPR(cl, ls, 200)
+	inner, outer := AVPR(cl, ws, 200)
 	if inner != 1 {
 		t.Fatalf("inner-AVPR = %v, want 1", inner)
 	}
@@ -143,14 +143,14 @@ func TestAVPRSingleEdgeExact(t *testing.T) {
 	// Two nodes, p = 0.3, same cluster: inner-AVPR must estimate 0.3; no
 	// cross pairs -> outer = 0.
 	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.3}})
-	ls := sampler.NewLabelSet(g, 11)
+	ws := worldstore.New(g, 11)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0},
 		Assign:  []int32{0, 0},
 		Prob:    []float64{1, 0.3},
 	}
 	const r = 30000
-	inner, outer := AVPR(cl, ls, r)
+	inner, outer := AVPR(cl, ws, r)
 	sigma := math.Sqrt(0.3 * 0.7 / r)
 	if math.Abs(inner-0.3) > 6*sigma {
 		t.Fatalf("inner-AVPR = %v, want ~0.3", inner)
@@ -164,14 +164,14 @@ func TestAVPRCrossPair(t *testing.T) {
 	// Two nodes with p = 0.4 split into two singleton clusters:
 	// outer-AVPR ~ 0.4, inner undefined -> 0.
 	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.4}})
-	ls := sampler.NewLabelSet(g, 13)
+	ws := worldstore.New(g, 13)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0, 1},
 		Assign:  []int32{0, 1},
 		Prob:    []float64{1, 1},
 	}
 	const r = 30000
-	inner, outer := AVPR(cl, ls, r)
+	inner, outer := AVPR(cl, ws, r)
 	if inner != 0 {
 		t.Fatalf("inner-AVPR = %v, want 0 (no inner pairs)", inner)
 	}
@@ -186,14 +186,14 @@ func TestAVPRHandComputedMixed(t *testing.T) {
 	// Pairs: (0,1) inner, Pr = 0.5. (0,2): Pr = 0.25, (1,2): Pr = 0.5 outer.
 	// inner = 0.5; outer = (0.25+0.5)/2 = 0.375.
 	g := pathGraph(t, 3, 0.5)
-	ls := sampler.NewLabelSet(g, 17)
+	ws := worldstore.New(g, 17)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0, 2},
 		Assign:  []int32{0, 0, 1},
 		Prob:    []float64{1, 0.5, 1},
 	}
 	const r = 60000
-	inner, outer := AVPR(cl, ls, r)
+	inner, outer := AVPR(cl, ws, r)
 	if math.Abs(inner-0.5) > 0.02 {
 		t.Fatalf("inner-AVPR = %v, want ~0.5", inner)
 	}
@@ -205,13 +205,13 @@ func TestAVPRHandComputedMixed(t *testing.T) {
 func TestAVPRIgnoresUnassigned(t *testing.T) {
 	// Unassigned nodes must not contribute to either metric.
 	g := pathGraph(t, 4, 1.0)
-	ls := sampler.NewLabelSet(g, 19)
+	ws := worldstore.New(g, 19)
 	cl := &core.Clustering{
 		Centers: []graph.NodeID{0},
 		Assign:  []int32{0, 0, core.Unassigned, core.Unassigned},
 		Prob:    []float64{1, 1, 0, 0},
 	}
-	inner, outer := AVPR(cl, ls, 100)
+	inner, outer := AVPR(cl, ws, 100)
 	if inner != 1 {
 		t.Fatalf("inner-AVPR = %v, want 1", inner)
 	}

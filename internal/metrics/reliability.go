@@ -2,7 +2,7 @@ package metrics
 
 import (
 	"ucgraph/internal/graph"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // This file provides classical network-reliability statistics (Section 1.1
@@ -11,14 +11,12 @@ import (
 // metrics.
 
 // ExpectedComponents estimates the expected number of connected components
-// of a random possible world, over the first r worlds of ls.
-func ExpectedComponents(ls *sampler.LabelSet, r int) float64 {
-	ls.Grow(r)
-	n := ls.Graph().NumNodes()
+// of a random possible world, over the first r worlds of ws.
+func ExpectedComponents(ws *worldstore.Store, r int) float64 {
+	n := ws.NumNodes()
 	seen := make([]bool, n)
 	total := 0
-	for w := 0; w < r; w++ {
-		lab := ls.WorldLabels(w)
+	ws.Scan(0, r, func(_ int, lab []int32) {
 		count := 0
 		for _, l := range lab {
 			if !seen[l] {
@@ -30,56 +28,48 @@ func ExpectedComponents(ls *sampler.LabelSet, r int) float64 {
 			seen[l] = false
 		}
 		total += count
-	}
+	})
 	return float64(total) / float64(r)
 }
 
 // SetReliability estimates the probability that all nodes of set lie in
 // one connected component of a random possible world (k-terminal
 // reliability). An empty or singleton set has reliability 1.
-func SetReliability(ls *sampler.LabelSet, set []graph.NodeID, r int) float64 {
+func SetReliability(ws *worldstore.Store, set []graph.NodeID, r int) float64 {
 	if len(set) <= 1 {
 		return 1
 	}
-	ls.Grow(r)
 	hits := 0
-	for w := 0; w < r; w++ {
-		lab := ls.WorldLabels(w)
+	ws.Scan(0, r, func(_ int, lab []int32) {
 		l0 := lab[set[0]]
-		ok := true
 		for _, u := range set[1:] {
 			if lab[u] != l0 {
-				ok = false
-				break
+				return
 			}
 		}
-		if ok {
-			hits++
-		}
-	}
+		hits++
+	})
 	return float64(hits) / float64(r)
 }
 
 // AllTerminalReliability estimates the probability that a random possible
 // world is connected (all nodes in one component).
-func AllTerminalReliability(ls *sampler.LabelSet, r int) float64 {
-	n := ls.Graph().NumNodes()
+func AllTerminalReliability(ws *worldstore.Store, r int) float64 {
+	n := ws.NumNodes()
 	set := make([]graph.NodeID, n)
 	for i := range set {
 		set[i] = graph.NodeID(i)
 	}
-	return SetReliability(ls, set, r)
+	return SetReliability(ws, set, r)
 }
 
 // LargestComponentFraction estimates the expected fraction of nodes in the
 // largest component of a random possible world.
-func LargestComponentFraction(ls *sampler.LabelSet, r int) float64 {
-	ls.Grow(r)
-	n := ls.Graph().NumNodes()
+func LargestComponentFraction(ws *worldstore.Store, r int) float64 {
+	n := ws.NumNodes()
 	count := make([]int32, n)
 	total := 0.0
-	for w := 0; w < r; w++ {
-		lab := ls.WorldLabels(w)
+	ws.Scan(0, r, func(_ int, lab []int32) {
 		max := int32(0)
 		for _, l := range lab {
 			count[l]++
@@ -91,6 +81,6 @@ func LargestComponentFraction(ls *sampler.LabelSet, r int) float64 {
 			count[l] = 0
 		}
 		total += float64(max) / float64(n)
-	}
+	})
 	return total / float64(r)
 }

@@ -5,16 +5,16 @@ import (
 	"testing"
 
 	"ucgraph/internal/graph"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 func TestExpectedComponentsSingleEdge(t *testing.T) {
 	// Two nodes, edge p: E[components] = 2 - p.
 	for _, p := range []float64{0.2, 0.5, 0.9} {
 		g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: p}})
-		ls := sampler.NewLabelSet(g, uint64(10*p))
+		ws := worldstore.New(g, uint64(10*p))
 		const r = 30000
-		got := ExpectedComponents(ls, r)
+		got := ExpectedComponents(ws, r)
 		want := 2 - p
 		sigma := math.Sqrt(p*(1-p)/r) + 1e-9
 		if math.Abs(got-want) > 6*sigma {
@@ -27,8 +27,8 @@ func TestExpectedComponentsCertainGraph(t *testing.T) {
 	g := mustGraph(t, 5, []graph.Edge{
 		{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}, {U: 3, V: 4, P: 1},
 	})
-	ls := sampler.NewLabelSet(g, 1)
-	if got := ExpectedComponents(ls, 100); got != 2 {
+	ws := worldstore.New(g, 1)
+	if got := ExpectedComponents(ws, 100); got != 2 {
 		t.Fatalf("E[components] = %v, want exactly 2", got)
 	}
 }
@@ -36,9 +36,9 @@ func TestExpectedComponentsCertainGraph(t *testing.T) {
 func TestSetReliabilityPath(t *testing.T) {
 	// {0, 2} on a 0.8-path: both edges needed -> 0.64.
 	g := pathGraph(t, 3, 0.8)
-	ls := sampler.NewLabelSet(g, 3)
+	ws := worldstore.New(g, 3)
 	const r = 30000
-	got := SetReliability(ls, []graph.NodeID{0, 2}, r)
+	got := SetReliability(ws, []graph.NodeID{0, 2}, r)
 	sigma := math.Sqrt(0.64 * 0.36 / r)
 	if math.Abs(got-0.64) > 6*sigma {
 		t.Fatalf("SetReliability = %v, want ~0.64", got)
@@ -47,11 +47,11 @@ func TestSetReliabilityPath(t *testing.T) {
 
 func TestSetReliabilityTrivialSets(t *testing.T) {
 	g := pathGraph(t, 3, 0.5)
-	ls := sampler.NewLabelSet(g, 5)
-	if got := SetReliability(ls, nil, 100); got != 1 {
+	ws := worldstore.New(g, 5)
+	if got := SetReliability(ws, nil, 100); got != 1 {
 		t.Fatalf("empty set reliability = %v", got)
 	}
-	if got := SetReliability(ls, []graph.NodeID{1}, 100); got != 1 {
+	if got := SetReliability(ws, []graph.NodeID{1}, 100); got != 1 {
 		t.Fatalf("singleton reliability = %v", got)
 	}
 }
@@ -59,9 +59,9 @@ func TestSetReliabilityTrivialSets(t *testing.T) {
 func TestAllTerminalReliabilityPath(t *testing.T) {
 	// 3-path with p = 0.9: connected iff both edges live -> 0.81.
 	g := pathGraph(t, 3, 0.9)
-	ls := sampler.NewLabelSet(g, 7)
+	ws := worldstore.New(g, 7)
 	const r = 30000
-	got := AllTerminalReliability(ls, r)
+	got := AllTerminalReliability(ws, r)
 	sigma := math.Sqrt(0.81 * 0.19 / r)
 	if math.Abs(got-0.81) > 6*sigma {
 		t.Fatalf("all-terminal reliability = %v, want ~0.81", got)
@@ -70,8 +70,8 @@ func TestAllTerminalReliabilityPath(t *testing.T) {
 
 func TestAllTerminalCertain(t *testing.T) {
 	g := pathGraph(t, 4, 1.0)
-	ls := sampler.NewLabelSet(g, 9)
-	if got := AllTerminalReliability(ls, 50); got != 1 {
+	ws := worldstore.New(g, 9)
+	if got := AllTerminalReliability(ws, 50); got != 1 {
 		t.Fatalf("certain path reliability = %v, want 1", got)
 	}
 }
@@ -80,9 +80,9 @@ func TestLargestComponentFraction(t *testing.T) {
 	// Two nodes, p=0.5: largest component fraction = 1 (connected) or 0.5
 	// (split) -> expectation 0.75.
 	g := mustGraph(t, 2, []graph.Edge{{U: 0, V: 1, P: 0.5}})
-	ls := sampler.NewLabelSet(g, 11)
+	ws := worldstore.New(g, 11)
 	const r = 30000
-	got := LargestComponentFraction(ls, r)
+	got := LargestComponentFraction(ws, r)
 	sigma := math.Sqrt(0.25*0.25/float64(r)) + 1e-9
 	if math.Abs(got-0.75) > 8*sigma {
 		t.Fatalf("largest component fraction = %v, want ~0.75", got)
@@ -91,8 +91,8 @@ func TestLargestComponentFraction(t *testing.T) {
 
 func TestLargestComponentFractionCertain(t *testing.T) {
 	g := pathGraph(t, 6, 1.0)
-	ls := sampler.NewLabelSet(g, 13)
-	if got := LargestComponentFraction(ls, 50); got != 1 {
+	ws := worldstore.New(g, 13)
+	if got := LargestComponentFraction(ws, 50); got != 1 {
 		t.Fatalf("fraction = %v, want 1", got)
 	}
 }

@@ -6,14 +6,18 @@
 // one deterministic instance that preserves key expected properties, then
 // run classical graph algorithms on it.
 //
-// Two extractors are provided:
+// Three extractors are provided:
 //
 //   - MostProbable: keep each edge iff p(e) >= 1/2 — the mode of the
 //     distribution under edge independence, the baseline in [27];
 //   - AverageDegree: the ADR-style greedy that repairs the most-probable
 //     world toward the expected degrees, eliminating its systematic bias
 //     (dense regions of low-probability edges vanish entirely from the
-//     most-probable world even though they are never empty in expectation).
+//     most-probable world even though they are never empty in expectation);
+//   - BestSampled: the sampled world with the smallest discrepancy among
+//     the first r worlds of a shared world store — a representative that
+//     is an actual outcome of the distribution, drawn from the same stream
+//     every other subsystem queries.
 //
 // The discrepancy measure is sum_v |deg_G'(v) - expdeg_G(v)|, the objective
 // of [27].
@@ -24,6 +28,7 @@ import (
 	"sort"
 
 	"ucgraph/internal/graph"
+	"ucgraph/internal/worldstore"
 )
 
 // Discrepancy returns sum over nodes of |deg(v) in world - expected
@@ -133,6 +138,30 @@ func AverageDegree(g *graph.Uncertain) []int32 {
 		}
 	}
 	return kept
+}
+
+// BestSampled returns the kept edge IDs of the world with the smallest
+// degree discrepancy among the first r worlds of ws, together with that
+// world's stream index (ties break to the smaller index). Unlike
+// MostProbable and AverageDegree, which synthesize an instance, the result
+// is an actual sampled possible world — the exact world any other consumer
+// of ws observes at the returned index, which makes downstream analyses on
+// the representative instance consistent with the Monte Carlo estimates
+// computed over the same stream.
+func BestSampled(ws *worldstore.Store, r int) (kept []int32, index int) {
+	if r < 1 {
+		r = 1
+	}
+	ws.Grow(r)
+	best := math.Inf(1)
+	index = 0
+	for i := 0; i < r; i++ {
+		edges := ws.World(i).PresentEdges()
+		if d := Discrepancy(ws.Graph(), edges); d < best {
+			best, kept, index = d, edges, i
+		}
+	}
+	return kept, index
 }
 
 // Materialize builds the deterministic graph of a representative world

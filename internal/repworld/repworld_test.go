@@ -6,6 +6,7 @@ import (
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/rng"
+	"ucgraph/internal/worldstore"
 )
 
 func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
@@ -143,5 +144,46 @@ func TestMaterializeEmptyWorld(t *testing.T) {
 	}
 	if world.NumNodes() != 3 || world.NumEdges() != 0 {
 		t.Fatalf("empty world = %d nodes %d edges", world.NumNodes(), world.NumEdges())
+	}
+}
+
+func TestBestSampledIsActualWorldWithMinDiscrepancy(t *testing.T) {
+	x := rng.NewXoshiro256(4)
+	b := graph.NewBuilder(10)
+	for i := int32(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if x.Float64() < 0.6 {
+				if err := b.AddEdge(i, j, 0.2+0.6*x.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 64
+	ws := worldstore.New(g, 21)
+	kept, idx := BestSampled(ws, r)
+	if idx < 0 || idx >= r {
+		t.Fatalf("index %d outside [0, %d)", idx, r)
+	}
+	// The returned edge set must be exactly the stream's world at idx.
+	want := ws.World(idx).PresentEdges()
+	if len(kept) != len(want) {
+		t.Fatalf("kept %d edges, world %d has %d", len(kept), idx, len(want))
+	}
+	for i := range kept {
+		if kept[i] != want[i] {
+			t.Fatalf("edge list mismatch at %d: %d != %d", i, kept[i], want[i])
+		}
+	}
+	// And no sampled world may beat its discrepancy.
+	best := Discrepancy(g, kept)
+	for i := 0; i < r; i++ {
+		if d := Discrepancy(g, ws.World(i).PresentEdges()); d < best {
+			t.Fatalf("world %d has discrepancy %v < returned %v", i, d, best)
+		}
 	}
 }

@@ -1,33 +1,23 @@
-// Package sampler materializes possible worlds of an uncertain graph.
+// Package sampler defines the implicit possible-world stream of an
+// uncertain graph.
 //
 // A possible world G ⊑ G keeps each edge e independently with probability
-// p(e). The package offers two complementary views:
+// p(e). World i of a seeded stream is defined by stateless hash coins, so
+// edge presence can be queried on the fly without storing anything:
+// (seed, index) fully determines a world, and re-evaluating a coin always
+// yields the same answer. Depth-limited BFS runs directly on implicit
+// worlds via World.BFSWithin; ReachCounter batches such traversals over a
+// world range.
 //
-//   - Implicit worlds (World): world i of a seeded stream is defined by
-//     stateless hash coins, so edge presence can be queried on the fly
-//     without storing anything. Depth-limited BFS runs directly on implicit
-//     worlds.
-//
-//   - Label matrices (LabelSet): for connectivity queries repeated against
-//     many nodes, the sampler computes per-world connected-component labels
-//     with a union–find pass and caches them. Two nodes are connected in
-//     world i iff their labels agree, so estimating Pr(u ~ c) for all u
-//     against a center c is a single O(n) scan per world.
-//
-// Both views of the same (seed, world index) pair describe the same world:
-// the label matrix is just a connectivity index over the implicit world.
-//
-// LabelSet is safe for concurrent use: worlds are immutable once
-// materialized, Grow calls serialize, and readers observe atomic snapshots
-// of the world list. ReachCounter owns mutable scratch and stays
-// single-goroutine; create one per worker.
+// Materialized per-world component labels — the connectivity index that
+// answers "is u connected to v in world i" in O(1) — live one layer up, in
+// internal/worldstore, which caches labels in memory-bounded blocks shared
+// by every consumer of the same (graph, seed) stream. Both views of the
+// same (seed, index) pair describe the same world: the label matrix is
+// just an index over the implicit world.
 package sampler
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"ucgraph/internal/graph"
 	"ucgraph/internal/rng"
 )
@@ -55,6 +45,18 @@ func (w World) NumEdgesPresent() int {
 		}
 	}
 	return c
+}
+
+// PresentEdges returns the IDs of the edges present in this world,
+// ascending (O(m)).
+func (w World) PresentEdges() []int32 {
+	var kept []int32
+	for id := int32(0); id < int32(w.G.NumEdges()); id++ {
+		if w.Contains(id) {
+			kept = append(kept, id)
+		}
+	}
+	return kept
 }
 
 // ComponentLabels computes the connected-component labels of this world
@@ -109,152 +111,6 @@ func (w World) BFSWithin(src graph.NodeID, maxDepth int, seen []uint32, epoch ui
 	}
 }
 
-// LabelSet is a cache of per-world component labels for worlds
-// [0, Worlds()) of a seeded stream. It supports deterministic extension:
-// growing the set re-uses the exact same worlds and appends new ones, which
-// is what the progressive sampling schedule of Section 4 requires.
-//
-// LabelSet is safe for concurrent use. Materialized worlds are immutable,
-// so readers work against an atomically published snapshot of the world
-// list while Grow calls serialize on an internal mutex; a reader holding an
-// older snapshot simply sees a prefix of the stream, which is always a
-// valid set of worlds.
-type LabelSet struct {
-	g    *graph.Uncertain
-	seed uint64
-	n    int
-
-	mu  sync.Mutex                // serializes Grow
-	lab atomic.Pointer[[][]int32] // published snapshot; lab[i] = labels of world i
-}
-
-// NewLabelSet returns an empty label cache for g under the given seed.
-func NewLabelSet(g *graph.Uncertain, seed uint64) *LabelSet {
-	ls := &LabelSet{g: g, seed: seed, n: g.NumNodes()}
-	empty := make([][]int32, 0)
-	ls.lab.Store(&empty)
-	return ls
-}
-
-// Graph returns the underlying graph.
-func (ls *LabelSet) Graph() *graph.Uncertain { return ls.g }
-
-// Seed returns the stream seed.
-func (ls *LabelSet) Seed() uint64 { return ls.seed }
-
-// Worlds returns the number of materialized worlds.
-func (ls *LabelSet) Worlds() int { return len(*ls.lab.Load()) }
-
-// View returns a snapshot of the materialized worlds: View()[i] holds the
-// component labels of world i. The snapshot stays valid (and immutable)
-// across later Grow calls; callers must not modify the labels. Hot loops
-// should grab one View instead of calling WorldLabels per world.
-func (ls *LabelSet) View() [][]int32 { return *ls.lab.Load() }
-
-// Grow extends the cache so that it holds at least r worlds. Worlds are
-// computed in parallel across available CPUs. Growing never changes
-// already-materialized worlds, and concurrent Grow calls serialize, so the
-// stream is identical no matter how many goroutines extend it.
-func (ls *LabelSet) Grow(r int) {
-	if r <= len(*ls.lab.Load()) {
-		return
-	}
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	old := *ls.lab.Load()
-	cur := len(old)
-	if r <= cur {
-		return // another goroutine grew past r while we waited
-	}
-	add := r - cur
-	newLab := make([][]int32, add)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > add {
-		workers = add
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, add)
-	for i := 0; i < add; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			uf := graph.NewUnionFind(ls.n)
-			for i := range next {
-				out := make([]int32, ls.n)
-				world := World{G: ls.g, Seed: ls.seed, Index: uint64(cur + i)}
-				world.ComponentLabels(uf, out)
-				newLab[i] = out
-			}
-		}()
-	}
-	wg.Wait()
-	combined := make([][]int32, cur+add)
-	copy(combined, old)
-	copy(combined[cur:], newLab)
-	ls.lab.Store(&combined)
-}
-
-// WorldLabels returns the component labels of world i. Callers must not
-// modify the returned slice.
-func (ls *LabelSet) WorldLabels(i int) []int32 { return (*ls.lab.Load())[i] }
-
-// Connected reports whether u and v are connected in world i.
-func (ls *LabelSet) Connected(i int, u, v graph.NodeID) bool {
-	lab := (*ls.lab.Load())[i]
-	return lab[u] == lab[v]
-}
-
-// CountConnectedFrom adds, for every node u, the number of worlds in
-// [lo, hi) where u and c share a component, into counts (length NumNodes).
-// counts is not cleared, so callers can accumulate across ranges.
-func (ls *LabelSet) CountConnectedFrom(c graph.NodeID, lo, hi int, counts []int32) {
-	view := *ls.lab.Load()
-	for i := lo; i < hi; i++ {
-		lab := view[i]
-		lc := lab[c]
-		for u, lu := range lab {
-			if lu == lc {
-				counts[u]++
-			}
-		}
-	}
-}
-
-// EstimateFrom returns the Monte Carlo estimates of Pr(u ~ c) for all nodes
-// u, using the first r worlds (growing the cache if needed).
-func (ls *LabelSet) EstimateFrom(c graph.NodeID, r int) []float64 {
-	ls.Grow(r)
-	counts := make([]int32, ls.n)
-	ls.CountConnectedFrom(c, 0, r, counts)
-	out := make([]float64, ls.n)
-	inv := 1 / float64(r)
-	for i, cnt := range counts {
-		out[i] = float64(cnt) * inv
-	}
-	return out
-}
-
-// EstimatePair returns the Monte Carlo estimate of Pr(u ~ v) using the
-// first r worlds.
-func (ls *LabelSet) EstimatePair(u, v graph.NodeID, r int) float64 {
-	ls.Grow(r)
-	view := *ls.lab.Load()
-	cnt := 0
-	for i := 0; i < r; i++ {
-		if view[i][u] == view[i][v] {
-			cnt++
-		}
-	}
-	return float64(cnt) / float64(r)
-}
-
 // ReachCounter runs depth-limited reachability queries against the implicit
 // worlds of a seeded stream. It owns reusable scratch buffers, so it is not
 // safe for concurrent use; create one per goroutine.
@@ -267,8 +123,8 @@ type ReachCounter struct {
 }
 
 // NewReachCounter returns a counter over g's worlds under seed. It shares
-// the world stream with a LabelSet built from the same (g, seed): world i
-// has identical edges in both views.
+// the world stream with any worldstore.Store built from the same (g, seed):
+// world i has identical edges in both views.
 func NewReachCounter(g *graph.Uncertain, seed uint64) *ReachCounter {
 	return &ReachCounter{
 		g:     g,

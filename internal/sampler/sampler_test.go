@@ -174,101 +174,47 @@ func TestBFSWithinUnlimitedMatchesLabels(t *testing.T) {
 	}
 }
 
-func TestLabelSetGrowDeterministic(t *testing.T) {
-	g := pathGraph(t, 20, 0.5)
-	a := NewLabelSet(g, 77)
-	a.Grow(50)
-	b := NewLabelSet(g, 77)
-	b.Grow(10)
-	b.Grow(50) // grown in two steps must equal one step
+func TestPresentEdgesMatchesContains(t *testing.T) {
+	g := pathGraph(t, 12, 0.5)
 	for i := 0; i < 50; i++ {
-		la, lb := a.WorldLabels(i), b.WorldLabels(i)
-		for u := range la {
-			if la[u] != lb[u] {
-				t.Fatalf("world %d labels differ after incremental growth", i)
+		w := World{G: g, Seed: 19, Index: uint64(i)}
+		kept := w.PresentEdges()
+		set := map[int32]bool{}
+		for _, id := range kept {
+			set[id] = true
+		}
+		for id := int32(0); id < int32(g.NumEdges()); id++ {
+			if set[id] != w.Contains(id) {
+				t.Fatalf("world %d edge %d: PresentEdges=%v Contains=%v",
+					i, id, set[id], w.Contains(id))
 			}
-		}
-	}
-	if a.Worlds() != 50 || b.Worlds() != 50 {
-		t.Fatalf("Worlds() = %d, %d; want 50, 50", a.Worlds(), b.Worlds())
-	}
-}
-
-func TestLabelSetGrowNeverShrinks(t *testing.T) {
-	g := pathGraph(t, 5, 0.5)
-	ls := NewLabelSet(g, 3)
-	ls.Grow(20)
-	ls.Grow(5)
-	if ls.Worlds() != 20 {
-		t.Fatalf("Grow(5) after Grow(20) left %d worlds", ls.Worlds())
-	}
-}
-
-func TestEstimatePairOnSingleEdge(t *testing.T) {
-	g := pathGraph(t, 2, 0.42)
-	ls := NewLabelSet(g, 123)
-	got := ls.EstimatePair(0, 1, 30000)
-	sigma := math.Sqrt(0.42 * 0.58 / 30000)
-	if math.Abs(got-0.42) > 6*sigma {
-		t.Fatalf("EstimatePair = %v, want ~0.42", got)
-	}
-}
-
-func TestEstimateFromPathProduct(t *testing.T) {
-	// On a tree, Pr(u ~ v) is the product of edge probabilities on the
-	// unique path. Check the estimator against the closed form.
-	g := pathGraph(t, 4, 0.8)
-	ls := NewLabelSet(g, 99)
-	const r = 40000
-	est := ls.EstimateFrom(0, r)
-	for i, want := range []float64{1, 0.8, 0.64, 0.512} {
-		sigma := math.Sqrt(want*(1-want)/r) + 1e-9
-		if math.Abs(est[i]-want) > 6*sigma {
-			t.Fatalf("est[%d] = %v, want ~%v", i, est[i], want)
-		}
-	}
-}
-
-func TestEstimateSelfIsOne(t *testing.T) {
-	g := pathGraph(t, 3, 0.1)
-	ls := NewLabelSet(g, 1)
-	est := ls.EstimateFrom(1, 100)
-	if est[1] != 1 {
-		t.Fatalf("Pr(c ~ c) estimated as %v, want 1", est[1])
-	}
-}
-
-func TestCountConnectedFromAccumulates(t *testing.T) {
-	g := pathGraph(t, 3, 0.5)
-	ls := NewLabelSet(g, 8)
-	ls.Grow(100)
-	c1 := make([]int32, 3)
-	ls.CountConnectedFrom(0, 0, 100, c1)
-	c2 := make([]int32, 3)
-	ls.CountConnectedFrom(0, 0, 60, c2)
-	ls.CountConnectedFrom(0, 60, 100, c2)
-	for i := range c1 {
-		if c1[i] != c2[i] {
-			t.Fatalf("split accumulation differs at node %d: %d vs %d", i, c1[i], c2[i])
 		}
 	}
 }
 
 func TestReachCounterMatchesLabelsUnlimited(t *testing.T) {
 	// With maxDepth < 0 the ReachCounter must agree exactly with the
-	// LabelSet, world by world, because they share the coin stream.
+	// component labels, world by world, because they share the coin stream.
 	g := mustGraph(t, 7, []graph.Edge{
 		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.4}, {U: 2, V: 3, P: 0.6},
 		{U: 3, V: 4, P: 0.7}, {U: 4, V: 5, P: 0.5}, {U: 5, V: 6, P: 0.3},
 		{U: 6, V: 0, P: 0.5},
 	})
 	const seed, r = 31, 500
-	ls := NewLabelSet(g, seed)
-	ls.Grow(r)
+	uf := graph.NewUnionFind(7)
+	lab := make([]int32, 7)
 	rc := NewReachCounter(g, seed)
 	for _, c := range []graph.NodeID{0, 3, 6} {
 		want := make([]int32, 7)
-		ls.CountConnectedFrom(c, 0, r, want)
+		for i := 0; i < r; i++ {
+			w := World{G: g, Seed: seed, Index: uint64(i)}
+			w.ComponentLabels(uf, lab)
+			for u := range want {
+				if lab[u] == lab[c] {
+					want[u]++
+				}
+			}
+		}
 		got := make([]int32, 7)
 		rc.CountWithin(c, -1, 0, r, got)
 		for u := range want {
@@ -335,7 +281,7 @@ func TestReachCounterEpochWraparound(t *testing.T) {
 	}
 }
 
-func BenchmarkLabelSetGrow(b *testing.B) {
+func BenchmarkComponentLabels(b *testing.B) {
 	edges := make([]graph.Edge, 0, 3000)
 	for i := 0; i < 1000; i++ {
 		edges = append(edges,
@@ -347,9 +293,11 @@ func BenchmarkLabelSetGrow(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	uf := graph.NewUnionFind(1000)
+	out := make([]int32, 1000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ls := NewLabelSet(g, uint64(i))
-		ls.Grow(32)
+		w := World{G: g, Seed: uint64(i), Index: uint64(i)}
+		w.ComponentLabels(uf, out)
 	}
 }

@@ -1,0 +1,540 @@
+// Package worldstore is the shared possible-world substrate of the library:
+// one memory-bounded store of sampled worlds per (graph, seed), reused by
+// every consumer — the Monte Carlo connection-probability oracle, k-NN
+// distance distributions, influence spread, representative-world extraction
+// and the reliability metrics — so that a run pays the sampling and
+// label-computation bill once instead of once per subsystem.
+//
+// A Store owns the implicit world stream of its (graph, seed) pair: world i
+// is defined by stateless hash coins (see internal/rng and sampler.World),
+// so any world can be re-materialized at any time. On top of the stream the
+// store lazily materializes per-world connected-component labels into
+// block/columnar storage: worlds are grouped into fixed-size blocks, and
+// within a block labels are stored world-major in one contiguous slice, so
+// scanning a block touches memory sequentially. Blocks are materialized on
+// first access and, in bounded-memory mode, evicted least-recently-used and
+// recomputed on the next access. Because labels are a pure function of
+// (graph, seed, world index), eviction and recomputation never change an
+// estimate: bounded and unbounded runs are bit-identical.
+//
+// Stores are safe for concurrent use by multiple consumers: block
+// materialization is coordinated so exactly one goroutine computes a block
+// while others wait, readers pin blocks against eviction for the duration
+// of a scan, and the logical stream length only grows.
+//
+// The package-level Shared registry hands out one Store per (graph, seed)
+// so independent consumers — built at different layers of the library —
+// transparently converge on the same worlds. The registry holds weak
+// references only: it neither keeps graphs nor stores alive.
+package worldstore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"weak"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/sampler"
+)
+
+// targetBlockBytes sizes label blocks: blocks hold as many worlds as fit in
+// roughly this many bytes of labels, clamped to [minBlockWorlds,
+// maxBlockWorlds]. Block size is a performance knob only — estimates never
+// depend on it, because each world's labels are computed independently.
+const (
+	targetBlockBytes = 1 << 20
+	minBlockWorlds   = 8
+	maxBlockWorlds   = 256
+)
+
+// Store is a memory-bounded cache of per-world component labels over the
+// deterministic world stream of one (graph, seed) pair. The zero value is
+// invalid; use New or Shared.
+type Store struct {
+	g    *graph.Uncertain
+	seed uint64
+	n    int
+	bw   int // worlds per block
+
+	length atomic.Int64 // logical stream length: max world count requested
+
+	mu           sync.Mutex
+	blocks       map[int]*block
+	maxResident  int // max materialized blocks; <= 0 means unbounded
+	clock        uint64
+	materialized uint64
+	evicted      uint64
+}
+
+// block is one materialized run of up to bw consecutive worlds. labels
+// holds the component labels world-major: world (base + i) occupies
+// labels[i*n : (i+1)*n]. Blocks fill front to back: worlds [0, done) are
+// materialized, and a reader needing more extends the prefix under mu —
+// so a request for a few worlds never pays for the whole block, while a
+// full scan still enjoys one contiguous, cache-friendly buffer.
+// Materialized prefixes are immutable: extension appends, and when it
+// must reallocate, earlier captured buffers keep their (identical,
+// immutable) prefix — see acquire.
+type block struct {
+	idx     int
+	mu      sync.Mutex // serializes prefix extension
+	done    int        // worlds [0, done) of the block are materialized
+	labels  []int32    // grows toward bw*n; valid up to done*n
+	pins    int        // readers currently holding the block; guarded by Store.mu
+	lastUse uint64
+}
+
+// Stats reports store observability counters.
+type Stats struct {
+	// Worlds is the logical stream length (max worlds any consumer asked for).
+	Worlds int
+	// ResidentBlocks is the number of label blocks currently materialized.
+	ResidentBlocks int
+	// BlockWorlds is the number of worlds per block.
+	BlockWorlds int
+	// Materializations counts block computations, including recomputations
+	// after eviction.
+	Materializations uint64
+	// Evictions counts blocks dropped under memory pressure.
+	Evictions uint64
+}
+
+// defaultBudget is applied to stores created after SetDefaultBudget.
+var defaultBudget atomic.Int64
+
+// SetDefaultBudget sets the label-memory budget, in bytes, applied to
+// stores created afterwards (0 restores the unbounded default). Existing
+// stores are unaffected; use Store.SetBudget for those. This is the hook
+// the CLI memory-budget flags use.
+func SetDefaultBudget(bytes int64) { defaultBudget.Store(bytes) }
+
+// New returns a private store over g's possible worlds under seed. Most
+// callers want Shared instead, so that consumers of the same (graph, seed)
+// converge on the same materialized worlds.
+func New(g *graph.Uncertain, seed uint64) *Store {
+	n := g.NumNodes()
+	bw := targetBlockBytes / (4 * n)
+	if bw < minBlockWorlds {
+		bw = minBlockWorlds
+	}
+	if bw > maxBlockWorlds {
+		bw = maxBlockWorlds
+	}
+	s := &Store{
+		g:      g,
+		seed:   seed,
+		n:      n,
+		bw:     bw,
+		blocks: make(map[int]*block),
+	}
+	if b := defaultBudget.Load(); b > 0 {
+		s.SetBudget(b)
+	}
+	return s
+}
+
+// registryKey identifies a shared store. The graph is held weakly so the
+// registry does not extend its lifetime.
+type registryKey struct {
+	g    weak.Pointer[graph.Uncertain]
+	seed uint64
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = make(map[registryKey]weak.Pointer[Store])
+)
+
+// Shared returns the store for (g, seed), creating it on first use. All
+// callers passing the same graph value and seed receive the same store, so
+// the world stream — and the label blocks materialized over it — are shared
+// across subsystems. The registry holds only weak references: once every
+// consumer drops a store it is garbage collected (taking its blocks with
+// it) and a later Shared call builds a fresh, deterministic replacement.
+func Shared(g *graph.Uncertain, seed uint64) *Store {
+	key := registryKey{g: weak.Make(g), seed: seed}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if wp, ok := registry[key]; ok {
+		if s := wp.Value(); s != nil {
+			return s
+		}
+	}
+	s := New(g, seed)
+	registry[key] = weak.Make(s)
+	runtime.AddCleanup(s, func(key registryKey) {
+		registryMu.Lock()
+		if wp, ok := registry[key]; ok && wp.Value() == nil {
+			delete(registry, key)
+		}
+		registryMu.Unlock()
+	}, key)
+	return s
+}
+
+// Graph returns the underlying graph.
+func (s *Store) Graph() *graph.Uncertain { return s.g }
+
+// Seed returns the world-stream seed.
+func (s *Store) Seed() uint64 { return s.seed }
+
+// NumNodes returns the node count of the underlying graph.
+func (s *Store) NumNodes() int { return s.n }
+
+// World returns the implicit view of world i: the same world the label
+// blocks index, usable for edge queries and per-world BFS.
+func (s *Store) World(i int) sampler.World {
+	return sampler.World{G: s.g, Seed: s.seed, Index: uint64(i)}
+}
+
+// Grow raises the logical stream length to at least r worlds. Labels are
+// materialized lazily, block by block, on first scan; Grow itself is cheap.
+// The stream never shrinks.
+func (s *Store) Grow(r int) {
+	for {
+		cur := s.length.Load()
+		if int64(r) <= cur || s.length.CompareAndSwap(cur, int64(r)) {
+			return
+		}
+	}
+}
+
+// Worlds returns the logical stream length: the largest world count any
+// consumer has requested so far.
+func (s *Store) Worlds() int { return int(s.length.Load()) }
+
+// SetBudget bounds the memory spent on materialized label blocks to
+// roughly bytes (at least one block is always allowed, so scans make
+// progress). bytes <= 0 removes the bound. Shrinking evicts immediately.
+// Estimates are identical in bounded and unbounded mode: evicted blocks
+// are recomputed, not approximated.
+func (s *Store) SetBudget(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bytes <= 0 {
+		s.maxResident = 0
+		return
+	}
+	blockBytes := int64(4 * s.n * s.bw)
+	max := int(bytes / blockBytes)
+	if max < 1 {
+		max = 1
+	}
+	s.maxResident = max
+	s.evictLocked(s.maxResident)
+}
+
+// Stats returns observability counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Worlds:           int(s.length.Load()),
+		ResidentBlocks:   len(s.blocks),
+		BlockWorlds:      s.bw,
+		Materializations: s.materialized,
+		Evictions:        s.evicted,
+	}
+}
+
+// acquire returns block bi with at least the first need worlds
+// materialized, pinned against eviction, along with the label buffer
+// captured under the block's mutex. Prefix extension serializes on that
+// mutex, so exactly one goroutine computes each world while later
+// arrivals reuse it. The buffer is sized to the materialized prefix
+// (doubling up to the full block), so a request for a few worlds never
+// allocates the whole block. A reallocation during a later extension
+// leaves earlier captured buffers intact — their materialized prefix is
+// immutable — which is why callers must read through the returned slice,
+// not through b.labels. Callers must release the block.
+func (s *Store) acquire(bi, need int) (*block, []int32) {
+	s.mu.Lock()
+	b, ok := s.blocks[bi]
+	if !ok {
+		b = &block{idx: bi}
+		if s.maxResident > 0 {
+			s.evictLocked(s.maxResident - 1)
+		}
+		s.blocks[bi] = b
+		s.materialized++
+	}
+	b.pins++
+	s.clock++
+	b.lastUse = s.clock
+	s.mu.Unlock()
+
+	b.mu.Lock()
+	if b.done < need {
+		if len(b.labels) < need*s.n {
+			worlds := 2 * b.done
+			if worlds < need {
+				worlds = need
+			}
+			if worlds > s.bw {
+				worlds = s.bw
+			}
+			grown := make([]int32, worlds*s.n)
+			copy(grown, b.labels[:b.done*s.n])
+			b.labels = grown
+		}
+		s.computeWorlds(bi, b.done, need, b.labels)
+		b.done = need
+	}
+	labels := b.labels
+	b.mu.Unlock()
+	return b, labels
+}
+
+// matSem bounds the extra goroutines spawned by concurrent block
+// materializations across ALL stores in the process, so consumers that
+// already fan block accesses out (the oracle's sharded tally workers) do
+// not multiply into workers^2 goroutines. A token shortage degrades to
+// fewer, larger shares of the block — never to blocking.
+var (
+	matSemOnce sync.Once
+	matSem     chan struct{}
+)
+
+func materializeSem() chan struct{} {
+	matSemOnce.Do(func() {
+		capacity := runtime.GOMAXPROCS(0)
+		matSem = make(chan struct{}, capacity)
+		for i := 0; i < capacity; i++ {
+			matSem <- struct{}{}
+		}
+	})
+	return matSem
+}
+
+// computeWorlds materializes worlds [lo, hi) of block bi into labels,
+// fanning the worlds out across available workers. Each world's labels are
+// computed independently into a disjoint slice of the buffer, so the bits
+// do not depend on the worker count.
+func (s *Store) computeWorlds(bi, lo, hi int, labels []int32) {
+	base := bi * s.bw
+	compute := func(uf *graph.UnionFind, i int) {
+		w := sampler.World{G: s.g, Seed: s.seed, Index: uint64(base + i)}
+		w.ComponentLabels(uf, labels[i*s.n:(i+1)*s.n])
+	}
+	span := hi - lo
+	workers := runtime.GOMAXPROCS(0)
+	if workers > span {
+		workers = span
+	}
+	extra := 0
+	if workers > 1 {
+		sem := materializeSem()
+		for extra < workers-1 {
+			select {
+			case <-sem:
+				extra++
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if extra == 0 {
+		uf := graph.NewUnionFind(s.n)
+		for i := lo; i < hi; i++ {
+			compute(uf, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(int64(lo))
+	var wg sync.WaitGroup
+	for w := 0; w < extra; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { matSem <- struct{}{} }()
+			uf := graph.NewUnionFind(s.n)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= hi {
+					return
+				}
+				compute(uf, i)
+			}
+		}()
+	}
+	uf := graph.NewUnionFind(s.n)
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= hi {
+			break
+		}
+		compute(uf, i)
+	}
+	wg.Wait()
+}
+
+// release unpins a block acquired with acquire.
+func (s *Store) release(b *block) {
+	s.mu.Lock()
+	b.pins--
+	s.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used unpinned blocks until at most max
+// remain. Blocks still being materialized or pinned by readers are never
+// dropped; if everything is pinned the budget is temporarily overshot
+// rather than blocking. Caller holds s.mu.
+func (s *Store) evictLocked(max int) {
+	if max < 0 {
+		max = 0
+	}
+	for len(s.blocks) > max {
+		var victim *block
+		for _, b := range s.blocks {
+			// pins == 0 implies no goroutine is reading or extending the
+			// block: extension happens while its requester holds a pin.
+			if b.pins > 0 {
+				continue
+			}
+			if victim == nil || b.lastUse < victim.lastUse {
+				victim = b
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(s.blocks, victim.idx)
+		s.evicted++
+	}
+}
+
+// Scan calls fn(i, labels) for every world i in [lo, hi), in increasing
+// order, where labels is the world's component-label slice (length
+// NumNodes). The slice is only valid during the callback and must not be
+// modified. Blocks are pinned for the duration of their worlds' callbacks,
+// acquired one at a time, so a scan holds at most one block against
+// eviction. Scan grows the logical stream to hi.
+func (s *Store) Scan(lo, hi int, fn func(i int, labels []int32)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return
+	}
+	s.Grow(hi)
+	for bi := lo / s.bw; bi*s.bw < hi; bi++ {
+		base := bi * s.bw
+		start, end := lo, hi
+		if start < base {
+			start = base
+		}
+		if end > base+s.bw {
+			end = base + s.bw
+		}
+		b, labels := s.acquire(bi, end-base)
+		for i := start; i < end; i++ {
+			off := (i - base) * s.n
+			fn(i, labels[off:off+s.n:off+s.n])
+		}
+		s.release(b)
+	}
+}
+
+// Connected reports whether u and v share a component in world i.
+func (s *Store) Connected(i int, u, v graph.NodeID) bool {
+	conn := false
+	s.Scan(i, i+1, func(_ int, lab []int32) { conn = lab[u] == lab[v] })
+	return conn
+}
+
+// CountConnectedFrom adds, for every node u, the number of worlds in
+// [lo, hi) where u and c share a component, into counts (length NumNodes).
+// counts is not cleared, so callers can accumulate across ranges.
+func (s *Store) CountConnectedFrom(c graph.NodeID, lo, hi int, counts []int32) {
+	s.Scan(lo, hi, func(_ int, lab []int32) {
+		lc := lab[c]
+		for u, lu := range lab {
+			if lu == lc {
+				counts[u]++
+			}
+		}
+	})
+}
+
+// CountConnectedFromMulti is the batched form of CountConnectedFrom: for
+// each center cs[j] it adds, into counts[j], the per-node connection counts
+// over worlds [lo[j], hi). All centers are answered in ONE pass over each
+// world block: per world the centers are grouped by their component label,
+// and a single scan of the label vector dispatches each node's increments
+// to every center sharing its component. The cost per world is
+// O(n + centers + increments) instead of the O(n * centers) of repeated
+// single-center scans, and each block is acquired (and, under a memory
+// budget, potentially recomputed) once instead of once per center.
+//
+// Counts are plain integer accumulations over a deterministic world range,
+// so the result is bit-identical to looping CountConnectedFrom per center.
+func (s *Store) CountConnectedFromMulti(cs []graph.NodeID, lo []int, hi int, counts [][]int32) {
+	if len(cs) == 0 {
+		return
+	}
+	minLo := hi
+	for _, l := range lo {
+		if l < minLo {
+			minLo = l
+		}
+	}
+	if minLo >= hi {
+		return
+	}
+	// byLabel[l] lists the (indices of) centers whose component label in
+	// the current world is l; touched tracks which entries to reset.
+	byLabel := make([][]int32, s.n)
+	touched := make([]int32, 0, len(cs))
+	s.Scan(minLo, hi, func(i int, lab []int32) {
+		for _, l := range touched {
+			byLabel[l] = byLabel[l][:0]
+		}
+		touched = touched[:0]
+		for j, c := range cs {
+			if lo[j] > i {
+				continue
+			}
+			l := lab[c]
+			if len(byLabel[l]) == 0 {
+				touched = append(touched, l)
+			}
+			byLabel[l] = append(byLabel[l], int32(j))
+		}
+		if len(touched) == 0 {
+			return
+		}
+		for u, l := range lab {
+			for _, j := range byLabel[l] {
+				counts[j][u]++
+			}
+		}
+	})
+}
+
+// EstimateFrom returns the Monte Carlo estimates of Pr(u ~ c) for all
+// nodes u over the first r worlds.
+func (s *Store) EstimateFrom(c graph.NodeID, r int) []float64 {
+	counts := make([]int32, s.n)
+	s.CountConnectedFrom(c, 0, r, counts)
+	out := make([]float64, s.n)
+	inv := 1 / float64(r)
+	for u, cnt := range counts {
+		out[u] = float64(cnt) * inv
+	}
+	return out
+}
+
+// EstimatePair returns the Monte Carlo estimate of Pr(u ~ v) over the
+// first r worlds.
+func (s *Store) EstimatePair(u, v graph.NodeID, r int) float64 {
+	cnt := 0
+	s.Scan(0, r, func(_ int, lab []int32) {
+		if lab[u] == lab[v] {
+			cnt++
+		}
+	})
+	return float64(cnt) / float64(r)
+}

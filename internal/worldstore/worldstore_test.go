@@ -1,0 +1,304 @@
+package worldstore
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1), P: p})
+	}
+	return mustGraph(t, n, edges)
+}
+
+// ringGraph builds a ring with a few chords, sized so that several label
+// blocks exist at small block sizes.
+func ringGraph(t *testing.T, n int, seed uint64) *graph.Uncertain {
+	t.Helper()
+	x := rng.NewXoshiro256(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(int32(i), int32((i+1)%n), 0.2+0.7*x.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n/4; i++ {
+		u, v := int32(x.Intn(n)), int32(x.Intn(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 0.1+0.8*x.Float64())
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// snapshotLabels collects the labels of worlds [0, r) into a copy.
+func snapshotLabels(s *Store, r int) [][]int32 {
+	out := make([][]int32, r)
+	s.Scan(0, r, func(i int, lab []int32) {
+		cp := make([]int32, len(lab))
+		copy(cp, lab)
+		out[i] = cp
+	})
+	return out
+}
+
+func TestScanDeterministicAndLazy(t *testing.T) {
+	g := ringGraph(t, 40, 1)
+	a := New(g, 7)
+	b := New(g, 7)
+	if st := a.Stats(); st.ResidentBlocks != 0 || st.Materializations != 0 {
+		t.Fatalf("fresh store already materialized: %+v", st)
+	}
+	a.Grow(500)
+	if st := a.Stats(); st.Materializations != 0 {
+		t.Fatalf("Grow materialized blocks eagerly: %+v", st)
+	}
+	la := snapshotLabels(a, 500)
+	lb := snapshotLabels(b, 500)
+	for i := range la {
+		for u := range la[i] {
+			if la[i][u] != lb[i][u] {
+				t.Fatalf("world %d node %d: labels differ across stores", i, u)
+			}
+		}
+	}
+	if a.Worlds() != 500 {
+		t.Fatalf("Worlds() = %d, want 500", a.Worlds())
+	}
+	a.Grow(100)
+	if a.Worlds() != 500 {
+		t.Fatalf("Grow never shrinks; Worlds() = %d", a.Worlds())
+	}
+}
+
+func TestBoundedModeBitIdentical(t *testing.T) {
+	// The headline guarantee of bounded-memory mode: evicting and
+	// recomputing label blocks returns bit-identical labels and counts.
+	g := ringGraph(t, 60, 3)
+	const r = 400
+
+	unbounded := New(g, 11)
+	want := snapshotLabels(unbounded, r)
+	wantCounts := make([]int32, g.NumNodes())
+	unbounded.CountConnectedFrom(0, 0, r, wantCounts)
+
+	bounded := New(g, 11)
+	bounded.SetBudget(1) // degenerate budget: one resident block
+	if bounded.Stats().BlockWorlds >= r {
+		t.Skip("graph too small for multiple blocks at this r")
+	}
+	// Two full passes plus interleaved re-reads force eviction churn.
+	for pass := 0; pass < 2; pass++ {
+		got := snapshotLabels(bounded, r)
+		for i := range want {
+			for u := range want[i] {
+				if got[i][u] != want[i][u] {
+					t.Fatalf("pass %d world %d node %d: bounded label %d != unbounded %d",
+						pass, i, u, got[i][u], want[i][u])
+				}
+			}
+		}
+	}
+	gotCounts := make([]int32, g.NumNodes())
+	bounded.CountConnectedFrom(0, 0, r, gotCounts)
+	for u := range wantCounts {
+		if gotCounts[u] != wantCounts[u] {
+			t.Fatalf("node %d: bounded count %d != unbounded %d", u, gotCounts[u], wantCounts[u])
+		}
+	}
+	st := bounded.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("bounded run evicted nothing (stats %+v); budget not exercised", st)
+	}
+	if st.ResidentBlocks > 1 {
+		t.Fatalf("budget of one block left %d resident", st.ResidentBlocks)
+	}
+}
+
+func TestSetBudgetShrinkEvictsImmediately(t *testing.T) {
+	g := ringGraph(t, 50, 5)
+	s := New(g, 9)
+	snapshotLabels(s, 600)
+	before := s.Stats()
+	if before.ResidentBlocks < 2 {
+		t.Skipf("only %d blocks materialized", before.ResidentBlocks)
+	}
+	s.SetBudget(int64(4 * g.NumNodes() * before.BlockWorlds)) // exactly one block
+	after := s.Stats()
+	if after.ResidentBlocks != 1 {
+		t.Fatalf("shrink left %d blocks resident", after.ResidentBlocks)
+	}
+}
+
+func TestCountConnectedFromMultiMatchesSingle(t *testing.T) {
+	g := ringGraph(t, 35, 13)
+	s := New(g, 17)
+	const hi = 300
+	centers := []graph.NodeID{0, 5, 5, 12, 34, 1} // includes a duplicate
+	lo := []int{0, 40, 0, 250, 7, 299}
+	multi := make([][]int32, len(centers))
+	for j := range multi {
+		multi[j] = make([]int32, g.NumNodes())
+	}
+	s.CountConnectedFromMulti(centers, lo, hi, multi)
+	for j, c := range centers {
+		single := make([]int32, g.NumNodes())
+		s.CountConnectedFrom(c, lo[j], hi, single)
+		for u := range single {
+			if multi[j][u] != single[u] {
+				t.Fatalf("center %d (lo %d) node %d: multi %d != single %d",
+					c, lo[j], u, multi[j][u], single[u])
+			}
+		}
+	}
+}
+
+func TestCountConnectedFromMultiEmptyRanges(t *testing.T) {
+	g := pathGraph(t, 6, 0.5)
+	s := New(g, 1)
+	counts := [][]int32{make([]int32, 6)}
+	s.CountConnectedFromMulti([]graph.NodeID{2}, []int{100}, 100, counts)
+	for u, c := range counts[0] {
+		if c != 0 {
+			t.Fatalf("empty range counted node %d: %d", u, c)
+		}
+	}
+	s.CountConnectedFromMulti(nil, nil, 50, nil)
+}
+
+func TestEstimatePairSingleEdge(t *testing.T) {
+	g := pathGraph(t, 2, 0.42)
+	s := New(g, 123)
+	got := s.EstimatePair(0, 1, 30000)
+	sigma := math.Sqrt(0.42 * 0.58 / 30000)
+	if math.Abs(got-0.42) > 6*sigma {
+		t.Fatalf("EstimatePair = %v, want ~0.42", got)
+	}
+}
+
+func TestEstimateFromPathProduct(t *testing.T) {
+	// On a tree, Pr(u ~ v) is the product of edge probabilities on the
+	// unique path. Check the estimator against the closed form.
+	g := pathGraph(t, 4, 0.8)
+	s := New(g, 99)
+	const r = 40000
+	est := s.EstimateFrom(0, r)
+	for i, want := range []float64{1, 0.8, 0.64, 0.512} {
+		sigma := math.Sqrt(want*(1-want)/r) + 1e-9
+		if math.Abs(est[i]-want) > 6*sigma {
+			t.Fatalf("est[%d] = %v, want ~%v", i, est[i], want)
+		}
+	}
+	if est[0] != 1 {
+		t.Fatalf("Pr(c ~ c) estimated as %v, want 1", est[0])
+	}
+}
+
+func TestSharedReturnsSameStore(t *testing.T) {
+	g := pathGraph(t, 8, 0.5)
+	a := Shared(g, 42)
+	b := Shared(g, 42)
+	if a != b {
+		t.Fatal("Shared returned two stores for one (graph, seed)")
+	}
+	if c := Shared(g, 43); c == a {
+		t.Fatal("different seeds share a store")
+	}
+	g2 := pathGraph(t, 8, 0.5)
+	if d := Shared(g2, 42); d == a {
+		t.Fatal("different graph values share a store")
+	}
+}
+
+func TestConcurrentScansShareOneMaterialization(t *testing.T) {
+	g := ringGraph(t, 30, 21)
+	s := New(g, 33)
+	const r = 500
+	want := snapshotLabels(New(g, 33), r)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Scan(0, r, func(i int, lab []int32) {
+				for u := range lab {
+					if lab[u] != want[i][u] {
+						select {
+						case errs <- "concurrent scan observed wrong labels":
+						default:
+						}
+						return
+					}
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	blocks := (r + s.bw - 1) / s.bw
+	if st := s.Stats(); st.Materializations != uint64(blocks) {
+		t.Fatalf("8 concurrent scans materialized %d blocks, want %d (one per block)",
+			st.Materializations, blocks)
+	}
+}
+
+func TestConnectedMatchesLabels(t *testing.T) {
+	g := ringGraph(t, 20, 8)
+	s := New(g, 2)
+	lab := snapshotLabels(s, 50)
+	for i := 0; i < 50; i += 7 {
+		for u := int32(0); u < 20; u += 3 {
+			for v := int32(0); v < 20; v += 5 {
+				want := lab[i][u] == lab[i][v]
+				if got := s.Connected(i, u, v); got != want {
+					t.Fatalf("world %d (%d,%d): Connected=%v labels=%v", i, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	x := rng.NewXoshiro256(1)
+	gb := graph.NewBuilder(1000)
+	for i := 0; i < 1000; i++ {
+		_ = gb.AddEdge(int32(i), int32((i+1)%1000), 0.5)
+		_ = gb.AddEdge(int32(i), int32((i+37)%1000), 0.3+0.4*x.Float64())
+	}
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(g, 1)
+	snapshotLabels(s, 256) // materialize outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		s.Scan(0, 256, func(_ int, lab []int32) { total += int(lab[0]) })
+	}
+}

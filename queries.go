@@ -15,7 +15,7 @@ import (
 	"ucgraph/internal/knn"
 	"ucgraph/internal/metrics"
 	"ucgraph/internal/repworld"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // DistanceDistribution is the sampled hop-distance distribution from one
@@ -61,16 +61,14 @@ type InfluenceResult = influence.Result
 // connected to at least one seed in a random possible world (the
 // live-edge view of the Independent Cascade model on undirected graphs).
 func InfluenceSpread(g *Graph, seeds []NodeID, seed uint64, r int) float64 {
-	ls := sampler.NewLabelSet(g, seed)
-	return influence.Spread(ls, seeds, r)
+	return influence.Spread(worldstore.Shared(g, seed), seeds, r)
 }
 
 // MaximizeInfluence greedily selects k seeds maximizing the expected
 // spread, with CELF lazy evaluation; the result is a (1 - 1/e - eps)
 // approximation of the optimal seed set by submodularity.
 func MaximizeInfluence(g *Graph, k int, seed uint64, r int) (*InfluenceResult, error) {
-	ls := sampler.NewLabelSet(g, seed)
-	return influence.Greedy(ls, k, r)
+	return influence.Greedy(worldstore.Shared(g, seed), k, r)
 }
 
 // MostProbableWorld returns the deterministic graph keeping exactly the
@@ -85,6 +83,18 @@ func MostProbableWorld(g *Graph) (*Graph, error) {
 // probable world when low-probability regions are dense.
 func RepresentativeWorld(g *Graph) (*Graph, error) {
 	return repworld.Materialize(g, repworld.AverageDegree(g))
+}
+
+// SampledRepresentativeWorld returns the possible world with the smallest
+// degree discrepancy among the first r worlds of the shared (g, seed)
+// stream, plus that world's stream index. The result is an actual sample —
+// the exact world every other query on the same (g, seed) pair observes at
+// that index — unlike the synthesized MostProbableWorld and
+// RepresentativeWorld instances.
+func SampledRepresentativeWorld(g *Graph, seed uint64, r int) (*Graph, int, error) {
+	kept, idx := repworld.BestSampled(worldstore.Shared(g, seed), r)
+	world, err := repworld.Materialize(g, kept)
+	return world, idx, err
 }
 
 // DegreeDiscrepancy returns sum over nodes of |deg_world(v) -
@@ -115,20 +125,20 @@ func findEdgeID(g *Graph, u, v NodeID) int32 {
 // ExpectedComponents estimates the expected number of connected components
 // of a random possible world.
 func ExpectedComponents(g *Graph, seed uint64, r int) float64 {
-	return metrics.ExpectedComponents(sampler.NewLabelSet(g, seed), r)
+	return metrics.ExpectedComponents(worldstore.Shared(g, seed), r)
 }
 
 // SetReliability estimates the probability that all nodes of set lie in a
 // single connected component of a random possible world (k-terminal
 // reliability).
 func SetReliability(g *Graph, set []NodeID, seed uint64, r int) float64 {
-	return metrics.SetReliability(sampler.NewLabelSet(g, seed), set, r)
+	return metrics.SetReliability(worldstore.Shared(g, seed), set, r)
 }
 
 // AllTerminalReliability estimates the probability that a random possible
 // world is connected.
 func AllTerminalReliability(g *Graph, seed uint64, r int) float64 {
-	return metrics.AllTerminalReliability(sampler.NewLabelSet(g, seed), r)
+	return metrics.AllTerminalReliability(worldstore.Shared(g, seed), r)
 }
 
 // AdaptiveResult reports an adaptive (stopping-rule) estimation outcome.

@@ -58,7 +58,7 @@ import (
 	"ucgraph/internal/kpt"
 	"ucgraph/internal/mcl"
 	"ucgraph/internal/metrics"
-	"ucgraph/internal/sampler"
+	"ucgraph/internal/worldstore"
 )
 
 // NodeID identifies a node; the nodes of an n-node graph are 0..n-1.
@@ -95,12 +95,18 @@ type Stats = core.Stats
 // (progressive sampling, Section 4 of the paper).
 type Schedule = conn.Schedule
 
-// Estimator is the Monte Carlo connection-probability oracle. One Estimator
-// owns a deterministic stream of possible worlds; all queries against it
-// are mutually consistent and reproducible. Estimators are safe for
-// concurrent use and internally parallel: estimates do not depend on the
-// worker count (see Estimator.SetParallelism).
+// Estimator is the Monte Carlo connection-probability oracle. It answers
+// from the shared world store of its (graph, seed) pair, so all queries
+// against it — and against every other consumer of that pair — are
+// mutually consistent and reproducible. Estimators are safe for concurrent
+// use and internally parallel: estimates do not depend on the worker count
+// (see Estimator.SetParallelism) or the store's memory budget.
 type Estimator = conn.MonteCarlo
+
+// WorldStore is the shared, memory-bounded store of sampled possible
+// worlds that all estimators, metrics and companion queries of one
+// (graph, seed) pair answer from. See Worlds and SetWorldMemoryBudget.
+type WorldStore = worldstore.Store
 
 // MCLOptions configures the MCL baseline.
 type MCLOptions = mcl.Options
@@ -152,6 +158,19 @@ func SaveGraph(path string, g *Graph) error { return gio.SaveGraph(path, g) }
 // NewEstimator returns a Monte Carlo connection-probability estimator over
 // g's possible worlds under the given seed.
 func NewEstimator(g *Graph, seed uint64) *Estimator { return conn.NewMonteCarlo(g, seed) }
+
+// Worlds returns the shared world store for (g, seed): the single
+// materialization of that world stream which every estimator, metric and
+// companion query built from the pair answers from. Use it for
+// observability (Stats) or to bound its label memory (SetBudget).
+func Worlds(g *Graph, seed uint64) *WorldStore { return worldstore.Shared(g, seed) }
+
+// SetWorldMemoryBudget bounds the label memory, in bytes, of world stores
+// created afterwards (0 restores the unbounded default). Bounded stores
+// evict least-recently-used label blocks and recompute them on demand;
+// estimates are bit-identical either way, only speed varies. Existing
+// stores keep their budgets; use WorldStore.SetBudget for those.
+func SetWorldMemoryBudget(bytes int64) { worldstore.SetDefaultBudget(bytes) }
 
 // MCP partitions g into k clusters maximizing the minimum connection
 // probability of a node to its cluster center (Algorithm 2 of the paper,
@@ -210,23 +229,20 @@ func KPT(g *Graph, seed uint64) *Clustering { return kpt.Cluster(g, seed) }
 // MinProb estimates the minimum connection probability of a node to its
 // cluster center (Equation 1) over r sampled worlds.
 func MinProb(g *Graph, cl *Clustering, seed uint64, r int) float64 {
-	ls := sampler.NewLabelSet(g, seed)
-	return metrics.PMin(cl, ls, r)
+	return metrics.PMin(cl, worldstore.Shared(g, seed), r)
 }
 
 // AvgProb estimates the average connection probability of nodes to their
 // cluster centers (Equation 2) over r sampled worlds.
 func AvgProb(g *Graph, cl *Clustering, seed uint64, r int) float64 {
-	ls := sampler.NewLabelSet(g, seed)
-	return metrics.PAvg(cl, ls, r)
+	return metrics.PAvg(cl, worldstore.Shared(g, seed), r)
 }
 
 // AVPR estimates the inner and outer Average Vertex Pairwise Reliability of
 // a clustering over r sampled worlds: the mean connection probability of
 // same-cluster pairs and of cross-cluster pairs.
 func AVPR(g *Graph, cl *Clustering, seed uint64, r int) (inner, outer float64) {
-	ls := sampler.NewLabelSet(g, seed)
-	return metrics.AVPR(cl, ls, r)
+	return metrics.AVPR(cl, worldstore.Shared(g, seed), r)
 }
 
 // PairConfusion scores a clustering against ground-truth communities at the
