@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race bench bench-core ci
+.PHONY: build fmt vet test short race bench bench-core bench-server serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,17 @@ short:
 
 # Race detector over the concurrency-bearing packages.
 race:
-	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core
+	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server
+
+# Run the query daemon on a built-in dataset (see docs/SERVER.md).
+serve:
+	$(GO) run ./cmd/ucserve -synthetic collins
+
+# Documentation gate: no broken relative links, and the runnable examples
+# still print exactly what their pinned output says.
+docs-check:
+	$(GO) run ./cmd/docscheck
+	$(GO) test ./examples/...
 
 # Estimator-level benchmarks -> BENCH_conn.json so later changes can
 # compare runs.
@@ -44,4 +54,12 @@ bench-core:
 	@rm -f bench-core.out
 	@echo "wrote BENCH_core.json"
 
-ci: build fmt vet short race
+# Daemon-level benchmarks (cold vs warm world store behind /v1/conn) ->
+# BENCH_server.json.
+bench-server:
+	$(GO) test -bench='ConnColdStore|ConnWarmStore' -benchmem -run='^$$' ./internal/server | tee bench-server.out
+	$(GO) run ./cmd/benchjson -suite server < bench-server.out > BENCH_server.json
+	@rm -f bench-server.out
+	@echo "wrote BENCH_server.json"
+
+ci: build fmt vet short race docs-check

@@ -1,0 +1,131 @@
+// Command docscheck fails when the repository's documentation contains
+// broken relative links, so README/docs references cannot rot silently.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck            # check README.md, ROADMAP.md, docs/
+//	go run ./cmd/docscheck a.md b.md  # check specific files
+//
+// It scans markdown inline links `[text](target)` outside fenced code
+// blocks; targets that are absolute URLs (http/https/mailto) or pure
+// in-page anchors are skipped, every other target must exist on disk
+// relative to the file containing the link (anchors and query strings
+// stripped). Exit status 1 lists every broken link.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// defaultTargets are the documents the CI docs job guards.
+var defaultTargets = []string{"README.md", "ROADMAP.md", "docs"}
+
+// linkRE matches markdown inline links, capturing the target. It
+// deliberately ignores reference-style links (unused in this repo) and
+// images (same syntax with a leading "!", still worth checking — the
+// pattern matches those too since the bracket text is unconstrained).
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// fenceRE matches code-fence delimiters.
+var fenceRE = regexp.MustCompile("^\\s*```")
+
+// checkFile returns a description of every broken relative link in path.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	inFence := false
+	for ln, line := range strings.Split(string(data), "\n") {
+		if fenceRE.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			// Strip in-page anchors and query strings.
+			if i := strings.IndexAny(target, "#?"); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s)", path, ln+1, m[1], resolved))
+			}
+		}
+	}
+	return broken, nil
+}
+
+// expand turns a target into the markdown files it names: files pass
+// through, directories are walked for *.md.
+func expand(target string) ([]string, error) {
+	info, err := os.Stat(target)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{target}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(target, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+func main() {
+	targets := os.Args[1:]
+	if len(targets) == 0 {
+		targets = defaultTargets
+	}
+	var files []string
+	for _, t := range targets {
+		fs, err := expand(t)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(1)
+		}
+		files = append(files, fs...)
+	}
+	broken := 0
+	for _, f := range files {
+		bs, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(1)
+		}
+		for _, b := range bs {
+			fmt.Fprintln(os.Stderr, b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) in %d file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+}

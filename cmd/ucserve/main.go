@@ -1,0 +1,146 @@
+// Command ucserve is the long-running query daemon: it loads one or more
+// uncertain graphs, owns their shared possible-world stores, and serves
+// the estimator surface over HTTP so that many clients amortize one store
+// (see docs/SERVER.md for the endpoint reference).
+//
+// Usage:
+//
+//	ucserve -graph social=social.txt -graph ppi=collins.txt
+//	ucserve -synthetic collins -synthetic gavin -worldmem 256 -listen :8080
+//	ucserve -graph g=graph.txt -seed 7 -gate 4 -par 8
+//
+// Each -graph flag is name=path with path a "u v p" edge-list file; each
+// -synthetic flag serves a built-in dataset (collins, gavin, krogan, dblp)
+// under its own name. All graphs share the -seed world-stream seed, the
+// -worldmem per-store label budget (MiB, 0 = unbounded) and the -gate
+// admission bound on concurrently materializing requests.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ucgraph/internal/datasets"
+	"ucgraph/internal/gio"
+	"ucgraph/internal/server"
+	"ucgraph/internal/worldstore"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "address to serve HTTP on")
+		seed     = flag.Uint64("seed", 1, "world-stream seed shared by all served graphs")
+		par      = flag.Int("par", 0, "estimator worker pool size (0 = all CPUs, 1 = serial)")
+		worldmem = flag.Int("worldmem", 0, "world-label memory budget per store in MiB (0 = unbounded); results are identical either way")
+		gate     = flag.Int("gate", 2, "max concurrent world-materializing requests per graph")
+		samples  = flag.Int("samples", 1000, "default per-request sample budget")
+		maxSamp  = flag.Int("max-samples", 1<<20, "hard cap on per-request sample budgets")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTime  = flag.Duration("max-timeout", 5*time.Minute, "hard cap on per-request deadlines")
+	)
+	var graphs []server.GraphConfig
+	flag.Func("graph", "serve a graph from an edge-list file, as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		g, err := gio.LoadGraph(path)
+		if err != nil {
+			return err
+		}
+		graphs = append(graphs, server.GraphConfig{Name: name, Graph: g})
+		return nil
+	})
+	// Synthetic datasets are only generated after flag.Parse, so that the
+	// -seed flag applies regardless of flag order on the command line.
+	var synthetics []string
+	flag.Func("synthetic", "serve a built-in synthetic dataset: collins, gavin, krogan or dblp (repeatable)", func(v string) error {
+		switch v {
+		case "collins", "gavin", "krogan", "dblp":
+			synthetics = append(synthetics, v)
+			return nil
+		}
+		return fmt.Errorf("unknown synthetic dataset %q", v)
+	})
+	flag.Parse()
+	for _, v := range synthetics {
+		var (
+			ds  *datasets.Dataset
+			err error
+		)
+		switch v {
+		case "collins":
+			ds, err = datasets.Collins(*seed)
+		case "gavin":
+			ds, err = datasets.Gavin(*seed)
+		case "krogan":
+			ds, err = datasets.Krogan(*seed)
+		case "dblp":
+			ds, err = datasets.DBLP(datasets.DefaultDBLPConfig(), *seed)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucserve: %s: %v\n", v, err)
+			os.Exit(1)
+		}
+		graphs = append(graphs, server.GraphConfig{Name: v, Graph: ds.Graph})
+	}
+
+	if len(graphs) == 0 {
+		fmt.Fprintln(os.Stderr, "ucserve: nothing to serve; pass at least one -graph or -synthetic")
+		flag.Usage()
+		os.Exit(2)
+	}
+	worldstore.SetDefaultBudget(int64(*worldmem) << 20)
+	for i := range graphs {
+		graphs[i].Seed = *seed
+	}
+
+	srv, err := server.New(graphs, server.Options{
+		DefaultSamples: *samples,
+		MaxSamples:     *maxSamp,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+		Gate:           *gate,
+		Parallelism:    *par,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
+		os.Exit(1)
+	}
+	for _, gc := range graphs {
+		fmt.Printf("serving %-12s %7d nodes %8d edges (seed %d)\n",
+			gc.Name, gc.Graph.NumNodes(), gc.Graph.NumEdges(), gc.Seed)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("listening on %s\n", *listen)
+
+	select {
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		fmt.Println("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "ucserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -35,7 +35,7 @@ func main() {
 	src := ucgraph.NodeID(0)
 	dd := ucgraph.SampleDistances(g, src, 7, 2000)
 	fmt.Printf("\n5 nearest neighbors of protein %d:\n", src)
-	fmt.Printf("  %-22s %-28s\n", "by median distance", "by reliability")
+	fmt.Printf("  %-22s %s\n", "by median distance", "by reliability")
 	med := dd.KNN(5, ucgraph.MedianDistance)
 	rel := dd.KNN(5, ucgraph.ByReliability)
 	for i := 0; i < 5; i++ {
@@ -46,7 +46,7 @@ func main() {
 		if i < len(rel) {
 			right = fmt.Sprintf("%4d (rel %.2f)", rel[i].Node, rel[i].Reliability)
 		}
-		fmt.Printf("  %-22s %-28s\n", left, right)
+		fmt.Printf("  %-22s %s\n", left, right)
 	}
 
 	// --- Influence maximization ----------------------------------------

@@ -1,0 +1,21 @@
+package main
+
+// Example runs the quickstart end to end and pins its exact output:
+// `go test ./examples/...` (part of the CI docs job) fails if the printed
+// walkthrough ever drifts from what the code does. The estimates are safe
+// to pin — same seed means bit-identical results, per the library's
+// determinism contract (docs/ARCHITECTURE.md).
+func Example() {
+	main()
+	// Output:
+	// graph: 8 nodes, 13 uncertain edges
+	// Pr(0 ~ 3) = 0.998 (same blob)
+	// Pr(0 ~ 7) = 0.101 (across the bridge)
+	//
+	// MCP found 2 clusters (final guess q = 0.900, 1 min-partial runs)
+	//   cluster 0 (center 2): [0 1 2 3]
+	//   cluster 1 (center 6): [4 5 6 7]
+	//   p_min = 0.998   p_avg = 0.999
+	//
+	// ACP clustering: inner-AVPR = 0.998, outer-AVPR = 0.096
+}

@@ -24,6 +24,7 @@
 package conn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -60,6 +61,24 @@ type Oracle interface {
 	FromCenter(c graph.NodeID, depth int, r int) []float64
 	FromCenters(cs []graph.NodeID, depth int, r int) [][]float64
 }
+
+// ContextOracle is an Oracle whose queries additionally honor a
+// cancellation context: a query aborted by ctx returns ctx's error and no
+// estimates. Completed queries are bit-identical to the context-free
+// methods — cancellation never degrades an answer, it only withholds one.
+// Both MonteCarlo and Exact implement it; the context-aware clustering
+// drivers (core.MCPCtx, core.ACPCtx) use it when available and fall back
+// to coarse between-call checks otherwise.
+type ContextOracle interface {
+	Oracle
+	FromCenterCtx(ctx context.Context, c graph.NodeID, depth int, r int) ([]float64, error)
+	FromCentersCtx(ctx context.Context, cs []graph.NodeID, depth int, r int) ([][]float64, error)
+}
+
+var (
+	_ ContextOracle = (*MonteCarlo)(nil)
+	_ ContextOracle = (*Exact)(nil)
+)
 
 // MonteCarlo estimates connection probabilities by sampling possible
 // worlds. Unlimited-depth queries are answered from the per-world component
@@ -246,6 +265,17 @@ func (tally *centerTally) estimate() []float64 {
 // worlds than requested, the higher-precision estimate is returned.
 // FromCenter may be called from many goroutines at once.
 func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
+	out, _ := mc.FromCenterCtx(context.Background(), c, depth, r)
+	return out
+}
+
+// FromCenterCtx is FromCenter with cooperative cancellation: the tally
+// extension advances in bounded chunks of worlds and checks ctx between
+// chunks, so a cancelled query returns ctx's error quickly while leaving
+// the cached tally in a consistent partial state (it exactly covers the
+// worlds tallied so far, and a later query simply resumes from there). A
+// call that returns nil error is bit-identical to FromCenter.
+func (mc *MonteCarlo) FromCenterCtx(ctx context.Context, c graph.NodeID, depth int, r int) ([]float64, error) {
 	if r < 1 {
 		r = 1
 	}
@@ -259,11 +289,36 @@ func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 	// just stops being findable, so the worst case is recomputed work.
 	tally.mu.Lock()
 	defer tally.mu.Unlock()
-	if r > tally.rDone {
-		mc.extend(key, tally, r)
-		tally.rDone = r
+	if err := mc.extendChunked(ctx, key, tally, r); err != nil {
+		return nil, err
 	}
-	return tally.estimate()
+	return tally.estimate(), nil
+}
+
+// ctxChunk is how many worlds a cancellable extension advances between
+// context checks: large enough that the check is free relative to the
+// per-world label scans, small enough that deadlines are honored within
+// tens of milliseconds on laptop-scale graphs. Chunking never changes an
+// estimate — counts are exact integer tallies whatever the boundaries.
+const ctxChunk = 1024
+
+// extendChunked brings tally up to r worlds in ctxChunk-world steps,
+// checking ctx between steps. tally.rDone advances with each completed
+// step, so an aborted extension leaves a valid shorter tally. The caller
+// holds tally.mu.
+func (mc *MonteCarlo) extendChunked(ctx context.Context, key cacheKey, tally *centerTally, r int) error {
+	for tally.rDone < r {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := tally.rDone + ctxChunk
+		if next > r {
+			next = r
+		}
+		mc.extend(key, tally, next)
+		tally.rDone = next
+	}
+	return nil
 }
 
 // FromCenters implements the batched Oracle query: one estimate vector per
@@ -275,8 +330,18 @@ func (mc *MonteCarlo) FromCenter(c graph.NodeID, depth int, r int) []float64 {
 // write into disjoint tallies, so the counts — and the estimates — are
 // bit-identical to a serial per-center loop for any worker count.
 func (mc *MonteCarlo) FromCenters(cs []graph.NodeID, depth int, r int) [][]float64 {
+	out, _ := mc.FromCentersCtx(context.Background(), cs, depth, r)
+	return out
+}
+
+// FromCentersCtx is FromCenters with cooperative cancellation, following
+// the same chunked-extension contract as FromCenterCtx: ctx is checked
+// between bounded chunks of worlds, an aborted batch returns ctx's error
+// with every touched tally left consistent (covering exactly the worlds it
+// tallied), and a nil-error call is bit-identical to FromCenters.
+func (mc *MonteCarlo) FromCentersCtx(ctx context.Context, cs []graph.NodeID, depth int, r int) ([][]float64, error) {
 	if len(cs) == 0 {
-		return nil
+		return nil, nil
 	}
 	if r < 1 {
 		r = 1
@@ -334,11 +399,14 @@ func (mc *MonteCarlo) FromCenters(cs []graph.NodeID, depth int, r int) [][]float
 		// batches extend per center too (each extension is BFS-bound and
 		// already sharded over worlds internally).
 		for _, sl := range pending {
-			mc.extend(sl.key, sl.tally, r)
-			sl.tally.rDone = r
+			if err := mc.extendChunked(ctx, sl.key, sl.tally, r); err != nil {
+				return nil, err
+			}
 		}
 	default:
-		mc.extendBatch(pending, r)
+		if err := mc.extendBatchChunked(ctx, pending, r); err != nil {
+			return nil, err
+		}
 	}
 
 	out := make([][]float64, len(cs))
@@ -354,7 +422,40 @@ func (mc *MonteCarlo) FromCenters(cs []graph.NodeID, depth int, r int) [][]float
 			}
 		}
 	}
-	return out
+	return out, nil
+}
+
+// extendBatchChunked advances every pending tally to r worlds in bounded
+// steps, checking ctx between steps. Each step raises the laggard tallies
+// to the next ctxChunk boundary via the batched extendBatch, so an aborted
+// call leaves every tally consistent at its current rDone. The caller
+// holds every pending tally's lock.
+func (mc *MonteCarlo) extendBatchChunked(ctx context.Context, pending []*batchSlot, r int) error {
+	for {
+		minDone := r
+		for _, sl := range pending {
+			if sl.tally.rDone < minDone {
+				minDone = sl.tally.rDone
+			}
+		}
+		if minDone >= r {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := minDone + ctxChunk
+		if next > r {
+			next = r
+		}
+		still := pending[:0:0]
+		for _, sl := range pending {
+			if sl.tally.rDone < next {
+				still = append(still, sl)
+			}
+		}
+		mc.extendBatch(still, next)
+	}
 }
 
 // extendBatch brings every pending tally up to r worlds of unlimited-depth
@@ -539,6 +640,12 @@ func (mc *MonteCarlo) Pair(u, v graph.NodeID, r int) float64 {
 	return mc.store.EstimatePair(u, v, r)
 }
 
+// PairCtx is Pair with cooperative cancellation: the world scan aborts at
+// the next block boundary once ctx is done, returning ctx's error.
+func (mc *MonteCarlo) PairCtx(ctx context.Context, u, v graph.NodeID, r int) (float64, error) {
+	return mc.store.EstimatePairCtx(ctx, u, v, r)
+}
+
 // MaxExactEdges caps the graph size accepted by Exact: enumerating 2^m
 // worlds beyond ~22 edges is pointless even for tests.
 const MaxExactEdges = 22
@@ -636,6 +743,28 @@ func (ex *Exact) FromCenters(cs []graph.NodeID, depth int, r int) [][]float64 {
 		out[i] = ex.FromCenter(c, depth, r)
 	}
 	return out
+}
+
+// FromCenterCtx implements ContextOracle: ctx is checked before the
+// enumeration (a single center's 2^m sweep is the indivisible unit here).
+func (ex *Exact) FromCenterCtx(ctx context.Context, c graph.NodeID, depth int, r int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return ex.FromCenter(c, depth, r), nil
+}
+
+// FromCentersCtx implements ContextOracle, checking ctx between centers.
+func (ex *Exact) FromCentersCtx(ctx context.Context, cs []graph.NodeID, depth int, r int) ([][]float64, error) {
+	out := make([][]float64, len(cs))
+	for i, c := range cs {
+		est, err := ex.FromCenterCtx(ctx, c, depth, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = est
+	}
+	return out, nil
 }
 
 // Pair returns the exact Pr(u ~ v).

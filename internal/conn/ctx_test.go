@@ -1,0 +1,138 @@
+package conn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+// ctxRing builds a ring with chords, large enough that a query spans many
+// context-check chunks.
+func ctxRing(t *testing.T, n int) *graph.Uncertain {
+	t.Helper()
+	x := rng.NewXoshiro256(99)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(int32(i), int32((i+1)%n), 0.3+0.6*x.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromCenterCtxMatchesPlain(t *testing.T) {
+	g := ctxRing(t, 128)
+	r := 3000 // spans several ctxChunk boundaries
+
+	plain := NewMonteCarlo(g, 7).FromCenter(0, Unlimited, r)
+	got, err := NewMonteCarlo(g, 7).FromCenterCtx(context.Background(), 0, Unlimited, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range plain {
+		if plain[u] != got[u] {
+			t.Fatalf("node %d: ctx path %v != plain %v", u, got[u], plain[u])
+		}
+	}
+}
+
+func TestFromCenterCtxCancelled(t *testing.T) {
+	g := ctxRing(t, 128)
+	mc := NewMonteCarlo(g, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mc.FromCenterCtx(ctx, 0, Unlimited, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The estimator must remain fully usable after an aborted query, and a
+	// successful retry must match a fresh estimator bit for bit.
+	want := NewMonteCarlo(g, 7).FromCenter(0, Unlimited, 2500)
+	got, err := mc.FromCenterCtx(context.Background(), 0, Unlimited, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if want[u] != got[u] {
+			t.Fatalf("node %d after aborted query: %v != %v", u, got[u], want[u])
+		}
+	}
+}
+
+func TestFromCentersCtxPartialAbortLeavesConsistentTallies(t *testing.T) {
+	g := ctxRing(t, 64)
+	mc := NewMonteCarlo(g, 3)
+	cs := []graph.NodeID{1, 5, 9, 13}
+
+	// Warm the tallies unevenly, then abort a batched extension partway by
+	// cancelling the context mid-flight via a deadline in the past.
+	mc.FromCenter(1, Unlimited, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mc.FromCentersCtx(ctx, cs, Unlimited, 4000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// A later uncancelled batch must produce exactly the fresh-estimator
+	// answer: partial tallies resume, never corrupt.
+	got, err := mc.FromCentersCtx(context.Background(), cs, Unlimited, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMonteCarlo(g, 3).FromCenters(cs, Unlimited, 4000)
+	for i := range want {
+		for u := range want[i] {
+			if want[i][u] != got[i][u] {
+				t.Fatalf("center %d node %d: %v != %v", cs[i], u, got[i][u], want[i][u])
+			}
+		}
+	}
+}
+
+func TestPairCtxCancelled(t *testing.T) {
+	g := ctxRing(t, 64)
+	mc := NewMonteCarlo(g, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mc.PairCtx(ctx, 0, 5, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	got, err := mc.PairCtx(context.Background(), 0, 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mc.Pair(0, 5, 400); got != want {
+		t.Fatalf("PairCtx %v != Pair %v", got, want)
+	}
+}
+
+func TestExactContextOracle(t *testing.T) {
+	g := ctxRing(t, 8)
+	ex, err := NewExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.FromCenterCtx(ctx, 0, Unlimited, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	got, err := ex.FromCentersCtx(context.Background(), []graph.NodeID{0, 3}, Unlimited, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ex.FromCenters([]graph.NodeID{0, 3}, Unlimited, 0)
+	for i := range want {
+		for u := range want[i] {
+			if want[i][u] != got[i][u] {
+				t.Fatalf("center %d node %d: %v != %v", i, u, got[i][u], want[i][u])
+			}
+		}
+	}
+}

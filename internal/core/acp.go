@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ucgraph/internal/conn"
@@ -31,6 +32,14 @@ import (
 // The returned clustering C satisfies, w.h.p.,
 // avg-prob(C) >= (1-eps) * (p_opt-avg(k) / ((1+gamma) H(n)))^3  (Theorem 8).
 func ACP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
+	return ACPCtx(context.Background(), o, k, opt)
+}
+
+// ACPCtx is ACP with cooperative cancellation, following the same contract
+// as MCPCtx: a deadline or cancellation aborts the sweep mid-estimation
+// (when the oracle implements conn.ContextOracle) and surfaces as ctx's
+// error; a nil-error run is bit-identical to ACP.
+func ACPCtx(ctx context.Context, o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 	n := o.NumNodes()
 	if k < 1 || k >= n {
 		return nil, Stats{}, fmt.Errorf("core: k = %d out of range [1, %d)", k, n)
@@ -48,7 +57,7 @@ func ACP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 
 	// try runs min-partial with removal threshold rem and selection
 	// threshold sel; the sample size is tuned for estimating rem reliably.
-	try := func(rem, sel float64) *PartialResult {
+	try := func(rem, sel float64) (*PartialResult, error) {
 		r := opt.Schedule.Samples(rem)
 		if r > st.MaxSamples {
 			st.MaxSamples = r
@@ -57,14 +66,17 @@ func ACP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 		if opt.Geometric && opt.Alpha == 1 {
 			alpha = -1 // literal Algorithm 3 uses alpha = n
 		}
-		res := MinPartial(o, rnd, PartialParams{
+		res, err := MinPartialCtx(ctx, o, rnd, PartialParams{
 			K: k, Q: rem, QBar: sel, Alpha: alpha,
 			Depth: opt.Depth, DepthSel: depthSel,
 			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
 		})
+		if err != nil {
+			return nil, err
+		}
 		st.Invocations++
 		st.OracleCalls += res.OracleCalls
-		return res
+		return res, nil
 	}
 
 	var (
@@ -84,10 +96,17 @@ func ACP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 
 	if opt.Geometric {
 		// Line 1 of Algorithm 3: min-partial(G, k, 1, n, 1).
-		consider(try(1, 1), 1)
+		res, err := try(1, 1)
+		if err != nil {
+			return nil, st, err
+		}
+		consider(res, 1)
 		q := 1 / (1 + opt.Gamma)
 		for q*q*q >= phiBest && q >= opt.PL {
-			consider(try(q*q*q, q), q)
+			if res, err = try(q*q*q, q); err != nil {
+				return nil, st, err
+			}
+			consider(res, q)
 			q = q / (1 + opt.Gamma)
 		}
 		if best == nil {
@@ -97,7 +116,11 @@ func ACP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 	}
 
 	// Practical accelerated sweep: thresholds 1, 0.9, 0.8, 0.6, 0.2, PL.
-	consider(try(1, 1), 1)
+	res, err := try(1, 1)
+	if err != nil {
+		return nil, st, err
+	}
+	consider(res, 1)
 	for i := 0; ; i++ {
 		t := 1 - opt.Gamma*float64(int64(1)<<uint(i))
 		if t < opt.PL {
@@ -106,7 +129,10 @@ func ACP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 		if t < phiBest {
 			break // smaller thresholds cannot beat the incumbent
 		}
-		consider(try(t, t), t)
+		if res, err = try(t, t); err != nil {
+			return nil, st, err
+		}
+		consider(res, t)
 		if t <= opt.PL {
 			break
 		}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+// blobsGraph builds k dense high-probability blobs bridged by weak edges —
+// an instance where MCP/ACP do real progressive-sampling work.
+func blobsGraph(t *testing.T, blobs, size int) *graph.Uncertain {
+	t.Helper()
+	b := graph.NewBuilder(blobs * size)
+	for c := 0; c < blobs; c++ {
+		base := int32(c * size)
+		for i := int32(0); i < int32(size); i++ {
+			for j := i + 1; j < int32(size); j++ {
+				if err := b.AddEdge(base+i, base+j, 0.85); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if c > 0 {
+			if err := b.AddEdge(base-int32(size), base, 0.05); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMCPCtxMatchesMCP(t *testing.T) {
+	g := blobsGraph(t, 3, 6)
+	opt := Options{Seed: 5}
+
+	want, wantSt, err := MCP(conn.NewMonteCarlo(g, 101), 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSt, err := MCPCtx(context.Background(), conn.NewMonteCarlo(g, 101), 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSt != gotSt {
+		t.Fatalf("stats diverged: %+v != %+v", gotSt, wantSt)
+	}
+	for u := range want.Assign {
+		if want.Assign[u] != got.Assign[u] || want.Prob[u] != got.Prob[u] {
+			t.Fatalf("node %d: (%d, %v) != (%d, %v)", u,
+				got.Assign[u], got.Prob[u], want.Assign[u], want.Prob[u])
+		}
+	}
+}
+
+func TestMCPCtxCancelled(t *testing.T) {
+	g := blobsGraph(t, 3, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := MCPCtx(ctx, conn.NewMonteCarlo(g, 101), 3, Options{Seed: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestACPCtxDeadline(t *testing.T) {
+	g := blobsGraph(t, 3, 6)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := ACPCtx(ctx, conn.NewMonteCarlo(g, 101), 3, Options{Seed: 5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestMinPartialCtxPlainOracleFallback(t *testing.T) {
+	// An oracle without FromCenterCtx still works: cancellation is checked
+	// between calls, success matches the context-free path.
+	g := blobsGraph(t, 2, 4)
+	ex, err := conn.NewExact(g)
+	if err != nil {
+		t.Skip("graph too large for exact oracle:", err)
+	}
+	p := PartialParams{K: 2, Q: 0.5, QBar: 0.5, Alpha: 2, Depth: conn.Unlimited, DepthSel: conn.Unlimited, R: 1}
+
+	want := MinPartial(ex, rng.NewXoshiro256(9), p)
+	got, err := MinPartialCtx(context.Background(), ex, rng.NewXoshiro256(9), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want.Clustering.Assign {
+		if want.Clustering.Assign[u] != got.Clustering.Assign[u] {
+			t.Fatalf("node %d: %d != %d", u, got.Clustering.Assign[u], want.Clustering.Assign[u])
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinPartialCtx(ctx, ex, rng.NewXoshiro256(9), p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -98,39 +99,54 @@ type Stats struct {
 // The returned clustering C satisfies, w.h.p.,
 // min-prob(C) >= (1-eps) * p_opt-min(k)^2 / (1+gamma)  (Theorem 7).
 func MCP(o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
+	return MCPCtx(context.Background(), o, k, opt)
+}
+
+// MCPCtx is MCP with cooperative cancellation: min-partial invocations are
+// run with ctx (aborting mid-estimation when the oracle implements
+// conn.ContextOracle), so a deadline or cancellation surfaces as ctx's
+// error together with the Stats of the work done so far. A nil-error run
+// is bit-identical to MCP.
+func MCPCtx(ctx context.Context, o conn.Oracle, k int, opt Options) (*Clustering, Stats, error) {
 	n := o.NumNodes()
 	if k < 1 || k >= n {
 		return nil, Stats{}, fmt.Errorf("core: k = %d out of range [1, %d)", k, n)
 	}
 	opt = opt.withDefaults(n)
 	rnd := rng.NewXoshiro256(rng.Stream(opt.Seed, 0x4d4350)) // "MCP" stream
-	return mcpRun(o, k, opt, rnd)
+	return mcpRun(ctx, o, k, opt, rnd)
 }
 
-func mcpRun(o conn.Oracle, k int, opt Options, rnd *rng.Xoshiro256) (*Clustering, Stats, error) {
+func mcpRun(ctx context.Context, o conn.Oracle, k int, opt Options, rnd *rng.Xoshiro256) (*Clustering, Stats, error) {
 	var st Stats
 	depthSel := opt.Depth // practical: d' = d
 
-	try := func(q float64) *PartialResult {
+	try := func(q float64) (*PartialResult, error) {
 		r := opt.Schedule.Samples(q)
 		if r > st.MaxSamples {
 			st.MaxSamples = r
 		}
-		res := MinPartial(o, rnd, PartialParams{
+		res, err := MinPartialCtx(ctx, o, rnd, PartialParams{
 			K: k, Q: q, QBar: q, Alpha: opt.Alpha,
 			Depth: opt.Depth, DepthSel: depthSel,
 			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
 		})
+		if err != nil {
+			return nil, err
+		}
 		st.Invocations++
 		st.OracleCalls += res.OracleCalls
-		return res
+		return res, nil
 	}
 
 	if opt.Geometric {
 		// Algorithm 2 verbatim: q = 1, divide by (1+gamma).
 		q := 1.0
 		for {
-			res := try(q)
+			res, err := try(q)
+			if err != nil {
+				return nil, st, err
+			}
 			if res.Clustering.IsFull() {
 				st.FinalQ = q
 				return res.Clustering, st, nil
@@ -148,20 +164,21 @@ func mcpRun(o conn.Oracle, k int, opt Options, rnd *rng.Xoshiro256) (*Clustering
 	// Accelerated schedule: q_i = max{1 - gamma*2^i, PL}, then binary
 	// search between the last failing guess and the first succeeding one.
 	var (
-		loQ      float64 // highest guess known to cover all nodes
-		loRes    *PartialResult
-		hiQ      = 1.0 // lowest guess known to fail (exclusive bound)
-		searched bool
+		loQ   float64 // highest guess known to cover all nodes
+		loRes *PartialResult
+		hiQ   = 1.0 // lowest guess known to fail (exclusive bound)
 	)
 	for i := 0; ; i++ {
 		q := 1 - opt.Gamma*float64(int64(1)<<uint(i))
 		if q < opt.PL {
 			q = opt.PL
 		}
-		res := try(q)
+		res, err := try(q)
+		if err != nil {
+			return nil, st, err
+		}
 		if res.Clustering.IsFull() {
 			loQ, loRes = q, res
-			searched = true
 			break
 		}
 		hiQ = q
@@ -169,12 +186,14 @@ func mcpRun(o conn.Oracle, k int, opt Options, rnd *rng.Xoshiro256) (*Clustering
 			return nil, st, ErrNoClustering
 		}
 	}
-	_ = searched
 	// Binary search in (loQ, hiQ): stop when the ratio between the bounds
 	// exceeds 1 - gamma (Section 5).
 	for loQ/hiQ < 1-opt.Gamma {
 		mid := (loQ + hiQ) / 2
-		res := try(mid)
+		res, err := try(mid)
+		if err != nil {
+			return nil, st, err
+		}
 		if res.Clustering.IsFull() {
 			loQ, loRes = mid, res
 		} else {

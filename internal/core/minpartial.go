@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,31 @@ type PartialResult struct {
 	OracleCalls int
 }
 
+// fromCenterCtx routes a single-center query through the oracle's
+// context-aware path when it has one; otherwise it degrades to one ctx
+// check before the (uninterruptible) plain call. Either way a nil error
+// means the answer is bit-identical to FromCenter.
+func fromCenterCtx(ctx context.Context, o conn.Oracle, c graph.NodeID, depth, r int) ([]float64, error) {
+	if co, ok := o.(conn.ContextOracle); ok {
+		return co.FromCenterCtx(ctx, c, depth, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return o.FromCenter(c, depth, r), nil
+}
+
+// fromCentersCtx is the batched form of fromCenterCtx.
+func fromCentersCtx(ctx context.Context, o conn.Oracle, cs []graph.NodeID, depth, r int) ([][]float64, error) {
+	if co, ok := o.(conn.ContextOracle); ok {
+		return co.FromCentersCtx(ctx, cs, depth, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return o.FromCenters(cs, depth, r), nil
+}
+
 // MinPartial runs Algorithm 1 (or Algorithm 4 when Depth/DepthSel are set)
 // against the given oracle. The returned clustering covers a maximal subset
 // of nodes, each with estimated connection probability at least
@@ -84,6 +110,16 @@ type PartialResult struct {
 // random from the uncovered set using rnd, matching the randomized runs
 // averaged in the paper's experiments.
 func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialResult {
+	res, _ := MinPartialCtx(context.Background(), o, rnd, p)
+	return res
+}
+
+// MinPartialCtx is MinPartial with cooperative cancellation: oracle
+// queries are routed through the oracle's context-aware path when it
+// implements conn.ContextOracle, so a deadline or cancellation aborts the
+// run mid-estimation and returns ctx's error. A nil-error run is
+// bit-identical to MinPartial with the same oracle, rnd and params.
+func MinPartialCtx(ctx context.Context, o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) (*PartialResult, error) {
 	n := o.NumNodes()
 	k := p.K
 	if k < 1 {
@@ -180,7 +216,10 @@ func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialRes
 			if end > tsize {
 				end = tsize
 			}
-			ests := o.FromCenters(uncovered[base:end:end], p.DepthSel, p.R)
+			ests, err := fromCentersCtx(ctx, o, uncovered[base:end:end], p.DepthSel, p.R)
+			if err != nil {
+				return nil, err
+			}
 			scoreAt := func(i int) {
 				est := ests[i-base]
 				score := 0
@@ -233,7 +272,11 @@ func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialRes
 		// depths coincide (the practical configuration).
 		remEst := bestSelEst
 		if p.Depth != p.DepthSel {
-			remEst = o.FromCenter(ci, p.Depth, p.R)
+			var err error
+			remEst, err = fromCenterCtx(ctx, o, ci, p.Depth, p.R)
+			if err != nil {
+				return nil, err
+			}
 			res.OracleCalls++
 		}
 		absorb(clusterIdx, remEst)
@@ -272,7 +315,10 @@ func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialRes
 		clusterIdx := int32(len(cl.Centers))
 		cl.Centers = append(cl.Centers, extra)
 		isCenter[extra] = true
-		est := o.FromCenter(extra, p.Depth, p.R)
+		est, err := fromCenterCtx(ctx, o, extra, p.Depth, p.R)
+		if err != nil {
+			return nil, err
+		}
 		res.OracleCalls++
 		absorb(clusterIdx, est)
 		remove(extra)
@@ -293,5 +339,5 @@ func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialRes
 		res.BestIdx[ctr] = int32(i)
 		res.BestProb[ctr] = 1
 	}
-	return res
+	return res, nil
 }

@@ -20,6 +20,7 @@ package influence
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"ucgraph/internal/graph"
@@ -29,13 +30,21 @@ import (
 // Spread estimates sigma(S): the expected number of nodes in the same
 // component as at least one seed, over the first r worlds of ws.
 func Spread(ws *worldstore.Store, seeds []graph.NodeID, r int) float64 {
+	v, _ := SpreadCtx(context.Background(), ws, seeds, r)
+	return v
+}
+
+// SpreadCtx is Spread with cooperative cancellation: the world scan aborts
+// at the next block boundary once ctx is done, returning ctx's error. A
+// nil-error call is bit-identical to Spread.
+func SpreadCtx(ctx context.Context, ws *worldstore.Store, seeds []graph.NodeID, r int) (float64, error) {
 	if len(seeds) == 0 {
-		return 0
+		return 0, ctx.Err()
 	}
 	n := ws.NumNodes()
 	total := 0
 	live := make(map[int32]struct{}, len(seeds))
-	ws.Scan(0, r, func(_ int, lab []int32) {
+	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
 		for k := range live {
 			delete(live, k)
 		}
@@ -47,8 +56,10 @@ func Spread(ws *worldstore.Store, seeds []graph.NodeID, r int) float64 {
 				total++
 			}
 		}
-	})
-	return float64(total) / float64(r)
+	}); err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(r), nil
 }
 
 // celfEntry is a lazily evaluated marginal gain.
@@ -90,6 +101,14 @@ type Result struct {
 // all nodes in one pass over the world blocks instead of one scan per
 // node.
 func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
+	return GreedyCtx(context.Background(), ws, k, r)
+}
+
+// GreedyCtx is Greedy with cooperative cancellation: ctx is checked by
+// every world scan (the initial batched round, each CELF re-evaluation and
+// each coverage update), so a deadline aborts the maximization promptly
+// with ctx's error. A nil-error run is bit-identical to Greedy.
+func GreedyCtx(ctx context.Context, ws *worldstore.Store, k, r int) (*Result, error) {
 	n := ws.NumNodes()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("influence: k = %d out of range [1, %d]", k, n)
@@ -100,7 +119,7 @@ func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
 	// empty-set gains of all nodes into the same block pass.
 	compSize := make([]map[int32]int32, r)
 	gain0 := make([]int64, n)
-	ws.Scan(0, r, func(w int, lab []int32) {
+	if err := ws.ScanCtx(ctx, 0, r, func(w int, lab []int32) {
 		sizes := make(map[int32]int32)
 		for _, l := range lab {
 			sizes[l]++
@@ -109,7 +128,9 @@ func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
 		for v := 0; v < n; v++ {
 			gain0[v] += int64(sizes[lab[v]])
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	// covered[w] holds the component labels already reached by the seed
 	// set in world w.
 	covered := make([]map[int32]struct{}, r)
@@ -118,16 +139,18 @@ func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
 	}
 
 	res := &Result{}
-	marginal := func(v graph.NodeID) float64 {
+	marginal := func(v graph.NodeID) (float64, error) {
 		sum := int64(0)
-		ws.Scan(0, r, func(w int, lab []int32) {
+		if err := ws.ScanCtx(ctx, 0, r, func(w int, lab []int32) {
 			l := lab[v]
 			if _, ok := covered[w][l]; !ok {
 				sum += int64(compSize[w][l])
 			}
-		})
+		}); err != nil {
+			return 0, err
+		}
 		res.Evaluations++
-		return float64(sum) / float64(r)
+		return float64(sum) / float64(r), nil
 	}
 
 	h := make(celfHeap, 0, n)
@@ -142,7 +165,11 @@ func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
 		top := heap.Pop(&h).(celfEntry)
 		if top.round != len(res.Seeds) {
 			// Stale: re-evaluate under the current seed set and reinsert.
-			top.gain = marginal(top.node)
+			gain, err := marginal(top.node)
+			if err != nil {
+				return nil, err
+			}
+			top.gain = gain
 			top.round = len(res.Seeds)
 			heap.Push(&h, top)
 			continue
@@ -151,9 +178,11 @@ func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
 		res.Seeds = append(res.Seeds, top.node)
 		total += top.gain
 		res.Spread = append(res.Spread, total)
-		ws.Scan(0, r, func(w int, lab []int32) {
+		if err := ws.ScanCtx(ctx, 0, r, func(w int, lab []int32) {
 			covered[w][lab[top.node]] = struct{}{}
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

@@ -23,6 +23,7 @@
 package knn
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -52,10 +53,24 @@ func Sample(g *graph.Uncertain, src graph.NodeID, seed uint64, r int) *DistanceD
 	return SampleStore(worldstore.Shared(g, seed), src, r)
 }
 
+// SampleCtx is Sample with cooperative cancellation (see SampleStoreCtx).
+func SampleCtx(ctx context.Context, g *graph.Uncertain, src graph.NodeID, seed uint64, r int) (*DistanceDistribution, error) {
+	return SampleStoreCtx(ctx, worldstore.Shared(g, seed), src, r)
+}
+
 // SampleStore computes the hop-distance distribution from src over the
 // first r worlds of ws. Hop distances need per-world BFS, so the sampling
 // runs on the store's implicit world view rather than its label blocks.
 func SampleStore(ws *worldstore.Store, src graph.NodeID, r int) *DistanceDistribution {
+	dd, _ := SampleStoreCtx(context.Background(), ws, src, r)
+	return dd
+}
+
+// SampleStoreCtx is SampleStore with cooperative cancellation: ctx is
+// checked between per-world BFS traversals, and a cancelled run returns
+// ctx's error with no distribution. A nil-error run is bit-identical to
+// SampleStore.
+func SampleStoreCtx(ctx context.Context, ws *worldstore.Store, src graph.NodeID, r int) (*DistanceDistribution, error) {
 	g := ws.Graph()
 	n := g.NumNodes()
 	dd := &DistanceDistribution{
@@ -72,6 +87,11 @@ func SampleStore(ws *worldstore.Store, src graph.NodeID, r int) *DistanceDistrib
 	queue := make([]graph.NodeID, 0, n)
 	reached := make([]bool, n)
 	for w := 0; w < r; w++ {
+		if w%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		world := ws.World(w)
 		for v := range reached {
 			reached[v] = false
@@ -86,7 +106,7 @@ func SampleStore(ws *worldstore.Store, src graph.NodeID, r int) *DistanceDistrib
 			}
 		}
 	}
-	return dd
+	return dd, nil
 }
 
 // Reliability returns the fraction of worlds where v was reachable:

@@ -17,6 +17,8 @@
 package metrics
 
 import (
+	"context"
+
 	"ucgraph/internal/core"
 	"ucgraph/internal/graph"
 	"ucgraph/internal/worldstore"
@@ -28,6 +30,14 @@ import (
 // The computation is world-wise — one O(n) scan per world over the
 // component labels — so its cost is independent of the number of clusters.
 func ClusterProbs(cl *core.Clustering, ws *worldstore.Store, r int) []float64 {
+	out, _ := ClusterProbsCtx(context.Background(), cl, ws, r)
+	return out
+}
+
+// ClusterProbsCtx is ClusterProbs with cooperative cancellation: the world
+// scan aborts at the next block boundary once ctx is done, returning ctx's
+// error. A nil-error call is bit-identical to ClusterProbs.
+func ClusterProbsCtx(ctx context.Context, cl *core.Clustering, ws *worldstore.Store, r int) ([]float64, error) {
 	n := cl.N()
 	counts := make([]int32, n)
 	centerOf := make([]graph.NodeID, n)
@@ -38,14 +48,16 @@ func ClusterProbs(cl *core.Clustering, ws *worldstore.Store, r int) []float64 {
 			centerOf[u] = -1
 		}
 	}
-	ws.Scan(0, r, func(_ int, lab []int32) {
+	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
 		for u := 0; u < n; u++ {
 			c := centerOf[u]
 			if c >= 0 && lab[u] == lab[c] {
 				counts[u]++
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := make([]float64, n)
 	inv := 1 / float64(r)
 	for u, cnt := range counts {
@@ -53,38 +65,56 @@ func ClusterProbs(cl *core.Clustering, ws *worldstore.Store, r int) []float64 {
 			out[u] = float64(cnt) * inv
 		}
 	}
-	return out
+	return out, nil
 }
 
 // PMin returns the estimated minimum connection probability of any node to
 // its cluster center (p_min of Figure 1). Unassigned nodes count as 0, so a
 // partial clustering scores 0.
 func PMin(cl *core.Clustering, ws *worldstore.Store, r int) float64 {
-	probs := ClusterProbs(cl, ws, r)
+	v, _ := PMinCtx(context.Background(), cl, ws, r)
+	return v
+}
+
+// PMinCtx is PMin with cooperative cancellation.
+func PMinCtx(ctx context.Context, cl *core.Clustering, ws *worldstore.Store, r int) (float64, error) {
+	probs, err := ClusterProbsCtx(ctx, cl, ws, r)
+	if err != nil {
+		return 0, err
+	}
 	min := 1.0
 	for u, p := range probs {
 		if cl.Assign[u] == core.Unassigned {
-			return 0
+			return 0, nil
 		}
 		if p < min {
 			min = p
 		}
 	}
-	return min
+	return min, nil
 }
 
 // PAvg returns the estimated average connection probability of nodes to
 // their cluster centers (p_avg of Figure 1); unassigned nodes contribute 0.
 func PAvg(cl *core.Clustering, ws *worldstore.Store, r int) float64 {
-	probs := ClusterProbs(cl, ws, r)
+	v, _ := PAvgCtx(context.Background(), cl, ws, r)
+	return v
+}
+
+// PAvgCtx is PAvg with cooperative cancellation.
+func PAvgCtx(ctx context.Context, cl *core.Clustering, ws *worldstore.Store, r int) (float64, error) {
+	probs, err := ClusterProbsCtx(ctx, cl, ws, r)
+	if err != nil {
+		return 0, err
+	}
 	if len(probs) == 0 {
-		return 0
+		return 0, nil
 	}
 	s := 0.0
 	for _, p := range probs {
 		s += p
 	}
-	return s / float64(len(probs))
+	return s / float64(len(probs)), nil
 }
 
 // AVPR returns the inner and outer Average Vertex Pairwise Reliability of
@@ -96,6 +126,12 @@ func PAvg(cl *core.Clustering, ws *worldstore.Store, r int) float64 {
 // Estimated over the first r worlds of ws. A clustering with no
 // same-cluster (resp. cross-cluster) pairs reports 0 for that component.
 func AVPR(cl *core.Clustering, ws *worldstore.Store, r int) (inner, outer float64) {
+	inner, outer, _ = AVPRCtx(context.Background(), cl, ws, r)
+	return inner, outer
+}
+
+// AVPRCtx is AVPR with cooperative cancellation.
+func AVPRCtx(ctx context.Context, cl *core.Clustering, ws *worldstore.Store, r int) (inner, outer float64, err error) {
 	n := cl.N()
 
 	// Static pair counts.
@@ -123,7 +159,7 @@ func AVPR(cl *core.Clustering, ws *worldstore.Store, r int) (inner, outer float6
 	compTouched := make([]int32, 0, n)
 	groupTouched := make([]int32, 0, n)
 	clusters := cl.Clusters()
-	ws.Scan(0, r, func(_ int, lab []int32) {
+	err = ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
 		// Total connected pairs among assigned nodes.
 		compTouched = compTouched[:0]
 		for u := 0; u < n; u++ {
@@ -158,6 +194,9 @@ func AVPR(cl *core.Clustering, ws *worldstore.Store, r int) (inner, outer float6
 			}
 		}
 	})
+	if err != nil {
+		return 0, 0, err
+	}
 
 	if innerPairs > 0 {
 		inner = float64(innerConnected) / (float64(innerPairs) * float64(r))
@@ -165,7 +204,7 @@ func AVPR(cl *core.Clustering, ws *worldstore.Store, r int) (inner, outer float6
 	if outerPairs > 0 {
 		outer = float64(totalConnected-innerConnected) / (float64(outerPairs) * float64(r))
 	}
-	return inner, outer
+	return inner, outer, nil
 }
 
 // Confusion is a pair-level confusion matrix against ground-truth

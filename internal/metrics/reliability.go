@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"context"
+
 	"ucgraph/internal/graph"
 	"ucgraph/internal/worldstore"
 )
@@ -8,15 +10,24 @@ import (
 // This file provides classical network-reliability statistics (Section 1.1
 // of the paper traces the uncertain-graph model back to this literature),
 // estimated over the same shared possible-world streams as the clustering
-// metrics.
+// metrics. Every statistic comes in a plain and a Ctx form; the Ctx forms
+// abort the world scan at the next block boundary once the context is done
+// and are otherwise bit-identical.
 
 // ExpectedComponents estimates the expected number of connected components
 // of a random possible world, over the first r worlds of ws.
 func ExpectedComponents(ws *worldstore.Store, r int) float64 {
+	v, _ := ExpectedComponentsCtx(context.Background(), ws, r)
+	return v
+}
+
+// ExpectedComponentsCtx is ExpectedComponents with cooperative
+// cancellation.
+func ExpectedComponentsCtx(ctx context.Context, ws *worldstore.Store, r int) (float64, error) {
 	n := ws.NumNodes()
 	seen := make([]bool, n)
 	total := 0
-	ws.Scan(0, r, func(_ int, lab []int32) {
+	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
 		count := 0
 		for _, l := range lab {
 			if !seen[l] {
@@ -28,19 +39,27 @@ func ExpectedComponents(ws *worldstore.Store, r int) float64 {
 			seen[l] = false
 		}
 		total += count
-	})
-	return float64(total) / float64(r)
+	}); err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(r), nil
 }
 
 // SetReliability estimates the probability that all nodes of set lie in
 // one connected component of a random possible world (k-terminal
 // reliability). An empty or singleton set has reliability 1.
 func SetReliability(ws *worldstore.Store, set []graph.NodeID, r int) float64 {
+	v, _ := SetReliabilityCtx(context.Background(), ws, set, r)
+	return v
+}
+
+// SetReliabilityCtx is SetReliability with cooperative cancellation.
+func SetReliabilityCtx(ctx context.Context, ws *worldstore.Store, set []graph.NodeID, r int) (float64, error) {
 	if len(set) <= 1 {
-		return 1
+		return 1, ctx.Err()
 	}
 	hits := 0
-	ws.Scan(0, r, func(_ int, lab []int32) {
+	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
 		l0 := lab[set[0]]
 		for _, u := range set[1:] {
 			if lab[u] != l0 {
@@ -48,28 +67,44 @@ func SetReliability(ws *worldstore.Store, set []graph.NodeID, r int) float64 {
 			}
 		}
 		hits++
-	})
-	return float64(hits) / float64(r)
+	}); err != nil {
+		return 0, err
+	}
+	return float64(hits) / float64(r), nil
 }
 
 // AllTerminalReliability estimates the probability that a random possible
 // world is connected (all nodes in one component).
 func AllTerminalReliability(ws *worldstore.Store, r int) float64 {
+	v, _ := AllTerminalReliabilityCtx(context.Background(), ws, r)
+	return v
+}
+
+// AllTerminalReliabilityCtx is AllTerminalReliability with cooperative
+// cancellation.
+func AllTerminalReliabilityCtx(ctx context.Context, ws *worldstore.Store, r int) (float64, error) {
 	n := ws.NumNodes()
 	set := make([]graph.NodeID, n)
 	for i := range set {
 		set[i] = graph.NodeID(i)
 	}
-	return SetReliability(ws, set, r)
+	return SetReliabilityCtx(ctx, ws, set, r)
 }
 
 // LargestComponentFraction estimates the expected fraction of nodes in the
 // largest component of a random possible world.
 func LargestComponentFraction(ws *worldstore.Store, r int) float64 {
+	v, _ := LargestComponentFractionCtx(context.Background(), ws, r)
+	return v
+}
+
+// LargestComponentFractionCtx is LargestComponentFraction with cooperative
+// cancellation.
+func LargestComponentFractionCtx(ctx context.Context, ws *worldstore.Store, r int) (float64, error) {
 	n := ws.NumNodes()
 	count := make([]int32, n)
 	total := 0.0
-	ws.Scan(0, r, func(_ int, lab []int32) {
+	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
 		max := int32(0)
 		for _, l := range lab {
 			count[l]++
@@ -81,6 +116,8 @@ func LargestComponentFraction(ws *worldstore.Store, r int) float64 {
 			count[l] = 0
 		}
 		total += float64(max) / float64(n)
-	})
-	return total / float64(r)
+	}); err != nil {
+		return 0, err
+	}
+	return total / float64(r), nil
 }

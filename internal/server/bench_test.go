@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// connPairBody is the benchmark query: one pair probability over benchR
+// worlds of a benchN-node ring.
+const (
+	benchN = 512
+	benchR = 2048
+)
+
+func connPairBody(b *testing.B) []byte {
+	b.Helper()
+	body, err := json.Marshal(map[string]any{
+		"graph": "ring", "source": 0, "target": benchN / 2, "samples": benchR,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func serveConn(b *testing.B, s *Server, body []byte) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/conn", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkConnColdStore measures a /v1/conn pair query against a cold
+// world store: every iteration serves a distinct world-stream seed, so the
+// request pays full block materialization — the first-query latency a
+// client sees after a daemon (re)start.
+func BenchmarkConnColdStore(b *testing.B) {
+	g := testGraph(b, benchN, 1)
+	body := connPairBody(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New([]GraphConfig{{Name: "ring", Graph: g, Seed: uint64(i + 1)}}, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveConn(b, s, body)
+	}
+	b.ReportMetric(float64(benchR), "worlds/query")
+}
+
+// BenchmarkConnWarmStore measures the same query against a warm store: the
+// label blocks are resident after the first request, so iterations pay
+// only the per-world label scans — the steady-state latency the daemon
+// exists to provide.
+func BenchmarkConnWarmStore(b *testing.B) {
+	g := testGraph(b, benchN, 1)
+	s, err := New([]GraphConfig{{Name: "ring", Graph: g, Seed: 1}}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := connPairBody(b)
+	serveConn(b, s, body) // warm the store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveConn(b, s, body)
+	}
+	b.ReportMetric(float64(benchR), "worlds/query")
+}
+
+// BenchmarkConnWarmStoreParallel measures warm-store queries under client
+// concurrency — the serving regime the admission gate and the store's
+// reader pinning are designed for.
+func BenchmarkConnWarmStoreParallel(b *testing.B) {
+	g := testGraph(b, benchN, 1)
+	s, err := New([]GraphConfig{{Name: "ring", Graph: g, Seed: 1}, {Name: "unused", Graph: g, Seed: 2}}, Options{Gate: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := connPairBody(b)
+	serveConn(b, s, body)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveConn(b, s, body)
+		}
+	})
+}

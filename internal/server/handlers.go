@@ -1,0 +1,680 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/core"
+	"ucgraph/internal/gmm"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/influence"
+	"ucgraph/internal/knn"
+	"ucgraph/internal/kpt"
+	"ucgraph/internal/mcl"
+	"ucgraph/internal/metrics"
+)
+
+// ---- /healthz, /statsz, /v1/graphs ------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"graphs":    len(s.graphs),
+	})
+}
+
+// storeStats mirrors worldstore.Stats with stable JSON names.
+type storeStats struct {
+	Worlds           int    `json:"worlds"`
+	ResidentBlocks   int    `json:"resident_blocks"`
+	BlockWorlds      int    `json:"block_worlds"`
+	Hits             uint64 `json:"hits"`
+	Materializations uint64 `json:"materializations"`
+	Recomputes       uint64 `json:"recomputes"`
+	Evictions        uint64 `json:"evictions"`
+}
+
+func (h *graphHandle) storeStats() storeStats {
+	st := h.store.Stats()
+	return storeStats{
+		Worlds:           st.Worlds,
+		ResidentBlocks:   st.ResidentBlocks,
+		BlockWorlds:      st.BlockWorlds,
+		Hits:             st.Hits,
+		Materializations: st.Materializations,
+		Recomputes:       st.Recomputes,
+		Evictions:        st.Evictions,
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	graphs := make(map[string]any, len(s.graphs))
+	for name, h := range s.graphs {
+		graphs[name] = map[string]any{
+			"nodes": h.g.NumNodes(),
+			"edges": h.g.NumEdges(),
+			"seed":  h.seed,
+			"store": h.storeStats(),
+		}
+	}
+	s.writeJSON(w, map[string]any{
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"requests":  s.requests.Load(),
+		"failures":  s.failures.Load(),
+		"jobs":      s.jobs.counts(),
+		"graphs":    graphs,
+	})
+}
+
+type graphInfo struct {
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+	Seed   uint64 `json:"seed"`
+	Worlds int    `json:"worlds"`
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	out := make([]graphInfo, 0, len(s.names))
+	for _, name := range s.names {
+		h := s.graphs[name]
+		out = append(out, graphInfo{
+			Name:   name,
+			Nodes:  h.g.NumNodes(),
+			Edges:  h.g.NumEdges(),
+			Seed:   h.seed,
+			Worlds: h.store.Worlds(),
+		})
+	}
+	s.writeJSON(w, map[string]any{"graphs": out})
+}
+
+// ---- /v1/conn ----------------------------------------------------------
+
+type connRequest struct {
+	Graph     string  `json:"graph"`
+	Source    *int32  `json:"source,omitempty"`
+	Target    *int32  `json:"target,omitempty"`
+	Centers   []int32 `json:"centers,omitempty"`
+	Targets   []int32 `json:"targets,omitempty"`
+	Depth     int     `json:"depth,omitempty"` // <= 0 means unlimited
+	Samples   int     `json:"samples,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// handleConn answers connection-probability queries: a pair query
+// (source + target) or a batched multi-center query (centers, answered in
+// one pass per world block through the shared FromCenters machinery).
+// Center queries go through the graph's long-lived estimator, so repeated
+// centers across requests answer from cached tallies — when a cached tally
+// already covers more worlds than requested, the higher-precision estimate
+// is returned, exactly like the library's FromCenter.
+func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
+	var req connRequest
+	if e := decode(r, &req); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	h, e := s.handle(req.Graph)
+	if e == nil {
+		var r2 int
+		if r2, e = s.samples(req.Samples); e == nil {
+			req.Samples = r2
+		}
+	}
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	depth := req.Depth
+	if depth <= 0 {
+		depth = conn.Unlimited
+	}
+
+	switch {
+	case len(req.Centers) > 0:
+		for _, c := range req.Centers {
+			if e := validNode(h, "centers", c); e != nil {
+				s.writeError(w, e)
+				return
+			}
+		}
+		for _, t := range req.Targets {
+			if e := validNode(h, "targets", t); e != nil {
+				s.writeError(w, e)
+				return
+			}
+		}
+		ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
+		if e != nil {
+			s.writeError(w, e)
+			return
+		}
+		defer cancel()
+		if err := h.admit(ctx); err != nil {
+			s.writeError(w, estimationError(err))
+			return
+		}
+		defer h.release()
+		ests, err := h.oracle.FromCentersCtx(ctx, req.Centers, depth, req.Samples)
+		if err != nil {
+			s.writeError(w, estimationError(err))
+			return
+		}
+		if len(req.Targets) > 0 {
+			// Project each estimate vector onto the requested targets.
+			for i, est := range ests {
+				proj := make([]float64, len(req.Targets))
+				for j, t := range req.Targets {
+					proj[j] = est[t]
+				}
+				ests[i] = proj
+			}
+		}
+		s.writeJSON(w, map[string]any{
+			"graph":     h.name,
+			"samples":   req.Samples,
+			"depth":     req.Depth,
+			"centers":   req.Centers,
+			"targets":   req.Targets,
+			"estimates": ests,
+		})
+
+	case req.Source != nil && req.Target != nil:
+		if e := validNode(h, "source", *req.Source); e != nil {
+			s.writeError(w, e)
+			return
+		}
+		if e := validNode(h, "target", *req.Target); e != nil {
+			s.writeError(w, e)
+			return
+		}
+		ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
+		if e != nil {
+			s.writeError(w, e)
+			return
+		}
+		defer cancel()
+		if err := h.admit(ctx); err != nil {
+			s.writeError(w, estimationError(err))
+			return
+		}
+		defer h.release()
+		var p float64
+		var err error
+		if depth == conn.Unlimited {
+			p, err = h.oracle.PairCtx(ctx, *req.Source, *req.Target, req.Samples)
+		} else {
+			// Depth-limited pairs route through the cached center tallies.
+			var est []float64
+			est, err = h.oracle.FromCenterCtx(ctx, *req.Source, depth, req.Samples)
+			if err == nil {
+				p = est[*req.Target]
+			}
+		}
+		if err != nil {
+			s.writeError(w, estimationError(err))
+			return
+		}
+		s.writeJSON(w, map[string]any{
+			"graph":       h.name,
+			"samples":     req.Samples,
+			"depth":       req.Depth,
+			"source":      *req.Source,
+			"target":      *req.Target,
+			"probability": p,
+		})
+
+	default:
+		s.writeError(w, badRequest("need either \"centers\" or both \"source\" and \"target\""))
+	}
+}
+
+// ---- /v1/cluster and /v1/jobs ------------------------------------------
+
+type clusterRequest struct {
+	Graph     string  `json:"graph"`
+	Algo      string  `json:"algo,omitempty"` // mcp (default), acp, mcl, gmm, kpt
+	K         int     `json:"k,omitempty"`
+	Depth     int     `json:"depth,omitempty"` // <= 0 means unlimited
+	Alpha     int     `json:"alpha,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"` // driver seed (candidate selection)
+	Inflation float64 `json:"inflation,omitempty"`
+	Async     bool    `json:"async,omitempty"`
+	Samples   int     `json:"samples,omitempty"` // unused by mcp/acp (schedule-driven); reserved
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+type clusterStats struct {
+	Invocations int     `json:"invocations"`
+	OracleCalls int     `json:"oracle_calls"`
+	FinalQ      float64 `json:"final_q"`
+	MaxSamples  int     `json:"max_samples"`
+}
+
+type clusterResponse struct {
+	Graph     string        `json:"graph"`
+	Algo      string        `json:"algo"`
+	K         int           `json:"k"`
+	Centers   []int32       `json:"centers"`
+	Assign    []int32       `json:"assign"`
+	Prob      []float64     `json:"prob"`
+	Covered   int           `json:"covered"`
+	MinProb   float64       `json:"min_prob"`
+	AvgProb   float64       `json:"avg_prob"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+	Stats     *clusterStats `json:"stats,omitempty"`
+}
+
+// handleCluster runs a clustering synchronously, or — with "async": true —
+// as a job whose deadline is decoupled from the HTTP request, for runs
+// longer than a client wants to block on. Async responses carry the job ID
+// to poll at GET /v1/jobs/{id} (DELETE cancels).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var req clusterRequest
+	if e := decode(r, &req); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	h, e := s.handle(req.Graph)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	switch req.Algo {
+	case "", "mcp", "acp", "gmm", "mcl", "kpt":
+	default:
+		s.writeError(w, badRequest(fmt.Sprintf("unknown algorithm %q", req.Algo)))
+		return
+	}
+	if req.Algo == "" {
+		req.Algo = "mcp"
+	}
+	// Validate k up front so a client mistake reports as 400, not as an
+	// estimation failure. MCP/ACP need 1 <= k < n; GMM allows k = n.
+	switch n := h.g.NumNodes(); req.Algo {
+	case "mcp", "acp":
+		if req.K < 1 || req.K >= n {
+			s.writeError(w, badRequest(fmt.Sprintf("\"k\" = %d out of range [1, %d)", req.K, n)))
+			return
+		}
+	case "gmm":
+		if req.K < 1 || req.K > n {
+			s.writeError(w, badRequest(fmt.Sprintf("\"k\" = %d out of range [1, %d]", req.K, n)))
+			return
+		}
+	}
+	if req.TimeoutMS < 0 {
+		s.writeError(w, badRequest("\"timeout_ms\" must be positive"))
+		return
+	}
+
+	if req.Async {
+		// The job's deadline runs against the background context: the
+		// client disconnects after the 202, the job keeps computing.
+		ctx, cancel, e := s.deadline(context.Background(), req.TimeoutMS)
+		if e != nil {
+			s.writeError(w, e)
+			return
+		}
+		j := s.jobs.create(h.name, req.Algo, cancel)
+		go func() {
+			defer cancel()
+			res, err := s.runCluster(ctx, h, req)
+			j.finish(res, err)
+			s.jobs.noteFinished(j.id)
+		}()
+		s.writeJSONStatus(w, http.StatusAccepted, j.view())
+		return
+	}
+
+	ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	defer cancel()
+	res, err := s.runCluster(ctx, h, req)
+	if err != nil {
+		s.writeError(w, estimationError(err))
+		return
+	}
+	s.writeJSON(w, res)
+}
+
+// runCluster executes one clustering request under the admission gate.
+//
+// MCP/ACP runs build a PRIVATE estimator over the graph's shared world
+// store: the store (the expensive part — sampled worlds and their labels)
+// is amortized across all traffic, while the tally cache is per-run, so a
+// clustering's result depends only on (graph, seed, request) — bit-identical
+// to core.MCPCtx with a fresh conn.NewMonteCarlo(g, seed) — never on which
+// center queries other clients happened to warm first.
+func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequest) (*clusterResponse, error) {
+	// Only the sampling algorithms drive world materialization; the
+	// deterministic baselines (mcl/gmm/kpt) never touch the store, so they
+	// bypass the admission gate instead of occupying the slots it reserves
+	// for store traffic.
+	if req.Algo == "mcp" || req.Algo == "acp" {
+		if err := h.admit(ctx); err != nil {
+			return nil, err
+		}
+		defer h.release()
+	}
+
+	depth := req.Depth
+	if depth <= 0 {
+		depth = conn.Unlimited
+	}
+	t0 := time.Now()
+	var (
+		cl  *core.Clustering
+		st  *clusterStats
+		err error
+	)
+	switch req.Algo {
+	case "mcp", "acp":
+		oracle := conn.NewMonteCarlo(h.g, h.seed)
+		oracle.SetParallelism(s.opts.Parallelism)
+		opt := core.Options{
+			Seed: req.Seed, Depth: depth, Alpha: req.Alpha,
+			Parallelism: s.opts.Parallelism,
+		}
+		var cst core.Stats
+		if req.Algo == "acp" {
+			cl, cst, err = core.ACPCtx(ctx, oracle, req.K, opt)
+		} else {
+			cl, cst, err = core.MCPCtx(ctx, oracle, req.K, opt)
+		}
+		st = &clusterStats{
+			Invocations: cst.Invocations,
+			OracleCalls: cst.OracleCalls,
+			FinalQ:      cst.FinalQ,
+			MaxSamples:  cst.MaxSamples,
+		}
+	case "mcl":
+		if err = ctx.Err(); err == nil {
+			cl = mcl.Cluster(h.g, mcl.Options{Inflation: req.Inflation}).Clustering
+		}
+	case "gmm":
+		if err = ctx.Err(); err == nil {
+			cl, err = gmm.Cluster(h.g, req.K, req.Seed)
+		}
+	case "kpt":
+		if err = ctx.Err(); err == nil {
+			cl = kpt.Cluster(h.g, req.Seed)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &clusterResponse{
+		Graph:     h.name,
+		Algo:      req.Algo,
+		K:         cl.K(),
+		Centers:   cl.Centers,
+		Assign:    cl.Assign,
+		Prob:      cl.Prob,
+		Covered:   cl.Covered(),
+		MinProb:   cl.MinProb(),
+		AvgProb:   cl.AvgProb(),
+		ElapsedMS: time.Since(t0).Milliseconds(),
+		Stats:     st,
+	}, nil
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, &apiError{http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	s.writeJSON(w, j.view())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, &apiError{http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	j.cancel()
+	s.writeJSON(w, j.view())
+}
+
+// ---- /v1/knn -----------------------------------------------------------
+
+type knnRequest struct {
+	Graph     string `json:"graph"`
+	Source    int32  `json:"source"`
+	K         int    `json:"k,omitempty"`
+	Measure   string `json:"measure,omitempty"` // median (default), majority, expected, reliability
+	Samples   int    `json:"samples,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+type neighborView struct {
+	Node        int32   `json:"node"`
+	Distance    int32   `json:"distance"` // knn.Infinite (2^31-1) marks "unreachable"
+	Reliability float64 `json:"reliability"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if e := decode(r, &req); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	h, e := s.handle(req.Graph)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	if e := validNode(h, "source", req.Source); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	var measure knn.Measure
+	switch req.Measure {
+	case "", "median":
+		measure = knn.MedianDistance
+	case "majority":
+		measure = knn.MajorityDistance
+	case "expected":
+		measure = knn.ExpectedReliableDistance
+	case "reliability":
+		measure = knn.ByReliability
+	default:
+		s.writeError(w, badRequest(fmt.Sprintf("unknown measure %q", req.Measure)))
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	samples, e := s.samples(req.Samples)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	defer cancel()
+	if err := h.admit(ctx); err != nil {
+		s.writeError(w, estimationError(err))
+		return
+	}
+	defer h.release()
+	dd, err := knn.SampleStoreCtx(ctx, h.store, req.Source, samples)
+	if err != nil {
+		s.writeError(w, estimationError(err))
+		return
+	}
+	nbs := dd.KNN(req.K, measure)
+	out := make([]neighborView, len(nbs))
+	for i, nb := range nbs {
+		out[i] = neighborView{Node: nb.Node, Distance: nb.Distance, Reliability: nb.Reliability}
+	}
+	s.writeJSON(w, map[string]any{
+		"graph":     h.name,
+		"source":    req.Source,
+		"measure":   req.Measure,
+		"samples":   samples,
+		"neighbors": out,
+	})
+}
+
+// ---- /v1/influence -----------------------------------------------------
+
+type influenceRequest struct {
+	Graph     string  `json:"graph"`
+	K         int     `json:"k,omitempty"`     // greedy maximization when seeds omitted
+	Seeds     []int32 `json:"seeds,omitempty"` // spread evaluation of a fixed seed set
+	Samples   int     `json:"samples,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	var req influenceRequest
+	if e := decode(r, &req); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	h, e := s.handle(req.Graph)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	samples, e := s.samples(req.Samples)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	for _, sd := range req.Seeds {
+		if e := validNode(h, "seeds", sd); e != nil {
+			s.writeError(w, e)
+			return
+		}
+	}
+	ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	defer cancel()
+	if err := h.admit(ctx); err != nil {
+		s.writeError(w, estimationError(err))
+		return
+	}
+	defer h.release()
+
+	if len(req.Seeds) > 0 {
+		spread, err := influence.SpreadCtx(ctx, h.store, req.Seeds, samples)
+		if err != nil {
+			s.writeError(w, estimationError(err))
+			return
+		}
+		s.writeJSON(w, map[string]any{
+			"graph": h.name, "samples": samples,
+			"seeds": req.Seeds, "spread": spread,
+		})
+		return
+	}
+	if req.K <= 0 {
+		s.writeError(w, badRequest("need \"k\" (greedy maximization) or \"seeds\" (spread evaluation)"))
+		return
+	}
+	res, err := influence.GreedyCtx(ctx, h.store, req.K, samples)
+	if err != nil {
+		s.writeError(w, estimationError(err))
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"graph": h.name, "samples": samples,
+		"seeds": res.Seeds, "spread": res.Spread, "evaluations": res.Evaluations,
+	})
+}
+
+// ---- /v1/reliability ---------------------------------------------------
+
+type reliabilityRequest struct {
+	Graph     string  `json:"graph"`
+	Kind      string  `json:"kind,omitempty"` // set, all_terminal, components, largest_component
+	Set       []int32 `json:"set,omitempty"`
+	Samples   int     `json:"samples,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	var req reliabilityRequest
+	if e := decode(r, &req); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	h, e := s.handle(req.Graph)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	samples, e := s.samples(req.Samples)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	for _, u := range req.Set {
+		if e := validNode(h, "set", u); e != nil {
+			s.writeError(w, e)
+			return
+		}
+	}
+	ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
+	defer cancel()
+	if err := h.admit(ctx); err != nil {
+		s.writeError(w, estimationError(err))
+		return
+	}
+	defer h.release()
+
+	var (
+		value float64
+		err   error
+	)
+	switch req.Kind {
+	case "set":
+		if len(req.Set) == 0 {
+			s.writeError(w, badRequest("kind \"set\" needs a non-empty \"set\""))
+			return
+		}
+		set := make([]graph.NodeID, len(req.Set))
+		for i, u := range req.Set {
+			set[i] = u
+		}
+		value, err = metrics.SetReliabilityCtx(ctx, h.store, set, samples)
+	case "", "all_terminal":
+		value, err = metrics.AllTerminalReliabilityCtx(ctx, h.store, samples)
+	case "components":
+		value, err = metrics.ExpectedComponentsCtx(ctx, h.store, samples)
+	case "largest_component":
+		value, err = metrics.LargestComponentFractionCtx(ctx, h.store, samples)
+	default:
+		s.writeError(w, badRequest(fmt.Sprintf("unknown kind %q", req.Kind)))
+		return
+	}
+	if err != nil {
+		s.writeError(w, estimationError(err))
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"graph": h.name, "kind": req.Kind, "samples": samples, "value": value,
+	})
+}

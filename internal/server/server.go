@@ -1,0 +1,309 @@
+// Package server implements the ucserve query daemon: a long-running HTTP
+// frontend over one or more uncertain graphs and their shared possible-world
+// stores, so that many clients amortize one store instead of re-sampling
+// worlds per process (the scale step after the in-process Shared registry
+// of internal/worldstore; see docs/SERVER.md for the endpoint reference).
+//
+// The daemon exposes the estimator surface as JSON endpoints:
+//
+//	GET  /healthz          liveness
+//	GET  /statsz           server + per-graph world-store counters
+//	GET  /v1/graphs        the served graphs
+//	POST /v1/conn          connection probabilities (pair or multi-center)
+//	POST /v1/cluster       MCP/ACP/MCL/GMM/KPT clustering (sync or async)
+//	GET  /v1/jobs/{id}     async clustering job status/result
+//	DELETE /v1/jobs/{id}   cancel an async job
+//	POST /v1/knn           k-nearest neighbors under probabilistic distances
+//	POST /v1/influence     influence spread / greedy maximization
+//	POST /v1/reliability   network-reliability statistics
+//
+// Every estimating request carries a sample budget and a deadline, enforced
+// through the context-aware entry points added across the library
+// (worldstore.ScanCtx, conn.ContextOracle, core.MCPCtx/ACPCtx, ...): a
+// request past its deadline aborts at the next chunk of sampled worlds and
+// reports 504. Requests that complete return answers bit-identical to the
+// corresponding library calls — the daemon adds transport and admission
+// control, never approximation.
+//
+// A per-graph admission gate bounds how many requests may drive world
+// materialization concurrently, so a traffic burst cannot multiply the
+// store's resident label blocks past the -worldmem budget: excess requests
+// queue on the gate (respecting their deadlines) instead of racing the
+// evictor.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/worldstore"
+)
+
+// Options configures a Server. The zero value selects the documented
+// defaults.
+type Options struct {
+	// DefaultSamples is the sample budget applied when a request omits one
+	// (default 1000).
+	DefaultSamples int
+	// MaxSamples caps per-request sample budgets (default 1 << 20); larger
+	// requests are rejected with 400 rather than silently clamped.
+	MaxSamples int
+	// DefaultTimeout is the per-request deadline applied when a request
+	// omits timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps requested deadlines (default 5m).
+	MaxTimeout time.Duration
+	// Gate bounds, per graph, the number of requests concurrently driving
+	// world materialization (default 2). Excess requests wait their turn,
+	// still honoring their deadlines, so the store's memory budget holds
+	// under bursts.
+	Gate int
+	// Parallelism is handed to every estimator the daemon builds (<= 0
+	// selects GOMAXPROCS). Results do not depend on it.
+	Parallelism int
+}
+
+// withDefaults fills in the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.DefaultSamples <= 0 {
+		o.DefaultSamples = 1000
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 1 << 20
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.Gate <= 0 {
+		o.Gate = 2
+	}
+	return o
+}
+
+// GraphConfig is one graph served by the daemon.
+type GraphConfig struct {
+	// Name addresses the graph in requests ("graph" field).
+	Name string
+	// Graph is the uncertain graph itself.
+	Graph *graph.Uncertain
+	// Seed selects the possible-world stream. All queries against this
+	// graph answer from the shared store of (Graph, Seed), so repeated and
+	// concurrent clients observe the same worlds.
+	Seed uint64
+}
+
+// graphHandle is the server-side state of one served graph.
+type graphHandle struct {
+	name  string
+	g     *graph.Uncertain
+	seed  uint64
+	store *worldstore.Store
+	// oracle is the long-lived estimator answering /v1/conn center queries;
+	// its tally cache persists across requests, which is the point of a
+	// daemon: repeated centers answer from cached (or higher-precision)
+	// tallies. Clustering requests build a private estimator instead, so
+	// their results never depend on what other clients warmed (see
+	// runCluster).
+	oracle *conn.MonteCarlo
+	// gate is the admission semaphore bounding concurrent materialization.
+	gate chan struct{}
+}
+
+// admit acquires an admission slot, giving up when ctx expires.
+func (h *graphHandle) admit(ctx context.Context) error {
+	select {
+	case h.gate <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("admission queue: %w", ctx.Err())
+	}
+}
+
+// release returns an admission slot.
+func (h *graphHandle) release() { <-h.gate }
+
+// Server is the query daemon. Create one with New, mount it as an
+// http.Handler. Safe for concurrent use.
+type Server struct {
+	opts   Options
+	graphs map[string]*graphHandle
+	names  []string // sorted graph names
+	jobs   *jobTable
+	mux    *http.ServeMux
+	start  time.Time
+
+	requests atomic.Uint64
+	failures atomic.Uint64
+}
+
+// New builds a Server over the given graphs. Every graph gets its shared
+// world store (created through worldstore.Shared, so in-process consumers
+// of the same (graph, seed) pair converge on it), a long-lived estimator
+// and an admission gate.
+func New(graphs []GraphConfig, opts Options) (*Server, error) {
+	if len(graphs) == 0 {
+		return nil, errors.New("server: no graphs to serve")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:   opts,
+		graphs: make(map[string]*graphHandle, len(graphs)),
+		jobs:   newJobTable(),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	for _, gc := range graphs {
+		if gc.Name == "" {
+			return nil, errors.New("server: graph with empty name")
+		}
+		if gc.Graph == nil {
+			return nil, fmt.Errorf("server: graph %q is nil", gc.Name)
+		}
+		if _, dup := s.graphs[gc.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate graph name %q", gc.Name)
+		}
+		oracle := conn.NewMonteCarlo(gc.Graph, gc.Seed)
+		oracle.SetParallelism(opts.Parallelism)
+		s.graphs[gc.Name] = &graphHandle{
+			name:   gc.Name,
+			g:      gc.Graph,
+			seed:   gc.Seed,
+			store:  oracle.Store(),
+			oracle: oracle,
+			gate:   make(chan struct{}, opts.Gate),
+		}
+		s.names = append(s.names, gc.Name)
+	}
+	sort.Strings(s.names)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("POST /v1/conn", s.handleConn)
+	s.mux.HandleFunc("POST /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/knn", s.handleKNN)
+	s.mux.HandleFunc("POST /v1/influence", s.handleInfluence)
+	s.mux.HandleFunc("POST /v1/reliability", s.handleReliability)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// handle resolves the graph named in a request.
+func (s *Server) handle(name string) (*graphHandle, *apiError) {
+	if name == "" {
+		return nil, badRequest("missing \"graph\"")
+	}
+	h, ok := s.graphs[name]
+	if !ok {
+		return nil, &apiError{http.StatusNotFound, fmt.Sprintf("unknown graph %q", name)}
+	}
+	return h, nil
+}
+
+// samples validates a request's sample budget, applying the default.
+func (s *Server) samples(req int) (int, *apiError) {
+	if req == 0 {
+		return s.opts.DefaultSamples, nil
+	}
+	if req < 0 {
+		return 0, badRequest("\"samples\" must be positive")
+	}
+	if req > s.opts.MaxSamples {
+		return 0, badRequest(fmt.Sprintf("\"samples\" %d exceeds the server cap %d", req, s.opts.MaxSamples))
+	}
+	return req, nil
+}
+
+// deadline derives the request context: the caller's timeout_ms clamped to
+// MaxTimeout, or DefaultTimeout when omitted, layered over parent (the
+// HTTP request context, so client disconnects cancel too).
+func (s *Server) deadline(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc, *apiError) {
+	d := s.opts.DefaultTimeout
+	switch {
+	case timeoutMS < 0:
+		return nil, nil, badRequest("\"timeout_ms\" must be positive")
+	case timeoutMS > 0:
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.opts.MaxTimeout {
+			d = s.opts.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(parent, d)
+	return ctx, cancel, nil
+}
+
+// apiError is an HTTP error with a JSON body.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func badRequest(msg string) *apiError { return &apiError{http.StatusBadRequest, msg} }
+
+// estimationError maps an estimation failure to an apiError: deadline
+// overruns become 504, client-side cancellations 499 (nginx's convention),
+// everything else 500.
+func estimationError(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{http.StatusGatewayTimeout, "deadline exceeded: " + err.Error()}
+	case errors.Is(err, context.Canceled):
+		return &apiError{499, "request cancelled: " + err.Error()}
+	default:
+		return &apiError{http.StatusInternalServerError, err.Error()}
+	}
+}
+
+// writeJSON writes a 200 JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	s.writeJSONStatus(w, http.StatusOK, v)
+}
+
+func (s *Server) writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes an error response and counts it.
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	s.failures.Add(1)
+	s.writeJSONStatus(w, e.code, map[string]string{"error": e.msg})
+}
+
+// decode parses a bounded JSON request body.
+func decode(r *http.Request, into any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(into); err != nil {
+		return badRequest("invalid JSON body: " + err.Error())
+	}
+	return nil
+}
+
+// validNode checks a node ID against the graph.
+func validNode(h *graphHandle, field string, v int32) *apiError {
+	if v < 0 || int(v) >= h.g.NumNodes() {
+		return badRequest(fmt.Sprintf("%q node %d out of range [0, %d)", field, v, h.g.NumNodes()))
+	}
+	return nil
+}

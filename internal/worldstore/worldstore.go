@@ -29,6 +29,7 @@
 package worldstore
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,9 +62,12 @@ type Store struct {
 
 	mu           sync.Mutex
 	blocks       map[int]*block
-	maxResident  int // max materialized blocks; <= 0 means unbounded
+	built        map[int]bool // block indices ever materialized (recompute detection)
+	maxResident  int          // max materialized blocks; <= 0 means unbounded
 	clock        uint64
+	hits         uint64
 	materialized uint64
+	recomputed   uint64
 	evicted      uint64
 }
 
@@ -85,7 +89,8 @@ type block struct {
 	lastUse uint64
 }
 
-// Stats reports store observability counters.
+// Stats reports store observability counters. It is the snapshot the
+// server daemon's /statsz endpoint exposes per graph.
 type Stats struct {
 	// Worlds is the logical stream length (max worlds any consumer asked for).
 	Worlds int
@@ -93,9 +98,16 @@ type Stats struct {
 	ResidentBlocks int
 	// BlockWorlds is the number of worlds per block.
 	BlockWorlds int
+	// Hits counts block acquisitions answered by an already-resident block
+	// (no label computation needed).
+	Hits uint64
 	// Materializations counts block computations, including recomputations
 	// after eviction.
 	Materializations uint64
+	// Recomputes counts the subset of Materializations that rebuilt a block
+	// previously dropped by eviction — the price paid for staying under the
+	// memory budget.
+	Recomputes uint64
 	// Evictions counts blocks dropped under memory pressure.
 	Evictions uint64
 }
@@ -127,6 +139,7 @@ func New(g *graph.Uncertain, seed uint64) *Store {
 		n:      n,
 		bw:     bw,
 		blocks: make(map[int]*block),
+		built:  make(map[int]bool),
 	}
 	if b := defaultBudget.Load(); b > 0 {
 		s.SetBudget(b)
@@ -233,7 +246,9 @@ func (s *Store) Stats() Stats {
 		Worlds:           int(s.length.Load()),
 		ResidentBlocks:   len(s.blocks),
 		BlockWorlds:      s.bw,
+		Hits:             s.hits,
 		Materializations: s.materialized,
+		Recomputes:       s.recomputed,
 		Evictions:        s.evicted,
 	}
 }
@@ -258,6 +273,13 @@ func (s *Store) acquire(bi, need int) (*block, []int32) {
 		}
 		s.blocks[bi] = b
 		s.materialized++
+		if s.built[bi] {
+			s.recomputed++
+		} else {
+			s.built[bi] = true
+		}
+	} else {
+		s.hits++
 	}
 	b.pins++
 	s.clock++
@@ -413,14 +435,26 @@ func (s *Store) evictLocked(max int) {
 // acquired one at a time, so a scan holds at most one block against
 // eviction. Scan grows the logical stream to hi.
 func (s *Store) Scan(lo, hi int, fn func(i int, labels []int32)) {
+	_ = s.ScanCtx(context.Background(), lo, hi, fn)
+}
+
+// ScanCtx is Scan with cooperative cancellation: the context is checked
+// before each block is acquired (the unit of expensive work), and the first
+// cancellation or deadline error is returned with the scan abandoned.
+// Worlds already delivered to fn are exact; a scan that returns nil
+// delivered every world in [lo, hi) and is bit-identical to Scan.
+func (s *Store) ScanCtx(ctx context.Context, lo, hi int, fn func(i int, labels []int32)) error {
 	if lo < 0 {
 		lo = 0
 	}
 	if hi <= lo {
-		return
+		return nil
 	}
 	s.Grow(hi)
 	for bi := lo / s.bw; bi*s.bw < hi; bi++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		base := bi * s.bw
 		start, end := lo, hi
 		if start < base {
@@ -436,6 +470,7 @@ func (s *Store) Scan(lo, hi int, fn func(i int, labels []int32)) {
 		}
 		s.release(b)
 	}
+	return nil
 }
 
 // Connected reports whether u and v share a component in world i.
@@ -530,11 +565,21 @@ func (s *Store) EstimateFrom(c graph.NodeID, r int) []float64 {
 // EstimatePair returns the Monte Carlo estimate of Pr(u ~ v) over the
 // first r worlds.
 func (s *Store) EstimatePair(u, v graph.NodeID, r int) float64 {
+	p, _ := s.EstimatePairCtx(context.Background(), u, v, r)
+	return p
+}
+
+// EstimatePairCtx is EstimatePair with cooperative cancellation: the scan
+// aborts at the next block boundary once ctx is done, returning ctx's
+// error.
+func (s *Store) EstimatePairCtx(ctx context.Context, u, v graph.NodeID, r int) (float64, error) {
 	cnt := 0
-	s.Scan(0, r, func(_ int, lab []int32) {
+	if err := s.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
 		if lab[u] == lab[v] {
 			cnt++
 		}
-	})
-	return float64(cnt) / float64(r)
+	}); err != nil {
+		return 0, err
+	}
+	return float64(cnt) / float64(r), nil
 }

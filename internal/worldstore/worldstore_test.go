@@ -1,6 +1,7 @@
 package worldstore
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -300,5 +301,69 @@ func BenchmarkScan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		total := 0
 		s.Scan(0, 256, func(_ int, lab []int32) { total += int(lab[0]) })
+	}
+}
+
+func TestStatsHitsAndRecomputes(t *testing.T) {
+	g := ringGraph(t, 4096, 11) // large n -> minBlockWorlds-sized blocks
+	s := New(g, 1)
+	bw := s.Stats().BlockWorlds
+
+	// First pass over two blocks: two materializations, zero hits.
+	s.Scan(0, 2*bw, func(int, []int32) {})
+	st := s.Stats()
+	if st.Materializations != 2 || st.Hits != 0 || st.Recomputes != 0 {
+		t.Fatalf("after cold scan: %+v", st)
+	}
+
+	// Second pass: both blocks resident, two hits.
+	s.Scan(0, 2*bw, func(int, []int32) {})
+	if st = s.Stats(); st.Hits != 2 || st.Materializations != 2 {
+		t.Fatalf("after warm scan: %+v", st)
+	}
+
+	// Shrink to one block, touch the evicted one again: a recompute.
+	s.SetBudget(int64(4 * s.n * bw))
+	if st = s.Stats(); st.Evictions != 1 {
+		t.Fatalf("after shrink: %+v", st)
+	}
+	s.Scan(0, bw, func(int, []int32) {})
+	st = s.Stats()
+	if st.Recomputes != 1 {
+		t.Fatalf("after re-touch: %+v", st)
+	}
+	if st.Materializations != 3 {
+		t.Fatalf("recomputes must count inside materializations: %+v", st)
+	}
+}
+
+func TestScanCtxCancellation(t *testing.T) {
+	g := ringGraph(t, 4096, 12)
+	s := New(g, 1)
+	bw := s.Stats().BlockWorlds
+
+	// A cancelled context stops the scan at a block boundary.
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	err := s.ScanCtx(ctx, 0, 3*bw, func(i int, _ []int32) {
+		seen++
+		if i == 0 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if seen == 0 || seen > bw {
+		t.Fatalf("scan should stop after the first block, saw %d worlds", seen)
+	}
+
+	// A live context delivers everything and reports nil.
+	seen = 0
+	if err := s.ScanCtx(context.Background(), 0, 3*bw, func(int, []int32) { seen++ }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3*bw {
+		t.Fatalf("full scan saw %d of %d worlds", seen, 3*bw)
 	}
 }

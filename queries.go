@@ -9,6 +9,8 @@ package ucgraph
 // pL-free adaptive estimation sketched in Section 4.2.
 
 import (
+	"context"
+
 	"ucgraph/internal/conn"
 	"ucgraph/internal/graph"
 	"ucgraph/internal/influence"
@@ -54,6 +56,12 @@ func SampleDistances(g *Graph, src NodeID, seed uint64, r int) *DistanceDistribu
 	return knn.Sample(g, src, seed, r)
 }
 
+// SampleDistancesCtx is SampleDistances with cooperative cancellation:
+// the per-world BFS loop aborts once ctx is done, returning ctx's error.
+func SampleDistancesCtx(ctx context.Context, g *Graph, src NodeID, seed uint64, r int) (*DistanceDistribution, error) {
+	return knn.SampleCtx(ctx, g, src, seed, r)
+}
+
 // InfluenceResult is the outcome of greedy influence maximization.
 type InfluenceResult = influence.Result
 
@@ -69,6 +77,13 @@ func InfluenceSpread(g *Graph, seeds []NodeID, seed uint64, r int) float64 {
 // approximation of the optimal seed set by submodularity.
 func MaximizeInfluence(g *Graph, k int, seed uint64, r int) (*InfluenceResult, error) {
 	return influence.Greedy(worldstore.Shared(g, seed), k, r)
+}
+
+// MaximizeInfluenceCtx is MaximizeInfluence with cooperative cancellation:
+// the greedy selection aborts at the next world scan once ctx is done,
+// returning ctx's error.
+func MaximizeInfluenceCtx(ctx context.Context, g *Graph, k int, seed uint64, r int) (*InfluenceResult, error) {
+	return influence.GreedyCtx(ctx, worldstore.Shared(g, seed), k, r)
 }
 
 // MostProbableWorld returns the deterministic graph keeping exactly the

@@ -44,9 +44,21 @@
 // distances) and KPT (pKwikCluster), plus the quality metrics used to
 // compare them (MinProb/AvgProb, inner/outer AVPR, pair confusion against
 // ground-truth communities).
+//
+// # Deadlines and cancellation
+//
+// The long-running entry points have Ctx variants (MCPCtx, ACPCtx,
+// ConnectionProbabilityCtx, SampleDistancesCtx, MaximizeInfluenceCtx)
+// that honor context cancellation and deadlines: estimation aborts at the
+// next chunk of sampled worlds and the context's error is returned. A
+// call that returns without error is bit-identical to its context-free
+// twin — cancellation never degrades an answer, it only withholds one.
+// The ucserve daemon (cmd/ucserve) serves every request through these
+// variants; see docs/SERVER.md.
 package ucgraph
 
 import (
+	"context"
 	"io"
 
 	"ucgraph/internal/conn"
@@ -184,6 +196,15 @@ func MCP(g *Graph, k int, opt Options) (*Clustering, Stats, error) {
 	return core.MCP(oracle, k, opt)
 }
 
+// MCPCtx is MCP with cooperative cancellation: the run aborts at the next
+// chunk of sampled worlds once ctx is cancelled or past its deadline,
+// returning ctx's error. A nil-error run is bit-identical to MCP.
+func MCPCtx(ctx context.Context, g *Graph, k int, opt Options) (*Clustering, Stats, error) {
+	oracle := conn.NewMonteCarlo(g, estimatorSeed(opt.Seed))
+	oracle.SetParallelism(opt.Parallelism)
+	return core.MCPCtx(ctx, oracle, k, opt)
+}
+
 // MCPWithOracle runs MCP against a caller-supplied estimator, so repeated
 // runs can share sampled worlds. The estimator's own parallelism setting
 // is left untouched — opt.Parallelism only governs the candidate fan-out;
@@ -201,6 +222,14 @@ func ACP(g *Graph, k int, opt Options) (*Clustering, Stats, error) {
 	oracle := conn.NewMonteCarlo(g, estimatorSeed(opt.Seed))
 	oracle.SetParallelism(opt.Parallelism)
 	return core.ACP(oracle, k, opt)
+}
+
+// ACPCtx is ACP with cooperative cancellation, under the same contract as
+// MCPCtx: ctx's error on abort, bit-identical results on success.
+func ACPCtx(ctx context.Context, g *Graph, k int, opt Options) (*Clustering, Stats, error) {
+	oracle := conn.NewMonteCarlo(g, estimatorSeed(opt.Seed))
+	oracle.SetParallelism(opt.Parallelism)
+	return core.ACPCtx(ctx, oracle, k, opt)
 }
 
 // ACPWithOracle runs ACP against a caller-supplied estimator. Like
@@ -255,6 +284,13 @@ func PairConfusion(cl *Clustering, truth [][]NodeID) Confusion {
 // ConnectionProbability estimates Pr(u ~ v) with r sampled worlds.
 func ConnectionProbability(g *Graph, u, v NodeID, seed uint64, r int) float64 {
 	return conn.NewMonteCarlo(g, seed).Pair(u, v, r)
+}
+
+// ConnectionProbabilityCtx is ConnectionProbability with cooperative
+// cancellation: the world scan aborts once ctx is done, returning ctx's
+// error.
+func ConnectionProbabilityCtx(ctx context.Context, g *Graph, u, v NodeID, seed uint64, r int) (float64, error) {
+	return conn.NewMonteCarlo(g, seed).PairCtx(ctx, u, v, r)
 }
 
 // SyntheticCollins generates the Collins-like PPI dataset (Table 1 row 1):
