@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race bench bench-core bench-server serve docs-check ci
+.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-smoke serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -49,10 +49,24 @@ bench:
 # Algorithm-level benchmarks (MCP/ACP end to end, batched vs serial
 # candidate scoring) -> BENCH_core.json.
 bench-core:
-	$(GO) test -bench='EndToEnd|FromCenters|MinPartialAlpha' -benchmem -run='^$$' ./internal/core | tee bench-core.out
+	$(GO) test -bench='EndToEnd|FromCenters|MinPartial' -benchmem -run='^$$' ./internal/core | tee bench-core.out
 	$(GO) run ./cmd/benchjson -suite core < bench-core.out > BENCH_core.json
 	@rm -f bench-core.out
 	@echo "wrote BENCH_core.json"
+
+# Depth-limited scoring benchmarks (alpha=64, depth=2: the batched
+# edge-bitmap engine vs the per-center BFS loop), merged into
+# BENCH_core.json without disturbing the rest of the core suite.
+bench-depth:
+	$(GO) test -bench='FromCentersDepth2|MinPartialDepth2' -benchmem -run='^$$' ./internal/core | tee bench-depth.out
+	$(GO) run ./cmd/benchjson -suite core -update BENCH_core.json < bench-depth.out
+	@rm -f bench-depth.out
+	@echo "merged depth suite into BENCH_core.json"
+
+# Compile-and-run-once smoke over every benchmark, so bench code cannot
+# rot between recorded runs. -benchtime=1x keeps it to seconds.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
 
 # Daemon-level benchmarks (cold vs warm world store behind /v1/conn) ->
 # BENCH_server.json.
@@ -62,4 +76,4 @@ bench-server:
 	@rm -f bench-server.out
 	@echo "wrote BENCH_server.json"
 
-ci: build fmt vet short race docs-check
+ci: build fmt vet short race bench-smoke docs-check

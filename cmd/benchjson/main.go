@@ -12,6 +12,13 @@
 // allocs/op) get dedicated fields; every other "value unit" pair —
 // including b.ReportMetric custom metrics — lands in the metrics map keyed
 // by unit.
+//
+// With -update FILE, the parsed benchmarks are merged into an existing
+// report file instead of emitted on stdout: entries whose names match are
+// replaced, new names are appended, and everything else in the file is
+// preserved. This is how partial benchmark targets (`make bench-depth`)
+// refresh their slice of BENCH_core.json without rerunning — or
+// discarding — the rest of the suite.
 package main
 
 import (
@@ -85,8 +92,44 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// mergeInto folds parsed benchmarks into the report stored at path,
+// replacing same-name entries and appending new ones, and rewrites the
+// file in place. A missing file starts from an empty report.
+func mergeInto(path string, report Report) error {
+	existing := Report{Suite: report.Suite}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	byName := make(map[string]int, len(existing.Benchmarks))
+	for i, b := range existing.Benchmarks {
+		byName[b.Name] = i
+	}
+	for _, b := range report.Benchmarks {
+		if i, ok := byName[b.Name]; ok {
+			existing.Benchmarks[i] = b
+		} else {
+			byName[b.Name] = len(existing.Benchmarks)
+			existing.Benchmarks = append(existing.Benchmarks, b)
+		}
+	}
+	// Environment fields describe the freshest run.
+	existing.GoVersion = report.GoVersion
+	existing.GOOS = report.GOOS
+	existing.GOARCH = report.GOARCH
+	out, err := json.MarshalIndent(existing, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
 	suite := flag.String("suite", "", "label recorded in the emitted document")
+	update := flag.String("update", "", "merge results into this report file instead of writing stdout")
 	flag.Parse()
 	report := Report{
 		Suite:     *suite,
@@ -104,6 +147,13 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *update != "" {
+		if err := mergeInto(*update, report); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -85,6 +85,37 @@ func TestCacheEviction(t *testing.T) {
 	}
 }
 
+func TestCacheEvictionRingFIFO(t *testing.T) {
+	// White-box regression for the eviction-order leak: the FIFO order is
+	// a fixed-capacity ring, so its backing array must stop growing once
+	// the cache is full, evictions must drop the oldest key, and the head
+	// must wrap. (The old implementation re-sliced the front off, keeping
+	// every evicted key reachable through the backing array.)
+	g := pathGraph(t, 16, 0.8)
+	mc := NewMonteCarlo(g, 3)
+	mc.maxCache = 4
+	for c := graph.NodeID(0); c < 11; c++ { // 2+ full wraps of the ring
+		mc.FromCenter(c, Unlimited, 10)
+		if got := len(mc.cacheOrder); got > 4 {
+			t.Fatalf("after %d inserts the ring grew to %d slots, cap is 4", c+1, got)
+		}
+		if len(mc.cache) != len(mc.cacheOrder) {
+			t.Fatalf("cache (%d) and ring (%d) disagree on live entries",
+				len(mc.cache), len(mc.cacheOrder))
+		}
+	}
+	// FIFO: exactly the four newest centers survive.
+	for c := graph.NodeID(0); c < 11; c++ {
+		_, ok := mc.cache[cacheKey{c: c, depth: Unlimited}]
+		if want := c >= 7; ok != want {
+			t.Fatalf("center %d cached=%v, want %v", c, ok, want)
+		}
+	}
+	if mc.cacheHead >= len(mc.cacheOrder) {
+		t.Fatalf("cacheHead %d out of ring bounds %d", mc.cacheHead, len(mc.cacheOrder))
+	}
+}
+
 func TestCacheDepthExtension(t *testing.T) {
 	// Depth-limited tallies also extend incrementally and match a fresh
 	// estimator.

@@ -83,10 +83,12 @@ var (
 // MonteCarlo estimates connection probabilities by sampling possible
 // worlds. Unlimited-depth queries are answered from the per-world component
 // labels of the shared world store (one O(n) scan per world per query);
-// depth-limited queries run a depth-bounded BFS per world on the same
-// implicit world stream, so limited and unlimited views are mutually
-// consistent — and consistent with every other consumer of the same
-// (graph, seed) store (k-NN, influence, metrics, ...).
+// depth-limited queries run depth-bounded BFS over the same world stream —
+// batched queries against the store's per-world edge bitmaps (every coin
+// of a world evaluated once for the whole center batch), single-center
+// queries on the implicit stream directly. Limited and unlimited views are
+// mutually consistent — and consistent with every other consumer of the
+// same (graph, seed) store (k-NN, influence, metrics, ...).
 //
 // Because worlds are deterministic and shared, per-center tally vectors are
 // cached and extended incrementally when later phases of the progressive
@@ -131,9 +133,10 @@ type MonteCarlo struct {
 	// its shard.
 	reachPool sync.Pool
 
-	mu         sync.Mutex // guards cache and cacheOrder
+	mu         sync.Mutex // guards cache, cacheOrder and cacheHead
 	cache      map[cacheKey]*centerTally
-	cacheOrder []cacheKey // FIFO eviction order
+	cacheOrder []cacheKey // FIFO ring: entries [cacheHead..] ++ [..cacheHead) in insertion order
+	cacheHead  int        // index of the oldest entry once the ring is full
 	maxCache   int
 }
 
@@ -231,20 +234,29 @@ func (mc *MonteCarlo) WorldsMaterialized() int { return mc.store.Worlds() }
 func (mc *MonteCarlo) Store() *worldstore.Store { return mc.store }
 
 // lookupTally returns the cached tally for key, inserting an empty one
-// (with FIFO eviction) if absent. Caller must not hold mc.mu.
+// (with FIFO eviction) if absent. Eviction treats cacheOrder as a ring:
+// once full, the slot of the evicted oldest entry is reused for the new
+// key and the head advances. (Re-slicing the front off a slice instead —
+// the previous implementation — kept the evicted prefix reachable through
+// the backing array, so a long-running estimator under eviction pressure
+// dragged the entire key history along.) Caller must not hold mc.mu.
 func (mc *MonteCarlo) lookupTally(key cacheKey) *centerTally {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	tally, ok := mc.cache[key]
 	if !ok {
 		if len(mc.cacheOrder) >= mc.maxCache {
-			oldest := mc.cacheOrder[0]
-			mc.cacheOrder = mc.cacheOrder[1:]
-			delete(mc.cache, oldest)
+			delete(mc.cache, mc.cacheOrder[mc.cacheHead])
+			mc.cacheOrder[mc.cacheHead] = key
+			mc.cacheHead++
+			if mc.cacheHead == len(mc.cacheOrder) {
+				mc.cacheHead = 0
+			}
+		} else {
+			mc.cacheOrder = append(mc.cacheOrder, key)
 		}
 		tally = &centerTally{counts: make([]int32, mc.g.NumNodes())}
 		mc.cache[key] = tally
-		mc.cacheOrder = append(mc.cacheOrder, key)
 	}
 	return tally
 }
@@ -325,10 +337,13 @@ func (mc *MonteCarlo) extendChunked(ctx context.Context, key cacheKey, tally *ce
 // center, equal to FromCenter(c, depth, r) for each c. The batch shares
 // the per-center tally cache with FromCenter; centers whose tallies need
 // extension are answered together, sharded across the worker pool so that
-// each worker scans the world blocks ONCE for its whole center subset (via
-// worldstore.CountConnectedFromMulti) instead of once per center. Workers
-// write into disjoint tallies, so the counts — and the estimates — are
-// bit-identical to a serial per-center loop for any worker count.
+// each worker scans the world blocks ONCE for its whole center subset —
+// label blocks (worldstore.CountConnectedFromMulti) for unlimited depth,
+// edge-bitmap blocks (worldstore.CountWithinMulti, hashing each world's
+// edge coins once for the whole subset) for depth-limited queries —
+// instead of once per center. Workers write into disjoint tallies, so the
+// counts — and the estimates — are bit-identical to a serial per-center
+// loop for any worker count.
 func (mc *MonteCarlo) FromCenters(cs []graph.NodeID, depth int, r int) [][]float64 {
 	out, _ := mc.FromCentersCtx(context.Background(), cs, depth, r)
 	return out
@@ -394,16 +409,17 @@ func (mc *MonteCarlo) FromCentersCtx(ctx context.Context, cs []graph.NodeID, dep
 	switch {
 	case len(pending) == 0:
 		// Every tally already covers r worlds.
-	case len(pending) == 1 || depth != Unlimited:
-		// A single center gets the world-sharded extension; depth-limited
-		// batches extend per center too (each extension is BFS-bound and
-		// already sharded over worlds internally).
-		for _, sl := range pending {
-			if err := mc.extendChunked(ctx, sl.key, sl.tally, r); err != nil {
-				return nil, err
-			}
+	case len(pending) == 1:
+		// A single center gets the world-sharded extension (depth-limited
+		// extensions run implicit BFS without materializing bitmaps).
+		if err := mc.extendChunked(ctx, pending[0].key, pending[0].tally, r); err != nil {
+			return nil, err
 		}
 	default:
+		// Batched extension for every depth: unlimited batches answer from
+		// one label scan per world, depth-limited batches from one edge
+		// bitmap per world (coins hashed once, every center's BFS tests
+		// bits) — see extendBatch.
 		if err := mc.extendBatchChunked(ctx, pending, r); err != nil {
 			return nil, err
 		}
@@ -458,17 +474,21 @@ func (mc *MonteCarlo) extendBatchChunked(ctx context.Context, pending []*batchSl
 	}
 }
 
-// extendBatch brings every pending tally up to r worlds of unlimited-depth
-// counts. The pending centers are split into contiguous subsets, one per
-// worker; each worker answers its subset with a single blocked pass over
-// the label store (CountConnectedFromMulti), writing directly into its
-// tallies' count vectors. No two workers touch the same tally and each
-// tally's counts depend only on (store, lo, r), so the result is
-// independent of the partition. The caller holds every pending tally's
-// lock; extra workers draw tokens from the estimator-wide semaphore, and a
-// token shortage degrades to fewer, larger subsets — never to blocking.
+// extendBatch brings every pending tally up to r worlds of counts. The
+// pending centers are split into contiguous subsets, one per worker; each
+// worker answers its subset with a single blocked pass over the store —
+// CountConnectedFromMulti (label scans) for unlimited depth,
+// CountWithinMulti (edge-bitmap BFS; one coin evaluation per edge per
+// world for the whole batch) for depth-limited queries — writing directly
+// into its tallies' count vectors. No two workers touch the same tally and
+// each tally's counts depend only on (store, depth, lo, r), so the result
+// is independent of the partition. The caller holds every pending tally's
+// lock; all slots share one depth (FromCenters batches are per-depth).
+// Extra workers draw tokens from the estimator-wide semaphore, and a token
+// shortage degrades to fewer, larger subsets — never to blocking.
 func (mc *MonteCarlo) extendBatch(pending []*batchSlot, r int) {
 	mc.store.Grow(r)
+	depth := pending[0].key.depth
 	workers := mc.Parallelism()
 	if workers > len(pending) {
 		workers = len(pending)
@@ -482,7 +502,11 @@ func (mc *MonteCarlo) extendBatch(pending []*batchSlot, r int) {
 			lo[i] = sl.tally.rDone
 			counts[i] = sl.tally.counts
 		}
-		mc.store.CountConnectedFromMulti(cs, lo, r, counts)
+		if depth < 0 {
+			mc.store.CountConnectedFromMulti(cs, lo, r, counts)
+		} else {
+			mc.store.CountWithinMulti(cs, depth, lo, r, counts)
+		}
 		for _, sl := range subset {
 			sl.tally.rDone = r
 		}

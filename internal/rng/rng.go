@@ -173,6 +173,15 @@ func Stream(seed uint64, stream uint64) uint64 {
 	return Mix64(Mix64(seed^0x6a09e667f3bcc909) + stream*0x9e3779b97f4a7c15)
 }
 
+// EdgeHash returns the raw 64-bit hash behind EdgeCoin: the edge is present
+// iff EdgeHash(seed, world, edge) < CoinThreshold(p). Exposing the hash lets
+// bulk materializers (per-world edge bitmaps) compare against the threshold
+// branchlessly; EdgeCoin(seed, w, e, t) == (EdgeHash(seed, w, e) < t) by
+// construction.
+func EdgeHash(seed uint64, world uint64, edge uint64) uint64 {
+	return Mix64(seed ^ Mix64(world*0xd1342543de82ef95+edge*0xaf251af3b0f025b5))
+}
+
 // EdgeCoin reports whether an edge with survival threshold thresh is present
 // in world i of the stream identified by seed. thresh must be the value
 // returned by CoinThreshold(p).
@@ -181,8 +190,7 @@ func Stream(seed uint64, stream uint64) uint64 {
 // yields the same answer, which lets callers traverse a possible world
 // without storing it.
 func EdgeCoin(seed uint64, world uint64, edge uint64, thresh uint64) bool {
-	h := Mix64(seed ^ Mix64(world*0xd1342543de82ef95+edge*0xaf251af3b0f025b5))
-	return h < thresh
+	return EdgeHash(seed, world, edge) < thresh
 }
 
 // CoinThreshold converts an edge probability p in [0, 1] into the uint64

@@ -9,15 +9,25 @@
 // worlds via World.BFSWithin; ReachCounter batches such traversals over a
 // world range.
 //
-// Materialized per-world component labels — the connectivity index that
-// answers "is u connected to v in world i" in O(1) — live one layer up, in
-// internal/worldstore, which caches labels in memory-bounded blocks shared
-// by every consumer of the same (graph, seed) stream. Both views of the
-// same (seed, index) pair describe the same world: the label matrix is
-// just an index over the implicit world.
+// A world can also be materialized as an edge bitmap (FillEdgeBitmap): one
+// bit per edge ID, so every coin of the world is evaluated exactly once
+// and later traversals test bits instead of re-hashing.
+// MultiReachCounter exploits that: given one world's bitmap it runs the
+// depth-bounded BFS for a whole batch of centers, paying the edge-coin
+// hashing bill once per world instead of once per (world, center).
+//
+// Materialized per-world artifacts — component labels (the connectivity
+// index that answers "is u connected to v in world i" in O(1)) and edge
+// bitmaps — live one layer up, in internal/worldstore, which caches them
+// in memory-bounded blocks shared by every consumer of the same
+// (graph, seed) stream. All views of the same (seed, index) pair describe
+// the same world: the label matrix and the bitmap are just indexes over
+// the implicit world.
 package sampler
 
 import (
+	bitsops "math/bits"
+
 	"ucgraph/internal/graph"
 	"ucgraph/internal/rng"
 )
@@ -57,6 +67,46 @@ func (w World) PresentEdges() []int32 {
 		}
 	}
 	return kept
+}
+
+// EdgeBitmapWords returns the length, in uint64 words, of a per-world edge
+// bitmap for a graph with m edges: one bit per edge ID.
+func EdgeBitmapWords(m int) int { return (m + 63) / 64 }
+
+// FillEdgeBitmap materializes this world's edge set into bits, which must
+// have length EdgeBitmapWords(NumEdges): bit e is set iff edge e is
+// present. Every edge coin of the world is evaluated exactly once, so a
+// bitmap shared across a batch of traversals amortizes the hash-coin cost
+// that implicit BFS pays per traversal. The bitmap is a pure function of
+// (seed, index): refilling it always produces the same bits — bit e equals
+// Contains(e) exactly, the coins are just evaluated branchlessly (raw hash
+// vs threshold) and accumulated a register word at a time.
+func (w World) FillEdgeBitmap(bits []uint64) {
+	m := w.G.NumEdges()
+	for wd := range bits {
+		base := wd << 6
+		end := base + 64
+		if end > m {
+			end = m
+		}
+		var acc uint64
+		for id := base; id < end; id++ {
+			var coin uint64
+			// Compiles to a flag-set, not a data-dependent branch, so the
+			// random coins do not stall the pipeline on mispredictions.
+			if rng.EdgeHash(w.Seed, w.Index, uint64(id)) < w.G.CoinThreshold(int32(id)) {
+				coin = 1
+			}
+			acc |= coin << (uint(id) & 63)
+		}
+		bits[wd] = acc
+	}
+}
+
+// BitmapContains reports whether edge id is present in the world whose
+// edge bitmap is bits.
+func BitmapContains(bits []uint64, id int32) bool {
+	return bits[id>>6]&(1<<(uint(id)&63)) != 0
 }
 
 // ComponentLabels computes the connected-component labels of this world
@@ -164,4 +214,231 @@ func (rc *ReachCounter) EstimateWithin(c graph.NodeID, maxDepth, r int) []float6
 		out[i] = float64(cnt) * inv
 	}
 	return out
+}
+
+// MultiReachCounter runs depth-limited reachability queries for a whole
+// batch of centers against materialized edge bitmaps, using a multi-center
+// frontier BFS: centers are packed 64 to a uint64 mask, and one layered
+// traversal per world advances every center's frontier simultaneously —
+// each present edge moves up to 64 BFS waves in a handful of word
+// operations. Where ReachCounter re-evaluates the stateless hash coin for
+// every touched edge of every center's BFS, a MultiReachCounter tests the
+// world's bitmap — so a batch pays the edge-coin hashing bill once per
+// world (when the bitmap is filled) instead of once per (world, center) —
+// and where per-center BFS re-scans the adjacency of a node once per
+// center whose ball covers it, the shared frontier scans it once per
+// layer.
+//
+// The visit set of each center is a property of the world's edge set alone
+// (the depth-d reachability ball), so the counts are bit-identical to a
+// per-center ReachCounter.CountWithin over the same range, for any batch
+// composition.
+//
+// The counter owns reusable scratch (epoch-sharded visit/frontier mask
+// arrays and frontier queues, shared across worlds), so it is not safe for
+// concurrent use; create one per goroutine.
+type MultiReachCounter struct {
+	g *graph.Uncertain
+
+	// visit[v] is the mask of centers (of the current ≤64-center group)
+	// that have reached v, valid iff visitEpoch[v] == epoch. The epoch
+	// advances once per (world, group), so worlds reuse the arrays without
+	// clearing.
+	visit      []uint64
+	visitEpoch []uint32
+	epoch      uint32
+
+	// curMask[v] holds, for nodes of the current frontier, the bits that
+	// first reached v in the previous layer — the waves still expanding.
+	// nxtMask accumulates the next layer's arrivals, valid iff
+	// nxtEpoch[v] == layer; the two mask arrays swap roles each layer.
+	curMask   []uint64
+	nxtMask   []uint64
+	nxtEpoch  []uint32
+	layer     uint32
+	frontier  []graph.NodeID
+	nextFront []graph.NodeID
+
+	// acc is the optional flat accumulator of accumulate mode (BeginAccum):
+	// acc[v*64 + j] counts how many accumulated worlds reached v from the
+	// j-th center of the group. One indexed add per (center, node, world)
+	// beats chasing 64 separate count vectors in the innermost BFS loop;
+	// FlushAccum folds the block into per-center counts and re-zeroes.
+	acc []int32
+}
+
+// NewMultiReachCounter returns a batched counter over g. The bitmaps it
+// consumes must come from the same graph (same edge IDs).
+func NewMultiReachCounter(g *graph.Uncertain) *MultiReachCounter {
+	n := g.NumNodes()
+	return &MultiReachCounter{
+		g:          g,
+		visit:      make([]uint64, n),
+		visitEpoch: make([]uint32, n),
+		curMask:    make([]uint64, n),
+		nxtMask:    make([]uint64, n),
+		nxtEpoch:   make([]uint32, n),
+		frontier:   make([]graph.NodeID, 0, n),
+		nextFront:  make([]graph.NodeID, 0, n),
+	}
+}
+
+// CountWithinWorld adds, for every center cs[j] and every node u within
+// maxDepth hops of cs[j] in the world whose edge bitmap is bits, 1 into
+// counts[j][u] (counts[j] has length NumNodes and is not cleared).
+// maxDepth < 0 means unconstrained reachability. Batches larger than 64
+// centers run as successive 64-center mask groups over the same bitmap.
+func (mrc *MultiReachCounter) CountWithinWorld(bits []uint64, cs []graph.NodeID, maxDepth int, counts [][]int32) {
+	for base := 0; base < len(cs); base += 64 {
+		end := base + 64
+		if end > len(cs) {
+			end = len(cs)
+		}
+		mrc.countGroup(bits, cs[base:end], maxDepth, counts[base:end], nil)
+	}
+}
+
+// maxAccumBytes caps the flat accumulator of accumulate mode: graphs whose
+// n*64 int32 block would exceed it (n > ~64k nodes) fall back to direct
+// per-vector counting. The cap trades one worker-local block of memory for
+// the fastest innermost loop; correctness never depends on the mode.
+const maxAccumBytes = 16 << 20
+
+// BeginAccum switches the counter into accumulate mode, reporting whether
+// the graph is small enough for the flat accumulator. In accumulate mode
+// the caller feeds worlds through AccumWorld — same BFS, but reach counts
+// land in the counter's internal [n*64] block — and folds the block into
+// per-center count vectors with FlushAccum. Looping AccumWorld + one
+// FlushAccum is bit-identical to looping CountWithinWorld: both add the
+// same per-world reach indicators, just grouped differently.
+func (mrc *MultiReachCounter) BeginAccum() bool {
+	if mrc.acc == nil {
+		n := mrc.g.NumNodes()
+		if n*64*4 > maxAccumBytes {
+			return false
+		}
+		mrc.acc = make([]int32, n*64)
+	}
+	return true
+}
+
+// AccumWorld is CountWithinWorld for accumulate mode: it adds one world's
+// reach into the flat accumulator. The group is limited to 64 centers (one
+// mask word); BeginAccum must have returned true.
+func (mrc *MultiReachCounter) AccumWorld(bits []uint64, cs []graph.NodeID, maxDepth int) {
+	if len(cs) > 64 {
+		panic("sampler: AccumWorld group exceeds 64 centers")
+	}
+	mrc.countGroup(bits, cs, maxDepth, nil, mrc.acc)
+}
+
+// FlushAccum adds the accumulated counts of the j-th group center into
+// counts[j] for every j, zeroing the accumulator behind itself. counts
+// must have the same length as the cs slices passed to AccumWorld since
+// the last flush.
+func (mrc *MultiReachCounter) FlushAccum(counts [][]int32) {
+	n := mrc.g.NumNodes()
+	for v := 0; v < n; v++ {
+		base := v << 6
+		for j := range counts {
+			if c := mrc.acc[base+j]; c != 0 {
+				counts[j][v] += c
+				mrc.acc[base+j] = 0
+			}
+		}
+	}
+}
+
+// countGroup advances one ≤64-center mask group through the world,
+// recording reach either directly into counts (acc nil) or into the flat
+// accumulator block (accumulate mode).
+func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDepth int, counts [][]int32, acc []int32) {
+	mrc.epoch++
+	if mrc.epoch == 0 { // wrapped; clear and restart epochs
+		for i := range mrc.visitEpoch {
+			mrc.visitEpoch[i] = 0
+		}
+		mrc.epoch = 1
+	}
+	epoch := mrc.epoch
+	visit, ve := mrc.visit, mrc.visitEpoch
+
+	// Layer 0: seed every center's wave (duplicate centers share a node
+	// but own distinct mask bits and counts).
+	frontier := mrc.frontier[:0]
+	for j, c := range cs {
+		if ve[c] != epoch {
+			ve[c] = epoch
+			visit[c] = 0
+			frontier = append(frontier, c)
+		}
+		visit[c] |= 1 << uint(j)
+		if acc != nil {
+			acc[int(c)<<6+j]++
+		} else {
+			counts[j][c]++
+		}
+	}
+	for _, c := range frontier {
+		mrc.curMask[c] = visit[c]
+	}
+
+	cur, nxt := mrc.curMask, mrc.nxtMask
+	next := mrc.nextFront[:0]
+	depth := 0
+	for len(frontier) > 0 {
+		if maxDepth >= 0 && depth >= maxDepth {
+			break
+		}
+		mrc.layer++
+		if mrc.layer == 0 { // wrapped; clear and restart layer stamps
+			for i := range mrc.nxtEpoch {
+				mrc.nxtEpoch[i] = 0
+			}
+			mrc.layer = 1
+		}
+		layer := mrc.layer
+		next = next[:0]
+		for _, u := range frontier {
+			fm := cur[u]
+			nodes, ids, _ := mrc.g.NeighborSlices(u)
+			for k, v := range nodes {
+				id := ids[k]
+				if bits[id>>6]&(1<<(uint(id)&63)) == 0 {
+					continue
+				}
+				if ve[v] != epoch {
+					ve[v] = epoch
+					visit[v] = 0
+				}
+				prop := fm &^ visit[v]
+				if prop == 0 {
+					continue
+				}
+				visit[v] |= prop
+				if mrc.nxtEpoch[v] != layer {
+					mrc.nxtEpoch[v] = layer
+					nxt[v] = 0
+					next = append(next, v)
+				}
+				nxt[v] |= prop
+				if acc != nil {
+					base := int(v) << 6
+					for p := prop; p != 0; p &= p - 1 {
+						acc[base+bitsops.TrailingZeros64(p)]++
+					}
+				} else {
+					for p := prop; p != 0; p &= p - 1 {
+						counts[bitsops.TrailingZeros64(p)][v]++
+					}
+				}
+			}
+		}
+		frontier, next = next, frontier
+		cur, nxt = nxt, cur
+		depth++
+	}
+	// Persist the (possibly reallocated) scratch for reuse.
+	mrc.frontier, mrc.nextFront = frontier, next
+	mrc.curMask, mrc.nxtMask = cur, nxt
 }

@@ -281,6 +281,104 @@ func TestReachCounterEpochWraparound(t *testing.T) {
 	}
 }
 
+func TestFillEdgeBitmapMatchesContains(t *testing.T) {
+	// The bitmap is just a materialization of Contains: every bit must
+	// agree with the hash coin, including edges past the last full word.
+	g := pathGraph(t, 70, 0.5) // 69 edges: exercises a ragged final word
+	bits := make([]uint64, EdgeBitmapWords(g.NumEdges()))
+	for i := 0; i < 100; i++ {
+		w := World{G: g, Seed: 23, Index: uint64(i)}
+		w.FillEdgeBitmap(bits)
+		for id := int32(0); id < int32(g.NumEdges()); id++ {
+			if BitmapContains(bits, id) != w.Contains(id) {
+				t.Fatalf("world %d edge %d: bitmap=%v Contains=%v",
+					i, id, BitmapContains(bits, id), w.Contains(id))
+			}
+		}
+	}
+}
+
+func TestFillEdgeBitmapClearsStaleBits(t *testing.T) {
+	// Refilling a buffer for a different world must not leak bits.
+	g := pathGraph(t, 40, 0.5)
+	bits := make([]uint64, EdgeBitmapWords(g.NumEdges()))
+	for i := range bits {
+		bits[i] = ^uint64(0)
+	}
+	w := World{G: g, Seed: 3, Index: 5}
+	w.FillEdgeBitmap(bits)
+	for id := int32(0); id < int32(g.NumEdges()); id++ {
+		if BitmapContains(bits, id) != w.Contains(id) {
+			t.Fatalf("stale bit survived refill at edge %d", id)
+		}
+	}
+}
+
+func TestMultiReachCounterMatchesReachCounter(t *testing.T) {
+	// The batched contract: looping CountWithinWorld over worlds must be
+	// bit-identical to a per-center ReachCounter over the same range, for
+	// limited and unlimited depths.
+	g := mustGraph(t, 9, []graph.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.4}, {U: 2, V: 3, P: 0.6},
+		{U: 3, V: 4, P: 0.7}, {U: 4, V: 5, P: 0.5}, {U: 5, V: 6, P: 0.3},
+		{U: 6, V: 7, P: 0.5}, {U: 7, V: 8, P: 0.8}, {U: 8, V: 0, P: 0.4},
+		{U: 1, V: 7, P: 0.6},
+	})
+	const seed, r = 29, 400
+	cs := []graph.NodeID{0, 4, 7, 4} // includes a duplicate
+	bits := make([]uint64, EdgeBitmapWords(g.NumEdges()))
+	for _, depth := range []int{0, 1, 2, 3, -1} {
+		mrc := NewMultiReachCounter(g)
+		got := make([][]int32, len(cs))
+		for j := range got {
+			got[j] = make([]int32, g.NumNodes())
+		}
+		for i := 0; i < r; i++ {
+			w := World{G: g, Seed: seed, Index: uint64(i)}
+			w.FillEdgeBitmap(bits)
+			mrc.CountWithinWorld(bits, cs, depth, got)
+		}
+		for j, c := range cs {
+			rc := NewReachCounter(g, seed)
+			want := make([]int32, g.NumNodes())
+			rc.CountWithin(c, depth, 0, r, want)
+			for u := range want {
+				if got[j][u] != want[u] {
+					t.Fatalf("depth=%d center %d node %d: multi=%d single=%d",
+						depth, c, u, got[j][u], want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestMultiReachCounterEpochWraparound(t *testing.T) {
+	// White-box: force the shared epoch counter to wrap mid-batch and
+	// verify the seen array is cleared rather than poisoned.
+	g := pathGraph(t, 5, 1.0)
+	mrc := NewMultiReachCounter(g)
+	mrc.epoch = ^uint32(0) - 1
+	bits := make([]uint64, EdgeBitmapWords(g.NumEdges()))
+	cs := []graph.NodeID{0, 2, 4}
+	counts := make([][]int32, len(cs))
+	for j := range counts {
+		counts[j] = make([]int32, 5)
+	}
+	for i := 0; i < 4; i++ {
+		w := World{G: g, Seed: 7, Index: uint64(i)}
+		w.FillEdgeBitmap(bits)
+		mrc.CountWithinWorld(bits, cs, -1, counts)
+	}
+	for j := range cs {
+		for u, c := range counts[j] {
+			if c != 4 {
+				t.Fatalf("after epoch wrap, center %d node %d count = %d, want 4",
+					cs[j], u, c)
+			}
+		}
+	}
+}
+
 func BenchmarkComponentLabels(b *testing.B) {
 	edges := make([]graph.Edge, 0, 3000)
 	for i := 0; i < 1000; i++ {

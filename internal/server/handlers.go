@@ -29,25 +29,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // storeStats mirrors worldstore.Stats with stable JSON names.
 type storeStats struct {
-	Worlds           int    `json:"worlds"`
-	ResidentBlocks   int    `json:"resident_blocks"`
-	BlockWorlds      int    `json:"block_worlds"`
-	Hits             uint64 `json:"hits"`
-	Materializations uint64 `json:"materializations"`
-	Recomputes       uint64 `json:"recomputes"`
-	Evictions        uint64 `json:"evictions"`
+	Worlds               int    `json:"worlds"`
+	ResidentBlocks       int    `json:"resident_blocks"`
+	ResidentLabelBlocks  int    `json:"resident_label_blocks"`
+	ResidentBitmapBlocks int    `json:"resident_bitmap_blocks"`
+	ResidentBytes        int64  `json:"resident_bytes"`
+	BlockWorlds          int    `json:"block_worlds"`
+	Hits                 uint64 `json:"hits"`
+	Materializations     uint64 `json:"materializations"`
+	Recomputes           uint64 `json:"recomputes"`
+	Evictions            uint64 `json:"evictions"`
 }
 
 func (h *graphHandle) storeStats() storeStats {
 	st := h.store.Stats()
 	return storeStats{
-		Worlds:           st.Worlds,
-		ResidentBlocks:   st.ResidentBlocks,
-		BlockWorlds:      st.BlockWorlds,
-		Hits:             st.Hits,
-		Materializations: st.Materializations,
-		Recomputes:       st.Recomputes,
-		Evictions:        st.Evictions,
+		Worlds:               st.Worlds,
+		ResidentBlocks:       st.ResidentBlocks,
+		ResidentLabelBlocks:  st.ResidentLabelBlocks,
+		ResidentBitmapBlocks: st.ResidentBitmapBlocks,
+		ResidentBytes:        st.ResidentBytes,
+		BlockWorlds:          st.BlockWorlds,
+		Hits:                 st.Hits,
+		Materializations:     st.Materializations,
+		Recomputes:           st.Recomputes,
+		Evictions:            st.Evictions,
 	}
 }
 

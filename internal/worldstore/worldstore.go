@@ -8,14 +8,19 @@
 // A Store owns the implicit world stream of its (graph, seed) pair: world i
 // is defined by stateless hash coins (see internal/rng and sampler.World),
 // so any world can be re-materialized at any time. On top of the stream the
-// store lazily materializes per-world connected-component labels into
-// block/columnar storage: worlds are grouped into fixed-size blocks, and
-// within a block labels are stored world-major in one contiguous slice, so
-// scanning a block touches memory sequentially. Blocks are materialized on
-// first access and, in bounded-memory mode, evicted least-recently-used and
-// recomputed on the next access. Because labels are a pure function of
-// (graph, seed, world index), eviction and recomputation never change an
-// estimate: bounded and unbounded runs are bit-identical.
+// store lazily materializes two per-world artifacts into block/columnar
+// storage: connected-component labels (the unlimited-depth connectivity
+// index) and present-edge bitmaps (one bit per edge, the substrate of
+// batched depth-limited BFS — every edge coin of a world is evaluated once,
+// then a whole center batch traverses bitmap tests). Worlds are grouped
+// into fixed-size blocks, and within a block each artifact is stored
+// world-major in one contiguous slice, so scanning a block touches memory
+// sequentially. Blocks of both families are materialized on first access
+// and, in bounded-memory mode, evicted least-recently-used — under one
+// shared byte budget — and recomputed on the next access. Because labels
+// and bitmaps are pure functions of (graph, seed, world index), eviction
+// and recomputation never change an estimate: bounded and unbounded runs
+// are bit-identical.
 //
 // Stores are safe for concurrent use by multiple consumers: block
 // materialization is coordinated so exactly one goroutine computes a block
@@ -31,6 +36,7 @@ package worldstore
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"weak"
@@ -41,39 +47,59 @@ import (
 
 // targetBlockBytes sizes label blocks: blocks hold as many worlds as fit in
 // roughly this many bytes of labels, clamped to [minBlockWorlds,
-// maxBlockWorlds]. Block size is a performance knob only — estimates never
-// depend on it, because each world's labels are computed independently.
+// maxBlockWorlds]. Edge-bitmap blocks cover the same world ranges (same
+// worlds-per-block), so one block index addresses both artifacts of a run
+// of worlds. Block size is a performance knob only — estimates never
+// depend on it, because each world's artifacts are computed independently.
 const (
 	targetBlockBytes = 1 << 20
 	minBlockWorlds   = 8
 	maxBlockWorlds   = 256
 )
 
-// Store is a memory-bounded cache of per-world component labels over the
-// deterministic world stream of one (graph, seed) pair. The zero value is
-// invalid; use New or Shared.
+// family distinguishes the two block-cached per-world artifacts.
+type family int
+
+const (
+	famLabels family = iota // component labels, []int32, n per world
+	famBits                 // present-edge bitmaps, []uint64, wpw per world
+	numFamilies
+)
+
+// Store is a memory-bounded cache of per-world artifacts — component
+// labels and present-edge bitmaps — over the deterministic world stream of
+// one (graph, seed) pair. The zero value is invalid; use New or Shared.
 type Store struct {
 	g    *graph.Uncertain
 	seed uint64
 	n    int
-	bw   int // worlds per block
+	wpw  int // uint64 words per world edge bitmap
+	bw   int // worlds per block (both families)
 
 	length atomic.Int64 // logical stream length: max world count requested
 
-	mu           sync.Mutex
-	blocks       map[int]*block
-	built        map[int]bool // block indices ever materialized (recompute detection)
-	maxResident  int          // max materialized blocks; <= 0 means unbounded
-	clock        uint64
-	hits         uint64
-	materialized uint64
-	recomputed   uint64
-	evicted      uint64
+	mu            sync.Mutex
+	blocks        [numFamilies]map[int]*block
+	built         [numFamilies]map[int]bool // block indices ever materialized (recompute detection)
+	budget        int64                     // byte budget across both families; <= 0 means unbounded
+	residentBytes int64                     // nominal bytes of resident blocks
+	clock         uint64
+	hits          uint64
+	materialized  uint64
+	recomputed    uint64
+	evicted       uint64
+
+	// reachPool recycles the batched BFS scratch CountWithinMulti uses;
+	// sampler.MultiReachCounter is single-goroutine, so each call checks
+	// one out for its duration.
+	reachPool sync.Pool
 }
 
-// block is one materialized run of up to bw consecutive worlds. labels
-// holds the component labels world-major: world (base + i) occupies
-// labels[i*n : (i+1)*n]. Blocks fill front to back: worlds [0, done) are
+// block is one materialized run of up to bw consecutive worlds of one
+// artifact family. labels (famLabels) holds component labels world-major:
+// world (base + i) occupies labels[i*n : (i+1)*n]; bits (famBits) holds
+// edge bitmaps world-major: world (base + i) occupies
+// bits[i*wpw : (i+1)*wpw]. Blocks fill front to back: worlds [0, done) are
 // materialized, and a reader needing more extends the prefix under mu —
 // so a request for a few worlds never pays for the whole block, while a
 // full scan still enjoys one contiguous, cache-friendly buffer.
@@ -81,10 +107,13 @@ type Store struct {
 // must reallocate, earlier captured buffers keep their (identical,
 // immutable) prefix — see acquire.
 type block struct {
+	fam     family
 	idx     int
+	bytes   int64      // nominal full-block bytes, accounted in residentBytes
 	mu      sync.Mutex // serializes prefix extension
 	done    int        // worlds [0, done) of the block are materialized
-	labels  []int32    // grows toward bw*n; valid up to done*n
+	labels  []int32    // famLabels payload; grows toward bw*n, valid up to done*n
+	bits    []uint64   // famBits payload; grows toward bw*wpw, valid up to done*wpw
 	pins    int        // readers currently holding the block; guarded by Store.mu
 	lastUse uint64
 }
@@ -94,8 +123,16 @@ type block struct {
 type Stats struct {
 	// Worlds is the logical stream length (max worlds any consumer asked for).
 	Worlds int
-	// ResidentBlocks is the number of label blocks currently materialized.
+	// ResidentBlocks is the number of blocks currently materialized across
+	// both artifact families (labels + edge bitmaps).
 	ResidentBlocks int
+	// ResidentLabelBlocks / ResidentBitmapBlocks split ResidentBlocks by
+	// artifact family.
+	ResidentLabelBlocks  int
+	ResidentBitmapBlocks int
+	// ResidentBytes is the nominal memory of the resident blocks — the
+	// quantity the SetBudget byte budget bounds.
+	ResidentBytes int64
 	// BlockWorlds is the number of worlds per block.
 	BlockWorlds int
 	// Hits counts block acquisitions answered by an already-resident block
@@ -134,17 +171,30 @@ func New(g *graph.Uncertain, seed uint64) *Store {
 		bw = maxBlockWorlds
 	}
 	s := &Store{
-		g:      g,
-		seed:   seed,
-		n:      n,
-		bw:     bw,
-		blocks: make(map[int]*block),
-		built:  make(map[int]bool),
+		g:    g,
+		seed: seed,
+		n:    n,
+		wpw:  sampler.EdgeBitmapWords(g.NumEdges()),
+		bw:   bw,
 	}
+	for f := range s.blocks {
+		s.blocks[f] = make(map[int]*block)
+		s.built[f] = make(map[int]bool)
+	}
+	s.reachPool.New = func() any { return sampler.NewMultiReachCounter(g) }
 	if b := defaultBudget.Load(); b > 0 {
 		s.SetBudget(b)
 	}
 	return s
+}
+
+// blockBytes returns the nominal full-block byte size of one family's
+// block — the unit the byte budget is accounted in.
+func (s *Store) blockBytes(f family) int64 {
+	if f == famBits {
+		return int64(8 * s.wpw * s.bw)
+	}
+	return int64(4 * s.n * s.bw)
 }
 
 // registryKey identifies a shared store. The graph is held weakly so the
@@ -217,8 +267,9 @@ func (s *Store) Grow(r int) {
 // consumer has requested so far.
 func (s *Store) Worlds() int { return int(s.length.Load()) }
 
-// SetBudget bounds the memory spent on materialized label blocks to
-// roughly bytes (at least one block is always allowed, so scans make
+// SetBudget bounds the memory spent on materialized blocks — label and
+// edge-bitmap families together — to roughly bytes (a block being acquired
+// is always allowed in even when it alone overshoots, so scans make
 // progress). bytes <= 0 removes the bound. Shrinking evicts immediately.
 // Estimates are identical in bounded and unbounded mode: evicted blocks
 // are recomputed, not approximated.
@@ -226,16 +277,11 @@ func (s *Store) SetBudget(bytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if bytes <= 0 {
-		s.maxResident = 0
+		s.budget = 0
 		return
 	}
-	blockBytes := int64(4 * s.n * s.bw)
-	max := int(bytes / blockBytes)
-	if max < 1 {
-		max = 1
-	}
-	s.maxResident = max
-	s.evictLocked(s.maxResident)
+	s.budget = bytes
+	s.evictLocked(s.budget)
 }
 
 // Stats returns observability counters.
@@ -243,17 +289,52 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Worlds:           int(s.length.Load()),
-		ResidentBlocks:   len(s.blocks),
-		BlockWorlds:      s.bw,
-		Hits:             s.hits,
-		Materializations: s.materialized,
-		Recomputes:       s.recomputed,
-		Evictions:        s.evicted,
+		Worlds:               int(s.length.Load()),
+		ResidentBlocks:       len(s.blocks[famLabels]) + len(s.blocks[famBits]),
+		ResidentLabelBlocks:  len(s.blocks[famLabels]),
+		ResidentBitmapBlocks: len(s.blocks[famBits]),
+		ResidentBytes:        s.residentBytes,
+		BlockWorlds:          s.bw,
+		Hits:                 s.hits,
+		Materializations:     s.materialized,
+		Recomputes:           s.recomputed,
+		Evictions:            s.evicted,
 	}
 }
 
-// acquire returns block bi with at least the first need worlds
+// acquireBlock returns family f's block bi, pinned against eviction,
+// inserting (and budget-accounting) a fresh one if absent. Before an
+// insertion, enough LRU unpinned blocks of either family are evicted to
+// make room under the byte budget; the new block is admitted even when
+// the budget cannot be met, so progress never blocks on memory pressure.
+// Caller must not hold s.mu.
+func (s *Store) acquireBlock(f family, bi int) *block {
+	s.mu.Lock()
+	b, ok := s.blocks[f][bi]
+	if !ok {
+		b = &block{fam: f, idx: bi, bytes: s.blockBytes(f)}
+		if s.budget > 0 {
+			s.evictLocked(s.budget - b.bytes)
+		}
+		s.blocks[f][bi] = b
+		s.residentBytes += b.bytes
+		s.materialized++
+		if s.built[f][bi] {
+			s.recomputed++
+		} else {
+			s.built[f][bi] = true
+		}
+	} else {
+		s.hits++
+	}
+	b.pins++
+	s.clock++
+	b.lastUse = s.clock
+	s.mu.Unlock()
+	return b
+}
+
+// acquire returns the label block bi with at least the first need worlds
 // materialized, pinned against eviction, along with the label buffer
 // captured under the block's mutex. Prefix extension serializes on that
 // mutex, so exactly one goroutine computes each world while later
@@ -264,28 +345,7 @@ func (s *Store) Stats() Stats {
 // immutable — which is why callers must read through the returned slice,
 // not through b.labels. Callers must release the block.
 func (s *Store) acquire(bi, need int) (*block, []int32) {
-	s.mu.Lock()
-	b, ok := s.blocks[bi]
-	if !ok {
-		b = &block{idx: bi}
-		if s.maxResident > 0 {
-			s.evictLocked(s.maxResident - 1)
-		}
-		s.blocks[bi] = b
-		s.materialized++
-		if s.built[bi] {
-			s.recomputed++
-		} else {
-			s.built[bi] = true
-		}
-	} else {
-		s.hits++
-	}
-	b.pins++
-	s.clock++
-	b.lastUse = s.clock
-	s.mu.Unlock()
-
+	b := s.acquireBlock(famLabels, bi)
 	b.mu.Lock()
 	if b.done < need {
 		if len(b.labels) < need*s.n {
@@ -306,6 +366,35 @@ func (s *Store) acquire(bi, need int) (*block, []int32) {
 	labels := b.labels
 	b.mu.Unlock()
 	return b, labels
+}
+
+// acquireBits is acquire for the edge-bitmap family: it returns bitmap
+// block bi with at least the first need worlds filled, pinned, along with
+// the bitmap buffer captured under the block's mutex. The same prefix
+// immutability contract as acquire applies: read through the returned
+// slice, never through b.bits.
+func (s *Store) acquireBits(bi, need int) (*block, []uint64) {
+	b := s.acquireBlock(famBits, bi)
+	b.mu.Lock()
+	if b.done < need {
+		if len(b.bits) < need*s.wpw {
+			worlds := 2 * b.done
+			if worlds < need {
+				worlds = need
+			}
+			if worlds > s.bw {
+				worlds = s.bw
+			}
+			grown := make([]uint64, worlds*s.wpw)
+			copy(grown, b.bits[:b.done*s.wpw])
+			b.bits = grown
+		}
+		s.computeBitmaps(bi, b.done, need, b.bits)
+		b.done = need
+	}
+	bits := b.bits
+	b.mu.Unlock()
+	return b, bits
 }
 
 // matSem bounds the extra goroutines spawned by concurrent block
@@ -329,16 +418,15 @@ func materializeSem() chan struct{} {
 	return matSem
 }
 
-// computeWorlds materializes worlds [lo, hi) of block bi into labels,
-// fanning the worlds out across available workers. Each world's labels are
-// computed independently into a disjoint slice of the buffer, so the bits
-// do not depend on the worker count.
-func (s *Store) computeWorlds(bi, lo, hi int, labels []int32) {
-	base := bi * s.bw
-	compute := func(uf *graph.UnionFind, i int) {
-		w := sampler.World{G: s.g, Seed: s.seed, Index: uint64(base + i)}
-		w.ComponentLabels(uf, labels[i*s.n:(i+1)*s.n])
-	}
+// fanOutWorlds runs a per-world computation for every index in [lo, hi),
+// fanning across available workers. Each worker calls worker() once to
+// bind its private scratch and then invokes the returned function for the
+// indices it steals off a shared cursor. Extra workers draw tokens from
+// the process-wide materialization semaphore; a token shortage degrades to
+// fewer workers — never to blocking. Stealing only changes which worker
+// computes a world, never the result: every world writes a disjoint slice
+// of the output.
+func fanOutWorlds(lo, hi int, worker func() func(i int)) {
 	span := hi - lo
 	workers := runtime.GOMAXPROCS(0)
 	if workers > span {
@@ -358,9 +446,9 @@ func (s *Store) computeWorlds(bi, lo, hi int, labels []int32) {
 		}
 	}
 	if extra == 0 {
-		uf := graph.NewUnionFind(s.n)
+		compute := worker()
 		for i := lo; i < hi; i++ {
-			compute(uf, i)
+			compute(i)
 		}
 		return
 	}
@@ -372,25 +460,53 @@ func (s *Store) computeWorlds(bi, lo, hi int, labels []int32) {
 		go func() {
 			defer wg.Done()
 			defer func() { matSem <- struct{}{} }()
-			uf := graph.NewUnionFind(s.n)
+			compute := worker()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= hi {
 					return
 				}
-				compute(uf, i)
+				compute(i)
 			}
 		}()
 	}
-	uf := graph.NewUnionFind(s.n)
+	compute := worker()
 	for {
 		i := int(next.Add(1)) - 1
 		if i >= hi {
 			break
 		}
-		compute(uf, i)
+		compute(i)
 	}
 	wg.Wait()
+}
+
+// computeWorlds materializes worlds [lo, hi) of block bi into labels.
+// Each world's labels are computed independently into a disjoint slice of
+// the buffer, so the bits do not depend on the worker count.
+func (s *Store) computeWorlds(bi, lo, hi int, labels []int32) {
+	base := bi * s.bw
+	fanOutWorlds(lo, hi, func() func(int) {
+		uf := graph.NewUnionFind(s.n)
+		return func(i int) {
+			w := sampler.World{G: s.g, Seed: s.seed, Index: uint64(base + i)}
+			w.ComponentLabels(uf, labels[i*s.n:(i+1)*s.n])
+		}
+	})
+}
+
+// computeBitmaps materializes the edge bitmaps of worlds [lo, hi) of block
+// bi into bits. Each world's bitmap is filled independently into a
+// disjoint slice of the buffer, so the bits do not depend on the worker
+// count.
+func (s *Store) computeBitmaps(bi, lo, hi int, bits []uint64) {
+	base := bi * s.bw
+	fanOutWorlds(lo, hi, func() func(int) {
+		return func(i int) {
+			w := sampler.World{G: s.g, Seed: s.seed, Index: uint64(base + i)}
+			w.FillEdgeBitmap(bits[i*s.wpw : (i+1)*s.wpw])
+		}
+	})
 }
 
 // release unpins a block acquired with acquire.
@@ -400,30 +516,34 @@ func (s *Store) release(b *block) {
 	s.mu.Unlock()
 }
 
-// evictLocked drops least-recently-used unpinned blocks until at most max
+// evictLocked drops least-recently-used unpinned blocks — across both
+// artifact families — until at most maxBytes of nominal block memory
 // remain. Blocks still being materialized or pinned by readers are never
 // dropped; if everything is pinned the budget is temporarily overshot
 // rather than blocking. Caller holds s.mu.
-func (s *Store) evictLocked(max int) {
-	if max < 0 {
-		max = 0
+func (s *Store) evictLocked(maxBytes int64) {
+	if maxBytes < 0 {
+		maxBytes = 0
 	}
-	for len(s.blocks) > max {
+	for s.residentBytes > maxBytes {
 		var victim *block
-		for _, b := range s.blocks {
-			// pins == 0 implies no goroutine is reading or extending the
-			// block: extension happens while its requester holds a pin.
-			if b.pins > 0 {
-				continue
-			}
-			if victim == nil || b.lastUse < victim.lastUse {
-				victim = b
+		for f := range s.blocks {
+			for _, b := range s.blocks[f] {
+				// pins == 0 implies no goroutine is reading or extending the
+				// block: extension happens while its requester holds a pin.
+				if b.pins > 0 {
+					continue
+				}
+				if victim == nil || b.lastUse < victim.lastUse {
+					victim = b
+				}
 			}
 		}
 		if victim == nil {
 			return
 		}
-		delete(s.blocks, victim.idx)
+		delete(s.blocks[victim.fam], victim.idx)
+		s.residentBytes -= victim.bytes
 		s.evicted++
 	}
 }
@@ -547,6 +667,133 @@ func (s *Store) CountConnectedFromMulti(cs []graph.NodeID, lo []int, hi int, cou
 			}
 		}
 	})
+}
+
+// ScanBits calls fn(i, bits) for every world i in [lo, hi), in increasing
+// order, where bits is the world's present-edge bitmap (length
+// sampler.EdgeBitmapWords(NumEdges); bit e set iff edge e is present —
+// test with sampler.BitmapContains). The slice is only valid during the
+// callback and must not be modified. Bitmap blocks are pinned one at a
+// time, exactly like label blocks in Scan, and count against the same
+// byte budget. ScanBits grows the logical stream to hi.
+func (s *Store) ScanBits(lo, hi int, fn func(i int, bits []uint64)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return
+	}
+	s.Grow(hi)
+	for bi := lo / s.bw; bi*s.bw < hi; bi++ {
+		base := bi * s.bw
+		start, end := lo, hi
+		if start < base {
+			start = base
+		}
+		if end > base+s.bw {
+			end = base + s.bw
+		}
+		b, bits := s.acquireBits(bi, end-base)
+		for i := start; i < end; i++ {
+			off := (i - base) * s.wpw
+			fn(i, bits[off:off+s.wpw:off+s.wpw])
+		}
+		s.release(b)
+	}
+}
+
+// CountWithinMulti is the depth-limited mirror of CountConnectedFromMulti:
+// for each center cs[j] it adds, into counts[j] (length NumNodes, not
+// cleared), the number of worlds in [lo[j], hi) where each node is within
+// depth hops of cs[j]. depth < 0 means unconstrained reachability (callers
+// with unlimited depth should prefer the label-scan path, which is O(n)
+// per world instead of BFS).
+//
+// All centers are answered in ONE pass over each world's edge bitmap: the
+// world's edge coins are evaluated once, when its bitmap block is
+// materialized, and every center's depth-bounded BFS tests bits instead of
+// re-hashing — so a batch pays the edge-coin bill once per world instead
+// of once per (world, center), and each block is acquired (and, under a
+// memory budget, potentially recomputed) once instead of once per center.
+//
+// Each (world, center) BFS visit set is a pure function of the world's
+// edge set, so the result is bit-identical to looping a per-center
+// sampler.ReachCounter over the same ranges.
+func (s *Store) CountWithinMulti(cs []graph.NodeID, depth int, lo []int, hi int, counts [][]int32) {
+	if len(cs) == 0 {
+		return
+	}
+	mrc := s.reachPool.Get().(*sampler.MultiReachCounter)
+	defer s.reachPool.Put(mrc)
+	// Mask groups of <= 64 centers, each answered over the same bitmap
+	// blocks (re-acquisitions after the first group are cache hits).
+	for base := 0; base < len(cs); base += 64 {
+		end := base + 64
+		if end > len(cs) {
+			end = len(cs)
+		}
+		s.countWithinGroup(mrc, cs[base:end], depth, lo[base:end], hi, counts[base:end])
+	}
+}
+
+// countWithinGroup answers one <= 64-center group. The world range is split
+// at the distinct lo values into segments on which the active center set
+// is constant, so the counter's accumulate mode (one flat add per reach,
+// flushed per segment) keeps a stable bit-to-center mapping; graphs too
+// large for the flat accumulator fall back to per-world direct counting.
+// Either mode adds the same per-world reach indicators, so the counts are
+// bit-identical regardless of mode, segmentation, or group split.
+func (s *Store) countWithinGroup(mrc *sampler.MultiReachCounter, cs []graph.NodeID, depth int, lo []int, hi int, counts [][]int32) {
+	// Distinct segment starts: every lo value below hi, ascending.
+	starts := make([]int, 0, len(lo))
+	for _, l := range lo {
+		if l < 0 {
+			l = 0
+		}
+		if l >= hi {
+			continue
+		}
+		starts = append(starts, l)
+	}
+	if len(starts) == 0 {
+		return
+	}
+	sort.Ints(starts)
+	accum := mrc.BeginAccum()
+	activeCs := make([]graph.NodeID, 0, len(cs))
+	activeCounts := make([][]int32, 0, len(cs))
+	for k := 0; k < len(starts); k++ {
+		a := starts[k]
+		if k > 0 && a == starts[k-1] {
+			continue // duplicate lo value
+		}
+		b := hi
+		for _, nl := range starts[k+1:] {
+			if nl > a {
+				b = nl
+				break
+			}
+		}
+		activeCs = activeCs[:0]
+		activeCounts = activeCounts[:0]
+		for j, c := range cs {
+			if lo[j] > a {
+				continue
+			}
+			activeCs = append(activeCs, c)
+			activeCounts = append(activeCounts, counts[j])
+		}
+		if accum {
+			s.ScanBits(a, b, func(_ int, bits []uint64) {
+				mrc.AccumWorld(bits, activeCs, depth)
+			})
+			mrc.FlushAccum(activeCounts)
+		} else {
+			s.ScanBits(a, b, func(_ int, bits []uint64) {
+				mrc.CountWithinWorld(bits, activeCs, depth, activeCounts)
+			})
+		}
+	}
 }
 
 // EstimateFrom returns the Monte Carlo estimates of Pr(u ~ c) for all

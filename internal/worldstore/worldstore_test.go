@@ -8,6 +8,7 @@ import (
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/rng"
+	"ucgraph/internal/sampler"
 )
 
 func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
@@ -281,6 +282,131 @@ func TestConnectedMatchesLabels(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestScanBitsMatchesImplicitWorlds(t *testing.T) {
+	// Bitmap blocks are just materializations of the implicit world
+	// stream: every bit must agree with World.Contains, in fresh stores
+	// and after partial-prefix extension.
+	g := ringGraph(t, 40, 2)
+	s := New(g, 7)
+	check := func(lo, hi int) {
+		s.ScanBits(lo, hi, func(i int, bits []uint64) {
+			w := s.World(i)
+			for id := int32(0); id < int32(g.NumEdges()); id++ {
+				if sampler.BitmapContains(bits, id) != w.Contains(id) {
+					t.Fatalf("world %d edge %d: bitmap disagrees with coin", i, id)
+				}
+			}
+		})
+	}
+	check(0, 3)   // partial prefix
+	check(0, 40)  // extended prefix of the same block
+	check(37, 90) // crossing a block boundary
+}
+
+func TestCountWithinMultiMatchesReachCounter(t *testing.T) {
+	// The batched depth-limited counts must be bit-identical to a serial
+	// per-center ReachCounter over the same (seed, range), including
+	// per-center lo offsets and duplicate centers.
+	g := ringGraph(t, 35, 13)
+	const seed, hi = 17, 300
+	s := New(g, seed)
+	centers := []graph.NodeID{0, 5, 5, 12, 34, 1} // includes a duplicate
+	lo := []int{0, 40, 0, 250, 7, 299}
+	for _, depth := range []int{0, 1, 2, 5, -1} {
+		multi := make([][]int32, len(centers))
+		for j := range multi {
+			multi[j] = make([]int32, g.NumNodes())
+		}
+		s.CountWithinMulti(centers, depth, lo, hi, multi)
+		rc := sampler.NewReachCounter(g, seed)
+		for j, c := range centers {
+			single := make([]int32, g.NumNodes())
+			rc.CountWithin(c, depth, lo[j], hi, single)
+			for u := range single {
+				if multi[j][u] != single[u] {
+					t.Fatalf("depth %d center %d (lo %d) node %d: multi %d != single %d",
+						depth, c, lo[j], u, multi[j][u], single[u])
+				}
+			}
+		}
+	}
+}
+
+func TestCountWithinMultiEmptyRanges(t *testing.T) {
+	g := pathGraph(t, 6, 0.5)
+	s := New(g, 1)
+	counts := [][]int32{make([]int32, 6)}
+	s.CountWithinMulti([]graph.NodeID{2}, 2, []int{100}, 100, counts)
+	for u, c := range counts[0] {
+		if c != 0 {
+			t.Fatalf("empty range counted node %d: %d", u, c)
+		}
+	}
+	s.CountWithinMulti(nil, 2, nil, 50, nil)
+}
+
+func TestBoundedModeBitmapsBitIdentical(t *testing.T) {
+	// The bounded-memory guarantee extends to the edge-bitmap family:
+	// evicting and recomputing bitmap blocks returns bit-identical counts,
+	// with label and bitmap blocks churning under ONE shared byte budget.
+	g := ringGraph(t, 60, 3)
+	const seed, hi = 11, 400
+	centers := []graph.NodeID{0, 17, 33, 58}
+	lo := make([]int, len(centers))
+	const depth = 2
+
+	unbounded := New(g, seed)
+	want := make([][]int32, len(centers))
+	for j := range want {
+		want[j] = make([]int32, g.NumNodes())
+	}
+	unbounded.CountWithinMulti(centers, depth, lo, hi, want)
+
+	bounded := New(g, seed)
+	bounded.SetBudget(1) // degenerate budget: one resident block of any family
+	for pass := 0; pass < 2; pass++ {
+		got := make([][]int32, len(centers))
+		for j := range got {
+			got[j] = make([]int32, g.NumNodes())
+		}
+		bounded.CountWithinMulti(centers, depth, lo, hi, got)
+		// Interleave label scans so both families compete for the budget.
+		bounded.CountConnectedFrom(0, 0, hi, make([]int32, g.NumNodes()))
+		for j := range want {
+			for u := range want[j] {
+				if got[j][u] != want[j][u] {
+					t.Fatalf("pass %d center %d node %d: bounded %d != unbounded %d",
+						pass, centers[j], u, got[j][u], want[j][u])
+				}
+			}
+		}
+	}
+	st := bounded.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("bounded run evicted nothing (stats %+v)", st)
+	}
+	if st.ResidentBlocks > 1 {
+		t.Fatalf("budget of one block left %d resident (stats %+v)", st.ResidentBlocks, st)
+	}
+}
+
+func TestStatsSplitsFamilies(t *testing.T) {
+	g := ringGraph(t, 50, 5)
+	s := New(g, 9)
+	s.Scan(0, 10, func(int, []int32) {})
+	s.ScanBits(0, 10, func(int, []uint64) {})
+	st := s.Stats()
+	if st.ResidentLabelBlocks != 1 || st.ResidentBitmapBlocks != 1 {
+		t.Fatalf("family split wrong: %+v", st)
+	}
+	if st.ResidentBlocks != 2 {
+		t.Fatalf("ResidentBlocks must cover both families: %+v", st)
+	}
+	if st.ResidentBytes != s.blockBytes(famLabels)+s.blockBytes(famBits) {
+		t.Fatalf("ResidentBytes %d != sum of nominal block sizes", st.ResidentBytes)
 	}
 }
 
