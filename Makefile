@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-smoke serve docs-check ci
+.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-shard bench-smoke serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ short:
 
 # Race detector over the concurrency-bearing packages.
 race:
-	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server
+	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server ./internal/shard
 
 # Run the query daemon on a built-in dataset (see docs/SERVER.md).
 serve:
@@ -67,6 +67,15 @@ bench-depth:
 # rot between recorded runs. -benchtime=1x keeps it to seconds.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
+
+# Sharding benchmarks (coordinator scatter/gather over loopback workers
+# vs in-process execution) -> BENCH_shard.json, merged in place so partial
+# reruns keep the rest of the suite.
+bench-shard:
+	$(GO) test -bench='Scatter' -benchmem -run='^$$' ./internal/shard | tee bench-shard.out
+	$(GO) run ./cmd/benchjson -suite shard -update BENCH_shard.json < bench-shard.out
+	@rm -f bench-shard.out
+	@echo "merged scatter suite into BENCH_shard.json"
 
 # Daemon-level benchmarks (cold vs warm world store behind /v1/conn) ->
 # BENCH_server.json.

@@ -15,6 +15,20 @@
 // -worldmem per-store label budget (MiB, 0 = unbounded) and the -gate
 // admission bound on concurrently materializing requests.
 //
+// The same binary is both halves of a sharded deployment:
+//
+//	ucserve -shard-worker -synthetic collins -listen :9001
+//	ucserve -shard-worker -synthetic collins -listen :9002
+//	ucserve -synthetic collins -shards localhost:9001,localhost:9002
+//
+// A -shard-worker process serves the raw integer-tally wire protocol of
+// internal/shard over its own world store; a daemon started with -shards
+// becomes the scatter/gather coordinator, fanning /v1/conn, /v1/cluster,
+// /v1/knn and /v1/influence out across the workers with answers
+// bit-identical to a single-process run. Workers and coordinator must be
+// started with the same graphs, names and -seed (the coordinator's
+// /healthz verifies and reports not-ready until every worker agrees).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
 package main
@@ -34,6 +48,7 @@ import (
 	"ucgraph/internal/datasets"
 	"ucgraph/internal/gio"
 	"ucgraph/internal/server"
+	"ucgraph/internal/shard"
 	"ucgraph/internal/worldstore"
 )
 
@@ -48,6 +63,9 @@ func main() {
 		maxSamp  = flag.Int("max-samples", 1<<20, "hard cap on per-request sample budgets")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTime  = flag.Duration("max-timeout", 5*time.Minute, "hard cap on per-request deadlines")
+
+		shardWorker = flag.Bool("shard-worker", false, "serve the shard-worker tally protocol instead of the query API")
+		shards      = flag.String("shards", "", "comma-separated shard-worker addresses; the daemon becomes the scatter/gather coordinator")
 	)
 	var graphs []server.GraphConfig
 	flag.Func("graph", "serve a graph from an edge-list file, as name=path (repeatable)", func(v string) error {
@@ -101,29 +119,62 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *shardWorker && *shards != "" {
+		fmt.Fprintln(os.Stderr, "ucserve: -shard-worker and -shards are mutually exclusive (a process is a worker or a coordinator, not both)")
+		os.Exit(2)
+	}
 	worldstore.SetDefaultBudget(int64(*worldmem) << 20)
 	for i := range graphs {
 		graphs[i].Seed = *seed
 	}
 
-	srv, err := server.New(graphs, server.Options{
-		DefaultSamples: *samples,
-		MaxSamples:     *maxSamp,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTime,
-		Gate:           *gate,
-		Parallelism:    *par,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
-		os.Exit(1)
+	var handler http.Handler
+	if *shardWorker {
+		wgs := make([]shard.WorkerGraph, len(graphs))
+		for i, gc := range graphs {
+			wgs[i] = shard.WorkerGraph{Name: gc.Name, Graph: gc.Graph, Seed: gc.Seed}
+		}
+		wrk, err := shard.NewWorker(wgs, shard.WorkerOptions{MaxWorlds: *maxSamp})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
+			os.Exit(1)
+		}
+		handler = wrk
+	} else {
+		var shardAddrs []string
+		for _, a := range strings.Split(*shards, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				shardAddrs = append(shardAddrs, a)
+			}
+		}
+		srv, err := server.New(graphs, server.Options{
+			DefaultSamples: *samples,
+			MaxSamples:     *maxSamp,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTime,
+			Gate:           *gate,
+			Parallelism:    *par,
+			Shards:         shardAddrs,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
+			os.Exit(1)
+		}
+		if len(shardAddrs) > 0 {
+			fmt.Printf("coordinating %d shard worker(s): %s\n", len(shardAddrs), strings.Join(shardAddrs, ", "))
+		}
+		handler = srv
+	}
+	role := "serving"
+	if *shardWorker {
+		role = "shard-worker for"
 	}
 	for _, gc := range graphs {
-		fmt.Printf("serving %-12s %7d nodes %8d edges (seed %d)\n",
-			gc.Name, gc.Graph.NumNodes(), gc.Graph.NumEdges(), gc.Seed)
+		fmt.Printf("%s %-12s %7d nodes %8d edges (seed %d)\n",
+			role, gc.Name, gc.Graph.NumNodes(), gc.Graph.NumEdges(), gc.Seed)
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)

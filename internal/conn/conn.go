@@ -647,11 +647,22 @@ func (mc *MonteCarlo) extend(key cacheKey, tally *centerTally, r int) {
 
 // countRange adds the connection counts of worlds [lo, hi) into counts:
 // label scans over the shared store for unlimited depth, depth-bounded BFS
-// on the implicit stream otherwise. Safe to call from multiple goroutines
-// as long as each call owns its counts buffer.
+// otherwise. A depth-limited range whose edge-bitmap blocks are already
+// resident (a batched FromCenters materialized them earlier) is answered
+// from those warm bitmaps — the single-center BFS tests bits instead of
+// re-hashing every touched edge's coin; a cold range runs on the implicit
+// stream directly, because filling bitmaps for one center has nothing to
+// amortize. Residency is a hint only: eviction between the probe and the
+// scan just recomputes the block, and both paths add bit-identical counts
+// (a reach set is a function of the world's edge set alone). Safe to call
+// from multiple goroutines as long as each call owns its counts buffer.
 func (mc *MonteCarlo) countRange(key cacheKey, lo, hi int, counts []int32) {
 	if key.depth < 0 {
 		mc.store.CountConnectedFrom(key.c, lo, hi, counts)
+		return
+	}
+	if mc.store.BitsResident(lo, hi) {
+		mc.store.CountWithinMulti([]graph.NodeID{key.c}, key.depth, []int{lo}, hi, [][]int32{counts})
 		return
 	}
 	rc := mc.reachPool.Get().(*sampler.ReachCounter)

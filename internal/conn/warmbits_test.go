@@ -1,0 +1,85 @@
+package conn
+
+import (
+	"testing"
+
+	"ucgraph/internal/graph"
+)
+
+// The warm-bitmap reuse path: a single-center depth-limited query whose
+// world range's edge-bitmap blocks are already resident (a batched
+// FromCenters materialized them) answers from those bitmaps instead of
+// re-hashing edge coins on the implicit stream — bit-identically.
+
+// TestWarmBitmapSingleCenterBitIdentical warms the bitmap blocks with a
+// batch, then asserts a fresh single-center query (a) actually reads the
+// resident blocks and (b) matches a cold estimator exactly.
+func TestWarmBitmapSingleCenterBitIdentical(t *testing.T) {
+	g := gridGraph(t, 9, 8, 0.55)
+	const seed, depth, r = 19, 2, 400
+
+	warm := NewMonteCarlo(g, seed)
+	warm.FromCenters([]graph.NodeID{0, 5, 11, 30}, depth, r) // materializes bitmap blocks
+
+	if !warm.Store().BitsResident(0, r) {
+		t.Fatal("bitmap blocks should be resident after the batch")
+	}
+	before := warm.Store().Stats()
+	got := warm.FromCenter(40, depth, r) // fresh center, warm range
+	after := warm.Store().Stats()
+	if after.Hits <= before.Hits {
+		t.Fatalf("single-center query did not reuse resident bitmap blocks (hits %d -> %d)",
+			before.Hits, after.Hits)
+	}
+	if after.Materializations != before.Materializations {
+		t.Fatalf("warm query materialized blocks (%d -> %d)", before.Materializations, after.Materializations)
+	}
+
+	cold := NewMonteCarlo(identicalGraph(t, g), seed)
+	want := cold.FromCenter(40, depth, r)
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: warm %v != cold %v", u, got[u], want[u])
+		}
+	}
+}
+
+// TestColdSingleCenterSkipsBitmapFill: without resident bitmaps a
+// single-center depth query must stay on the implicit-world path — filling
+// whole bitmap blocks for one center has nothing to amortize.
+func TestColdSingleCenterSkipsBitmapFill(t *testing.T) {
+	g := gridGraph(t, 9, 8, 0.55)
+	mc := NewMonteCarlo(identicalGraph(t, g), 23)
+	est := mc.FromCenter(7, 2, 300)
+	if len(est) != g.NumNodes() {
+		t.Fatalf("estimate length %d", len(est))
+	}
+	if st := mc.Store().Stats(); st.ResidentBitmapBlocks != 0 {
+		t.Fatalf("cold single-center query materialized %d bitmap blocks", st.ResidentBitmapBlocks)
+	}
+}
+
+// TestWarmBitmapPartialResidency: if only a prefix of the range is
+// resident, the probe reports false and the query still answers exactly
+// (the implicit path), so partially-warm stores never mis-route.
+func TestWarmBitmapPartialResidency(t *testing.T) {
+	g := gridGraph(t, 9, 8, 0.55)
+	const seed, depth = 29, 2
+	mc := NewMonteCarlo(g, seed)
+	bw := mc.Store().BlockWorlds()
+	short := bw / 2 // half of the first block
+	mc.FromCenters([]graph.NodeID{0, 5}, depth, short)
+	if mc.Store().BitsResident(0, bw+1) {
+		t.Fatal("range past the materialized prefix should not report resident")
+	}
+	if !mc.Store().BitsResident(0, short) {
+		t.Fatal("materialized prefix should report resident")
+	}
+	got := mc.FromCenter(12, depth, bw+10)
+	want := NewMonteCarlo(identicalGraph(t, g), seed).FromCenter(12, depth, bw+10)
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: %v != %v", u, got[u], want[u])
+		}
+	}
+}

@@ -70,6 +70,7 @@ func ACPCtx(ctx context.Context, o conn.Oracle, k int, opt Options) (*Clustering
 			K: k, Q: rem, QBar: sel, Alpha: alpha,
 			Depth: opt.Depth, DepthSel: depthSel,
 			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
+			ScoreChunk: opt.ScoreChunk,
 		})
 		if err != nil {
 			return nil, err

@@ -50,6 +50,12 @@ type Options struct {
 	// shared, not multiplied, when both fan out. Results are identical
 	// for every setting.
 	Parallelism int
+	// ScoreChunk bounds how many candidates one batched FromCenters
+	// scoring query carries (<= 0 selects the default, 64; see
+	// PartialParams.ScoreChunk). Larger chunks suit oracles with
+	// per-query overhead — the shard coordinator's network scatter —
+	// and never affect results.
+	ScoreChunk int
 	// Seed drives candidate selection; estimator seeds are independent.
 	Seed uint64
 }
@@ -130,6 +136,7 @@ func mcpRun(ctx context.Context, o conn.Oracle, k int, opt Options, rnd *rng.Xos
 			K: k, Q: q, QBar: q, Alpha: opt.Alpha,
 			Depth: opt.Depth, DepthSel: depthSel,
 			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
+			ScoreChunk: opt.ScoreChunk,
 		})
 		if err != nil {
 			return nil, err

@@ -46,6 +46,13 @@ type PartialParams struct {
 	// itself answers identically under concurrency (conn.MonteCarlo does,
 	// up to the tally-cache overflow boundary documented on it).
 	Parallelism int
+	// ScoreChunk bounds how many candidates one batched FromCenters
+	// scoring query carries (<= 0 selects the default, 64). Larger chunks
+	// trade peak memory (chunk * n floats of estimate vectors alive at
+	// once) for fewer oracle round-trips — worthwhile when the oracle is
+	// a shard coordinator whose per-query cost includes a network
+	// scatter. The chunk size never affects results.
+	ScoreChunk int
 }
 
 // scoreChunk bounds how many candidate centers are handed to one batched
@@ -60,6 +67,14 @@ func (p PartialParams) workers() int {
 		return p.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// chunk resolves the effective scoring-batch size.
+func (p PartialParams) chunk() int {
+	if p.ScoreChunk > 0 {
+		return p.ScoreChunk
+	}
+	return scoreChunk
 }
 
 // PartialResult is the outcome of a min-partial run: the partial clustering
@@ -213,8 +228,8 @@ func MinPartialCtx(ctx context.Context, o conn.Oracle, rnd *rng.Xoshiro256, p Pa
 		scores := make([]int, tsize)
 		best := -1
 		var bestSelEst []float64
-		for base := 0; base < tsize; base += scoreChunk {
-			end := base + scoreChunk
+		for base := 0; base < tsize; base += p.chunk() {
+			end := base + p.chunk()
 			if end > tsize {
 				end = tsize
 			}

@@ -41,10 +41,23 @@ func SpreadCtx(ctx context.Context, ws *worldstore.Store, seeds []graph.NodeID, 
 	if len(seeds) == 0 {
 		return 0, ctx.Err()
 	}
+	total, err := SpreadTallyCtx(ctx, ws, seeds, 0, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(r), nil
+}
+
+// SpreadTallyCtx returns the raw integer spread tally over the world range
+// [lo, hi): the number of (world, node) pairs where the node shares a
+// component with at least one seed. Tallies over disjoint ranges sum to
+// the tally of the union — the order-free merge the shard workers rely on;
+// SpreadCtx is exactly SpreadTallyCtx over [0, r) divided by r.
+func SpreadTallyCtx(ctx context.Context, ws *worldstore.Store, seeds []graph.NodeID, lo, hi int) (int64, error) {
 	n := ws.NumNodes()
-	total := 0
+	var total int64
 	live := make(map[int32]struct{}, len(seeds))
-	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
+	if err := ws.ScanCtx(ctx, lo, hi, func(_ int, lab []int32) {
 		for k := range live {
 			delete(live, k)
 		}
@@ -59,7 +72,41 @@ func SpreadCtx(ctx context.Context, ws *worldstore.Store, seeds []graph.NodeID, 
 	}); err != nil {
 		return 0, err
 	}
-	return float64(total) / float64(r), nil
+	return total, nil
+}
+
+// MarginalTallyCtx returns, for every candidate, the raw integer marginal
+// spread tally over worlds [lo, hi) given the current seed set: the sum
+// over worlds of the size of the candidate's component in worlds where no
+// seed already covers that component. With an empty seed set it is the
+// initial-round tally of the greedy maximization (the full component size
+// of each candidate in every world). Like every other tally in this
+// package, disjoint ranges sum — the shard workers each contribute their
+// range and the coordinator's merged totals equal a single-range scan
+// bit for bit.
+func MarginalTallyCtx(ctx context.Context, ws *worldstore.Store, seeds, candidates []graph.NodeID, lo, hi int) ([]int64, error) {
+	totals := make([]int64, len(candidates))
+	sizes := make(map[int32]int32)
+	covered := make(map[int32]struct{}, len(seeds))
+	if err := ws.ScanCtx(ctx, lo, hi, func(_ int, lab []int32) {
+		clear(sizes)
+		for _, l := range lab {
+			sizes[l]++
+		}
+		clear(covered)
+		for _, s := range seeds {
+			covered[lab[s]] = struct{}{}
+		}
+		for i, v := range candidates {
+			l := lab[v]
+			if _, ok := covered[l]; !ok {
+				totals[i] += int64(sizes[l])
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return totals, nil
 }
 
 // celfEntry is a lazily evaluated marginal gain.
@@ -109,50 +156,99 @@ func Greedy(ws *worldstore.Store, k, r int) (*Result, error) {
 // each coverage update), so a deadline aborts the maximization promptly
 // with ctx's error. A nil-error run is bit-identical to Greedy.
 func GreedyCtx(ctx context.Context, ws *worldstore.Store, k, r int) (*Result, error) {
-	n := ws.NumNodes()
-	if k < 1 || k > n {
-		return nil, fmt.Errorf("influence: k = %d out of range [1, %d]", k, n)
-	}
+	return GreedyEval(ctx, ws.NumNodes(), k, r, &storeEvaluator{ws: ws, r: r})
+}
 
-	// Precompute per-world component sizes so that the marginal gain of a
-	// single node given the covered-component set is O(r), and batch the
-	// empty-set gains of all nodes into the same block pass.
-	compSize := make([]map[int32]int32, r)
+// Evaluator supplies the integer marginal-gain tallies GreedyEval drives
+// the CELF loop with. The three methods see the seed set grow in pick
+// order: MarginalGain is always asked against the seeds acknowledged by
+// prior Picked calls. All tallies are world counts over the same fixed
+// sample of r worlds, so any two evaluators that agree on the integer
+// tallies make GreedyEval produce bit-identical results — the property the
+// sharded coordinator's evaluator (scattered tallies, gathered sums) is
+// tested for against the local store-backed one.
+type Evaluator interface {
+	// InitialGains returns, per node, the empty-seed-set spread tally: the
+	// summed size of the node's component over all sampled worlds.
+	InitialGains(ctx context.Context) ([]int64, error)
+	// MarginalGain returns v's marginal spread tally given the current
+	// seed set.
+	MarginalGain(ctx context.Context, v graph.NodeID) (int64, error)
+	// Picked informs the evaluator that v joined the seed set.
+	Picked(ctx context.Context, v graph.NodeID) error
+}
+
+// storeEvaluator answers gain tallies from a local world store, caching
+// per-world component sizes and the covered-component sets so each
+// re-evaluation is one O(1)-per-world scan.
+type storeEvaluator struct {
+	ws       *worldstore.Store
+	r        int
+	compSize []map[int32]int32
+	covered  []map[int32]struct{}
+}
+
+func (ev *storeEvaluator) InitialGains(ctx context.Context) ([]int64, error) {
+	n := ev.ws.NumNodes()
+	ev.compSize = make([]map[int32]int32, ev.r)
 	gain0 := make([]int64, n)
-	if err := ws.ScanCtx(ctx, 0, r, func(w int, lab []int32) {
+	if err := ev.ws.ScanCtx(ctx, 0, ev.r, func(w int, lab []int32) {
 		sizes := make(map[int32]int32)
 		for _, l := range lab {
 			sizes[l]++
 		}
-		compSize[w] = sizes
+		ev.compSize[w] = sizes
 		for v := 0; v < n; v++ {
 			gain0[v] += int64(sizes[lab[v]])
 		}
 	}); err != nil {
 		return nil, err
 	}
-	// covered[w] holds the component labels already reached by the seed
-	// set in world w.
-	covered := make([]map[int32]struct{}, r)
-	for w := range covered {
-		covered[w] = make(map[int32]struct{})
+	ev.covered = make([]map[int32]struct{}, ev.r)
+	for w := range ev.covered {
+		ev.covered[w] = make(map[int32]struct{})
+	}
+	return gain0, nil
+}
+
+func (ev *storeEvaluator) MarginalGain(ctx context.Context, v graph.NodeID) (int64, error) {
+	sum := int64(0)
+	if err := ev.ws.ScanCtx(ctx, 0, ev.r, func(w int, lab []int32) {
+		l := lab[v]
+		if _, ok := ev.covered[w][l]; !ok {
+			sum += int64(ev.compSize[w][l])
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+func (ev *storeEvaluator) Picked(ctx context.Context, v graph.NodeID) error {
+	return ev.ws.ScanCtx(ctx, 0, ev.r, func(w int, lab []int32) {
+		ev.covered[w][lab[v]] = struct{}{}
+	})
+}
+
+// GreedyEval runs the CELF greedy maximization over an abstract gain
+// evaluator: the lazy-forward loop (pop the stalest maximum, re-evaluate
+// or select) lives here, the tallies come from ev — the local store for
+// GreedyCtx, scattered shard workers for the coordinator. n is the node
+// count, k the seed budget, r the sample size the integer tallies are
+// divided by. Two evaluators that return identical integer tallies yield
+// identical Seeds, Spread and Evaluations, because every selection
+// decision compares floats derived from those integers by the same
+// operations in the same order.
+func GreedyEval(ctx context.Context, n, k, r int, ev Evaluator) (*Result, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("influence: k = %d out of range [1, %d]", k, n)
+	}
+	gain0, err := ev.InitialGains(ctx)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{}
-	marginal := func(v graph.NodeID) (float64, error) {
-		sum := int64(0)
-		if err := ws.ScanCtx(ctx, 0, r, func(w int, lab []int32) {
-			l := lab[v]
-			if _, ok := covered[w][l]; !ok {
-				sum += int64(compSize[w][l])
-			}
-		}); err != nil {
-			return 0, err
-		}
-		res.Evaluations++
-		return float64(sum) / float64(r), nil
-	}
-
 	h := make(celfHeap, 0, n)
 	for v := 0; v < n; v++ {
 		h = append(h, celfEntry{node: graph.NodeID(v), gain: float64(gain0[v]) / float64(r), round: 0})
@@ -165,11 +261,12 @@ func GreedyCtx(ctx context.Context, ws *worldstore.Store, k, r int) (*Result, er
 		top := heap.Pop(&h).(celfEntry)
 		if top.round != len(res.Seeds) {
 			// Stale: re-evaluate under the current seed set and reinsert.
-			gain, err := marginal(top.node)
+			sum, err := ev.MarginalGain(ctx, top.node)
 			if err != nil {
 				return nil, err
 			}
-			top.gain = gain
+			res.Evaluations++
+			top.gain = float64(sum) / float64(r)
 			top.round = len(res.Seeds)
 			heap.Push(&h, top)
 			continue
@@ -178,9 +275,7 @@ func GreedyCtx(ctx context.Context, ws *worldstore.Store, k, r int) (*Result, er
 		res.Seeds = append(res.Seeds, top.node)
 		total += top.gain
 		res.Spread = append(res.Spread, total)
-		if err := ws.ScanCtx(ctx, 0, r, func(w int, lab []int32) {
-			covered[w][lab[top.node]] = struct{}{}
-		}); err != nil {
+		if err := ev.Picked(ctx, top.node); err != nil {
 			return nil, err
 		}
 	}

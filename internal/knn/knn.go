@@ -71,23 +71,40 @@ func SampleStore(ws *worldstore.Store, src graph.NodeID, r int) *DistanceDistrib
 // ctx's error with no distribution. A nil-error run is bit-identical to
 // SampleStore.
 func SampleStoreCtx(ctx context.Context, ws *worldstore.Store, src graph.NodeID, r int) (*DistanceDistribution, error) {
+	return SampleRangeCtx(ctx, ws, src, 0, r)
+}
+
+// SampleRangeCtx computes the hop-distance distribution from src over the
+// world range [lo, hi) of ws — the partial tally one shard worker
+// contributes when the distribution is computed distributed. The returned
+// distribution has R = hi - lo; distributions over disjoint ranges of the
+// same stream merge with Merge into exactly the distribution a single
+// scan of the union would have produced, because every field is an
+// order-free integer sum over worlds.
+func SampleRangeCtx(ctx context.Context, ws *worldstore.Store, src graph.NodeID, lo, hi int) (*DistanceDistribution, error) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
 	g := ws.Graph()
 	n := g.NumNodes()
 	dd := &DistanceDistribution{
 		Source:      src,
-		R:           r,
+		R:           hi - lo,
 		Hist:        make([]map[int32]int, n),
 		Unreachable: make([]int, n),
 	}
 	for v := range dd.Hist {
 		dd.Hist[v] = make(map[int32]int, 8)
 	}
-	ws.Grow(r)
+	ws.Grow(hi)
 	seen := make([]uint32, n)
 	queue := make([]graph.NodeID, 0, n)
 	reached := make([]bool, n)
-	for w := 0; w < r; w++ {
-		if w%64 == 0 {
+	for w := lo; w < hi; w++ {
+		if (w-lo)%64 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -96,7 +113,7 @@ func SampleStoreCtx(ctx context.Context, ws *worldstore.Store, src graph.NodeID,
 		for v := range reached {
 			reached[v] = false
 		}
-		world.BFSWithin(src, -1, seen, uint32(w+1), queue, func(v graph.NodeID, depth int32) {
+		world.BFSWithin(src, -1, seen, uint32(w-lo+1), queue, func(v graph.NodeID, depth int32) {
 			dd.Hist[v][depth]++
 			reached[v] = true
 		})
@@ -107,6 +124,22 @@ func SampleStoreCtx(ctx context.Context, ws *worldstore.Store, src graph.NodeID,
 		}
 	}
 	return dd, nil
+}
+
+// Merge folds other — a distribution of the same source over a disjoint
+// world range of the same stream — into dd, summing histogram counts,
+// unreachable counts and the world totals. Because a distribution is a
+// pure integer tally per world, merging partial tallies in any order
+// yields the same distribution as one scan over the combined range; this
+// is the gather step of the sharded deployment.
+func (dd *DistanceDistribution) Merge(other *DistanceDistribution) {
+	dd.R += other.R
+	for v := range dd.Hist {
+		for d, c := range other.Hist[v] {
+			dd.Hist[v][d] += c
+		}
+		dd.Unreachable[v] += other.Unreachable[v]
+	}
 }
 
 // Reliability returns the fraction of worlds where v was reachable:

@@ -2,15 +2,16 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"ucgraph/internal/conn"
 	"ucgraph/internal/core"
 	"ucgraph/internal/gmm"
 	"ucgraph/internal/graph"
-	"ucgraph/internal/influence"
 	"ucgraph/internal/knn"
 	"ucgraph/internal/kpt"
 	"ucgraph/internal/mcl"
@@ -19,12 +20,45 @@ import (
 
 // ---- /healthz, /statsz, /v1/graphs ------------------------------------
 
+// healthPingTimeout bounds the shard pings one readiness probe spends.
+const healthPingTimeout = 2 * time.Second
+
+// handleHealthz reports liveness — and, in a sharded deployment,
+// readiness: until every configured shard worker answers a ping (for
+// every served graph, with matching graph identity), the daemon reports
+// not_ready with a 503 so load balancers keep traffic away from a
+// coordinator whose workers are still coming up.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"graphs":    len(s.graphs),
-	})
+	}
+	if len(s.opts.Shards) > 0 {
+		body["shards"] = len(s.opts.Shards)
+		ctx, cancel := context.WithTimeout(r.Context(), healthPingTimeout)
+		defer cancel()
+		// All graphs ping concurrently (and each coordinator pings its
+		// workers concurrently), so the probe costs one slowest
+		// round-trip, not graphs x workers of them.
+		errs := make([]error, len(s.names))
+		var wg sync.WaitGroup
+		for i, name := range s.names {
+			wg.Add(1)
+			go func(i int, h *graphHandle) {
+				defer wg.Done()
+				errs[i] = h.coord.Ping(ctx)
+			}(i, s.graphs[name])
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			body["status"] = "not_ready"
+			body["error"] = err.Error()
+			s.writeJSONStatus(w, http.StatusServiceUnavailable, body)
+			return
+		}
+	}
+	s.writeJSON(w, body)
 }
 
 // storeStats mirrors worldstore.Stats with stable JSON names.
@@ -57,15 +91,52 @@ func (h *graphHandle) storeStats() storeStats {
 	}
 }
 
+// shardStats mirrors shard.WorkerStats with stable JSON names — the
+// per-graph shard health block of /statsz.
+type shardStats struct {
+	Addr         string `json:"addr"`
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	RangesServed uint64 `json:"ranges_served"`
+	WorldsServed uint64 `json:"worlds_served"`
+	LastRTTMS    int64  `json:"last_rtt_ms"`
+	LastOKMS     int64  `json:"last_ok_unix_ms,omitempty"`
+	LastErr      string `json:"last_err,omitempty"`
+}
+
+func (h *graphHandle) shardStats() []shardStats {
+	ws := h.coord.WorkerStats()
+	out := make([]shardStats, len(ws))
+	for i, st := range ws {
+		out[i] = shardStats{
+			Addr:         st.Addr,
+			Requests:     st.Requests,
+			Failures:     st.Failures,
+			RangesServed: st.RangesServed,
+			WorldsServed: st.WorldsServed,
+			LastRTTMS:    st.LastRTT.Milliseconds(),
+			LastErr:      st.LastErr,
+		}
+		if !st.LastOK.IsZero() {
+			out[i].LastOKMS = st.LastOK.UnixMilli()
+		}
+	}
+	return out
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	graphs := make(map[string]any, len(s.graphs))
 	for name, h := range s.graphs {
-		graphs[name] = map[string]any{
+		gm := map[string]any{
 			"nodes": h.g.NumNodes(),
 			"edges": h.g.NumEdges(),
 			"seed":  h.seed,
 			"store": h.storeStats(),
 		}
+		if h.coord.Sharded() {
+			gm["shards"] = h.shardStats()
+		}
+		graphs[name] = gm
 	}
 	s.writeJSON(w, map[string]any{
 		"uptime_ms": time.Since(s.start).Milliseconds(),
@@ -114,7 +185,9 @@ type connRequest struct {
 
 // handleConn answers connection-probability queries: a pair query
 // (source + target) or a batched multi-center query (centers, answered in
-// one pass per world block through the shared FromCenters machinery).
+// one pass per world block through the shared FromCenters machinery —
+// scattered across the shard workers when the daemon is the coordinator
+// of a sharded deployment, with bit-identical results either way).
 // Center queries go through the graph's long-lived estimator, so repeated
 // centers across requests answer from cached tallies — when a cached tally
 // already covers more worlds than requested, the higher-precision estimate
@@ -166,7 +239,7 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer h.release()
-		ests, err := h.oracle.FromCentersCtx(ctx, req.Centers, depth, req.Samples)
+		ests, err := h.coord.FromCentersCtx(ctx, req.Centers, depth, req.Samples)
 		if err != nil {
 			s.writeError(w, estimationError(err))
 			return
@@ -213,11 +286,11 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 		var p float64
 		var err error
 		if depth == conn.Unlimited {
-			p, err = h.oracle.PairCtx(ctx, *req.Source, *req.Target, req.Samples)
+			p, err = h.coord.PairCtx(ctx, *req.Source, *req.Target, req.Samples)
 		} else {
 			// Depth-limited pairs route through the cached center tallies.
 			var est []float64
-			est, err = h.oracle.FromCenterCtx(ctx, *req.Source, depth, req.Samples)
+			est, err = h.coord.FromCenterCtx(ctx, *req.Source, depth, req.Samples)
 			if err == nil {
 				p = est[*req.Target]
 			}
@@ -352,14 +425,23 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, res)
 }
 
+// shardScoreChunk is the min-partial scoring batch size a sharded
+// clustering run uses: larger than the in-process default because each
+// batched FromCenters query costs a network scatter, so fewer, fatter
+// batches amortize the round-trips. The chunk size never affects the
+// clustering (see core.PartialParams.ScoreChunk).
+const shardScoreChunk = 256
+
 // runCluster executes one clustering request under the admission gate.
 //
-// MCP/ACP runs build a PRIVATE estimator over the graph's shared world
-// store: the store (the expensive part — sampled worlds and their labels)
-// is amortized across all traffic, while the tally cache is per-run, so a
-// clustering's result depends only on (graph, seed, request) — bit-identical
-// to core.MCPCtx with a fresh conn.NewMonteCarlo(g, seed) — never on which
-// center queries other clients happened to warm first.
+// MCP/ACP runs fork a PRIVATE estimator over the graph's long-lived
+// coordinator: the expensive substrate (sampled worlds and their labels,
+// local or on the shard workers) is amortized across all traffic, while
+// the tally cache is per-run, so a clustering's result depends only on
+// (graph, seed, request) — bit-identical to core.MCPCtx with a fresh
+// conn.NewMonteCarlo(g, seed) — never on which center queries other
+// clients happened to warm first. In a sharded deployment the fork keeps
+// scattering to the same workers; only the cache is fresh.
 func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequest) (*clusterResponse, error) {
 	// Only the sampling algorithms drive world materialization; the
 	// deterministic baselines (mcl/gmm/kpt) never touch the store, so they
@@ -384,11 +466,13 @@ func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequ
 	)
 	switch req.Algo {
 	case "mcp", "acp":
-		oracle := conn.NewMonteCarlo(h.g, h.seed)
-		oracle.SetParallelism(s.opts.Parallelism)
+		oracle := h.coord.Fork()
 		opt := core.Options{
 			Seed: req.Seed, Depth: depth, Alpha: req.Alpha,
 			Parallelism: s.opts.Parallelism,
+		}
+		if oracle.Sharded() {
+			opt.ScoreChunk = shardScoreChunk
 		}
 		var cst core.Stats
 		if req.Algo == "acp" {
@@ -517,7 +601,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.release()
-	dd, err := knn.SampleStoreCtx(ctx, h.store, req.Source, samples)
+	// The coordinator scatters the distance tallies to the shard workers
+	// when configured, and runs knn.SampleStoreCtx on the local store
+	// otherwise — identical distributions either way.
+	dd, err := h.coord.DistancesCtx(ctx, req.Source, samples)
 	if err != nil {
 		s.writeError(w, estimationError(err))
 		return
@@ -581,7 +668,7 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	defer h.release()
 
 	if len(req.Seeds) > 0 {
-		spread, err := influence.SpreadCtx(ctx, h.store, req.Seeds, samples)
+		spread, err := h.coord.SpreadCtx(ctx, req.Seeds, samples)
 		if err != nil {
 			s.writeError(w, estimationError(err))
 			return
@@ -596,7 +683,9 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("need \"k\" (greedy maximization) or \"seeds\" (spread evaluation)"))
 		return
 	}
-	res, err := influence.GreedyCtx(ctx, h.store, req.K, samples)
+	// Greedy maximization fans its marginal-gain tallies out to the shard
+	// workers when configured (see shard.Coordinator.GreedyCtx).
+	res, err := h.coord.GreedyCtx(ctx, req.K, samples)
 	if err != nil {
 		s.writeError(w, estimationError(err))
 		return

@@ -42,8 +42,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ucgraph/internal/conn"
 	"ucgraph/internal/graph"
+	"ucgraph/internal/shard"
 	"ucgraph/internal/worldstore"
 )
 
@@ -69,6 +69,22 @@ type Options struct {
 	// Parallelism is handed to every estimator the daemon builds (<= 0
 	// selects GOMAXPROCS). Results do not depend on it.
 	Parallelism int
+	// Shards lists shard-worker base URLs ("host:port" or full URLs).
+	// When non-empty the daemon runs as the scatter/gather coordinator of
+	// a sharded deployment: /v1/conn, /v1/cluster (its min-partial
+	// scoring), /v1/knn and /v1/influence fan world ranges out to the
+	// workers and merge their integer tallies — answers stay bit-identical
+	// to local execution, because merged tallies are order-free integer
+	// sums over the same deterministic world stream. Every worker must
+	// serve every configured graph under the same name and seed
+	// (/healthz reports not-ready until they all answer a ping).
+	// /v1/reliability (and any surface not listed) stays local.
+	Shards []string
+	// ShardRetries and ShardRequestTimeout tune the coordinator's retry
+	// rounds and per-worker-request deadline; zero selects the shard
+	// package defaults.
+	ShardRetries        int
+	ShardRequestTimeout time.Duration
 }
 
 // withDefaults fills in the documented defaults.
@@ -109,13 +125,16 @@ type graphHandle struct {
 	g     *graph.Uncertain
 	seed  uint64
 	store *worldstore.Store
-	// oracle is the long-lived estimator answering /v1/conn center queries;
-	// its tally cache persists across requests, which is the point of a
-	// daemon: repeated centers answer from cached (or higher-precision)
-	// tallies. Clustering requests build a private estimator instead, so
-	// their results never depend on what other clients warmed (see
-	// runCluster).
-	oracle *conn.MonteCarlo
+	// coord is the long-lived estimator answering /v1/conn center queries
+	// (and, when shards are configured, every fanned-out surface): a
+	// shard.Coordinator that scatters world ranges to the workers, or —
+	// with no shards — transparently runs the same queries on the local
+	// in-process estimator. Either way its tally cache persists across
+	// requests, which is the point of a daemon: repeated centers answer
+	// from cached (or higher-precision) tallies. Clustering requests fork
+	// a private coordinator instead, so their results never depend on
+	// what other clients warmed (see runCluster).
+	coord *shard.Coordinator
 	// gate is the admission semaphore bounding concurrent materialization.
 	gate chan struct{}
 }
@@ -173,15 +192,18 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 		if _, dup := s.graphs[gc.Name]; dup {
 			return nil, fmt.Errorf("server: duplicate graph name %q", gc.Name)
 		}
-		oracle := conn.NewMonteCarlo(gc.Graph, gc.Seed)
-		oracle.SetParallelism(opts.Parallelism)
+		coord := shard.NewCoordinator(gc.Name, gc.Graph, gc.Seed, opts.Shards, shard.CoordinatorOptions{
+			Parallelism:    opts.Parallelism,
+			Retries:        opts.ShardRetries,
+			RequestTimeout: opts.ShardRequestTimeout,
+		})
 		s.graphs[gc.Name] = &graphHandle{
-			name:   gc.Name,
-			g:      gc.Graph,
-			seed:   gc.Seed,
-			store:  oracle.Store(),
-			oracle: oracle,
-			gate:   make(chan struct{}, opts.Gate),
+			name:  gc.Name,
+			g:     gc.Graph,
+			seed:  gc.Seed,
+			store: coord.Store(),
+			coord: coord,
+			gate:  make(chan struct{}, opts.Gate),
 		}
 		s.names = append(s.names, gc.Name)
 	}

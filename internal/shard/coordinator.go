@@ -1,0 +1,816 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/influence"
+	"ucgraph/internal/knn"
+	"ucgraph/internal/worldstore"
+)
+
+// CoordinatorOptions configures a Coordinator. The zero value selects the
+// documented defaults.
+type CoordinatorOptions struct {
+	// Client is the HTTP client used for worker requests (default: a
+	// dedicated client with no global timeout — per-query deadlines come
+	// from the caller's context, per-attempt ones from RequestTimeout).
+	Client *http.Client
+	// Retries is how many extra scatter rounds a query may spend
+	// re-scattering ranges whose worker failed (default 2). Each round
+	// rotates the block-to-worker assignment, so a dead worker's ranges
+	// land on survivors; a restarted worker answers for itself again.
+	Retries int
+	// RequestTimeout caps one worker request (default 60s), layered under
+	// the query context, so a hung worker turns into a retriable failure
+	// instead of stalling the whole query until its deadline.
+	RequestTimeout time.Duration
+	// Parallelism is handed to the local fallback estimator (<= 0 selects
+	// GOMAXPROCS). Results do not depend on it.
+	Parallelism int
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Retries <= 0 {
+		o.Retries = 2
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// WorkerStats is the health snapshot of one worker, as surfaced by the
+// daemon's /statsz endpoint.
+type WorkerStats struct {
+	// Addr is the worker's base URL.
+	Addr string
+	// Requests and Failures count tally/ping round-trips issued and
+	// failed.
+	Requests, Failures uint64
+	// RangesServed and WorldsServed count the world ranges (and worlds)
+	// whose tallies this worker successfully returned.
+	RangesServed, WorldsServed uint64
+	// LastRTT is the round-trip time of the last successful request;
+	// LastOK is when it completed. LastErr is the most recent failure
+	// (empty if none).
+	LastRTT time.Duration
+	LastOK  time.Time
+	LastErr string
+}
+
+// workerClient is the coordinator-side handle of one worker.
+type workerClient struct {
+	base   string // normalized base URL, no trailing slash
+	client *http.Client
+
+	mu    sync.Mutex
+	stats WorkerStats
+}
+
+// newWorkerClient normalizes addr ("host:port" or a full URL) into a
+// client.
+func newWorkerClient(addr string, client *http.Client) *workerClient {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &workerClient{base: base, client: client, stats: WorkerStats{Addr: base}}
+}
+
+func (wc *workerClient) noteSuccess(rtt time.Duration, ranges, worlds int) {
+	wc.mu.Lock()
+	wc.stats.Requests++
+	wc.stats.RangesServed += uint64(ranges)
+	wc.stats.WorldsServed += uint64(worlds)
+	wc.stats.LastRTT = rtt
+	wc.stats.LastOK = time.Now()
+	wc.stats.LastErr = ""
+	wc.mu.Unlock()
+}
+
+func (wc *workerClient) noteFailure(err error) {
+	wc.mu.Lock()
+	wc.stats.Requests++
+	wc.stats.Failures++
+	wc.stats.LastErr = err.Error()
+	wc.mu.Unlock()
+}
+
+func (wc *workerClient) snapshot() WorkerStats {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.stats
+}
+
+// do posts one JSON request and decodes the JSON response into out.
+func (wc *workerClient) do(ctx context.Context, path string, in, out any) error {
+	var body io.Reader
+	method := http.MethodGet
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(ctx, method, wc.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := wc.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("%s%s: %s", wc.base, path, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// tally runs one tally request against the worker, bounded by the
+// per-attempt timeout, recording health stats either way.
+func (wc *workerClient) tally(ctx context.Context, timeout time.Duration, req *TallyRequest) (*TallyResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	worlds := 0
+	for _, rg := range req.Ranges {
+		worlds += rg.Worlds()
+	}
+	t0 := time.Now()
+	var resp TallyResponse
+	if err := wc.do(ctx, PathTally, req, &resp); err != nil {
+		wc.noteFailure(err)
+		return nil, err
+	}
+	if resp.Worlds != worlds {
+		err := fmt.Errorf("%s: tallied %d worlds, asked for %d", wc.base, resp.Worlds, worlds)
+		wc.noteFailure(err)
+		return nil, err
+	}
+	wc.noteSuccess(time.Since(t0), len(req.Ranges), worlds)
+	return &resp, nil
+}
+
+// coTally is one cached center tally of the coordinator: per-node counts
+// over the first rDone worlds (the same shape conn.MonteCarlo caches, so
+// progressive sampling schedules extend instead of recomputing).
+type coTally struct {
+	mu     sync.Mutex
+	counts []int32
+	rDone  int
+}
+
+type coKey struct {
+	c     graph.NodeID
+	depth int
+}
+
+// Coordinator implements the estimator surface over a fleet of shard
+// workers: every query becomes one or more scatter rounds of disjoint
+// block-aligned world ranges, and the gathered integer tallies are summed
+// into exactly the counts a single-process run over the same stream
+// produces — so estimates are bit-identical to conn.MonteCarlo (and the
+// knn / influence entry points) for every worker count and every
+// partitioning, and clustering drivers consume a Coordinator wherever
+// they would a conn.MonteCarlo (it implements conn.ContextOracle).
+//
+// Failure handling never trades accuracy: a failed worker's ranges are
+// re-scattered (rotated onto other workers) and each range is merged
+// exactly once; a query that cannot complete returns an error and no
+// estimate. With no workers configured the Coordinator degrades to the
+// in-process estimator over the shared world store of the same
+// (graph, seed).
+//
+// Like the estimator it mirrors, a Coordinator caches per-(center, depth)
+// tallies and extends them when later queries raise the sample size, so a
+// progressive clustering schedule scatters only the new worlds of each
+// phase. Safe for concurrent use.
+type Coordinator struct {
+	name    string
+	g       *graph.Uncertain
+	seed    uint64
+	store   *worldstore.Store
+	local   *conn.MonteCarlo
+	workers []*workerClient
+	opts    CoordinatorOptions
+
+	mu        sync.Mutex
+	cache     map[coKey]*coTally
+	order     []coKey
+	cacheHead int
+	maxCache  int
+}
+
+var _ conn.ContextOracle = (*Coordinator)(nil)
+
+// NewCoordinator builds a coordinator for the graph served under name by
+// the given workers. g and seed must match what the workers were started
+// with (Ping verifies). With no workers, every query runs on the local
+// in-process estimator instead — the single-binary degenerate deployment.
+func NewCoordinator(name string, g *graph.Uncertain, seed uint64, workerAddrs []string, opts CoordinatorOptions) *Coordinator {
+	opts = opts.withDefaults()
+	local := conn.NewMonteCarlo(g, seed)
+	local.SetParallelism(opts.Parallelism)
+	n := g.NumNodes()
+	maxCache := 64 << 20 / (4 * n)
+	if maxCache < 64 {
+		maxCache = 64
+	}
+	c := &Coordinator{
+		name:     name,
+		g:        g,
+		seed:     seed,
+		store:    local.Store(),
+		local:    local,
+		opts:     opts,
+		cache:    make(map[coKey]*coTally),
+		maxCache: maxCache,
+	}
+	for _, addr := range workerAddrs {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			c.workers = append(c.workers, newWorkerClient(addr, opts.Client))
+		}
+	}
+	return c
+}
+
+// Fork returns a coordinator sharing this one's workers (and their health
+// stats) but with a fresh, private tally cache — the sharded analogue of
+// building a private conn.MonteCarlo for one clustering run, so the run's
+// result depends only on (graph, seed, request), never on which centers
+// other traffic warmed first.
+func (c *Coordinator) Fork() *Coordinator {
+	fork := &Coordinator{
+		name:     c.name,
+		g:        c.g,
+		seed:     c.seed,
+		store:    c.store,
+		local:    conn.NewMonteCarlo(c.g, c.seed),
+		workers:  c.workers,
+		opts:     c.opts,
+		cache:    make(map[coKey]*coTally),
+		maxCache: c.maxCache,
+	}
+	fork.local.SetParallelism(c.opts.Parallelism)
+	return fork
+}
+
+// Sharded reports whether the coordinator has workers configured; false
+// means every query runs locally.
+func (c *Coordinator) Sharded() bool { return len(c.workers) > 0 }
+
+// NumNodes implements conn.Oracle.
+func (c *Coordinator) NumNodes() int { return c.g.NumNodes() }
+
+// Graph returns the underlying graph.
+func (c *Coordinator) Graph() *graph.Uncertain { return c.g }
+
+// Store exposes the local shared world store (used by consumers that stay
+// local, and for block-size agreement with the workers).
+func (c *Coordinator) Store() *worldstore.Store { return c.store }
+
+// Workers returns the configured worker base URLs.
+func (c *Coordinator) Workers() []string {
+	out := make([]string, len(c.workers))
+	for i, wc := range c.workers {
+		out[i] = wc.base
+	}
+	return out
+}
+
+// WorkerStats returns a health snapshot per worker.
+func (c *Coordinator) WorkerStats() []WorkerStats {
+	out := make([]WorkerStats, len(c.workers))
+	for i, wc := range c.workers {
+		out[i] = wc.snapshot()
+	}
+	return out
+}
+
+// Ping verifies every worker is reachable and serves the coordinator's
+// graph with matching identity (nodes, edges, seed) — the readiness probe
+// of the sharded deployment. Workers are pinged concurrently, so the
+// probe costs one round-trip of the slowest worker, not the sum. It
+// returns a joined error of the unreachable or mismatched workers; nil
+// means all workers agree on the world stream.
+func (c *Coordinator) Ping(ctx context.Context) error {
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, wc := range c.workers {
+		wg.Add(1)
+		go func(i int, wc *workerClient) {
+			defer wg.Done()
+			errs[i] = c.pingWorker(ctx, wc)
+		}(i, wc)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// pingWorker pings one worker and verifies its graph identity, recording
+// the outcome in its health stats.
+func (c *Coordinator) pingWorker(ctx context.Context, wc *workerClient) error {
+	var resp PingResponse
+	t0 := time.Now()
+	if err := wc.do(ctx, PathPing, nil, &resp); err != nil {
+		wc.noteFailure(err)
+		return err
+	}
+	var werr error
+	found := false
+	for _, pg := range resp.Graphs {
+		if pg.Name != c.name {
+			continue
+		}
+		found = true
+		if pg.Nodes != c.g.NumNodes() || pg.Edges != c.g.NumEdges() || pg.Seed != c.seed {
+			werr = fmt.Errorf(
+				"%s: graph %q mismatch: worker has %d nodes / %d edges / seed %d, coordinator %d / %d / %d",
+				wc.base, c.name, pg.Nodes, pg.Edges, pg.Seed,
+				c.g.NumNodes(), c.g.NumEdges(), c.seed)
+		}
+	}
+	if !found {
+		werr = fmt.Errorf("%s: worker does not serve graph %q", wc.base, c.name)
+	}
+	if werr != nil {
+		wc.noteFailure(werr)
+		return werr
+	}
+	wc.noteSuccess(time.Since(t0), 0, 0)
+	return nil
+}
+
+// checkResponse validates the shape of a worker's tally payload against
+// the request, so a version-skewed worker — or one restarted with a
+// different graph under the same name — surfaces as a retriable worker
+// failure instead of an index panic inside the merge.
+func (c *Coordinator) checkResponse(req *TallyRequest, resp *TallyResponse) error {
+	n := c.g.NumNodes()
+	switch req.Kind {
+	case KindConnected, KindWithin:
+		if len(resp.Counts) != len(req.Centers) {
+			return fmt.Errorf("got %d count rows, want %d", len(resp.Counts), len(req.Centers))
+		}
+		for j, row := range resp.Counts {
+			if len(row) != n {
+				return fmt.Errorf("count row %d has %d nodes, want %d", j, len(row), n)
+			}
+		}
+	case KindDistances:
+		if len(resp.Hist) != n || len(resp.Unreachable) != n {
+			return fmt.Errorf("got %d histograms / %d unreachable rows, want %d", len(resp.Hist), len(resp.Unreachable), n)
+		}
+	case KindSpread:
+		if len(resp.Totals) != 1 {
+			return fmt.Errorf("got %d totals, want 1", len(resp.Totals))
+		}
+	case KindMarginal:
+		want := len(req.Candidates)
+		if want == 0 {
+			want = n // empty candidates = all nodes
+		}
+		if len(resp.Totals) != want {
+			return fmt.Errorf("got %d totals, want %d", len(resp.Totals), want)
+		}
+	}
+	return nil
+}
+
+// scatter executes one tally shape over the world range [lo, hi): the
+// range is cut into block-aligned subranges striped across the workers
+// (Partition), each worker answers its subset in parallel, and merge is
+// called — serialized — once per successful response. Ranges of a failed
+// worker are re-scattered in up to opts.Retries further rounds with a
+// rotated assignment; a range is merged exactly once or the whole call
+// errors, so partial failures can never double- or under-count. The
+// request's Ranges field is filled per worker; every other field is
+// forwarded as given.
+func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int, merge func(*TallyResponse)) error {
+	if hi <= lo {
+		return nil
+	}
+	if len(c.workers) == 0 {
+		return errors.New("shard: scatter with no workers configured")
+	}
+	req.Graph = c.name
+	bw := c.store.BlockWorlds()
+	pool := []Range{{Lo: lo, Hi: hi}}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries && len(pool) > 0; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Assign every pooled range's blocks to workers; rotation moves
+		// re-scattered blocks onto different workers each round.
+		parts := make([][]Range, len(c.workers))
+		for _, rg := range pool {
+			for w, sub := range Partition(rg.Lo, rg.Hi, bw, len(c.workers), attempt) {
+				parts[w] = append(parts[w], sub...)
+			}
+		}
+		type outcome struct {
+			w    int
+			resp *TallyResponse
+			err  error
+		}
+		results := make(chan outcome, len(c.workers))
+		inFlight := 0
+		for w, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			inFlight++
+			wreq := req
+			wreq.Ranges = part
+			go func(w int, wreq TallyRequest) {
+				resp, err := c.workers[w].tally(ctx, c.opts.RequestTimeout, &wreq)
+				results <- outcome{w: w, resp: resp, err: err}
+			}(w, wreq)
+		}
+		pool = pool[:0]
+		for ; inFlight > 0; inFlight-- {
+			out := <-results
+			if out.err == nil {
+				if err := c.checkResponse(&req, out.resp); err != nil {
+					out.err = fmt.Errorf("%s: malformed tally response: %w", c.workers[out.w].base, err)
+					c.workers[out.w].noteFailure(out.err)
+				}
+			}
+			if out.err != nil {
+				lastErr = out.err
+				pool = append(pool, parts[out.w]...)
+				continue
+			}
+			merge(out.resp)
+		}
+	}
+	if len(pool) > 0 {
+		return fmt.Errorf("shard: %d world range(s) unserved after %d attempts: %w",
+			len(pool), c.opts.Retries+1, lastErr)
+	}
+	return nil
+}
+
+// ---- conn.ContextOracle --------------------------------------------------
+
+// lookupTally returns the cached tally for key, inserting an empty one
+// (with FIFO ring eviction, mirroring conn.MonteCarlo) if absent.
+func (c *Coordinator) lookupTally(key coKey) *coTally {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tally, ok := c.cache[key]
+	if !ok {
+		if len(c.order) >= c.maxCache {
+			delete(c.cache, c.order[c.cacheHead])
+			c.order[c.cacheHead] = key
+			c.cacheHead++
+			if c.cacheHead == len(c.order) {
+				c.cacheHead = 0
+			}
+		} else {
+			c.order = append(c.order, key)
+		}
+		tally = &coTally{counts: make([]int32, c.g.NumNodes())}
+		c.cache[key] = tally
+	}
+	return tally
+}
+
+// estimate converts a tally into the caller-owned estimate vector, with
+// the exact float operations conn.MonteCarlo uses (multiply by the
+// reciprocal), so coordinator estimates are bit-identical to local ones.
+// The caller holds tally.mu.
+func (tally *coTally) estimate() []float64 {
+	out := make([]float64, len(tally.counts))
+	inv := 1 / float64(tally.rDone)
+	for i, cnt := range tally.counts {
+		out[i] = float64(cnt) * inv
+	}
+	return out
+}
+
+// FromCenter implements conn.Oracle.
+func (c *Coordinator) FromCenter(ctr graph.NodeID, depth int, r int) []float64 {
+	out, _ := c.FromCenterCtx(context.Background(), ctr, depth, r)
+	return out
+}
+
+// FromCenters implements conn.Oracle.
+func (c *Coordinator) FromCenters(cs []graph.NodeID, depth int, r int) [][]float64 {
+	out, _ := c.FromCentersCtx(context.Background(), cs, depth, r)
+	return out
+}
+
+// FromCenterCtx implements conn.ContextOracle.
+func (c *Coordinator) FromCenterCtx(ctx context.Context, ctr graph.NodeID, depth int, r int) ([]float64, error) {
+	out, err := c.FromCentersCtx(ctx, []graph.NodeID{ctr}, depth, r)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// coSlot tracks one distinct (center, depth) of a batch.
+type coSlot struct {
+	key   coKey
+	tally *coTally
+	outAt []int
+}
+
+// FromCentersCtx implements conn.ContextOracle: per-center estimate
+// vectors over the first r worlds (or more, when a cached tally already
+// covers more — the same higher-precision contract as conn.MonteCarlo).
+// Pending tallies are extended by scattering only their missing world
+// range; tallies at different progress levels scatter as separate rounds,
+// and every gathered count lands in a scratch buffer that is folded into
+// the cache only when its round fully succeeds — cancellation and worker
+// failures withhold answers, never corrupt tallies.
+func (c *Coordinator) FromCentersCtx(ctx context.Context, cs []graph.NodeID, depth int, r int) ([][]float64, error) {
+	if !c.Sharded() {
+		return c.local.FromCentersCtx(ctx, cs, depth, r)
+	}
+	if len(cs) == 0 {
+		return nil, nil
+	}
+	if r < 1 {
+		r = 1
+	}
+	if depth < 0 {
+		depth = conn.Unlimited
+	}
+
+	// Deduplicate centers, preserving first-occurrence order (duplicates
+	// share one tally and one scatter slot).
+	slots := make([]*coSlot, 0, len(cs))
+	byKey := make(map[coKey]*coSlot, len(cs))
+	for i, ctr := range cs {
+		key := coKey{c: ctr, depth: depth}
+		sl := byKey[key]
+		if sl == nil {
+			sl = &coSlot{key: key}
+			byKey[key] = sl
+			slots = append(slots, sl)
+		}
+		sl.outAt = append(sl.outAt, i)
+	}
+	for _, sl := range slots {
+		sl.tally = c.lookupTally(sl.key)
+	}
+
+	// Lock in canonical center order so concurrent overlapping batches
+	// cannot deadlock (same discipline as conn.MonteCarlo).
+	locked := make([]*coSlot, len(slots))
+	copy(locked, slots)
+	sort.Slice(locked, func(i, j int) bool { return locked[i].key.c < locked[j].key.c })
+	for _, sl := range locked {
+		sl.tally.mu.Lock()
+	}
+	defer func() {
+		for _, sl := range locked {
+			sl.tally.mu.Unlock()
+		}
+	}()
+
+	// Group pending slots by their current progress: each distinct rDone
+	// needs a different world range, and within a group one scatter
+	// answers every center.
+	groups := make(map[int][]*coSlot)
+	for _, sl := range slots {
+		if sl.tally.rDone < r {
+			groups[sl.tally.rDone] = append(groups[sl.tally.rDone], sl)
+		}
+	}
+	los := make([]int, 0, len(groups))
+	for lo := range groups {
+		los = append(los, lo)
+	}
+	sort.Ints(los)
+	n := c.g.NumNodes()
+	for _, lo := range los {
+		group := groups[lo]
+		centers := make([]graph.NodeID, len(group))
+		for j, sl := range group {
+			centers[j] = sl.key.c
+		}
+		kind := KindConnected
+		reqDepth := 0
+		if depth >= 0 {
+			kind = KindWithin
+			reqDepth = depth
+		}
+		scratch := make([]int32, len(group)*n)
+		var mergeMu sync.Mutex
+		err := c.scatter(ctx, TallyRequest{
+			Kind:    kind,
+			Centers: centers,
+			Depth:   reqDepth,
+		}, lo, r, func(resp *TallyResponse) {
+			mergeMu.Lock()
+			defer mergeMu.Unlock()
+			for j := range group {
+				row := scratch[j*n : (j+1)*n]
+				for u, cnt := range resp.Counts[j] {
+					row[u] += cnt
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for j, sl := range group {
+			row := scratch[j*n : (j+1)*n]
+			for u, cnt := range row {
+				sl.tally.counts[u] += cnt
+			}
+			sl.tally.rDone = r
+		}
+	}
+
+	out := make([][]float64, len(cs))
+	for _, sl := range slots {
+		est := sl.tally.estimate()
+		for i, pos := range sl.outAt {
+			if i == 0 {
+				out[pos] = est
+			} else {
+				cp := make([]float64, len(est))
+				copy(cp, est)
+				out[pos] = cp
+			}
+		}
+	}
+	return out, nil
+}
+
+// Pair estimates Pr(u ~ v) with r samples.
+func (c *Coordinator) Pair(u, v graph.NodeID, r int) float64 {
+	p, _ := c.PairCtx(context.Background(), u, v, r)
+	return p
+}
+
+// PairCtx estimates Pr(u ~ v) over the first r worlds by scattering the
+// pair tally (bit-identical to conn.MonteCarlo.PairCtx: same integer
+// count, same division).
+func (c *Coordinator) PairCtx(ctx context.Context, u, v graph.NodeID, r int) (float64, error) {
+	if !c.Sharded() {
+		return c.local.PairCtx(ctx, u, v, r)
+	}
+	var (
+		mu  sync.Mutex
+		cnt int64
+	)
+	err := c.scatter(ctx, TallyRequest{Kind: KindPair, U: u, V: v}, 0, r, func(resp *TallyResponse) {
+		mu.Lock()
+		cnt += resp.Count
+		mu.Unlock()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(cnt) / float64(r), nil
+}
+
+// ---- k-NN distance distributions ----------------------------------------
+
+// DistancesCtx computes the hop-distance distribution from src over the
+// first r worlds by scattering per-node histogram tallies — the sharded
+// form of knn.SampleStoreCtx, merged with knn's own order-free Merge, so
+// the distribution (and every measure derived from it) is identical to the
+// local computation.
+func (c *Coordinator) DistancesCtx(ctx context.Context, src graph.NodeID, r int) (*knn.DistanceDistribution, error) {
+	if !c.Sharded() {
+		return knn.SampleStoreCtx(ctx, c.store, src, r)
+	}
+	n := c.g.NumNodes()
+	dd := &knn.DistanceDistribution{
+		Source:      src,
+		R:           r,
+		Hist:        make([]map[int32]int, n),
+		Unreachable: make([]int, n),
+	}
+	for v := range dd.Hist {
+		dd.Hist[v] = make(map[int32]int, 8)
+	}
+	var mu sync.Mutex
+	err := c.scatter(ctx, TallyRequest{Kind: KindDistances, Source: src}, 0, r, func(resp *TallyResponse) {
+		mu.Lock()
+		defer mu.Unlock()
+		for v := 0; v < n; v++ {
+			for _, b := range resp.Hist[v] {
+				dd.Hist[v][b.D] += int(b.N)
+			}
+			dd.Unreachable[v] += int(resp.Unreachable[v])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dd, nil
+}
+
+// ---- influence spread ----------------------------------------------------
+
+// SpreadCtx estimates the expected influence spread of seeds over the
+// first r worlds — the sharded influence.SpreadCtx.
+func (c *Coordinator) SpreadCtx(ctx context.Context, seeds []graph.NodeID, r int) (float64, error) {
+	if !c.Sharded() {
+		return influence.SpreadCtx(ctx, c.store, seeds, r)
+	}
+	if len(seeds) == 0 {
+		return 0, ctx.Err()
+	}
+	total, err := c.spreadTally(ctx, KindSpread, seeds, nil, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(total[0]) / float64(r), nil
+}
+
+// spreadTally scatters one spread/marginal tally and gathers the summed
+// totals.
+func (c *Coordinator) spreadTally(ctx context.Context, kind string, seeds, candidates []graph.NodeID, r int) ([]int64, error) {
+	width := 1
+	if kind == KindMarginal {
+		if width = len(candidates); width == 0 {
+			width = c.g.NumNodes() // empty candidates = all nodes
+		}
+	}
+	totals := make([]int64, width)
+	var mu sync.Mutex
+	err := c.scatter(ctx, TallyRequest{Kind: kind, Seeds: seeds, Candidates: candidates}, 0, r, func(resp *TallyResponse) {
+		mu.Lock()
+		for i, t := range resp.Totals {
+			totals[i] += t
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return totals, nil
+}
+
+// coordEvaluator drives influence.GreedyEval with scattered marginal
+// tallies: the seed set lives on the coordinator and travels with every
+// request, so workers stay stateless.
+type coordEvaluator struct {
+	c     *Coordinator
+	r     int
+	seeds []graph.NodeID
+}
+
+func (ev *coordEvaluator) InitialGains(ctx context.Context) ([]int64, error) {
+	// nil candidates is the wire's "all nodes" marker (KindMarginal):
+	// the initial round gets one total per node without shipping n IDs.
+	return ev.c.spreadTally(ctx, KindMarginal, nil, nil, ev.r)
+}
+
+func (ev *coordEvaluator) MarginalGain(ctx context.Context, v graph.NodeID) (int64, error) {
+	totals, err := ev.c.spreadTally(ctx, KindMarginal, ev.seeds, []graph.NodeID{v}, ev.r)
+	if err != nil {
+		return 0, err
+	}
+	return totals[0], nil
+}
+
+func (ev *coordEvaluator) Picked(_ context.Context, v graph.NodeID) error {
+	ev.seeds = append(ev.seeds, v)
+	return nil
+}
+
+// GreedyCtx runs the CELF greedy influence maximization with scattered
+// marginal-gain tallies — the sharded influence.GreedyCtx. Because the
+// scattered tallies are the same integers the local evaluator computes,
+// the selected seeds, spreads and evaluation counts are identical.
+func (c *Coordinator) GreedyCtx(ctx context.Context, k, r int) (*influence.Result, error) {
+	if !c.Sharded() {
+		return influence.GreedyCtx(ctx, c.store, k, r)
+	}
+	return influence.GreedyEval(ctx, c.g.NumNodes(), k, r, &coordEvaluator{c: c, r: r})
+}

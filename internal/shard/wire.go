@@ -1,0 +1,182 @@
+// Package shard turns the single-process world store into the backend of a
+// multi-machine deployment: shard workers own a worldstore.Store each and
+// serve raw integer tallies over assigned world-index ranges, and a
+// coordinator implements the estimator surface (the conn.ContextOracle the
+// clustering drivers consume, plus the k-NN distance and influence-spread
+// tallies) by scattering disjoint block-aligned range requests to N
+// workers, gathering the per-range integer tallies and summing them.
+//
+// The whole design leans on one property of the world stream: every world
+// is a pure function of (seed, index), and every estimator in this
+// repository reduces to integer tallies summed over independently sampled
+// worlds. Integer addition is associative and commutative, so any disjoint
+// cover of a world range — one worker, four workers, a retried re-scatter
+// after a worker died — merges to exactly the same totals, and therefore
+// to bit-identical estimates. The coordinator never approximates: a failed
+// worker's ranges are re-scattered and counted exactly once, a cancelled
+// query returns an error and no estimate, and with no workers configured
+// every query falls back to the in-process estimator over the same
+// (graph, seed) stream.
+//
+// The wire protocol is deliberately small: one POST /shard/v1/tally
+// endpoint carrying a kind tag and a list of [lo, hi) world ranges, one
+// GET /shard/v1/ping for identity and health. Workers are stateless with
+// respect to the partitioning — any worker can serve any range of the
+// stream it owns a store for — which is what makes retry-by-re-scatter
+// safe and deployment trivial (every worker process is started the same
+// way, with the same graphs and seed).
+package shard
+
+// Tally kinds: the integer-tally shapes workers can compute over a world
+// range. Each corresponds to one estimator surface of the library.
+const (
+	// KindConnected tallies, per center and node, the worlds where the
+	// node shares a component with the center (unlimited-depth connection
+	// counts; label scans).
+	KindConnected = "connected"
+	// KindWithin is the depth-limited form of KindConnected (edge-bitmap
+	// BFS within Depth hops).
+	KindWithin = "within"
+	// KindPair tallies the worlds where nodes U and V share a component.
+	KindPair = "pair"
+	// KindDistances tallies, per node, the hop-distance histogram from
+	// Source (the k-NN distance distribution).
+	KindDistances = "distances"
+	// KindSpread tallies the (world, node) pairs where the node shares a
+	// component with at least one of Seeds (influence spread).
+	KindSpread = "spread"
+	// KindMarginal tallies, per candidate, the marginal influence spread
+	// given the Seeds already picked (the greedy maximization's inner
+	// query; empty Seeds gives the initial round). Empty Candidates means
+	// "every node, in node order" — the initial round asks about all n
+	// nodes, and shipping n IDs per scatter request would dwarf the
+	// tallies themselves on large graphs.
+	KindMarginal = "marginal"
+)
+
+// Wire paths of the worker protocol.
+const (
+	PathPing  = "/shard/v1/ping"
+	PathTally = "/shard/v1/tally"
+)
+
+// Range is a half-open interval [Lo, Hi) of world indices of the seeded
+// stream.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Worlds returns the number of worlds the range covers.
+func (r Range) Worlds() int { return r.Hi - r.Lo }
+
+// TallyRequest is the body of POST /shard/v1/tally: compute one Kind of
+// integer tally for graph Graph over every world in Ranges. Which other
+// fields apply depends on Kind (see the Kind constants).
+type TallyRequest struct {
+	Graph      string  `json:"graph"`
+	Kind       string  `json:"kind"`
+	Ranges     []Range `json:"ranges"`
+	Centers    []int32 `json:"centers,omitempty"`    // connected, within
+	Depth      int     `json:"depth,omitempty"`      // within
+	U          int32   `json:"u,omitempty"`          // pair
+	V          int32   `json:"v,omitempty"`          // pair
+	Source     int32   `json:"source,omitempty"`     // distances
+	Seeds      []int32 `json:"seeds,omitempty"`      // spread, marginal
+	Candidates []int32 `json:"candidates,omitempty"` // marginal; empty = all nodes
+}
+
+// DistCount is one histogram bucket of a distance tally: N worlds at hop
+// distance D.
+type DistCount struct {
+	D int32 `json:"d"`
+	N int64 `json:"n"`
+}
+
+// TallyResponse carries the raw integer tallies of one request. All
+// payloads are plain counts over the requested worlds, so responses from
+// disjoint ranges merge by field-wise addition, in any order.
+type TallyResponse struct {
+	// Worlds is the total number of worlds tallied (the sum of the
+	// request's range sizes) — the coordinator cross-checks it against
+	// what it asked for.
+	Worlds int `json:"worlds"`
+	// Counts is the per-center, per-node world counts of KindConnected
+	// and KindWithin: Counts[j][u] counts worlds where node u is
+	// (depth-)connected to Centers[j].
+	Counts [][]int32 `json:"counts,omitempty"`
+	// Count is the scalar tally of KindPair.
+	Count int64 `json:"count,omitempty"`
+	// Totals is the per-candidate tally of KindMarginal (aligned with
+	// Candidates) and the single-element tally of KindSpread.
+	Totals []int64 `json:"totals,omitempty"`
+	// Hist and Unreachable are the per-node distance histograms and
+	// unreachable-world counts of KindDistances. Hist[u] buckets are
+	// sorted by distance.
+	Hist        [][]DistCount `json:"hist,omitempty"`
+	Unreachable []int64       `json:"unreachable,omitempty"`
+}
+
+// PingGraph describes one graph a worker serves, so the coordinator can
+// verify both sides talk about the same world stream before trusting the
+// worker's tallies.
+type PingGraph struct {
+	Name        string `json:"name"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	Seed        uint64 `json:"seed"`
+	BlockWorlds int    `json:"block_worlds"`
+	Worlds      int    `json:"worlds"`
+}
+
+// PingResponse is the body of GET /shard/v1/ping.
+type PingResponse struct {
+	Graphs []PingGraph `json:"graphs"`
+}
+
+// errorResponse is the JSON error body of a failed worker request.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Partition cuts the world range [lo, hi) into block-aligned subranges and
+// assigns each to one of nworkers by striping block indices: the block
+// with index bi (worlds [bi*blockWorlds, (bi+1)*blockWorlds)) belongs to
+// worker (bi + rot) % nworkers. The returned slice has one (possibly
+// empty) range list per worker; together the lists cover [lo, hi) exactly
+// once, and consecutive blocks owned by the same worker are coalesced into
+// one range.
+//
+// Striping makes ownership static: a given block lands on the same worker
+// for every query and every extension of the stream (rot = 0), so workers
+// keep serving the block-cached artifacts they already materialized. The
+// rot parameter exists for retry rounds — re-scattering a failed range
+// with a different rotation moves its blocks to different workers without
+// changing what is counted. The assignment never affects results: the
+// gather step sums integer tallies, which are independent of who computed
+// them.
+func Partition(lo, hi, blockWorlds, nworkers, rot int) [][]Range {
+	parts := make([][]Range, nworkers)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo || nworkers <= 0 || blockWorlds <= 0 {
+		return parts
+	}
+	for bi := lo / blockWorlds; bi*blockWorlds < hi; bi++ {
+		w := (bi + rot) % nworkers
+		start, end := bi*blockWorlds, (bi+1)*blockWorlds
+		if start < lo {
+			start = lo
+		}
+		if end > hi {
+			end = hi
+		}
+		if n := len(parts[w]); n > 0 && parts[w][n-1].Hi == start {
+			parts[w][n-1].Hi = end
+		} else {
+			parts[w] = append(parts[w], Range{Lo: start, Hi: end})
+		}
+	}
+	return parts
+}

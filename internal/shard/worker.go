@@ -1,0 +1,387 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/influence"
+	"ucgraph/internal/knn"
+	"ucgraph/internal/worldstore"
+)
+
+// WorkerGraph is one graph a worker serves tallies for. Worker processes
+// of one deployment are all started with the same graphs and seed, so that
+// every worker — and the coordinator — addresses the identical world
+// stream.
+type WorkerGraph struct {
+	Name  string
+	Graph *graph.Uncertain
+	Seed  uint64
+}
+
+// WorkerOptions configures a Worker. The zero value selects the documented
+// defaults.
+type WorkerOptions struct {
+	// MaxWorlds caps the highest world index a single tally request may
+	// reach (default 1 << 20): a misbehaving coordinator cannot make a
+	// worker materialize an unbounded stream.
+	MaxWorlds int
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.MaxWorlds <= 0 {
+		o.MaxWorlds = 1 << 20
+	}
+	return o
+}
+
+// workerGraph is the worker-side state of one served graph.
+type workerGraph struct {
+	name  string
+	g     *graph.Uncertain
+	seed  uint64
+	store *worldstore.Store
+}
+
+// Worker serves the shard wire protocol over a private world store per
+// graph: GET /shard/v1/ping for identity, POST /shard/v1/tally for the
+// integer tallies, GET /healthz for plain liveness probes. It holds no
+// assignment state — any worker can serve any range of the stream — which
+// is what lets the coordinator re-scatter a failed worker's ranges to the
+// survivors. Safe for concurrent use; the store coordinates concurrent
+// block materialization internally.
+type Worker struct {
+	opts   WorkerOptions
+	graphs map[string]*workerGraph
+	mux    *http.ServeMux
+
+	requests atomic.Uint64
+	failures atomic.Uint64
+	worlds   atomic.Uint64 // total worlds tallied across requests
+}
+
+// NewWorker builds a Worker over the given graphs. Each graph gets a
+// private (non-registry) world store: worker processes are the unit of
+// memory isolation in a sharded deployment, so the store deliberately does
+// not share blocks with other in-process consumers.
+func NewWorker(graphs []WorkerGraph, opts WorkerOptions) (*Worker, error) {
+	if len(graphs) == 0 {
+		return nil, errors.New("shard: worker with no graphs to serve")
+	}
+	w := &Worker{
+		opts:   opts.withDefaults(),
+		graphs: make(map[string]*workerGraph, len(graphs)),
+		mux:    http.NewServeMux(),
+	}
+	for _, gc := range graphs {
+		if gc.Name == "" {
+			return nil, errors.New("shard: worker graph with empty name")
+		}
+		if gc.Graph == nil {
+			return nil, fmt.Errorf("shard: worker graph %q is nil", gc.Name)
+		}
+		if _, dup := w.graphs[gc.Name]; dup {
+			return nil, fmt.Errorf("shard: duplicate worker graph name %q", gc.Name)
+		}
+		w.graphs[gc.Name] = &workerGraph{
+			name:  gc.Name,
+			g:     gc.Graph,
+			seed:  gc.Seed,
+			store: worldstore.New(gc.Graph, gc.Seed),
+		}
+	}
+	w.mux.HandleFunc("GET "+PathPing, w.handlePing)
+	w.mux.HandleFunc("POST "+PathTally, w.handleTally)
+	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{"status": "ok", "graphs": len(w.graphs)})
+	})
+	return w, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.mux.ServeHTTP(rw, r)
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func (w *Worker) fail(rw http.ResponseWriter, code int, msg string) {
+	w.failures.Add(1)
+	writeJSON(rw, code, errorResponse{Error: msg})
+}
+
+func (w *Worker) handlePing(rw http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(w.graphs))
+	for name := range w.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	resp := PingResponse{Graphs: make([]PingGraph, 0, len(names))}
+	for _, name := range names {
+		wg := w.graphs[name]
+		resp.Graphs = append(resp.Graphs, PingGraph{
+			Name:        name,
+			Nodes:       wg.g.NumNodes(),
+			Edges:       wg.g.NumEdges(),
+			Seed:        wg.seed,
+			BlockWorlds: wg.store.BlockWorlds(),
+			Worlds:      wg.store.Worlds(),
+		})
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// validRanges checks the request's world ranges: ascending, disjoint,
+// non-empty, under the MaxWorlds cap. Returns the total world count.
+func (w *Worker) validRanges(ranges []Range) (int, error) {
+	if len(ranges) == 0 {
+		return 0, errors.New("empty \"ranges\"")
+	}
+	total, prev := 0, 0
+	for i, r := range ranges {
+		if r.Lo < 0 || r.Hi <= r.Lo {
+			return 0, fmt.Errorf("invalid range [%d, %d)", r.Lo, r.Hi)
+		}
+		if i > 0 && r.Lo < prev {
+			return 0, fmt.Errorf("ranges not ascending/disjoint at [%d, %d)", r.Lo, r.Hi)
+		}
+		if r.Hi > w.opts.MaxWorlds {
+			return 0, fmt.Errorf("range [%d, %d) exceeds the worker world cap %d", r.Lo, r.Hi, w.opts.MaxWorlds)
+		}
+		total += r.Worlds()
+		prev = r.Hi
+	}
+	return total, nil
+}
+
+func validNodes(g *graph.Uncertain, field string, nodes []int32) error {
+	n := int32(g.NumNodes())
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return fmt.Errorf("%q node %d out of range [0, %d)", field, v, n)
+		}
+	}
+	return nil
+}
+
+func (w *Worker) handleTally(rw http.ResponseWriter, r *http.Request) {
+	w.requests.Add(1)
+	var req TallyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		w.fail(rw, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	wg, ok := w.graphs[req.Graph]
+	if !ok {
+		w.fail(rw, http.StatusNotFound, fmt.Sprintf("unknown graph %q", req.Graph))
+		return
+	}
+	total, err := w.validRanges(req.Ranges)
+	if err != nil {
+		w.fail(rw, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	resp := TallyResponse{Worlds: total}
+	switch req.Kind {
+	case KindConnected, KindWithin:
+		err = w.tallyCenters(r.Context(), wg, &req, &resp)
+	case KindPair:
+		err = w.tallyPair(r.Context(), wg, &req, &resp)
+	case KindDistances:
+		err = w.tallyDistances(r.Context(), wg, &req, &resp)
+	case KindSpread, KindMarginal:
+		err = w.tallySpread(r.Context(), wg, &req, &resp)
+	default:
+		w.fail(rw, http.StatusBadRequest, fmt.Sprintf("unknown tally kind %q", req.Kind))
+		return
+	}
+	if err != nil {
+		var bad *badRequestError
+		if errors.As(err, &bad) {
+			w.fail(rw, http.StatusBadRequest, bad.msg)
+		} else {
+			// Cancellation or deadline: the coordinator gave up on us.
+			w.fail(rw, http.StatusServiceUnavailable, err.Error())
+		}
+		return
+	}
+	w.worlds.Add(uint64(total))
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// badRequestError marks validation failures inside the kind handlers.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badReq(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// tallyCenters answers KindConnected / KindWithin: per-center, per-node
+// world counts over every requested range, through the exact batched
+// store paths the in-process oracle uses (label scans for unlimited
+// depth, edge-bitmap multi-center BFS for limited depth) — so a worker's
+// partial counts are bit-identical to the slice of a local run they
+// replace. Ctx is checked between ranges; the per-range store calls are
+// the indivisible unit.
+func (w *Worker) tallyCenters(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
+	if len(req.Centers) == 0 {
+		return badReq("kind %q needs \"centers\"", req.Kind)
+	}
+	if err := validNodes(wg.g, "centers", req.Centers); err != nil {
+		return badReq("%s", err)
+	}
+	if req.Kind == KindWithin && req.Depth < 0 {
+		return badReq("kind %q needs a non-negative \"depth\"", req.Kind)
+	}
+	n := wg.g.NumNodes()
+	counts := make([][]int32, len(req.Centers))
+	buf := make([]int32, len(req.Centers)*n)
+	for j := range counts {
+		counts[j] = buf[j*n : (j+1)*n : (j+1)*n]
+	}
+	lo := make([]int, len(req.Centers))
+	for _, rg := range req.Ranges {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for j := range lo {
+			lo[j] = rg.Lo
+		}
+		if req.Kind == KindConnected {
+			wg.store.CountConnectedFromMulti(req.Centers, lo, rg.Hi, counts)
+		} else {
+			wg.store.CountWithinMulti(req.Centers, req.Depth, lo, rg.Hi, counts)
+		}
+	}
+	resp.Counts = counts
+	return nil
+}
+
+// tallyPair answers KindPair: the count of worlds where U ~ V.
+func (w *Worker) tallyPair(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
+	if err := validNodes(wg.g, "u/v", []int32{req.U, req.V}); err != nil {
+		return badReq("%s", err)
+	}
+	var cnt int64
+	for _, rg := range req.Ranges {
+		if err := wg.store.ScanCtx(ctx, rg.Lo, rg.Hi, func(_ int, lab []int32) {
+			if lab[req.U] == lab[req.V] {
+				cnt++
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	resp.Count = cnt
+	return nil
+}
+
+// tallyDistances answers KindDistances: per-node hop-distance histograms
+// from Source, merged across the worker's ranges.
+func (w *Worker) tallyDistances(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
+	if err := validNodes(wg.g, "source", []int32{req.Source}); err != nil {
+		return badReq("%s", err)
+	}
+	var dd *knn.DistanceDistribution
+	for _, rg := range req.Ranges {
+		part, err := knn.SampleRangeCtx(ctx, wg.store, req.Source, rg.Lo, rg.Hi)
+		if err != nil {
+			return err
+		}
+		if dd == nil {
+			dd = part
+		} else {
+			dd.Merge(part)
+		}
+	}
+	n := wg.g.NumNodes()
+	resp.Hist = make([][]DistCount, n)
+	resp.Unreachable = make([]int64, n)
+	for v := 0; v < n; v++ {
+		buckets := make([]DistCount, 0, len(dd.Hist[v]))
+		for d, c := range dd.Hist[v] {
+			buckets = append(buckets, DistCount{D: d, N: int64(c)})
+		}
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].D < buckets[j].D })
+		resp.Hist[v] = buckets
+		resp.Unreachable[v] = int64(dd.Unreachable[v])
+	}
+	return nil
+}
+
+// tallySpread answers KindSpread (one total) and KindMarginal (one total
+// per candidate, given the covered components of Seeds).
+func (w *Worker) tallySpread(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
+	if err := validNodes(wg.g, "seeds", req.Seeds); err != nil {
+		return badReq("%s", err)
+	}
+	if req.Kind == KindSpread {
+		if len(req.Seeds) == 0 {
+			return badReq("kind %q needs \"seeds\"", req.Kind)
+		}
+		var total int64
+		for _, rg := range req.Ranges {
+			part, err := influence.SpreadTallyCtx(ctx, wg.store, req.Seeds, rg.Lo, rg.Hi)
+			if err != nil {
+				return err
+			}
+			total += part
+		}
+		resp.Totals = []int64{total}
+		return nil
+	}
+	candidates := req.Candidates
+	if len(candidates) == 0 {
+		// Empty candidates means "all nodes" (see KindMarginal): the
+		// initial greedy round asks about every node, and the convention
+		// keeps n node IDs off the wire.
+		candidates = make([]graph.NodeID, wg.g.NumNodes())
+		for v := range candidates {
+			candidates[v] = graph.NodeID(v)
+		}
+	} else if err := validNodes(wg.g, "candidates", candidates); err != nil {
+		return badReq("%s", err)
+	}
+	totals := make([]int64, len(candidates))
+	for _, rg := range req.Ranges {
+		part, err := influence.MarginalTallyCtx(ctx, wg.store, req.Seeds, candidates, rg.Lo, rg.Hi)
+		if err != nil {
+			return err
+		}
+		for i, t := range part {
+			totals[i] += t
+		}
+	}
+	resp.Totals = totals
+	return nil
+}
+
+// WorkerCounters are the worker's observability counters.
+type WorkerCounters struct {
+	Requests uint64
+	Failures uint64
+	Worlds   uint64
+}
+
+// Counters returns the worker's request counters.
+func (w *Worker) Counters() WorkerCounters {
+	return WorkerCounters{
+		Requests: w.requests.Load(),
+		Failures: w.failures.Load(),
+		Worlds:   w.worlds.Load(),
+	}
+}

@@ -116,6 +116,12 @@ type block struct {
 	bits    []uint64   // famBits payload; grows toward bw*wpw, valid up to done*wpw
 	pins    int        // readers currently holding the block; guarded by Store.mu
 	lastUse uint64
+	// ready mirrors done for lock-free residency probes. Only the bitmap
+	// family maintains it (acquireBits stores it after an extension), and
+	// only BitsResident reads it: a probe observing ready >= w knows
+	// worlds [0, w) of the bitmap block are materialized. Label blocks
+	// leave it zero — there is no label residency probe.
+	ready atomic.Int32
 }
 
 // Stats reports store observability counters. It is the snapshot the
@@ -267,6 +273,47 @@ func (s *Store) Grow(r int) {
 // consumer has requested so far.
 func (s *Store) Worlds() int { return int(s.length.Load()) }
 
+// BlockWorlds returns the number of worlds per block — the granularity at
+// which blocks of either artifact family are materialized and evicted. It
+// is a pure function of the graph's node count, so every store over the
+// same graph (in this process or another) agrees on it; the shard
+// coordinator relies on that to cut block-aligned world ranges that map
+// cleanly onto worker-side blocks.
+func (s *Store) BlockWorlds() int { return s.bw }
+
+// BitsResident reports whether every edge-bitmap block covering worlds
+// [lo, hi) is currently resident with the needed world prefix
+// materialized — i.e. whether a depth-limited scan over the range can be
+// answered from warm bitmaps without computing anything. It is a
+// performance hint only: a block may be evicted between the probe and a
+// subsequent ScanBits (which then recomputes it, bit-identically), so
+// callers use it to choose between equivalent paths, never for
+// correctness.
+func (s *Store) BitsResident(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for bi := lo / s.bw; bi*s.bw < hi; bi++ {
+		b, ok := s.blocks[famBits][bi]
+		if !ok {
+			return false
+		}
+		need := hi - bi*s.bw
+		if need > s.bw {
+			need = s.bw
+		}
+		if int(b.ready.Load()) < need {
+			return false
+		}
+	}
+	return true
+}
+
 // SetBudget bounds the memory spent on materialized blocks — label and
 // edge-bitmap families together — to roughly bytes (a block being acquired
 // is always allowed in even when it alone overshoots, so scans make
@@ -391,6 +438,7 @@ func (s *Store) acquireBits(bi, need int) (*block, []uint64) {
 		}
 		s.computeBitmaps(bi, b.done, need, b.bits)
 		b.done = need
+		b.ready.Store(int32(need))
 	}
 	bits := b.bits
 	b.mu.Unlock()

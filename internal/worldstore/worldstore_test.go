@@ -493,3 +493,43 @@ func TestScanCtxCancellation(t *testing.T) {
 		t.Fatalf("full scan saw %d of %d worlds", seen, 3*bw)
 	}
 }
+
+// TestBitsResident: the residency probe tracks bitmap-block
+// materialization, prefix extension and eviction — and never reports a
+// range the store could not answer warm.
+func TestBitsResident(t *testing.T) {
+	g := ringGraph(t, 48, 3)
+	s := New(g, 5)
+	bw := s.BlockWorlds()
+	if s.BitsResident(0, 1) {
+		t.Fatal("fresh store should have no resident bitmaps")
+	}
+	// Materialize a partial first block.
+	s.ScanBits(0, bw/2, func(int, []uint64) {})
+	if !s.BitsResident(0, bw/2) {
+		t.Fatal("materialized prefix should be resident")
+	}
+	if s.BitsResident(0, bw/2+1) || s.BitsResident(bw, bw+1) {
+		t.Fatal("unmaterialized worlds reported resident")
+	}
+	// Extend across two full blocks.
+	s.ScanBits(0, 2*bw, func(int, []uint64) {})
+	if !s.BitsResident(bw/3, 2*bw) {
+		t.Fatal("full range should be resident")
+	}
+	// Label blocks must not satisfy a bitmap probe.
+	s2 := New(g, 5)
+	s2.Scan(0, bw, func(int, []int32) {})
+	if s2.BitsResident(0, bw) {
+		t.Fatal("label blocks satisfied a bitmap residency probe")
+	}
+	// Eviction clears residency.
+	s.SetBudget(1)
+	if s.BitsResident(0, 2*bw) {
+		t.Fatal("evicted blocks reported resident")
+	}
+	// Degenerate ranges are never "resident".
+	if s.BitsResident(5, 5) || s.BitsResident(-3, 0) {
+		t.Fatal("empty range reported resident")
+	}
+}
