@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-shard bench-smoke serve docs-check ci
+.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-shard bench-smoke fuzz serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,13 @@ bench-shard:
 	$(GO) run ./cmd/benchjson -suite shard -update BENCH_shard.json < bench-shard.out
 	@rm -f bench-shard.out
 	@echo "merged scatter suite into BENCH_shard.json"
+
+# Fuzz the shard wire codec beyond the checked-in corpus (the corpus
+# itself runs as seeds in every plain `go test`). FUZZTIME extends a run.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/shard -run='^$$' -fuzz=FuzzWireRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/shard -run='^$$' -fuzz=FuzzWireFrame -fuzztime=$(FUZZTIME)
 
 # Daemon-level benchmarks (cold vs warm world store behind /v1/conn) ->
 # BENCH_server.json.

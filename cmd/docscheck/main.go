@@ -1,5 +1,6 @@
 // Command docscheck fails when the repository's documentation contains
-// broken relative links, so README/docs references cannot rot silently.
+// broken relative links — so README/docs references cannot rot silently —
+// or orphaned docs pages no reader can reach.
 //
 // Usage:
 //
@@ -10,7 +11,11 @@
 // blocks; targets that are absolute URLs (http/https/mailto) or pure
 // in-page anchors are skipped, every other target must exist on disk
 // relative to the file containing the link (anchors and query strings
-// stripped). Exit status 1 lists every broken link.
+// stripped). In the default (no-arguments) mode it additionally walks the
+// relative-link graph from README.md and reports any page under docs/ that
+// is unreachable from it — a new docs page must be linked (directly or
+// transitively) from the README, or no reader will find it. Exit status 1
+// lists every broken link and orphaned page.
 package main
 
 import (
@@ -33,13 +38,14 @@ var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 // fenceRE matches code-fence delimiters.
 var fenceRE = regexp.MustCompile("^\\s*```")
 
-// checkFile returns a description of every broken relative link in path.
-func checkFile(path string) ([]string, error) {
+// checkFile returns a description of every broken relative link in path,
+// plus the (cleaned, repo-relative) paths of the relative links that do
+// resolve — the edges of the reachability walk.
+func checkFile(path string) (broken, resolved []string, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var broken []string
 	inFence := false
 	for ln, line := range strings.Split(string(data), "\n") {
 		if fenceRE.MatchString(line) {
@@ -65,13 +71,46 @@ func checkFile(path string) ([]string, error) {
 			if target == "" {
 				continue
 			}
-			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
-			if _, err := os.Stat(resolved); err != nil {
-				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s)", path, ln+1, m[1], resolved))
+			r := filepath.Clean(filepath.Join(filepath.Dir(path), filepath.FromSlash(target)))
+			if _, err := os.Stat(r); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (%s)", path, ln+1, m[1], r))
+			} else {
+				resolved = append(resolved, r)
 			}
 		}
 	}
-	return broken, nil
+	return broken, resolved, nil
+}
+
+// orphans returns the docs pages unreachable from README.md over the
+// relative-link graph. files is the full markdown set under check; only
+// members under docsDir can be orphans (the README itself and ROADMAP.md
+// are roots of their own).
+func orphans(files []string, docsDir string) []string {
+	reachable := map[string]bool{"README.md": true, "ROADMAP.md": true}
+	queue := []string{"README.md", "ROADMAP.md"}
+	for len(queue) > 0 {
+		page := queue[0]
+		queue = queue[1:]
+		_, links, err := checkFile(page)
+		if err != nil {
+			continue // unreadable roots are reported by the link pass
+		}
+		for _, l := range links {
+			if strings.HasSuffix(l, ".md") && !reachable[l] {
+				reachable[l] = true
+				queue = append(queue, l)
+			}
+		}
+	}
+	var out []string
+	prefix := filepath.Clean(docsDir) + string(filepath.Separator)
+	for _, f := range files {
+		if strings.HasPrefix(filepath.Clean(f), prefix) && !reachable[filepath.Clean(f)] {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // expand turns a target into the markdown files it names: files pass
@@ -99,7 +138,8 @@ func expand(target string) ([]string, error) {
 
 func main() {
 	targets := os.Args[1:]
-	if len(targets) == 0 {
+	defaultMode := len(targets) == 0
+	if defaultMode {
 		targets = defaultTargets
 	}
 	var files []string
@@ -111,20 +151,26 @@ func main() {
 		}
 		files = append(files, fs...)
 	}
-	broken := 0
+	problems := 0
 	for _, f := range files {
-		bs, err := checkFile(f)
+		bs, _, err := checkFile(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 			os.Exit(1)
 		}
 		for _, b := range bs {
 			fmt.Fprintln(os.Stderr, b)
-			broken++
+			problems++
 		}
 	}
-	if broken > 0 {
-		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) in %d file(s)\n", broken, len(files))
+	if defaultMode {
+		for _, o := range orphans(files, "docs") {
+			fmt.Fprintf(os.Stderr, "%s: orphaned page — not reachable by relative links from README.md\n", o)
+			problems++
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s) in %d file(s)\n", problems, len(files))
 		os.Exit(1)
 	}
 	fmt.Printf("docscheck: %d file(s) clean\n", len(files))

@@ -21,13 +21,17 @@
 //	ucserve -shard-worker -synthetic collins -listen :9002
 //	ucserve -synthetic collins -shards localhost:9001,localhost:9002
 //
-// A -shard-worker process serves the raw integer-tally wire protocol of
-// internal/shard over its own world store; a daemon started with -shards
-// becomes the scatter/gather coordinator, fanning /v1/conn, /v1/cluster,
-// /v1/knn and /v1/influence out across the workers with answers
-// bit-identical to a single-process run. Workers and coordinator must be
-// started with the same graphs, names and -seed (the coordinator's
-// /healthz verifies and reports not-ready until every worker agrees).
+// A -shard-worker process serves the binary tally wire protocol of
+// internal/shard (persistent streams on POST /shard/v2/stream; see
+// docs/SHARD_PROTOCOL.md) over its own world store; a daemon started with
+// -shards becomes the scatter/gather coordinator, fanning /v1/conn,
+// /v1/cluster, /v1/knn, /v1/influence and /v1/reliability out across the
+// workers with answers bit-identical to a single-process run. Workers and
+// coordinator must be started with the same graphs, names and -seed (the
+// coordinator's /healthz verifies and reports not-ready until every worker
+// agrees). -shard-hedge arms hedged requests against stragglers,
+// -shard-ping sets the membership-refresh cadence, and POST /v1/shards
+// adds or removes workers at runtime without a restart.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -66,6 +70,11 @@ func main() {
 
 		shardWorker = flag.Bool("shard-worker", false, "serve the shard-worker tally protocol instead of the query API")
 		shards      = flag.String("shards", "", "comma-separated shard-worker addresses; the daemon becomes the scatter/gather coordinator")
+
+		shardHedge   = flag.Duration("shard-hedge", 0, "hedge a scatter group to a second worker after this delay (0 = no hedging); results are identical either way")
+		shardPing    = flag.Duration("shard-ping", 5*time.Second, "background worker ping/membership-refresh interval (0 = on-demand only)")
+		shardRetries = flag.Int("shard-retries", 0, "scatter retry rounds against re-striped workers (0 = package default)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-worker-request deadline (0 = package default)")
 	)
 	var graphs []server.GraphConfig
 	flag.Func("graph", "serve a graph from an edge-list file, as name=path (repeatable)", func(v string) error {
@@ -129,6 +138,7 @@ func main() {
 	}
 
 	var handler http.Handler
+	var closeServer func()
 	if *shardWorker {
 		wgs := make([]shard.WorkerGraph, len(graphs))
 		for i, gc := range graphs {
@@ -148,13 +158,17 @@ func main() {
 			}
 		}
 		srv, err := server.New(graphs, server.Options{
-			DefaultSamples: *samples,
-			MaxSamples:     *maxSamp,
-			DefaultTimeout: *timeout,
-			MaxTimeout:     *maxTime,
-			Gate:           *gate,
-			Parallelism:    *par,
-			Shards:         shardAddrs,
+			DefaultSamples:      *samples,
+			MaxSamples:          *maxSamp,
+			DefaultTimeout:      *timeout,
+			MaxTimeout:          *maxTime,
+			Gate:                *gate,
+			Parallelism:         *par,
+			Shards:              shardAddrs,
+			ShardRetries:        *shardRetries,
+			ShardRequestTimeout: *shardTimeout,
+			ShardHedge:          *shardHedge,
+			ShardPingInterval:   *shardPing,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
@@ -164,6 +178,7 @@ func main() {
 			fmt.Printf("coordinating %d shard worker(s): %s\n", len(shardAddrs), strings.Join(shardAddrs, ", "))
 		}
 		handler = srv
+		closeServer = srv.Close
 	}
 	role := "serving"
 	if *shardWorker {
@@ -189,9 +204,15 @@ func main() {
 		fmt.Println("shutting down...")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Shutdown drains regular requests but does not wait for hijacked
+		// shard-stream connections; the coordinator's Close (and a worker's
+		// process exit) severs those explicitly. See docs/OPERATIONS.md.
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "ucserve: shutdown: %v\n", err)
 			os.Exit(1)
+		}
+		if closeServer != nil {
+			closeServer()
 		}
 	}
 }

@@ -13,22 +13,22 @@ import (
 // metrics. Every statistic comes in a plain and a Ctx form; the Ctx forms
 // abort the world scan at the next block boundary once the context is done
 // and are otherwise bit-identical.
+//
+// Each statistic also has a *TallyCtx form returning the raw integer tally
+// over an arbitrary world range [lo, hi). The estimators are thin wrappers
+// over the tallies, and the shard fabric scatters the same tallies across
+// workers — integer sums are order-free, so a distributed estimate built
+// from per-range tallies is bit-identical to the local one as long as both
+// sides finish with the same float operations (see the estimator bodies
+// below; internal/shard mirrors them exactly).
 
-// ExpectedComponents estimates the expected number of connected components
-// of a random possible world, over the first r worlds of ws.
-func ExpectedComponents(ws *worldstore.Store, r int) float64 {
-	v, _ := ExpectedComponentsCtx(context.Background(), ws, r)
-	return v
-}
-
-// ExpectedComponentsCtx is ExpectedComponents with cooperative
-// cancellation.
-func ExpectedComponentsCtx(ctx context.Context, ws *worldstore.Store, r int) (float64, error) {
-	n := ws.NumNodes()
-	seen := make([]bool, n)
-	total := 0
-	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
-		count := 0
+// ComponentsTallyCtx counts connected components summed over worlds
+// [lo, hi) of ws.
+func ComponentsTallyCtx(ctx context.Context, ws *worldstore.Store, lo, hi int) (int64, error) {
+	seen := make([]bool, ws.NumNodes())
+	var total int64
+	if err := ws.ScanCtx(ctx, lo, hi, func(_ int, lab []int32) {
+		count := int64(0)
 		for _, l := range lab {
 			if !seen[l] {
 				seen[l] = true
@@ -42,7 +42,80 @@ func ExpectedComponentsCtx(ctx context.Context, ws *worldstore.Store, r int) (fl
 	}); err != nil {
 		return 0, err
 	}
-	return float64(total) / float64(r), nil
+	return total, nil
+}
+
+// SetReliabilityTallyCtx counts the worlds in [lo, hi) where all nodes of
+// set share one connected component. A set of fewer than two nodes is
+// connected in every world, so the tally is hi-lo without a scan.
+func SetReliabilityTallyCtx(ctx context.Context, ws *worldstore.Store, set []graph.NodeID, lo, hi int) (int64, error) {
+	if len(set) <= 1 {
+		return int64(hi - lo), ctx.Err()
+	}
+	var hits int64
+	if err := ws.ScanCtx(ctx, lo, hi, func(_ int, lab []int32) {
+		l0 := lab[set[0]]
+		for _, u := range set[1:] {
+			if lab[u] != l0 {
+				return
+			}
+		}
+		hits++
+	}); err != nil {
+		return 0, err
+	}
+	return hits, nil
+}
+
+// AllTerminalReliabilityTallyCtx counts the worlds in [lo, hi) that are
+// connected (all nodes in one component).
+func AllTerminalReliabilityTallyCtx(ctx context.Context, ws *worldstore.Store, lo, hi int) (int64, error) {
+	n := ws.NumNodes()
+	set := make([]graph.NodeID, n)
+	for i := range set {
+		set[i] = graph.NodeID(i)
+	}
+	return SetReliabilityTallyCtx(ctx, ws, set, lo, hi)
+}
+
+// LargestComponentTallyCtx sums the size of the largest component over
+// worlds [lo, hi) of ws.
+func LargestComponentTallyCtx(ctx context.Context, ws *worldstore.Store, lo, hi int) (int64, error) {
+	count := make([]int32, ws.NumNodes())
+	var total int64
+	if err := ws.ScanCtx(ctx, lo, hi, func(_ int, lab []int32) {
+		max := int32(0)
+		for _, l := range lab {
+			count[l]++
+			if count[l] > max {
+				max = count[l]
+			}
+		}
+		for _, l := range lab {
+			count[l] = 0
+		}
+		total += int64(max)
+	}); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// ExpectedComponents estimates the expected number of connected components
+// of a random possible world, over the first r worlds of ws.
+func ExpectedComponents(ws *worldstore.Store, r int) float64 {
+	v, _ := ExpectedComponentsCtx(context.Background(), ws, r)
+	return v
+}
+
+// ExpectedComponentsCtx is ExpectedComponents with cooperative
+// cancellation.
+func ExpectedComponentsCtx(ctx context.Context, ws *worldstore.Store, r int) (float64, error) {
+	tally, err := ComponentsTallyCtx(ctx, ws, 0, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(tally) / float64(r), nil
 }
 
 // SetReliability estimates the probability that all nodes of set lie in
@@ -58,16 +131,8 @@ func SetReliabilityCtx(ctx context.Context, ws *worldstore.Store, set []graph.No
 	if len(set) <= 1 {
 		return 1, ctx.Err()
 	}
-	hits := 0
-	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
-		l0 := lab[set[0]]
-		for _, u := range set[1:] {
-			if lab[u] != l0 {
-				return
-			}
-		}
-		hits++
-	}); err != nil {
+	hits, err := SetReliabilityTallyCtx(ctx, ws, set, 0, r)
+	if err != nil {
 		return 0, err
 	}
 	return float64(hits) / float64(r), nil
@@ -83,12 +148,11 @@ func AllTerminalReliability(ws *worldstore.Store, r int) float64 {
 // AllTerminalReliabilityCtx is AllTerminalReliability with cooperative
 // cancellation.
 func AllTerminalReliabilityCtx(ctx context.Context, ws *worldstore.Store, r int) (float64, error) {
-	n := ws.NumNodes()
-	set := make([]graph.NodeID, n)
-	for i := range set {
-		set[i] = graph.NodeID(i)
+	hits, err := AllTerminalReliabilityTallyCtx(ctx, ws, 0, r)
+	if err != nil {
+		return 0, err
 	}
-	return SetReliabilityCtx(ctx, ws, set, r)
+	return float64(hits) / float64(r), nil
 }
 
 // LargestComponentFraction estimates the expected fraction of nodes in the
@@ -101,23 +165,9 @@ func LargestComponentFraction(ws *worldstore.Store, r int) float64 {
 // LargestComponentFractionCtx is LargestComponentFraction with cooperative
 // cancellation.
 func LargestComponentFractionCtx(ctx context.Context, ws *worldstore.Store, r int) (float64, error) {
-	n := ws.NumNodes()
-	count := make([]int32, n)
-	total := 0.0
-	if err := ws.ScanCtx(ctx, 0, r, func(_ int, lab []int32) {
-		max := int32(0)
-		for _, l := range lab {
-			count[l]++
-			if count[l] > max {
-				max = count[l]
-			}
-		}
-		for _, l := range lab {
-			count[l] = 0
-		}
-		total += float64(max) / float64(n)
-	}); err != nil {
+	tally, err := LargestComponentTallyCtx(ctx, ws, 0, r)
+	if err != nil {
 		return 0, err
 	}
-	return total / float64(r), nil
+	return float64(tally) / float64(r) / float64(ws.NumNodes()), nil
 }

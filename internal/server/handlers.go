@@ -15,7 +15,6 @@ import (
 	"ucgraph/internal/knn"
 	"ucgraph/internal/kpt"
 	"ucgraph/internal/mcl"
-	"ucgraph/internal/metrics"
 )
 
 // ---- /healthz, /statsz, /v1/graphs ------------------------------------
@@ -95,8 +94,10 @@ func (h *graphHandle) storeStats() storeStats {
 // per-graph shard health block of /statsz.
 type shardStats struct {
 	Addr         string `json:"addr"`
+	State        string `json:"state"`
 	Requests     uint64 `json:"requests"`
 	Failures     uint64 `json:"failures"`
+	Duplicates   uint64 `json:"duplicates"`
 	RangesServed uint64 `json:"ranges_served"`
 	WorldsServed uint64 `json:"worlds_served"`
 	LastRTTMS    int64  `json:"last_rtt_ms"`
@@ -110,8 +111,10 @@ func (h *graphHandle) shardStats() []shardStats {
 	for i, st := range ws {
 		out[i] = shardStats{
 			Addr:         st.Addr,
+			State:        st.State,
 			Requests:     st.Requests,
 			Failures:     st.Failures,
+			Duplicates:   st.Duplicates,
 			RangesServed: st.RangesServed,
 			WorldsServed: st.WorldsServed,
 			LastRTTMS:    st.LastRTT.Milliseconds(),
@@ -122,6 +125,19 @@ func (h *graphHandle) shardStats() []shardStats {
 		}
 	}
 	return out
+}
+
+// fabricStats mirrors shard.FabricStats — coordinator-wide hedging and
+// re-scatter counters for one graph.
+type fabricStats struct {
+	Hedges     uint64 `json:"hedges"`
+	Duplicates uint64 `json:"duplicates"`
+	Rescatters uint64 `json:"rescatters"`
+}
+
+func (h *graphHandle) fabricStats() fabricStats {
+	fs := h.coord.FabricStats()
+	return fabricStats{Hedges: fs.Hedges, Duplicates: fs.Duplicates, Rescatters: fs.Rescatters}
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -135,6 +151,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		}
 		if h.coord.Sharded() {
 			gm["shards"] = h.shardStats()
+			gm["fabric"] = h.fabricStats()
 		}
 		graphs[name] = gm
 	}
@@ -145,6 +162,66 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"jobs":      s.jobs.counts(),
 		"graphs":    graphs,
 	})
+}
+
+// ---- /v1/shards ---------------------------------------------------------
+
+// handleShardsGet reports the shard membership per graph: every worker's
+// address, up/down/removed state and health counters, plus the fabric
+// counters. On an unsharded daemon the lists are empty.
+func (s *Server) handleShardsGet(w http.ResponseWriter, r *http.Request) {
+	graphs := make(map[string]any, len(s.graphs))
+	for name, h := range s.graphs {
+		graphs[name] = map[string]any{
+			"workers": h.shardStats(),
+			"fabric":  h.fabricStats(),
+		}
+	}
+	s.writeJSON(w, map[string]any{"graphs": graphs})
+}
+
+type shardsRequest struct {
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+// handleShardsPost changes the shard membership without a restart:
+// "add" joins workers (every served graph's coordinator starts striping
+// fresh world blocks to them; re-adding a removed address revives it),
+// "remove" drains them (their blocks re-stripe to the survivors; requests
+// already in flight fail over through the retry rounds). Because every
+// worker must serve every configured graph, membership changes apply to
+// all graphs at once. Estimates are unaffected — see the bit-identity
+// invariant in docs/SHARD_PROTOCOL.md.
+func (s *Server) handleShardsPost(w http.ResponseWriter, r *http.Request) {
+	var req shardsRequest
+	if e := decode(r, &req); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		s.writeError(w, badRequest("need \"add\" and/or \"remove\" worker addresses"))
+		return
+	}
+	removed := make(map[string]bool, len(req.Remove))
+	for _, name := range s.names {
+		h := s.graphs[name]
+		for _, addr := range req.Add {
+			h.coord.AddWorker(addr)
+		}
+		for _, addr := range req.Remove {
+			if h.coord.RemoveWorker(addr) {
+				removed[addr] = true
+			}
+		}
+	}
+	for _, addr := range req.Remove {
+		if !removed[addr] {
+			s.writeError(w, &apiError{http.StatusNotFound, fmt.Sprintf("unknown worker %q", addr)})
+			return
+		}
+	}
+	s.handleShardsGet(w, r)
 }
 
 type graphInfo struct {
@@ -740,6 +817,10 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.release()
 
+	// Every kind routes through the coordinator: scattered to the shard
+	// workers as integer tallies when the daemon coordinates a sharded
+	// deployment, computed on the local store otherwise — bit-identical to
+	// the metrics package either way.
 	var (
 		value float64
 		err   error
@@ -754,13 +835,13 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		for i, u := range req.Set {
 			set[i] = u
 		}
-		value, err = metrics.SetReliabilityCtx(ctx, h.store, set, samples)
+		value, err = h.coord.SetReliabilityCtx(ctx, set, samples)
 	case "", "all_terminal":
-		value, err = metrics.AllTerminalReliabilityCtx(ctx, h.store, samples)
+		value, err = h.coord.AllTerminalReliabilityCtx(ctx, samples)
 	case "components":
-		value, err = metrics.ExpectedComponentsCtx(ctx, h.store, samples)
+		value, err = h.coord.ExpectedComponentsCtx(ctx, samples)
 	case "largest_component":
-		value, err = metrics.LargestComponentFractionCtx(ctx, h.store, samples)
+		value, err = h.coord.LargestComponentFractionCtx(ctx, samples)
 	default:
 		s.writeError(w, badRequest(fmt.Sprintf("unknown kind %q", req.Kind)))
 		return

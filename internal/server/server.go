@@ -72,19 +72,33 @@ type Options struct {
 	// Shards lists shard-worker base URLs ("host:port" or full URLs).
 	// When non-empty the daemon runs as the scatter/gather coordinator of
 	// a sharded deployment: /v1/conn, /v1/cluster (its min-partial
-	// scoring), /v1/knn and /v1/influence fan world ranges out to the
-	// workers and merge their integer tallies — answers stay bit-identical
-	// to local execution, because merged tallies are order-free integer
-	// sums over the same deterministic world stream. Every worker must
-	// serve every configured graph under the same name and seed
-	// (/healthz reports not-ready until they all answer a ping).
-	// /v1/reliability (and any surface not listed) stays local.
+	// scoring), /v1/knn, /v1/influence and /v1/reliability fan world
+	// ranges out to the workers and merge their integer tallies — answers
+	// stay bit-identical to local execution, because merged tallies are
+	// order-free integer sums over the same deterministic world stream.
+	// Every worker must serve every configured graph under the same name
+	// and seed (/healthz reports not-ready until they all answer a ping).
+	// Membership is elastic: POST /v1/shards adds and removes workers at
+	// runtime (see docs/SHARD_PROTOCOL.md).
 	Shards []string
 	// ShardRetries and ShardRequestTimeout tune the coordinator's retry
 	// rounds and per-worker-request deadline; zero selects the shard
 	// package defaults.
 	ShardRetries        int
 	ShardRequestTimeout time.Duration
+	// ShardHedge, when positive, arms hedged requests: a scatter group
+	// unanswered after this delay is duplicated to another live worker and
+	// the first answer wins (the loser is a suppressed duplicate, never a
+	// failure). Zero disables hedging. Results are unaffected — merged
+	// tallies are bit-identical whichever copy wins.
+	ShardHedge time.Duration
+	// ShardPingInterval, when positive, starts a background membership
+	// refresher per graph: workers are pinged on this cadence and marked
+	// up/down, so scatters route around dead workers without waiting for a
+	// failed request, and revived workers rejoin without a restart. Zero
+	// disables the background pings (health probes still refresh on
+	// demand).
+	ShardPingInterval time.Duration
 }
 
 // withDefaults fills in the documented defaults.
@@ -161,6 +175,7 @@ type Server struct {
 	jobs   *jobTable
 	mux    *http.ServeMux
 	start  time.Time
+	stops  []func() // background ping refreshers, stopped by Close
 
 	requests atomic.Uint64
 	failures atomic.Uint64
@@ -196,7 +211,11 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 			Parallelism:    opts.Parallelism,
 			Retries:        opts.ShardRetries,
 			RequestTimeout: opts.ShardRequestTimeout,
+			HedgeDelay:     opts.ShardHedge,
 		})
+		if coord.Sharded() && opts.ShardPingInterval > 0 {
+			s.stops = append(s.stops, coord.StartPings(opts.ShardPingInterval))
+		}
 		s.graphs[gc.Name] = &graphHandle{
 			name:  gc.Name,
 			g:     gc.Graph,
@@ -219,7 +238,22 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/knn", s.handleKNN)
 	s.mux.HandleFunc("POST /v1/influence", s.handleInfluence)
 	s.mux.HandleFunc("POST /v1/reliability", s.handleReliability)
+	s.mux.HandleFunc("GET /v1/shards", s.handleShardsGet)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShardsPost)
 	return s, nil
+}
+
+// Close stops the background membership refreshers and tears down the
+// coordinators' persistent worker streams. The HTTP listener is the
+// caller's to shut down (note that http.Server.Shutdown does not wait for
+// hijacked shard-stream connections; Close severs them explicitly).
+func (s *Server) Close() {
+	for _, stop := range s.stops {
+		stop()
+	}
+	for _, h := range s.graphs {
+		h.coord.Close()
+	}
 }
 
 // ServeHTTP implements http.Handler.

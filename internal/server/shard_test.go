@@ -35,8 +35,8 @@ func startShardWorkers(t testing.TB, g *graph.Uncertain, count int) []string {
 }
 
 // TestShardedServerBitIdenticalToLocal runs the same /v1/conn,
-// /v1/cluster, /v1/knn and /v1/influence requests against an unsharded
-// daemon and a coordinator over 1, 2 and 4 workers, asserting identical
+// /v1/cluster, /v1/knn, /v1/influence and /v1/reliability requests against
+// an unsharded daemon and a coordinator over 1, 2 and 4 workers, asserting identical
 // response payloads — the end-to-end form of the determinism contract:
 // sharding changes where tallies are computed, never what they sum to.
 func TestShardedServerBitIdenticalToLocal(t *testing.T) {
@@ -56,6 +56,10 @@ func TestShardedServerBitIdenticalToLocal(t *testing.T) {
 		{"/v1/knn", map[string]any{"graph": "ring", "source": 2, "k": 8, "measure": "reliability", "samples": 400}},
 		{"/v1/influence", map[string]any{"graph": "ring", "seeds": []int32{3, 50}, "samples": 400}},
 		{"/v1/influence", map[string]any{"graph": "ring", "k": 3, "samples": 300}},
+		{"/v1/reliability", map[string]any{"graph": "ring", "kind": "set", "set": []int32{2, 19, 44}, "samples": 400}},
+		{"/v1/reliability", map[string]any{"graph": "ring", "kind": "all_terminal", "samples": 400}},
+		{"/v1/reliability", map[string]any{"graph": "ring", "kind": "components", "samples": 400}},
+		{"/v1/reliability", map[string]any{"graph": "ring", "kind": "largest_component", "samples": 400}},
 	}
 	want := make([]string, len(requests))
 	for i, req := range requests {
@@ -164,5 +168,81 @@ func TestShardedHealthzReadiness(t *testing.T) {
 	}
 	if worlds < 300 {
 		t.Fatalf("shards served %d worlds, want >= 300", worlds)
+	}
+}
+
+// TestShardsMembershipEndpoint drives elastic membership over HTTP: a
+// coordinator starts with one worker, a second joins via POST /v1/shards,
+// the first is then removed — with every estimate along the way
+// bit-identical to an unsharded daemon's.
+func TestShardsMembershipEndpoint(t *testing.T) {
+	g := testGraph(t, 48, 9)
+	_, plain := newTestServer(t, g, Options{})
+	workers := startShardWorkers(t, g, 2)
+
+	s, err := New([]GraphConfig{{Name: "ring", Graph: g, Seed: 7}}, Options{
+		Shards: workers[:1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	connReq := map[string]any{"graph": "ring", "centers": []int32{1, 30}, "samples": 500}
+	_, want := post(t, plain.URL+"/v1/conn", connReq, nil)
+	check := func(stage string) {
+		t.Helper()
+		code, raw := post(t, ts.URL+"/v1/conn", connReq, nil)
+		if code != 200 || raw != want {
+			t.Fatalf("%s: code %d\n%s\nvs\n%s", stage, code, raw, want)
+		}
+	}
+	check("one worker")
+
+	var membership struct {
+		Graphs map[string]struct {
+			Workers []shardStats `json:"workers"`
+		} `json:"graphs"`
+	}
+	if code, raw := post(t, ts.URL+"/v1/shards", map[string]any{"add": []string{workers[1]}}, &membership); code != 200 {
+		t.Fatalf("add worker: code %d: %s", code, raw)
+	}
+	if got := len(membership.Graphs["ring"].Workers); got != 2 {
+		t.Fatalf("workers after add = %d, want 2", got)
+	}
+	check("after join")
+
+	if code, raw := post(t, ts.URL+"/v1/shards", map[string]any{"remove": []string{workers[0]}}, &membership); code != 200 {
+		t.Fatalf("remove worker: code %d: %s", code, raw)
+	}
+	states := map[string]string{}
+	for _, wk := range membership.Graphs["ring"].Workers {
+		states[wk.Addr] = wk.State
+	}
+	if states[workers[0]] != "removed" || states[workers[1]] != "up" {
+		t.Fatalf("states after remove: %v", states)
+	}
+	check("after leave")
+
+	// Removing an unknown worker is a 404; empty requests are a 400.
+	if code, _ := post(t, ts.URL+"/v1/shards", map[string]any{"remove": []string{"nope:1"}}, nil); code != 404 {
+		t.Fatalf("unknown remove: code %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/shards", map[string]any{}, nil); code != 400 {
+		t.Fatalf("empty membership post: code %d", code)
+	}
+	var gotShards struct {
+		Graphs map[string]struct {
+			Workers []shardStats `json:"workers"`
+			Fabric  fabricStats  `json:"fabric"`
+		} `json:"graphs"`
+	}
+	if code := get(t, ts.URL+"/v1/shards", &gotShards); code != 200 {
+		t.Fatal("GET /v1/shards failed")
+	}
+	if got := len(gotShards.Graphs["ring"].Workers); got != 2 {
+		t.Fatalf("GET membership workers = %d, want 2", got)
 	}
 }

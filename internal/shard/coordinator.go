@@ -11,31 +11,40 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ucgraph/internal/conn"
 	"ucgraph/internal/graph"
 	"ucgraph/internal/influence"
 	"ucgraph/internal/knn"
+	"ucgraph/internal/metrics"
 	"ucgraph/internal/worldstore"
 )
 
 // CoordinatorOptions configures a Coordinator. The zero value selects the
 // documented defaults.
 type CoordinatorOptions struct {
-	// Client is the HTTP client used for worker requests (default: a
-	// dedicated client with no global timeout — per-query deadlines come
-	// from the caller's context, per-attempt ones from RequestTimeout).
+	// Client is the HTTP client used for worker pings and membership
+	// probes (default: a dedicated client with no global timeout). Tally
+	// traffic does not use it — tallies ride the persistent v2 streams.
 	Client *http.Client
 	// Retries is how many extra scatter rounds a query may spend
-	// re-scattering ranges whose worker failed (default 2). Each round
-	// rotates the block-to-worker assignment, so a dead worker's ranges
-	// land on survivors; a restarted worker answers for itself again.
+	// re-scattering blocks whose worker failed (default 2). Re-scattered
+	// blocks move to a different live worker when one exists; a restarted
+	// worker answers for itself again once pings mark it up.
 	Retries int
 	// RequestTimeout caps one worker request (default 60s), layered under
 	// the query context, so a hung worker turns into a retriable failure
 	// instead of stalling the whole query until its deadline.
 	RequestTimeout time.Duration
+	// HedgeDelay, when positive, arms a hedge against straggler workers:
+	// if a scatter group has not answered after this delay, the same
+	// request is raced against a second live worker and the first answer
+	// wins. The loser's answer is a suppressed duplicate — never a
+	// failure, and never double-merged (the group's win flag admits
+	// exactly one answer). Zero disables hedging.
+	HedgeDelay time.Duration
 	// Parallelism is handed to the local fallback estimator (<= 0 selects
 	// GOMAXPROCS). Results do not depend on it.
 	Parallelism int
@@ -59,9 +68,13 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 type WorkerStats struct {
 	// Addr is the worker's base URL.
 	Addr string
+	// State is the membership state: "up", "down" (pings failing; blocks
+	// re-striped to the survivors) or "removed" (administratively left).
+	State string
 	// Requests and Failures count tally/ping round-trips issued and
-	// failed.
-	Requests, Failures uint64
+	// failed. Duplicates counts hedged answers that lost the race and
+	// were suppressed — they are deliberately not failures.
+	Requests, Failures, Duplicates uint64
 	// RangesServed and WorldsServed count the world ranges (and worlds)
 	// whose tallies this worker successfully returned.
 	RangesServed, WorldsServed uint64
@@ -73,23 +86,35 @@ type WorkerStats struct {
 	LastErr string
 }
 
-// workerClient is the coordinator-side handle of one worker.
+// workerClient is the coordinator-side handle of one worker: a JSON
+// client for pings plus the persistent v2 stream for tallies.
 type workerClient struct {
-	base   string // normalized base URL, no trailing slash
-	client *http.Client
+	base      string // normalized base URL, no trailing slash
+	client    *http.Client
+	stream    *streamClient
+	streamErr error // base URL unusable for streaming (reported per call)
 
 	mu    sync.Mutex
 	stats WorkerStats
 }
 
+// normalizeAddr turns "host:port" or a full URL into a base URL with no
+// trailing slash.
+func normalizeAddr(addr string) string {
+	base := strings.TrimRight(strings.TrimSpace(addr), "/")
+	if base != "" && !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return base
+}
+
 // newWorkerClient normalizes addr ("host:port" or a full URL) into a
 // client.
 func newWorkerClient(addr string, client *http.Client) *workerClient {
-	base := strings.TrimRight(addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	return &workerClient{base: base, client: client, stats: WorkerStats{Addr: base}}
+	base := normalizeAddr(addr)
+	wc := &workerClient{base: base, client: client, stats: WorkerStats{Addr: base}}
+	wc.stream, wc.streamErr = newStreamClient(base)
+	return wc
 }
 
 func (wc *workerClient) noteSuccess(rtt time.Duration, ranges, worlds int) {
@@ -111,13 +136,24 @@ func (wc *workerClient) noteFailure(err error) {
 	wc.mu.Unlock()
 }
 
+// noteDuplicate records a suppressed hedged duplicate: a request that
+// completed fine but lost the race. It counts as a request served, not as
+// a failure — the /statsz failure counter is reserved for actual faults.
+func (wc *workerClient) noteDuplicate() {
+	wc.mu.Lock()
+	wc.stats.Requests++
+	wc.stats.Duplicates++
+	wc.mu.Unlock()
+}
+
 func (wc *workerClient) snapshot() WorkerStats {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
 	return wc.stats
 }
 
-// do posts one JSON request and decodes the JSON response into out.
+// do posts one JSON request and decodes the JSON response into out (v1
+// endpoints: ping, and the frozen tally endpoint used by tests).
 func (wc *workerClient) do(ctx context.Context, path string, in, out any) error {
 	var body io.Reader
 	method := http.MethodGet
@@ -152,28 +188,222 @@ func (wc *workerClient) do(ctx context.Context, path string, in, out any) error 
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// tally runs one tally request against the worker, bounded by the
-// per-attempt timeout, recording health stats either way.
-func (wc *workerClient) tally(ctx context.Context, timeout time.Duration, req *TallyRequest) (*TallyResponse, error) {
+// call runs one tally request over the worker's stream, bounded by the
+// per-attempt timeout, and cross-checks the answered world count. It
+// records no stats — the scatter attempt that issued it decides whether
+// the outcome was a win, a suppressed duplicate or a failure.
+func (wc *workerClient) call(ctx context.Context, timeout time.Duration, req *TallyRequest) (*TallyResponse, error) {
+	if wc.streamErr != nil {
+		return nil, wc.streamErr
+	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	worlds := 0
 	for _, rg := range req.Ranges {
 		worlds += rg.Worlds()
 	}
-	t0 := time.Now()
-	var resp TallyResponse
-	if err := wc.do(ctx, PathTally, req, &resp); err != nil {
-		wc.noteFailure(err)
+	resp, _, err := wc.stream.call(ctx, req)
+	if err != nil {
 		return nil, err
 	}
 	if resp.Worlds != worlds {
-		err := fmt.Errorf("%s: tallied %d worlds, asked for %d", wc.base, resp.Worlds, worlds)
-		wc.noteFailure(err)
-		return nil, err
+		return nil, fmt.Errorf("%s: tallied %d worlds, asked for %d", wc.base, resp.Worlds, worlds)
 	}
-	wc.noteSuccess(time.Since(t0), len(req.Ranges), worlds)
-	return &resp, nil
+	return resp, nil
+}
+
+// ---- fleet: elastic membership -------------------------------------------
+
+type memberState int32
+
+const (
+	memberUp memberState = iota
+	memberDown
+	memberRemoved
+)
+
+func (s memberState) String() string {
+	switch s {
+	case memberUp:
+		return "up"
+	case memberDown:
+		return "down"
+	default:
+		return "removed"
+	}
+}
+
+// member is one fleet slot. Slots are append-only: a removed worker keeps
+// its slot (so owner bookkeeping stays valid) and re-adding the same
+// address revives it.
+type member struct {
+	wc    *workerClient
+	state atomic.Int32
+}
+
+func (m *member) up() bool { return memberState(m.state.Load()) == memberUp }
+
+// fleet is the membership table shared by a Coordinator and all its
+// forks: the member slots, the sticky block-ownership map, and the
+// fabric-level counters. Ownership is sticky on purpose — a block keeps
+// its worker (whose tally cache is warm for it) until that worker goes
+// down or leaves, and only then is it re-striped onto the survivors.
+// Assignment never affects results, only which worker computes which
+// integer sums.
+type fleet struct {
+	client *http.Client
+
+	mu      sync.Mutex
+	members []*member
+	owners  map[int]int // block index → member slot
+
+	hedges     atomic.Uint64
+	duplicates atomic.Uint64
+	rescatters atomic.Uint64
+}
+
+func newFleet(addrs []string, client *http.Client) *fleet {
+	f := &fleet{client: client, owners: make(map[int]int)}
+	for _, addr := range addrs {
+		if strings.TrimSpace(addr) != "" {
+			f.add(addr)
+		}
+	}
+	return f
+}
+
+// add registers (or revives) the worker at addr and returns its
+// normalized base URL.
+func (f *fleet) add(addr string) string {
+	base := normalizeAddr(addr)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range f.members {
+		if m.wc.base == base {
+			m.state.Store(int32(memberUp))
+			return base
+		}
+	}
+	m := &member{wc: newWorkerClient(base, f.client)}
+	m.state.Store(int32(memberUp))
+	f.members = append(f.members, m)
+	return base
+}
+
+// remove marks the worker at addr as removed and closes its stream;
+// reports whether it was a member.
+func (f *fleet) remove(addr string) bool {
+	base := normalizeAddr(addr)
+	f.mu.Lock()
+	var gone *member
+	for _, m := range f.members {
+		if m.wc.base == base && memberState(m.state.Load()) != memberRemoved {
+			m.state.Store(int32(memberRemoved))
+			gone = m
+			break
+		}
+	}
+	f.mu.Unlock()
+	if gone != nil && gone.wc.stream != nil {
+		gone.wc.stream.close()
+	}
+	return gone != nil
+}
+
+// active returns the non-removed members (up or down).
+func (f *fleet) active() []*member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*member, 0, len(f.members))
+	for _, m := range f.members {
+		if memberState(m.state.Load()) != memberRemoved {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (f *fleet) liveSlotsLocked() []int {
+	var live []int
+	for s, m := range f.members {
+		if m.up() {
+			live = append(live, s)
+		}
+	}
+	return live
+}
+
+// assign maps each block index to its owning slot, keeping live sticky
+// owners and striping unowned blocks across the live members
+// (live[bi % len(live)] — with every member live and no history, exactly
+// the round-robin striping of Partition). exclude[bi] names a slot the
+// block must avoid when any alternative exists: retry rounds use it to
+// move a failed worker's blocks. Returns slot → ascending block indices.
+func (f *fleet) assign(bis []int, exclude map[int]int, rot int) (map[int][]int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	live := f.liveSlotsLocked()
+	if len(live) == 0 {
+		return nil, errors.New("shard: no live workers")
+	}
+	out := make(map[int][]int)
+	for _, bi := range bis {
+		if s, owned := f.owners[bi]; owned && f.members[s].up() {
+			if ex, excluded := exclude[bi]; !excluded || ex != s || len(live) == 1 {
+				out[s] = append(out[s], bi)
+				continue
+			}
+		}
+		pick := live[(bi+rot)%len(live)]
+		if ex, excluded := exclude[bi]; excluded && pick == ex && len(live) > 1 {
+			pick = live[(bi+rot+1)%len(live)]
+		}
+		f.owners[bi] = pick
+		out[pick] = append(out[pick], bi)
+	}
+	return out, nil
+}
+
+// hedgeTarget picks a live member other than slot (cyclically next), or
+// nil when the fleet has no alternative to hedge against.
+func (f *fleet) hedgeTarget(slot int) *member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.members)
+	for i := 1; i <= n; i++ {
+		m := f.members[(slot+i)%n]
+		if m.up() && m != f.members[slot%n] {
+			return m
+		}
+	}
+	return nil
+}
+
+func (f *fleet) member(slot int) *member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.members[slot]
+}
+
+func (f *fleet) close() {
+	for _, m := range f.active() {
+		if m.wc.stream != nil {
+			m.wc.stream.close()
+		}
+	}
+}
+
+// FabricStats are coordinator-level counters of the scatter fabric,
+// shared across forks.
+type FabricStats struct {
+	// Hedges counts hedge attempts launched against stragglers.
+	Hedges uint64
+	// Duplicates counts hedged answers that lost the race and were
+	// suppressed before merging (exactly-once bookkeeping).
+	Duplicates uint64
+	// Rescatters counts world blocks repooled onto another worker after
+	// a failed attempt.
+	Rescatters uint64
 }
 
 // coTally is one cached center tally of the coordinator: per-node counts
@@ -195,29 +425,33 @@ type coKey struct {
 // block-aligned world ranges, and the gathered integer tallies are summed
 // into exactly the counts a single-process run over the same stream
 // produces — so estimates are bit-identical to conn.MonteCarlo (and the
-// knn / influence entry points) for every worker count and every
-// partitioning, and clustering drivers consume a Coordinator wherever
-// they would a conn.MonteCarlo (it implements conn.ContextOracle).
+// knn / influence / metrics entry points) for every worker count, every
+// partitioning, every membership change and every hedge outcome, and
+// clustering drivers consume a Coordinator wherever they would a
+// conn.MonteCarlo (it implements conn.ContextOracle).
 //
-// Failure handling never trades accuracy: a failed worker's ranges are
-// re-scattered (rotated onto other workers) and each range is merged
-// exactly once; a query that cannot complete returns an error and no
-// estimate. With no workers configured the Coordinator degrades to the
-// in-process estimator over the shared world store of the same
-// (graph, seed).
+// Failure handling never trades accuracy: a failed worker's blocks are
+// re-scattered onto other live workers, a hedged straggler's duplicate
+// answer is suppressed by the group's win flag, and each block is merged
+// exactly once (scatter audits the merged world count) or the whole call
+// errors with no estimate. The fleet is elastic — AddWorker / RemoveWorker
+// and the ping refresher change membership between (and during) queries
+// with no restart; with no live workers configured the Coordinator
+// degrades to the in-process estimator over the shared world store of the
+// same (graph, seed).
 //
 // Like the estimator it mirrors, a Coordinator caches per-(center, depth)
 // tallies and extends them when later queries raise the sample size, so a
 // progressive clustering schedule scatters only the new worlds of each
 // phase. Safe for concurrent use.
 type Coordinator struct {
-	name    string
-	g       *graph.Uncertain
-	seed    uint64
-	store   *worldstore.Store
-	local   *conn.MonteCarlo
-	workers []*workerClient
-	opts    CoordinatorOptions
+	name  string
+	g     *graph.Uncertain
+	seed  uint64
+	store *worldstore.Store
+	local *conn.MonteCarlo
+	fleet *fleet
+	opts  CoordinatorOptions
 
 	mu        sync.Mutex
 	cache     map[coKey]*coTally
@@ -241,29 +475,24 @@ func NewCoordinator(name string, g *graph.Uncertain, seed uint64, workerAddrs []
 	if maxCache < 64 {
 		maxCache = 64
 	}
-	c := &Coordinator{
+	return &Coordinator{
 		name:     name,
 		g:        g,
 		seed:     seed,
 		store:    local.Store(),
 		local:    local,
+		fleet:    newFleet(workerAddrs, opts.Client),
 		opts:     opts,
 		cache:    make(map[coKey]*coTally),
 		maxCache: maxCache,
 	}
-	for _, addr := range workerAddrs {
-		if addr = strings.TrimSpace(addr); addr != "" {
-			c.workers = append(c.workers, newWorkerClient(addr, opts.Client))
-		}
-	}
-	return c
 }
 
-// Fork returns a coordinator sharing this one's workers (and their health
-// stats) but with a fresh, private tally cache — the sharded analogue of
-// building a private conn.MonteCarlo for one clustering run, so the run's
-// result depends only on (graph, seed, request), never on which centers
-// other traffic warmed first.
+// Fork returns a coordinator sharing this one's fleet (workers, membership
+// and health stats) but with a fresh, private tally cache — the sharded
+// analogue of building a private conn.MonteCarlo for one clustering run,
+// so the run's result depends only on (graph, seed, request), never on
+// which centers other traffic warmed first.
 func (c *Coordinator) Fork() *Coordinator {
 	fork := &Coordinator{
 		name:     c.name,
@@ -271,7 +500,7 @@ func (c *Coordinator) Fork() *Coordinator {
 		seed:     c.seed,
 		store:    c.store,
 		local:    conn.NewMonteCarlo(c.g, c.seed),
-		workers:  c.workers,
+		fleet:    c.fleet,
 		opts:     c.opts,
 		cache:    make(map[coKey]*coTally),
 		maxCache: c.maxCache,
@@ -280,9 +509,9 @@ func (c *Coordinator) Fork() *Coordinator {
 	return fork
 }
 
-// Sharded reports whether the coordinator has workers configured; false
+// Sharded reports whether the coordinator has (non-removed) workers; false
 // means every query runs locally.
-func (c *Coordinator) Sharded() bool { return len(c.workers) > 0 }
+func (c *Coordinator) Sharded() bool { return len(c.fleet.active()) > 0 }
 
 // NumNodes implements conn.Oracle.
 func (c *Coordinator) NumNodes() int { return c.g.NumNodes() }
@@ -294,69 +523,143 @@ func (c *Coordinator) Graph() *graph.Uncertain { return c.g }
 // local, and for block-size agreement with the workers).
 func (c *Coordinator) Store() *worldstore.Store { return c.store }
 
-// Workers returns the configured worker base URLs.
+// Workers returns the current (non-removed) worker base URLs.
 func (c *Coordinator) Workers() []string {
-	out := make([]string, len(c.workers))
-	for i, wc := range c.workers {
-		out[i] = wc.base
+	members := c.fleet.active()
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = m.wc.base
 	}
 	return out
 }
 
-// WorkerStats returns a health snapshot per worker.
+// WorkerStats returns a health snapshot per worker. Unlike Workers it
+// includes removed members (state "removed"), so operators watching
+// /statsz during a membership change see the departure rather than a
+// silently shrinking list.
 func (c *Coordinator) WorkerStats() []WorkerStats {
-	out := make([]WorkerStats, len(c.workers))
-	for i, wc := range c.workers {
-		out[i] = wc.snapshot()
+	c.fleet.mu.Lock()
+	members := append([]*member(nil), c.fleet.members...)
+	c.fleet.mu.Unlock()
+	out := make([]WorkerStats, len(members))
+	for i, m := range members {
+		out[i] = m.wc.snapshot()
+		out[i].State = memberState(m.state.Load()).String()
 	}
 	return out
 }
 
-// Ping verifies every worker is reachable and serves the coordinator's
-// graph with matching identity (nodes, edges, seed) — the readiness probe
-// of the sharded deployment. Workers are pinged concurrently, so the
-// probe costs one round-trip of the slowest worker, not the sum. It
-// returns a joined error of the unreachable or mismatched workers; nil
-// means all workers agree on the world stream.
+// FabricStats returns the fabric-level hedge/duplicate/rescatter counters.
+func (c *Coordinator) FabricStats() FabricStats {
+	return FabricStats{
+		Hedges:     c.fleet.hedges.Load(),
+		Duplicates: c.fleet.duplicates.Load(),
+		Rescatters: c.fleet.rescatters.Load(),
+	}
+}
+
+// AddWorker registers (or revives) a worker — the join half of elastic
+// membership. The new member starts as "up" and receives unowned blocks
+// on the very next scatter round; already-owned blocks stay with their
+// sticky owners, so a join re-stripes nothing that is warm elsewhere.
+// Returns the normalized base URL.
+func (c *Coordinator) AddWorker(addr string) string { return c.fleet.add(addr) }
+
+// RemoveWorker administratively removes a worker (the leave half). Its
+// blocks become unowned and re-stripe onto the survivors on the next
+// scatter round; in-flight requests against it fall to the retry rounds.
+// Reports whether addr was a member.
+func (c *Coordinator) RemoveWorker(addr string) bool { return c.fleet.remove(addr) }
+
+// Close tears down the persistent worker streams. The coordinator remains
+// usable — streams re-dial on the next query — so Close is for orderly
+// shutdown.
+func (c *Coordinator) Close() { c.fleet.close() }
+
+// Ping verifies every current worker is reachable and serves the
+// coordinator's graph with matching identity (nodes, edges, seed) — the
+// readiness probe of the sharded deployment. Workers are pinged
+// concurrently, so the probe costs one round-trip of the slowest worker,
+// not the sum. Each worker's membership state is refreshed from the
+// outcome (up on success, down on failure). It returns a joined error of
+// the unreachable or mismatched workers; nil means all workers agree on
+// the world stream.
 func (c *Coordinator) Ping(ctx context.Context) error {
-	errs := make([]error, len(c.workers))
+	members := c.fleet.active()
+	errs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i, wc := range c.workers {
+	for i, m := range members {
 		wg.Add(1)
-		go func(i int, wc *workerClient) {
+		go func(i int, m *member) {
 			defer wg.Done()
-			errs[i] = c.pingWorker(ctx, wc)
-		}(i, wc)
+			errs[i] = c.pingMember(ctx, m)
+		}(i, m)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// pingWorker pings one worker and verifies its graph identity, recording
-// the outcome in its health stats.
-func (c *Coordinator) pingWorker(ctx context.Context, wc *workerClient) error {
+// RefreshMembership is Ping under its membership-maintenance name: the
+// periodic ping loop (StartPings) and the /v1/shards endpoint call it to
+// move flapping workers between "up" and "down" with no restart.
+func (c *Coordinator) RefreshMembership(ctx context.Context) error { return c.Ping(ctx) }
+
+// StartPings runs RefreshMembership every interval until the returned stop
+// function is called. Each probe is bounded by RequestTimeout.
+func (c *Coordinator) StartPings(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+				_ = c.RefreshMembership(ctx)
+				cancel()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// pingMember pings one worker, verifies its graph identity, records the
+// outcome in its health stats and refreshes its membership state.
+func (c *Coordinator) pingMember(ctx context.Context, m *member) error {
+	wc := m.wc
 	var resp PingResponse
 	t0 := time.Now()
-	if err := wc.do(ctx, PathPing, nil, &resp); err != nil {
-		wc.noteFailure(err)
-		return err
-	}
-	var werr error
-	found := false
-	for _, pg := range resp.Graphs {
-		if pg.Name != c.name {
-			continue
+	werr := wc.do(ctx, PathPing, nil, &resp)
+	if werr == nil {
+		found := false
+		for _, pg := range resp.Graphs {
+			if pg.Name != c.name {
+				continue
+			}
+			found = true
+			if pg.Nodes != c.g.NumNodes() || pg.Edges != c.g.NumEdges() || pg.Seed != c.seed {
+				werr = fmt.Errorf(
+					"%s: graph %q mismatch: worker has %d nodes / %d edges / seed %d, coordinator %d / %d / %d",
+					wc.base, c.name, pg.Nodes, pg.Edges, pg.Seed,
+					c.g.NumNodes(), c.g.NumEdges(), c.seed)
+			}
 		}
-		found = true
-		if pg.Nodes != c.g.NumNodes() || pg.Edges != c.g.NumEdges() || pg.Seed != c.seed {
-			werr = fmt.Errorf(
-				"%s: graph %q mismatch: worker has %d nodes / %d edges / seed %d, coordinator %d / %d / %d",
-				wc.base, c.name, pg.Nodes, pg.Edges, pg.Seed,
-				c.g.NumNodes(), c.g.NumEdges(), c.seed)
+		if !found && werr == nil {
+			werr = fmt.Errorf("%s: worker does not serve graph %q", wc.base, c.name)
 		}
 	}
-	if !found {
-		werr = fmt.Errorf("%s: worker does not serve graph %q", wc.base, c.name)
+	if memberState(m.state.Load()) != memberRemoved {
+		if werr != nil {
+			m.state.Store(int32(memberDown))
+		} else {
+			m.state.Store(int32(memberUp))
+		}
 	}
 	if werr != nil {
 		wc.noteFailure(werr)
@@ -386,7 +689,7 @@ func (c *Coordinator) checkResponse(req *TallyRequest, resp *TallyResponse) erro
 		if len(resp.Hist) != n || len(resp.Unreachable) != n {
 			return fmt.Errorf("got %d histograms / %d unreachable rows, want %d", len(resp.Hist), len(resp.Unreachable), n)
 		}
-	case KindSpread:
+	case KindSpread, KindReliability, KindComponents, KindLargest:
 		if len(resp.Totals) != 1 {
 			return fmt.Errorf("got %d totals, want 1", len(resp.Totals))
 		}
@@ -402,79 +705,204 @@ func (c *Coordinator) checkResponse(req *TallyRequest, resp *TallyResponse) erro
 	return nil
 }
 
+// ---- scatter -------------------------------------------------------------
+
+// scatterGroup is one worker's share of a scatter round: the blocks it
+// owns, coalesced into ascending ranges. The win flag admits exactly one
+// answer when a hedge races a straggler.
+type scatterGroup struct {
+	ownerSlot int
+	owner     *member
+	bis       []int
+	ranges    []Range
+	worlds    int
+	won       atomic.Bool
+}
+
+type groupOutcome struct {
+	g    *scatterGroup
+	resp *TallyResponse
+	err  error
+}
+
+type attemptResult struct {
+	resp *TallyResponse
+	err  error
+}
+
+// errDuplicate marks a hedged answer that lost the race; suppressed
+// before merging and never counted as a worker failure.
+var errDuplicate = errors.New("shard: duplicate hedged answer suppressed")
+
 // scatter executes one tally shape over the world range [lo, hi): the
-// range is cut into block-aligned subranges striped across the workers
-// (Partition), each worker answers its subset in parallel, and merge is
-// called — serialized — once per successful response. Ranges of a failed
-// worker are re-scattered in up to opts.Retries further rounds with a
-// rotated assignment; a range is merged exactly once or the whole call
-// errors, so partial failures can never double- or under-count. The
-// request's Ranges field is filled per worker; every other field is
-// forwarded as given.
+// range is cut into store-aligned blocks, each block is assigned to its
+// (sticky) owner in the fleet, every worker answers its coalesced ranges
+// over its persistent stream in parallel, and merge is called —
+// serialized — once per winning response. Blocks of a failed worker are
+// re-scattered onto other live workers in up to opts.Retries further
+// rounds; stragglers may be hedged (HedgeDelay) with the duplicate answer
+// suppressed. A block is merged exactly once or the whole call errors —
+// scatter audits that the merged world total equals hi-lo — so partial
+// failures, membership changes and hedges can never double- or
+// under-count. The request's Ranges field is filled per worker; every
+// other field is forwarded as given.
 func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int, merge func(*TallyResponse)) error {
 	if hi <= lo {
 		return nil
 	}
-	if len(c.workers) == 0 {
-		return errors.New("shard: scatter with no workers configured")
-	}
 	req.Graph = c.name
 	bw := c.store.BlockWorlds()
-	pool := []Range{{Lo: lo, Hi: hi}}
+	blockRange := func(bi int) Range {
+		l, h := bi*bw, (bi+1)*bw
+		if l < lo {
+			l = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		return Range{Lo: l, Hi: h}
+	}
+	var pool []int
+	for bi := lo / bw; bi*bw < hi; bi++ {
+		pool = append(pool, bi)
+	}
+	exclude := make(map[int]int)
+	mergedWorlds := 0
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries && len(pool) > 0; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// Assign every pooled range's blocks to workers; rotation moves
-		// re-scattered blocks onto different workers each round.
-		parts := make([][]Range, len(c.workers))
-		for _, rg := range pool {
-			for w, sub := range Partition(rg.Lo, rg.Hi, bw, len(c.workers), attempt) {
-				parts[w] = append(parts[w], sub...)
-			}
+		if attempt > 0 {
+			c.fleet.rescatters.Add(uint64(len(pool)))
 		}
-		type outcome struct {
-			w    int
-			resp *TallyResponse
-			err  error
+		assign, err := c.fleet.assign(pool, exclude, attempt)
+		if err != nil {
+			return err // no live workers
 		}
-		results := make(chan outcome, len(c.workers))
-		inFlight := 0
-		for w, part := range parts {
-			if len(part) == 0 {
-				continue
+		slots := make([]int, 0, len(assign))
+		for s := range assign {
+			slots = append(slots, s)
+		}
+		sort.Ints(slots)
+		results := make(chan groupOutcome, len(slots))
+		for _, s := range slots {
+			bis := assign[s]
+			g := &scatterGroup{ownerSlot: s, owner: c.fleet.member(s), bis: bis}
+			for _, bi := range bis {
+				rg := blockRange(bi)
+				if k := len(g.ranges); k > 0 && g.ranges[k-1].Hi == rg.Lo {
+					g.ranges[k-1].Hi = rg.Hi
+				} else {
+					g.ranges = append(g.ranges, rg)
+				}
+				g.worlds += rg.Worlds()
 			}
-			inFlight++
-			wreq := req
-			wreq.Ranges = part
-			go func(w int, wreq TallyRequest) {
-				resp, err := c.workers[w].tally(ctx, c.opts.RequestTimeout, &wreq)
-				results <- outcome{w: w, resp: resp, err: err}
-			}(w, wreq)
+			go c.runGroup(ctx, &req, g, results)
 		}
 		pool = pool[:0]
-		for ; inFlight > 0; inFlight-- {
+		for range slots {
 			out := <-results
-			if out.err == nil {
-				if err := c.checkResponse(&req, out.resp); err != nil {
-					out.err = fmt.Errorf("%s: malformed tally response: %w", c.workers[out.w].base, err)
-					c.workers[out.w].noteFailure(out.err)
-				}
-			}
 			if out.err != nil {
 				lastErr = out.err
-				pool = append(pool, parts[out.w]...)
+				pool = append(pool, out.g.bis...)
+				for _, bi := range out.g.bis {
+					exclude[bi] = out.g.ownerSlot
+				}
 				continue
 			}
+			mergedWorlds += out.resp.Worlds
 			merge(out.resp)
 		}
+		sort.Ints(pool)
 	}
 	if len(pool) > 0 {
-		return fmt.Errorf("shard: %d world range(s) unserved after %d attempts: %w",
+		return fmt.Errorf("shard: %d world block(s) unserved after %d attempts: %w",
 			len(pool), c.opts.Retries+1, lastErr)
 	}
+	if mergedWorlds != hi-lo {
+		return fmt.Errorf("shard: merged %d worlds, want %d: exactly-once accounting violated", mergedWorlds, hi-lo)
+	}
 	return nil
+}
+
+// runGroup resolves one scatter group: the owner answers, or — after
+// HedgeDelay — a second live worker races it and the first answer wins.
+// Exactly one outcome is delivered to results. A failed primary does not
+// trigger the hedge (failures belong to the retry rounds; hedging is
+// straggler mitigation only).
+func (c *Coordinator) runGroup(ctx context.Context, base *TallyRequest, g *scatterGroup, results chan<- groupOutcome) {
+	wreq := *base
+	wreq.Ranges = g.ranges
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resCh := make(chan attemptResult, 2)
+	launched := 1
+	go func() { resCh <- c.attemptWorker(actx, g, g.owner, &wreq) }()
+	var hedgeC <-chan time.Time
+	var hedge *member
+	if c.opts.HedgeDelay > 0 {
+		if hm := c.fleet.hedgeTarget(g.ownerSlot); hm != nil {
+			hedge = hm
+			t := time.NewTimer(c.opts.HedgeDelay)
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+	var firstErr error
+	done := 0
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			c.fleet.hedges.Add(1)
+			launched++
+			go func() { resCh <- c.attemptWorker(actx, g, hedge, &wreq) }()
+		case r := <-resCh:
+			done++
+			if r.resp != nil {
+				results <- groupOutcome{g: g, resp: r.resp}
+				return // the twin, if any, self-reports as a duplicate
+			}
+			if firstErr == nil || errors.Is(firstErr, errDuplicate) {
+				firstErr = r.err
+			}
+			hedgeC = nil // a failed primary falls to the retry rounds
+			if done == launched {
+				results <- groupOutcome{g: g, err: firstErr}
+				return
+			}
+		}
+	}
+}
+
+// attemptWorker runs one attempt of a group against m and settles its
+// stats: the race winner records a success, a losing duplicate records a
+// duplicate (never a failure — that was the /statsz double-count bug), a
+// post-win error (the winner cancelled us) records nothing, and only a
+// genuine pre-win fault records a failure.
+func (c *Coordinator) attemptWorker(ctx context.Context, g *scatterGroup, m *member, req *TallyRequest) attemptResult {
+	t0 := time.Now()
+	resp, err := m.wc.call(ctx, c.opts.RequestTimeout, req)
+	if err == nil {
+		if cerr := c.checkResponse(req, resp); cerr != nil {
+			err = fmt.Errorf("%s: malformed tally response: %w", m.wc.base, cerr)
+		}
+	}
+	if err == nil {
+		if g.won.CompareAndSwap(false, true) {
+			m.wc.noteSuccess(time.Since(t0), len(req.Ranges), g.worlds)
+			return attemptResult{resp: resp}
+		}
+		m.wc.noteDuplicate()
+		c.fleet.duplicates.Add(1)
+		return attemptResult{err: errDuplicate}
+	}
+	if g.won.Load() {
+		return attemptResult{err: err} // moot: the race is already settled
+	}
+	m.wc.noteFailure(err)
+	return attemptResult{err: err}
 }
 
 // ---- conn.ContextOracle --------------------------------------------------
@@ -813,4 +1241,80 @@ func (c *Coordinator) GreedyCtx(ctx context.Context, k, r int) (*influence.Resul
 		return influence.GreedyCtx(ctx, c.store, k, r)
 	}
 	return influence.GreedyEval(ctx, c.g.NumNodes(), k, r, &coordEvaluator{c: c, r: r})
+}
+
+// ---- reliability ---------------------------------------------------------
+
+// totalTally scatters one scalar-total kind and gathers the summed int64.
+func (c *Coordinator) totalTally(ctx context.Context, req TallyRequest, r int) (int64, error) {
+	var (
+		mu    sync.Mutex
+		total int64
+	)
+	err := c.scatter(ctx, req, 0, r, func(resp *TallyResponse) {
+		mu.Lock()
+		total += resp.Totals[0]
+		mu.Unlock()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// SetReliabilityCtx estimates k-terminal reliability of set over the first
+// r worlds — the sharded metrics.SetReliabilityCtx (same integer tally,
+// same final division, so bit-identical).
+func (c *Coordinator) SetReliabilityCtx(ctx context.Context, set []graph.NodeID, r int) (float64, error) {
+	if !c.Sharded() {
+		return metrics.SetReliabilityCtx(ctx, c.store, set, r)
+	}
+	if len(set) <= 1 {
+		return 1, ctx.Err()
+	}
+	hits, err := c.totalTally(ctx, TallyRequest{Kind: KindReliability, Seeds: set}, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(hits) / float64(r), nil
+}
+
+// AllTerminalReliabilityCtx estimates the probability a random world is
+// connected — the sharded metrics.AllTerminalReliabilityCtx. On the wire,
+// empty Seeds on KindReliability means all-terminal.
+func (c *Coordinator) AllTerminalReliabilityCtx(ctx context.Context, r int) (float64, error) {
+	if !c.Sharded() {
+		return metrics.AllTerminalReliabilityCtx(ctx, c.store, r)
+	}
+	hits, err := c.totalTally(ctx, TallyRequest{Kind: KindReliability}, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(hits) / float64(r), nil
+}
+
+// ExpectedComponentsCtx estimates the expected component count of a random
+// world — the sharded metrics.ExpectedComponentsCtx.
+func (c *Coordinator) ExpectedComponentsCtx(ctx context.Context, r int) (float64, error) {
+	if !c.Sharded() {
+		return metrics.ExpectedComponentsCtx(ctx, c.store, r)
+	}
+	total, err := c.totalTally(ctx, TallyRequest{Kind: KindComponents}, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(r), nil
+}
+
+// LargestComponentFractionCtx estimates the expected fraction of nodes in
+// the largest component — the sharded metrics.LargestComponentFractionCtx.
+func (c *Coordinator) LargestComponentFractionCtx(ctx context.Context, r int) (float64, error) {
+	if !c.Sharded() {
+		return metrics.LargestComponentFractionCtx(ctx, c.store, r)
+	}
+	total, err := c.totalTally(ctx, TallyRequest{Kind: KindLargest}, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(r) / float64(c.g.NumNodes()), nil
 }

@@ -7,7 +7,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -206,57 +205,34 @@ func TestCoordinatorMixedProgress(t *testing.T) {
 	}
 }
 
-// flakyHandler fails the first failures tally requests with a 503 —
-// modelling a worker that dies mid-query and is restarted — then serves
-// normally.
-type flakyHandler struct {
-	inner    http.Handler
-	failures atomic.Int32
-}
-
-func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == PathTally && f.failures.Add(-1) >= 0 {
-		http.Error(w, `{"error":"worker restarting"}`, http.StatusServiceUnavailable)
-		return
-	}
-	f.inner.ServeHTTP(w, r)
-}
-
-// TestCoordinatorRetriesWithoutDoubleCounting kills a worker for the
-// first requests of a query: the coordinator re-scatters the failed
-// ranges and the merged estimates stay bit-identical (any double- or
-// under-count would change the integer tallies).
+// TestCoordinatorRetriesWithoutDoubleCounting kills a worker (its chaos
+// proxy drops every connection) for a whole query: the coordinator
+// re-scatters the failed blocks onto the survivor and the merged
+// estimates stay bit-identical (any double- or under-count would change
+// the integer tallies). After the "restart" the worker serves again.
 func TestCoordinatorRetriesWithoutDoubleCounting(t *testing.T) {
 	g := testGraph(t, 80, 7)
 	const seed = 4
-	w1, err := NewWorker([]WorkerGraph{{Name: "tg", Graph: g, Seed: seed}}, WorkerOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	w2, err := NewWorker([]WorkerGraph{{Name: "tg", Graph: g, Seed: seed}}, WorkerOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	flaky := &flakyHandler{inner: w1}
-	flaky.failures.Store(2)
-	ts1 := httptest.NewServer(flaky)
-	ts2 := httptest.NewServer(w2)
-	t.Cleanup(ts1.Close)
-	t.Cleanup(ts2.Close)
+	workers := startWorkers(t, "tg", g, seed, 2)
+	proxy := newChaosProxy(t, workers[0])
 
 	local := conn.NewMonteCarlo(g, seed)
-	coord := NewCoordinator("tg", g, seed, []string{ts1.URL, ts2.URL}, CoordinatorOptions{Retries: 3})
+	coord := NewCoordinator("tg", g, seed, []string{proxy.url(), workers[1]}, CoordinatorOptions{
+		Retries:        3,
+		RequestTimeout: 5 * time.Second,
+	})
 
+	proxy.setDown(true) // the worker dies before the query
 	centers := []graph.NodeID{2, 17, 44}
 	want := local.FromCenters(centers, conn.Unlimited, 900)
 	got, err := coord.FromCentersCtx(context.Background(), centers, conn.Unlimited, 900)
 	if err != nil {
-		t.Fatalf("query with flaky worker: %v", err)
+		t.Fatalf("query with dead worker: %v", err)
 	}
 	for i := range want {
 		sameFloats(t, "retried query", got[i], want[i])
 	}
-	// The flaky worker's failures are visible in the health stats.
+	// The dead worker's failures are visible in the health stats.
 	var failures uint64
 	for _, st := range coord.WorkerStats() {
 		failures += st.Failures
@@ -266,6 +242,7 @@ func TestCoordinatorRetriesWithoutDoubleCounting(t *testing.T) {
 	}
 	// After the restart, the worker serves again: a follow-up query uses
 	// both workers and still matches.
+	proxy.setDown(false)
 	want2 := local.FromCenters(centers, 2, 400)
 	got2 := coord.FromCenters(centers, 2, 400)
 	for i := range want2 {

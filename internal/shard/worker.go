@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/influence"
 	"ucgraph/internal/knn"
+	"ucgraph/internal/metrics"
 	"ucgraph/internal/worldstore"
 )
 
@@ -32,14 +34,28 @@ type WorkerOptions struct {
 	// reach (default 1 << 20): a misbehaving coordinator cannot make a
 	// worker materialize an unbounded stream.
 	MaxWorlds int
+
+	// TallyCacheBytes budgets the worker's per-range tally cache
+	// (default 64 MiB; negative disables it). Repeated rounds over the
+	// same (kind, graph, centers, range) — min-partial scoring loops,
+	// greedy influence sweeps, hedged duplicates — are answered from
+	// warm int32s instead of rescanning worlds.
+	TallyCacheBytes int64
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.MaxWorlds <= 0 {
 		o.MaxWorlds = 1 << 20
 	}
+	if o.TallyCacheBytes == 0 {
+		o.TallyCacheBytes = 64 << 20
+	}
 	return o
 }
+
+// errUnknownGraph marks tally requests naming a graph the worker does not
+// serve.
+var errUnknownGraph = errors.New("shard: unknown graph")
 
 // workerGraph is the worker-side state of one served graph.
 type workerGraph struct {
@@ -50,20 +66,25 @@ type workerGraph struct {
 }
 
 // Worker serves the shard wire protocol over a private world store per
-// graph: GET /shard/v1/ping for identity, POST /shard/v1/tally for the
-// integer tallies, GET /healthz for plain liveness probes. It holds no
-// assignment state — any worker can serve any range of the stream — which
-// is what lets the coordinator re-scatter a failed worker's ranges to the
-// survivors. Safe for concurrent use; the store coordinates concurrent
+// graph: GET /shard/v1/ping for identity, POST /shard/v1/tally for JSON
+// tallies (frozen v1, kept for debugging and old coordinators), POST
+// /shard/v2/stream for the binary frame protocol, GET /healthz for plain
+// liveness probes. It holds no assignment state — any worker can serve any
+// range of the stream — which is what lets the coordinator re-stripe a
+// departed worker's blocks onto the survivors and hedge stragglers without
+// coordination. Safe for concurrent use; the store coordinates concurrent
 // block materialization internally.
 type Worker struct {
 	opts   WorkerOptions
 	graphs map[string]*workerGraph
 	mux    *http.ServeMux
+	cache  *tallyCache
 
-	requests atomic.Uint64
-	failures atomic.Uint64
-	worlds   atomic.Uint64 // total worlds tallied across requests
+	requests  atomic.Uint64
+	failures  atomic.Uint64
+	worlds    atomic.Uint64 // worlds actually tallied (cache hits excluded)
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
 }
 
 // NewWorker builds a Worker over the given graphs. Each graph gets a
@@ -78,6 +99,9 @@ func NewWorker(graphs []WorkerGraph, opts WorkerOptions) (*Worker, error) {
 		opts:   opts.withDefaults(),
 		graphs: make(map[string]*workerGraph, len(graphs)),
 		mux:    http.NewServeMux(),
+	}
+	if w.opts.TallyCacheBytes > 0 {
+		w.cache = &tallyCache{max: w.opts.TallyCacheBytes, entries: make(map[string]*TallyResponse)}
 	}
 	for _, gc := range graphs {
 		if gc.Name == "" {
@@ -98,6 +122,7 @@ func NewWorker(graphs []WorkerGraph, opts WorkerOptions) (*Worker, error) {
 	}
 	w.mux.HandleFunc("GET "+PathPing, w.handlePing)
 	w.mux.HandleFunc("POST "+PathTally, w.handleTally)
+	w.mux.HandleFunc("POST "+PathStream, w.handleStream)
 	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		writeJSON(rw, http.StatusOK, map[string]any{"status": "ok", "graphs": len(w.graphs)})
 	})
@@ -174,50 +199,32 @@ func validNodes(g *graph.Uncertain, field string, nodes []int32) error {
 	return nil
 }
 
+// handleTally is the frozen v1 JSON endpoint; it shares serveTally with
+// the v2 stream, so both transports compute identical tallies.
 func (w *Worker) handleTally(rw http.ResponseWriter, r *http.Request) {
-	w.requests.Add(1)
 	var req TallyRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
 	if err := dec.Decode(&req); err != nil {
 		w.fail(rw, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
-	wg, ok := w.graphs[req.Graph]
-	if !ok {
-		w.fail(rw, http.StatusNotFound, fmt.Sprintf("unknown graph %q", req.Graph))
-		return
-	}
-	total, err := w.validRanges(req.Ranges)
-	if err != nil {
-		w.fail(rw, http.StatusBadRequest, err.Error())
-		return
-	}
-
-	resp := TallyResponse{Worlds: total}
-	switch req.Kind {
-	case KindConnected, KindWithin:
-		err = w.tallyCenters(r.Context(), wg, &req, &resp)
-	case KindPair:
-		err = w.tallyPair(r.Context(), wg, &req, &resp)
-	case KindDistances:
-		err = w.tallyDistances(r.Context(), wg, &req, &resp)
-	case KindSpread, KindMarginal:
-		err = w.tallySpread(r.Context(), wg, &req, &resp)
-	default:
-		w.fail(rw, http.StatusBadRequest, fmt.Sprintf("unknown tally kind %q", req.Kind))
-		return
-	}
+	resp, cached, err := w.serveTally(r.Context(), &req)
 	if err != nil {
 		var bad *badRequestError
-		if errors.As(err, &bad) {
-			w.fail(rw, http.StatusBadRequest, bad.msg)
-		} else {
+		switch {
+		case errors.As(err, &bad):
+			writeJSON(rw, http.StatusBadRequest, errorResponse{Error: bad.msg})
+		case errors.Is(err, errUnknownGraph):
+			writeJSON(rw, http.StatusNotFound, errorResponse{Error: err.Error()})
+		default:
 			// Cancellation or deadline: the coordinator gave up on us.
-			w.fail(rw, http.StatusServiceUnavailable, err.Error())
+			writeJSON(rw, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		}
 		return
 	}
-	w.worlds.Add(uint64(total))
+	if cached {
+		rw.Header().Set("X-Ucgraph-Cached", "1")
+	}
 	writeJSON(rw, http.StatusOK, resp)
 }
 
@@ -230,158 +237,367 @@ func badReq(format string, args ...any) error {
 	return &badRequestError{msg: fmt.Sprintf(format, args...)}
 }
 
-// tallyCenters answers KindConnected / KindWithin: per-center, per-node
-// world counts over every requested range, through the exact batched
-// store paths the in-process oracle uses (label scans for unlimited
-// depth, edge-bitmap multi-center BFS for limited depth) — so a worker's
-// partial counts are bit-identical to the slice of a local run they
-// replace. Ctx is checked between ranges; the per-range store calls are
-// the indivisible unit.
-func (w *Worker) tallyCenters(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
-	if len(req.Centers) == 0 {
-		return badReq("kind %q needs \"centers\"", req.Kind)
+// serveTally validates req and computes its tallies range by range,
+// consulting the per-range cache. The second result reports whether every
+// range was served from cache. Both transports (v1 JSON, v2 stream) funnel
+// through here; failure accounting happens here exactly once per request.
+func (w *Worker) serveTally(ctx context.Context, req *TallyRequest) (*TallyResponse, bool, error) {
+	w.requests.Add(1)
+	resp, cached, err := w.tally(ctx, req)
+	if err != nil {
+		w.failures.Add(1)
+		return nil, false, err
 	}
-	if err := validNodes(wg.g, "centers", req.Centers); err != nil {
-		return badReq("%s", err)
+	return resp, cached, nil
+}
+
+func (w *Worker) tally(ctx context.Context, req *TallyRequest) (*TallyResponse, bool, error) {
+	wg, ok := w.graphs[req.Graph]
+	if !ok {
+		return nil, false, fmt.Errorf("%w %q", errUnknownGraph, req.Graph)
 	}
-	if req.Kind == KindWithin && req.Depth < 0 {
-		return badReq("kind %q needs a non-negative \"depth\"", req.Kind)
+	if _, err := w.validRanges(req.Ranges); err != nil {
+		return nil, false, badReq("%s", err)
 	}
-	n := wg.g.NumNodes()
-	counts := make([][]int32, len(req.Centers))
-	buf := make([]int32, len(req.Centers)*n)
-	for j := range counts {
-		counts[j] = buf[j*n : (j+1)*n : (j+1)*n]
+	if err := validTally(wg, req); err != nil {
+		return nil, false, err
 	}
-	lo := make([]int, len(req.Centers))
+
+	resp := &TallyResponse{}
+	cached := true
+	var keyBuf []byte
+	single := *req // per-range copy for cache keys
 	for _, rg := range req.Ranges {
-		if err := ctx.Err(); err != nil {
-			return err
+		var key string
+		if w.cache != nil {
+			single.Ranges = []Range{rg}
+			kb, err := encodeRequestBody(keyBuf[:0], &single)
+			if err != nil {
+				return nil, false, badReq("%s", err)
+			}
+			keyBuf = kb
+			key = string(kb)
+			if part := w.cache.get(key); part != nil {
+				w.cacheHits.Add(1)
+				mergeTally(resp, part, req.Kind)
+				continue
+			}
+			w.cacheMiss.Add(1)
 		}
-		for j := range lo {
+		cached = false
+		part, err := w.rangeTally(ctx, wg, req, rg)
+		if err != nil {
+			return nil, false, err
+		}
+		w.worlds.Add(uint64(rg.Worlds()))
+		if w.cache != nil {
+			w.cache.put(key, part)
+		}
+		mergeTally(resp, part, req.Kind)
+	}
+	return resp, cached, nil
+}
+
+// validTally checks the kind-specific request fields, once per request.
+func validTally(wg *workerGraph, req *TallyRequest) error {
+	switch req.Kind {
+	case KindConnected, KindWithin:
+		if len(req.Centers) == 0 {
+			return badReq("kind %q needs \"centers\"", req.Kind)
+		}
+		if err := validNodes(wg.g, "centers", req.Centers); err != nil {
+			return badReq("%s", err)
+		}
+		if req.Kind == KindWithin && req.Depth < 0 {
+			return badReq("kind %q needs a non-negative \"depth\"", req.Kind)
+		}
+	case KindPair:
+		if err := validNodes(wg.g, "u/v", []int32{req.U, req.V}); err != nil {
+			return badReq("%s", err)
+		}
+	case KindDistances:
+		if err := validNodes(wg.g, "source", []int32{req.Source}); err != nil {
+			return badReq("%s", err)
+		}
+	case KindSpread:
+		if len(req.Seeds) == 0 {
+			return badReq("kind %q needs \"seeds\"", req.Kind)
+		}
+		fallthrough
+	case KindMarginal:
+		if err := validNodes(wg.g, "seeds", req.Seeds); err != nil {
+			return badReq("%s", err)
+		}
+		if err := validNodes(wg.g, "candidates", req.Candidates); err != nil {
+			return badReq("%s", err)
+		}
+	case KindReliability:
+		// Empty seeds means all-terminal (every node), mirroring the
+		// empty-candidates convention of KindMarginal.
+		if err := validNodes(wg.g, "seeds", req.Seeds); err != nil {
+			return badReq("%s", err)
+		}
+	case KindComponents, KindLargest:
+		// Range-only kinds: nothing beyond the ranges to validate.
+	default:
+		return badReq("unknown tally kind %q", req.Kind)
+	}
+	return nil
+}
+
+// rangeTally computes one kind's tallies over a single world range. The
+// result is immutable once returned (it may be shared by the cache), and
+// merging per-range results is plain integer addition — which is the whole
+// bit-identity argument: integer sums are order-free, so any partitioning
+// of [lo, hi) into ranges, workers, retries and hedges folds to the same
+// totals.
+func (w *Worker) rangeTally(ctx context.Context, wg *workerGraph, req *TallyRequest, rg Range) (*TallyResponse, error) {
+	resp := &TallyResponse{Worlds: rg.Worlds()}
+	switch req.Kind {
+	case KindConnected, KindWithin:
+		n := wg.g.NumNodes()
+		counts := make([][]int32, len(req.Centers))
+		buf := make([]int32, len(req.Centers)*n)
+		lo := make([]int, len(req.Centers))
+		for j := range counts {
+			counts[j] = buf[j*n : (j+1)*n : (j+1)*n]
 			lo[j] = rg.Lo
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		if req.Kind == KindConnected {
 			wg.store.CountConnectedFromMulti(req.Centers, lo, rg.Hi, counts)
 		} else {
 			wg.store.CountWithinMulti(req.Centers, req.Depth, lo, rg.Hi, counts)
 		}
-	}
-	resp.Counts = counts
-	return nil
-}
-
-// tallyPair answers KindPair: the count of worlds where U ~ V.
-func (w *Worker) tallyPair(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
-	if err := validNodes(wg.g, "u/v", []int32{req.U, req.V}); err != nil {
-		return badReq("%s", err)
-	}
-	var cnt int64
-	for _, rg := range req.Ranges {
+		resp.Counts = counts
+	case KindPair:
+		var cnt int64
 		if err := wg.store.ScanCtx(ctx, rg.Lo, rg.Hi, func(_ int, lab []int32) {
 			if lab[req.U] == lab[req.V] {
 				cnt++
 			}
 		}); err != nil {
-			return err
+			return nil, err
 		}
-	}
-	resp.Count = cnt
-	return nil
-}
-
-// tallyDistances answers KindDistances: per-node hop-distance histograms
-// from Source, merged across the worker's ranges.
-func (w *Worker) tallyDistances(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
-	if err := validNodes(wg.g, "source", []int32{req.Source}); err != nil {
-		return badReq("%s", err)
-	}
-	var dd *knn.DistanceDistribution
-	for _, rg := range req.Ranges {
-		part, err := knn.SampleRangeCtx(ctx, wg.store, req.Source, rg.Lo, rg.Hi)
+		resp.Count = cnt
+	case KindDistances:
+		dd, err := knn.SampleRangeCtx(ctx, wg.store, req.Source, rg.Lo, rg.Hi)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if dd == nil {
-			dd = part
-		} else {
-			dd.Merge(part)
-		}
-	}
-	n := wg.g.NumNodes()
-	resp.Hist = make([][]DistCount, n)
-	resp.Unreachable = make([]int64, n)
-	for v := 0; v < n; v++ {
-		buckets := make([]DistCount, 0, len(dd.Hist[v]))
-		for d, c := range dd.Hist[v] {
-			buckets = append(buckets, DistCount{D: d, N: int64(c)})
-		}
-		sort.Slice(buckets, func(i, j int) bool { return buckets[i].D < buckets[j].D })
-		resp.Hist[v] = buckets
-		resp.Unreachable[v] = int64(dd.Unreachable[v])
-	}
-	return nil
-}
-
-// tallySpread answers KindSpread (one total) and KindMarginal (one total
-// per candidate, given the covered components of Seeds).
-func (w *Worker) tallySpread(ctx context.Context, wg *workerGraph, req *TallyRequest, resp *TallyResponse) error {
-	if err := validNodes(wg.g, "seeds", req.Seeds); err != nil {
-		return badReq("%s", err)
-	}
-	if req.Kind == KindSpread {
-		if len(req.Seeds) == 0 {
-			return badReq("kind %q needs \"seeds\"", req.Kind)
-		}
-		var total int64
-		for _, rg := range req.Ranges {
-			part, err := influence.SpreadTallyCtx(ctx, wg.store, req.Seeds, rg.Lo, rg.Hi)
-			if err != nil {
-				return err
+		n := wg.g.NumNodes()
+		resp.Hist = make([][]DistCount, n)
+		resp.Unreachable = make([]int64, n)
+		for v := 0; v < n; v++ {
+			buckets := make([]DistCount, 0, len(dd.Hist[v]))
+			for d, c := range dd.Hist[v] {
+				buckets = append(buckets, DistCount{D: d, N: int64(c)})
 			}
-			total += part
+			sort.Slice(buckets, func(i, j int) bool { return buckets[i].D < buckets[j].D })
+			resp.Hist[v] = buckets
+			resp.Unreachable[v] = int64(dd.Unreachable[v])
+		}
+	case KindSpread:
+		total, err := influence.SpreadTallyCtx(ctx, wg.store, req.Seeds, rg.Lo, rg.Hi)
+		if err != nil {
+			return nil, err
 		}
 		resp.Totals = []int64{total}
-		return nil
-	}
-	candidates := req.Candidates
-	if len(candidates) == 0 {
-		// Empty candidates means "all nodes" (see KindMarginal): the
-		// initial greedy round asks about every node, and the convention
-		// keeps n node IDs off the wire.
-		candidates = make([]graph.NodeID, wg.g.NumNodes())
-		for v := range candidates {
-			candidates[v] = graph.NodeID(v)
+	case KindMarginal:
+		candidates := req.Candidates
+		if len(candidates) == 0 {
+			// Empty candidates means "all nodes" (see KindMarginal): the
+			// initial greedy round asks about every node, and the
+			// convention keeps n node IDs off the wire.
+			candidates = make([]graph.NodeID, wg.g.NumNodes())
+			for v := range candidates {
+				candidates[v] = graph.NodeID(v)
+			}
 		}
-	} else if err := validNodes(wg.g, "candidates", candidates); err != nil {
-		return badReq("%s", err)
-	}
-	totals := make([]int64, len(candidates))
-	for _, rg := range req.Ranges {
-		part, err := influence.MarginalTallyCtx(ctx, wg.store, req.Seeds, candidates, rg.Lo, rg.Hi)
+		totals, err := influence.MarginalTallyCtx(ctx, wg.store, req.Seeds, candidates, rg.Lo, rg.Hi)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for i, t := range part {
-			totals[i] += t
+		resp.Totals = totals
+	case KindReliability:
+		var (
+			tally int64
+			err   error
+		)
+		if len(req.Seeds) == 0 {
+			tally, err = metrics.AllTerminalReliabilityTallyCtx(ctx, wg.store, rg.Lo, rg.Hi)
+		} else {
+			tally, err = metrics.SetReliabilityTallyCtx(ctx, wg.store, req.Seeds, rg.Lo, rg.Hi)
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp.Totals = []int64{tally}
+	case KindComponents:
+		tally, err := metrics.ComponentsTallyCtx(ctx, wg.store, rg.Lo, rg.Hi)
+		if err != nil {
+			return nil, err
+		}
+		resp.Totals = []int64{tally}
+	case KindLargest:
+		tally, err := metrics.LargestComponentTallyCtx(ctx, wg.store, rg.Lo, rg.Hi)
+		if err != nil {
+			return nil, err
+		}
+		resp.Totals = []int64{tally}
+	}
+	return resp, nil
+}
+
+// mergeTally folds one per-range result into the accumulator. dst starts
+// zero-valued; src is never mutated (it may live in the cache).
+func mergeTally(dst, src *TallyResponse, kind string) {
+	dst.Worlds += src.Worlds
+	switch kind {
+	case KindConnected, KindWithin:
+		if dst.Counts == nil {
+			rows, cols := len(src.Counts), 0
+			if rows > 0 {
+				cols = len(src.Counts[0])
+			}
+			buf := make([]int32, rows*cols)
+			dst.Counts = make([][]int32, rows)
+			for j := range dst.Counts {
+				dst.Counts[j] = buf[j*cols : (j+1)*cols : (j+1)*cols]
+			}
+		}
+		for j, row := range src.Counts {
+			out := dst.Counts[j]
+			for i, c := range row {
+				out[i] += c
+			}
+		}
+	case KindPair:
+		dst.Count += src.Count
+	case KindSpread, KindMarginal, KindReliability, KindComponents, KindLargest:
+		if dst.Totals == nil {
+			dst.Totals = make([]int64, len(src.Totals))
+		}
+		for i, t := range src.Totals {
+			dst.Totals[i] += t
+		}
+	case KindDistances:
+		if dst.Hist == nil {
+			dst.Hist = make([][]DistCount, len(src.Hist))
+			dst.Unreachable = make([]int64, len(src.Unreachable))
+		}
+		for v, buckets := range src.Hist {
+			dst.Hist[v] = mergeBuckets(dst.Hist[v], buckets)
+		}
+		for v, u := range src.Unreachable {
+			dst.Unreachable[v] += u
 		}
 	}
-	resp.Totals = totals
-	return nil
+}
+
+// mergeBuckets merges two distance histograms sorted ascending by D.
+func mergeBuckets(a, b []DistCount) []DistCount {
+	if len(a) == 0 {
+		return append([]DistCount(nil), b...)
+	}
+	out := make([]DistCount, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].D < b[j].D:
+			out = append(out, a[i])
+			i++
+		case a[i].D > b[j].D:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, DistCount{D: a[i].D, N: a[i].N + b[j].N})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// tallyCache is the worker's per-range tally cache: FIFO eviction under a
+// byte budget, keyed by the canonical binary encoding of a single-range
+// request (so the key already covers kind, graph, centers/seeds, depth and
+// range — see encodeRequestBody). Values are immutable.
+type tallyCache struct {
+	mu      sync.Mutex
+	max     int64
+	bytes   int64
+	entries map[string]*TallyResponse
+	order   []string
+	head    int
+}
+
+func (c *tallyCache) get(key string) *TallyResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[key]
+}
+
+func (c *tallyCache) put(key string, resp *TallyResponse) {
+	size := int64(len(key)) + respBytes(resp)
+	if size > c.max {
+		return // larger than the whole budget; never admit
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	for c.bytes+size > c.max && c.head < len(c.order) {
+		old := c.order[c.head]
+		c.head++
+		if ev, ok := c.entries[old]; ok {
+			delete(c.entries, old)
+			c.bytes -= int64(len(old)) + respBytes(ev)
+		}
+	}
+	if c.head > 1024 && c.head*2 > len(c.order) {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+	c.entries[key] = resp
+	c.order = append(c.order, key)
+	c.bytes += size
+}
+
+// respBytes approximates a response's resident size for the cache budget.
+func respBytes(r *TallyResponse) int64 {
+	var b int64 = 64
+	for _, row := range r.Counts {
+		b += int64(len(row))*4 + 24
+	}
+	b += int64(len(r.Totals)) * 8
+	for _, h := range r.Hist {
+		b += int64(len(h))*12 + 24
+	}
+	b += int64(len(r.Unreachable)) * 8
+	return b
 }
 
 // WorkerCounters are the worker's observability counters.
 type WorkerCounters struct {
-	Requests uint64
-	Failures uint64
-	Worlds   uint64
+	Requests  uint64
+	Failures  uint64
+	Worlds    uint64 // worlds tallied by scanning (cache hits excluded)
+	CacheHits uint64
+	CacheMiss uint64
 }
 
 // Counters returns the worker's request counters.
 func (w *Worker) Counters() WorkerCounters {
 	return WorkerCounters{
-		Requests: w.requests.Load(),
-		Failures: w.failures.Load(),
-		Worlds:   w.worlds.Load(),
+		Requests:  w.requests.Load(),
+		Failures:  w.failures.Load(),
+		Worlds:    w.worlds.Load(),
+		CacheHits: w.cacheHits.Load(),
+		CacheMiss: w.cacheMiss.Load(),
 	}
 }
