@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-shard bench-smoke fuzz serve docs-check ci
+.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-shard bench-store bench-dblp bench-smoke fuzz serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,25 @@ bench-shard:
 	$(GO) run ./cmd/benchjson -suite shard -update BENCH_shard.json < bench-shard.out
 	@rm -f bench-shard.out
 	@echo "merged scatter suite into BENCH_shard.json"
+
+# Storage-tier benchmarks (cold vs spilled-warm vs recompute block
+# materialization, bit-sliced vs flat accumulate kernels) ->
+# BENCH_store.json, merged in place.
+bench-store:
+	$(GO) test -bench='BlockMaterialize' -benchmem -run='^$$' ./internal/worldstore | tee bench-store.out
+	$(GO) test -bench='Accum' -benchmem -run='^$$' ./internal/sampler | tee -a bench-store.out
+	$(GO) run ./cmd/benchjson -suite store -update BENCH_store.json < bench-store.out
+	@rm -f bench-store.out
+	@echo "merged store suite into BENCH_store.json"
+
+# Paper-scale smoke: one pass of the full-size DBLP instance (636751
+# authors) through the disk-backed store, merged into BENCH_store.json.
+# Slow (graph generation alone takes several seconds).
+bench-dblp:
+	$(GO) test -bench='DBLPPaperScale' -benchmem -run='^$$' -benchtime=1x -timeout=30m ./internal/worldstore | tee bench-dblp.out
+	$(GO) run ./cmd/benchjson -suite store -update BENCH_store.json < bench-dblp.out
+	@rm -f bench-dblp.out
+	@echo "merged paper-scale DBLP into BENCH_store.json"
 
 # Fuzz the shard wire codec beyond the checked-in corpus (the corpus
 # itself runs as seeds in every plain `go test`). FUZZTIME extends a run.

@@ -13,7 +13,11 @@
 // -synthetic flag serves a built-in dataset (collins, gavin, krogan, dblp)
 // under its own name. All graphs share the -seed world-stream seed, the
 // -worldmem per-store label budget (MiB, 0 = unbounded) and the -gate
-// admission bound on concurrently materializing requests.
+// admission bound on concurrently materializing requests. -worldcache
+// names a directory for the world-store disk tier: blocks evicted under
+// -worldmem spill to <dir>/<graph>/ instead of being forgotten, and a
+// restarted daemon (or shard worker) pointed at the same directory comes
+// back hot. Answers are bit-identical with or without either flag.
 //
 // The same binary is both halves of a sharded deployment:
 //
@@ -58,15 +62,16 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8080", "address to serve HTTP on")
-		seed     = flag.Uint64("seed", 1, "world-stream seed shared by all served graphs")
-		par      = flag.Int("par", 0, "estimator worker pool size (0 = all CPUs, 1 = serial)")
-		worldmem = flag.Int("worldmem", 0, "world-label memory budget per store in MiB (0 = unbounded); results are identical either way")
-		gate     = flag.Int("gate", 2, "max concurrent world-materializing requests per graph")
-		samples  = flag.Int("samples", 1000, "default per-request sample budget")
-		maxSamp  = flag.Int("max-samples", 1<<20, "hard cap on per-request sample budgets")
-		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTime  = flag.Duration("max-timeout", 5*time.Minute, "hard cap on per-request deadlines")
+		listen     = flag.String("listen", ":8080", "address to serve HTTP on")
+		seed       = flag.Uint64("seed", 1, "world-stream seed shared by all served graphs")
+		par        = flag.Int("par", 0, "estimator worker pool size (0 = all CPUs, 1 = serial)")
+		worldmem   = flag.Int("worldmem", 0, "world-label memory budget per store in MiB (0 = unbounded); results are identical either way")
+		worldcache = flag.String("worldcache", "", "directory for the world-store disk tier: evicted blocks spill to <dir>/<graph>/ and a restart re-attaches them; results are identical either way")
+		gate       = flag.Int("gate", 2, "max concurrent world-materializing requests per graph")
+		samples    = flag.Int("samples", 1000, "default per-request sample budget")
+		maxSamp    = flag.Int("max-samples", 1<<20, "hard cap on per-request sample budgets")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTime    = flag.Duration("max-timeout", 5*time.Minute, "hard cap on per-request deadlines")
 
 		shardWorker = flag.Bool("shard-worker", false, "serve the shard-worker tally protocol instead of the query API")
 		shards      = flag.String("shards", "", "comma-separated shard-worker addresses; the daemon becomes the scatter/gather coordinator")
@@ -144,7 +149,7 @@ func main() {
 		for i, gc := range graphs {
 			wgs[i] = shard.WorkerGraph{Name: gc.Name, Graph: gc.Graph, Seed: gc.Seed}
 		}
-		wrk, err := shard.NewWorker(wgs, shard.WorkerOptions{MaxWorlds: *maxSamp})
+		wrk, err := shard.NewWorker(wgs, shard.WorkerOptions{MaxWorlds: *maxSamp, WorldCacheDir: *worldcache})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
 			os.Exit(1)
@@ -169,6 +174,7 @@ func main() {
 			ShardRequestTimeout: *shardTimeout,
 			ShardHedge:          *shardHedge,
 			ShardPingInterval:   *shardPing,
+			WorldCacheDir:       *worldcache,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)

@@ -647,12 +647,14 @@ func (mc *MonteCarlo) extend(key cacheKey, tally *centerTally, r int) {
 
 // countRange adds the connection counts of worlds [lo, hi) into counts:
 // label scans over the shared store for unlimited depth, depth-bounded BFS
-// otherwise. A depth-limited range whose edge-bitmap blocks are already
-// resident (a batched FromCenters materialized them earlier) is answered
-// from those warm bitmaps — the single-center BFS tests bits instead of
-// re-hashing every touched edge's coin; a cold range runs on the implicit
+// otherwise. A depth-limited range whose edge-bitmap blocks are warm — in
+// RAM (a batched FromCenters materialized them earlier) or spilled to the
+// store's disk tier — is answered from those bitmaps: the single-center
+// BFS tests bits instead of re-hashing every touched edge's coin, and
+// loading a spilled block is a sequential read plus checksum, far cheaper
+// than re-evaluating its edge coins. A cold range runs on the implicit
 // stream directly, because filling bitmaps for one center has nothing to
-// amortize. Residency is a hint only: eviction between the probe and the
+// amortize. Warmth is a hint only: eviction between the probe and the
 // scan just recomputes the block, and both paths add bit-identical counts
 // (a reach set is a function of the world's edge set alone). Safe to call
 // from multiple goroutines as long as each call owns its counts buffer.
@@ -661,7 +663,7 @@ func (mc *MonteCarlo) countRange(key cacheKey, lo, hi int, counts []int32) {
 		mc.store.CountConnectedFrom(key.c, lo, hi, counts)
 		return
 	}
-	if mc.store.BitsResident(lo, hi) {
+	if mc.store.BitsWarm(lo, hi) {
 		mc.store.CountWithinMulti([]graph.NodeID{key.c}, key.depth, []int{lo}, hi, [][]int32{counts})
 		return
 	}

@@ -83,3 +83,40 @@ func TestWarmBitmapPartialResidency(t *testing.T) {
 		}
 	}
 }
+
+// TestDiskWarmBitmapSingleCenter: the warm-bitmap routing extends to the
+// store's disk tier — after the resident blocks are evicted (and spilled),
+// a single-center depth query still takes the bitmap path, loading the
+// spilled blocks instead of re-hashing edge coins, with bit-identical
+// results.
+func TestDiskWarmBitmapSingleCenter(t *testing.T) {
+	g := gridGraph(t, 9, 8, 0.55)
+	const seed, depth, r = 37, 2, 400
+
+	mc := NewMonteCarlo(g, seed)
+	if err := mc.Store().AttachCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	mc.FromCenters([]graph.NodeID{0, 5, 11, 30}, depth, r) // materializes bitmap blocks
+	mc.Store().SetBudget(1)                                // evict everything; the bitmaps spill
+	mc.Store().SetBudget(0)
+	if mc.Store().BitsResident(0, r) {
+		t.Fatal("bitmap blocks should have been evicted")
+	}
+	if !mc.Store().BitsWarm(0, r) {
+		t.Fatal("spilled bitmap blocks should report warm")
+	}
+	before := mc.Store().Stats()
+	got := mc.FromCenter(40, depth, r)
+	after := mc.Store().Stats()
+	if after.DiskHits <= before.DiskHits {
+		t.Fatalf("disk-warm query never loaded a spilled block (disk hits %d -> %d)",
+			before.DiskHits, after.DiskHits)
+	}
+	want := NewMonteCarlo(identicalGraph(t, g), seed).FromCenter(40, depth, r)
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: disk-warm %v != cold %v", u, got[u], want[u])
+		}
+	}
+}

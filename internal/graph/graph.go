@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"ucgraph/internal/rng"
 )
@@ -46,6 +47,9 @@ type Uncertain struct {
 	// Per-edge data, indexed by edge ID.
 	edges  []Edge
 	thresh []uint64 // rng.CoinThreshold(P), precomputed for samplers
+
+	digestOnce sync.Once
+	digest     uint64
 }
 
 // Builder accumulates edges and produces an Uncertain graph.
@@ -181,6 +185,29 @@ func (g *Uncertain) EdgeByID(id int32) Edge { return g.edges[id] }
 
 // CoinThreshold returns the precomputed sampler threshold of an edge ID.
 func (g *Uncertain) CoinThreshold(id int32) uint64 { return g.thresh[id] }
+
+// Digest returns a stable 64-bit fingerprint of the graph: node count plus
+// every edge's endpoints and coin threshold, folded in edge-ID order. Two
+// graphs with equal digests define identical possible-world streams under
+// equal seeds (edge coins are functions of edge ID and threshold alone), so
+// persistent world caches key their contents on (Digest, seed) to verify
+// that a cache directory belongs to the graph being served. Computed once,
+// lazily; safe for concurrent use.
+func (g *Uncertain) Digest() uint64 {
+	g.digestOnce.Do(func() {
+		h := rng.Mix64(0x75cd9f3c0a11ed00 ^ uint64(g.n))
+		for id := range g.edges {
+			e := &g.edges[id]
+			h = rng.Mix64(h ^ (uint64(uint32(e.U)) | uint64(uint32(e.V))<<32))
+			h = rng.Mix64(h + g.thresh[id])
+		}
+		if h == 0 {
+			h = 1 // 0 is the "no digest" sentinel in cache headers
+		}
+		g.digest = h
+	})
+	return g.digest
+}
 
 // Degree returns the number of incident edges of u.
 func (g *Uncertain) Degree(u NodeID) int {

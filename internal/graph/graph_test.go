@@ -535,3 +535,33 @@ func TestFromEdges(t *testing.T) {
 		t.Fatal("FromEdges accepted a self loop")
 	}
 }
+
+func TestDigestStableAndDiscriminates(t *testing.T) {
+	build := func(p float64) *Uncertain {
+		g, err := FromEdges(4, []Edge{{0, 1, p}, {1, 2, 0.5}, {2, 3, 0.7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(0.3), build(0.3)
+	if a.Digest() == 0 {
+		t.Fatal("digest must be non-zero")
+	}
+	if a.Digest() != a.Digest() {
+		t.Fatal("digest not stable across calls")
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical graphs disagree on digest")
+	}
+	if c := build(0.31); c.Digest() == a.Digest() {
+		t.Fatal("changing an edge probability left the digest unchanged")
+	}
+	d, err := FromEdges(4, []Edge{{0, 1, 0.3}, {1, 2, 0.5}, {1, 3, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Digest() == a.Digest() {
+		t.Fatal("changing an endpoint left the digest unchanged")
+	}
+}

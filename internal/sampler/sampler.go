@@ -91,12 +91,12 @@ func (w World) FillEdgeBitmap(bits []uint64) {
 		}
 		var acc uint64
 		for id := base; id < end; id++ {
-			var coin uint64
-			// Compiles to a flag-set, not a data-dependent branch, so the
-			// random coins do not stall the pipeline on mispredictions.
-			if rng.EdgeHash(w.Seed, w.Index, uint64(id)) < w.G.CoinThreshold(int32(id)) {
-				coin = 1
-			}
+			// The borrow of hash - threshold is 1 exactly when
+			// hash < threshold, i.e. when the coin succeeds. Pure integer
+			// arithmetic — no data-dependent branch, no flag-materializing
+			// conditional — so the 64 coins of a word accumulate as a
+			// straight-line dependency-free loop the compiler can unroll.
+			_, coin := bitsops.Sub64(rng.EdgeHash(w.Seed, w.Index, uint64(id)), w.G.CoinThreshold(int32(id)), 0)
 			acc |= coin << (uint(id) & 63)
 		}
 		bits[wd] = acc
@@ -259,12 +259,43 @@ type MultiReachCounter struct {
 	frontier  []graph.NodeID
 	nextFront []graph.NodeID
 
-	// acc is the optional flat accumulator of accumulate mode (BeginAccum):
-	// acc[v*64 + j] counts how many accumulated worlds reached v from the
-	// j-th center of the group. One indexed add per (center, node, world)
-	// beats chasing 64 separate count vectors in the innermost BFS loop;
-	// FlushAccum folds the block into per-center counts and re-zeroes.
-	acc []int32
+	// touched lists the nodes first visited during the current world's
+	// traversal — the bit-sliced accumulate pass folds visit[v] of each
+	// into the vertical counters after the BFS finishes.
+	touched []graph.NodeID
+
+	// acc is the bit-sliced vertical accumulator of accumulate mode
+	// (BeginAccum): node v's accumPlanes one-bit planes interleaved at
+	// acc[v*accumPlanes : (v+1)*accumPlanes], where word k holds bit k of
+	// the per-(node, center) reach counters of the current ≤64-center
+	// group — center j's count at node v is Σ_k ((acc[v*8+k]>>j)&1)<<k.
+	// Adding one world's reach mask is a ripple-carry add across the
+	// planes (countGroup's post-BFS pass): the low half-add is the whole
+	// cost for most adds, and each extra carry level is exponentially
+	// rarer, so a 64-center increment costs an amortized ~2 word
+	// operations where the old flat [n*64]int32 accumulator chased one
+	// indexed int32 add per set bit. The node-major interleave puts all eight planes of a
+	// node in one 64-byte cache line, so even a full-depth carry chain
+	// stays in the line the half-add already pulled — a plane-major
+	// layout would stride carries n words apart and miss on every level.
+	// The planes also shrink the accumulator 4x (64 bytes per node
+	// instead of 256), which together with the raised maxAccumBytes cap
+	// lets paper-scale graphs (DBLP, 636751 nodes) take the accumulate
+	// path instead of falling back to direct counting. FlushAccum folds
+	// the planes into per-center counts and re-zeroes.
+	acc []uint64
+	// accDirty marks (one bit per node) which counters moved since the
+	// last flush, so FlushAccum merges only touched nodes instead of
+	// scanning the whole backing.
+	accDirty  []uint64
+	accWorlds int // worlds accumulated since the last flush (overflow guard)
+
+	// flatAcc is the legacy flat accumulator (flatAccum mode), kept so
+	// benchmarks and tests can compare the two accumulate kernels
+	// bit-for-bit: flatAcc[v*64 + j] counts worlds that reached v from
+	// center j.
+	flatAcc   []int32
+	flatAccum bool
 }
 
 // NewMultiReachCounter returns a batched counter over g. The bitmaps it
@@ -294,42 +325,85 @@ func (mrc *MultiReachCounter) CountWithinWorld(bits []uint64, cs []graph.NodeID,
 		if end > len(cs) {
 			end = len(cs)
 		}
-		mrc.countGroup(bits, cs[base:end], maxDepth, counts[base:end], nil)
+		mrc.countGroup(bits, cs[base:end], maxDepth, counts[base:end], false)
 	}
 }
 
-// maxAccumBytes caps the flat accumulator of accumulate mode: graphs whose
-// n*64 int32 block would exceed it (n > ~64k nodes) fall back to direct
-// per-vector counting. The cap trades one worker-local block of memory for
-// the fastest innermost loop; correctness never depends on the mode.
-const maxAccumBytes = 16 << 20
+// accumPlanes is the bit width of the bit-sliced vertical counters: each
+// (node, center) counter spans accumPlanes one-bit planes, so at most
+// 2^accumPlanes - 1 worlds may be accumulated between flushes
+// (AccumCapacity). 8 planes keep the accumulator at 64 bytes per node while
+// leaving a comfortable flush cadence (255 worlds ≈ one worldstore block).
+const accumPlanes = 8
+
+// maxAccumBytes caps the per-counter accumulator memory of accumulate
+// mode: graphs whose bit-sliced planes (8*accumPlanes bytes per node)
+// would exceed it fall back to direct per-vector counting. At 64 MiB the
+// bit-sliced cap admits graphs up to ~1M nodes — 16x the ~64k-node ceiling
+// of the old flat [n*64]int32 accumulator under its 16 MiB cap — so
+// paper-scale instances (DBLP, 636751 nodes) take the accumulate path. The
+// cap trades one worker-local block of memory for the fastest innermost
+// loop; correctness never depends on the mode.
+const maxAccumBytes = 64 << 20
 
 // BeginAccum switches the counter into accumulate mode, reporting whether
-// the graph is small enough for the flat accumulator. In accumulate mode
-// the caller feeds worlds through AccumWorld — same BFS, but reach counts
-// land in the counter's internal [n*64] block — and folds the block into
-// per-center count vectors with FlushAccum. Looping AccumWorld + one
-// FlushAccum is bit-identical to looping CountWithinWorld: both add the
-// same per-world reach indicators, just grouped differently.
+// the graph is small enough for the accumulator. In accumulate mode the
+// caller feeds worlds through AccumWorld — same BFS, but reach counts land
+// in the counter's internal bit-sliced planes — and folds them into
+// per-center count vectors with FlushAccum, at least every AccumCapacity
+// worlds. Looping AccumWorld + FlushAccum is bit-identical to looping
+// CountWithinWorld: both add the same per-world reach indicators, just
+// grouped differently.
 func (mrc *MultiReachCounter) BeginAccum() bool {
+	n := mrc.g.NumNodes()
+	if mrc.flatAccum {
+		if mrc.flatAcc == nil {
+			if n*64*4 > maxAccumBytes {
+				return false
+			}
+			mrc.flatAcc = make([]int32, n*64)
+		}
+		return true
+	}
 	if mrc.acc == nil {
-		n := mrc.g.NumNodes()
-		if n*64*4 > maxAccumBytes {
+		if n*8*accumPlanes > maxAccumBytes {
 			return false
 		}
-		mrc.acc = make([]int32, n*64)
+		mrc.acc = make([]uint64, n*accumPlanes)
+		mrc.accDirty = make([]uint64, (n+63)/64)
 	}
 	return true
 }
 
+// setFlatAccum switches accumulate mode to the legacy flat [n*64]int32
+// accumulator. Test/benchmark hook only: the two kernels add identical
+// integer indicators, so estimates never depend on the mode.
+func (mrc *MultiReachCounter) setFlatAccum(on bool) { mrc.flatAccum = on }
+
+// AccumCapacity returns how many worlds may be accumulated between
+// FlushAccum calls before a bit-sliced counter could overflow its planes.
+// Callers batching more worlds than this must flush on the cadence;
+// AccumWorld panics past it rather than wrapping a counter silently.
+func (mrc *MultiReachCounter) AccumCapacity() int {
+	if mrc.flatAccum {
+		return 1<<31 - 1
+	}
+	return 1<<accumPlanes - 1
+}
+
 // AccumWorld is CountWithinWorld for accumulate mode: it adds one world's
-// reach into the flat accumulator. The group is limited to 64 centers (one
-// mask word); BeginAccum must have returned true.
+// reach into the accumulator. The group is limited to 64 centers (one mask
+// word); BeginAccum must have returned true, and no more than
+// AccumCapacity worlds may be accumulated between flushes.
 func (mrc *MultiReachCounter) AccumWorld(bits []uint64, cs []graph.NodeID, maxDepth int) {
 	if len(cs) > 64 {
 		panic("sampler: AccumWorld group exceeds 64 centers")
 	}
-	mrc.countGroup(bits, cs, maxDepth, nil, mrc.acc)
+	if mrc.accWorlds >= mrc.AccumCapacity() {
+		panic("sampler: AccumWorld past AccumCapacity without FlushAccum")
+	}
+	mrc.accWorlds++
+	mrc.countGroup(bits, cs, maxDepth, nil, true)
 }
 
 // FlushAccum adds the accumulated counts of the j-th group center into
@@ -338,21 +412,53 @@ func (mrc *MultiReachCounter) AccumWorld(bits []uint64, cs []graph.NodeID, maxDe
 // the last flush.
 func (mrc *MultiReachCounter) FlushAccum(counts [][]int32) {
 	n := mrc.g.NumNodes()
-	for v := 0; v < n; v++ {
-		base := v << 6
-		for j := range counts {
-			if c := mrc.acc[base+j]; c != 0 {
-				counts[j][v] += c
-				mrc.acc[base+j] = 0
+	if mrc.flatAccum {
+		for v := 0; v < n; v++ {
+			base := v << 6
+			for j := range counts {
+				if c := mrc.flatAcc[base+j]; c != 0 {
+					counts[j][v] += c
+					mrc.flatAcc[base+j] = 0
+				}
+			}
+		}
+		return
+	}
+	mrc.accWorlds = 0
+	// Sparse node-major merge: the dirty bitmap names exactly the nodes
+	// whose counters moved since the last flush, so untouched regions of
+	// the backing are never scanned. Each dirty node's eight plane words
+	// share a cache line; zero words (no center reached the node at that
+	// bit weight) are skipped with one compare, and the set bits of a
+	// surviving word are dispatched to their center vectors with a
+	// popcount-style bit-clear loop.
+	for w, dw := range mrc.accDirty {
+		if dw == 0 {
+			continue
+		}
+		mrc.accDirty[w] = 0
+		for ; dw != 0; dw &= dw - 1 {
+			v := w<<6 + bitsops.TrailingZeros64(dw)
+			planes := mrc.acc[v*accumPlanes : (v+1)*accumPlanes]
+			for k, word := range planes {
+				if word == 0 {
+					continue
+				}
+				planes[k] = 0
+				weight := int32(1) << uint(k)
+				for p := word; p != 0; p &= p - 1 {
+					counts[bitsops.TrailingZeros64(p)][v] += weight
+				}
 			}
 		}
 	}
 }
 
 // countGroup advances one ≤64-center mask group through the world,
-// recording reach either directly into counts (acc nil) or into the flat
-// accumulator block (accumulate mode).
-func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDepth int, counts [][]int32, acc []int32) {
+// recording reach either directly into counts (accum false) or into the
+// accumulator — bit-sliced planes or the legacy flat block — in accumulate
+// mode.
+func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDepth int, counts [][]int32, accum bool) {
 	mrc.epoch++
 	if mrc.epoch == 0 { // wrapped; clear and restart epochs
 		for i := range mrc.visitEpoch {
@@ -363,6 +469,15 @@ func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDe
 	epoch := mrc.epoch
 	visit, ve := mrc.visit, mrc.visitEpoch
 
+	// The bit-sliced kernel stays out of the traversal loops entirely:
+	// the BFS only records first-visited nodes, and one tight pass at the
+	// end ripple-adds each node's final reach mask. Interleaving the adds
+	// with the traversal (one addMask per propagation event) costs ~60%
+	// more — the carry walk competes with the BFS state for registers and
+	// re-adds bits the next layer would have folded into one mask.
+	sliced := accum && !mrc.flatAccum
+	touched := mrc.touched[:0]
+
 	// Layer 0: seed every center's wave (duplicate centers share a node
 	// but own distinct mask bits and counts).
 	frontier := mrc.frontier[:0]
@@ -371,12 +486,16 @@ func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDe
 			ve[c] = epoch
 			visit[c] = 0
 			frontier = append(frontier, c)
+			if sliced {
+				touched = append(touched, c)
+			}
 		}
 		visit[c] |= 1 << uint(j)
-		if acc != nil {
-			acc[int(c)<<6+j]++
-		} else {
+		switch {
+		case !accum:
 			counts[j][c]++
+		case mrc.flatAccum:
+			mrc.flatAcc[int(c)<<6+j]++
 		}
 	}
 	for _, c := range frontier {
@@ -410,6 +529,9 @@ func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDe
 				if ve[v] != epoch {
 					ve[v] = epoch
 					visit[v] = 0
+					if sliced {
+						touched = append(touched, v)
+					}
 				}
 				prop := fm &^ visit[v]
 				if prop == 0 {
@@ -422,14 +544,15 @@ func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDe
 					next = append(next, v)
 				}
 				nxt[v] |= prop
-				if acc != nil {
-					base := int(v) << 6
-					for p := prop; p != 0; p &= p - 1 {
-						acc[base+bitsops.TrailingZeros64(p)]++
-					}
-				} else {
+				switch {
+				case !accum:
 					for p := prop; p != 0; p &= p - 1 {
 						counts[bitsops.TrailingZeros64(p)][v]++
+					}
+				case mrc.flatAccum:
+					base := int(v) << 6
+					for p := prop; p != 0; p &= p - 1 {
+						mrc.flatAcc[base+bitsops.TrailingZeros64(p)]++
 					}
 				}
 			}
@@ -438,7 +561,50 @@ func (mrc *MultiReachCounter) countGroup(bits []uint64, cs []graph.NodeID, maxDe
 		cur, nxt = nxt, cur
 		depth++
 	}
+	if sliced {
+		acc, dirty := mrc.acc, mrc.accDirty
+		// One ripple-carry word add per reached node covers every center
+		// in its final mask — the bit-sliced replacement for the per-bit
+		// indexed increments of the modes above. The ripple runs
+		// branchless through plane 3, all in the node's cache line: a
+		// level-k carry occurs on ~2^-k of adds, so branching earlier
+		// mispredicts too often, while past level 3 (~6%) the branch
+		// predicts well. The tail finishes the remaining planes, also
+		// branchless; a carry out of the last plane cannot happen because
+		// AccumWorld caps the cadence at AccumCapacity worlds.
+		for _, v := range touched {
+			dirty[v>>6] |= 1 << (uint(v) & 63)
+			i := int(v) * accumPlanes
+			p := acc[i : i+4 : i+accumPlanes]
+			carry := visit[v]
+			old := p[0]
+			p[0] = old ^ carry
+			carry &= old
+			old = p[1]
+			p[1] = old ^ carry
+			carry &= old
+			old = p[2]
+			p[2] = old ^ carry
+			carry &= old
+			old = p[3]
+			p[3] = old ^ carry
+			if carry &= old; carry != 0 {
+				q := acc[i+4 : i+accumPlanes : i+accumPlanes]
+				old = q[0]
+				q[0] = old ^ carry
+				carry &= old
+				old = q[1]
+				q[1] = old ^ carry
+				carry &= old
+				old = q[2]
+				q[2] = old ^ carry
+				carry &= old
+				q[3] ^= carry
+			}
+		}
+	}
 	// Persist the (possibly reallocated) scratch for reuse.
 	mrc.frontier, mrc.nextFront = frontier, next
 	mrc.curMask, mrc.nxtMask = cur, nxt
+	mrc.touched = touched
 }

@@ -71,7 +71,14 @@ type storeStats struct {
 	Hits                 uint64 `json:"hits"`
 	Materializations     uint64 `json:"materializations"`
 	Recomputes           uint64 `json:"recomputes"`
+	ColdRecomputes       uint64 `json:"cold_recomputes"`
+	PostSpillRecomputes  uint64 `json:"post_spill_recomputes"`
 	Evictions            uint64 `json:"evictions"`
+	DiskHits             uint64 `json:"disk_hits"`
+	DiskBytes            int64  `json:"disk_bytes"`
+	SpillWrites          uint64 `json:"spill_writes"`
+	CorruptDropped       uint64 `json:"corrupt_dropped"`
+	CacheDir             string `json:"cache_dir,omitempty"`
 }
 
 func (h *graphHandle) storeStats() storeStats {
@@ -86,7 +93,14 @@ func (h *graphHandle) storeStats() storeStats {
 		Hits:                 st.Hits,
 		Materializations:     st.Materializations,
 		Recomputes:           st.Recomputes,
+		ColdRecomputes:       st.ColdRecomputes,
+		PostSpillRecomputes:  st.PostSpillRecomputes,
 		Evictions:            st.Evictions,
+		DiskHits:             st.DiskHits,
+		DiskBytes:            st.DiskBytes,
+		SpillWrites:          st.SpillWrites,
+		CorruptDropped:       st.CorruptDropped,
+		CacheDir:             st.CacheDir,
 	}
 }
 

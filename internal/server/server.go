@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,14 @@ type Options struct {
 	// disables the background pings (health probes still refresh on
 	// demand).
 	ShardPingInterval time.Duration
+	// WorldCacheDir, when non-empty, attaches a disk tier to every served
+	// graph's world store (the -worldcache flag): blocks evicted under the
+	// -worldmem budget spill to checksummed segment files under
+	// WorldCacheDir/<graph name>/ instead of being forgotten, and a
+	// restarted daemon pointed at the same directory comes back hot —
+	// misses load persisted blocks instead of recomputing them. Answers
+	// are bit-identical with or without the cache.
+	WorldCacheDir string
 }
 
 // withDefaults fills in the documented defaults.
@@ -215,6 +224,12 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 		})
 		if coord.Sharded() && opts.ShardPingInterval > 0 {
 			s.stops = append(s.stops, coord.StartPings(opts.ShardPingInterval))
+		}
+		if opts.WorldCacheDir != "" {
+			dir := filepath.Join(opts.WorldCacheDir, gc.Name)
+			if err := coord.Store().AttachCache(dir); err != nil {
+				return nil, fmt.Errorf("server: graph %q: %w", gc.Name, err)
+			}
 		}
 		s.graphs[gc.Name] = &graphHandle{
 			name:  gc.Name,

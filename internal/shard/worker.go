@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,13 @@ type WorkerOptions struct {
 	// greedy influence sweeps, hedged duplicates — are answered from
 	// warm int32s instead of rescanning worlds.
 	TallyCacheBytes int64
+
+	// WorldCacheDir, when non-empty, attaches a disk tier to every served
+	// graph's world store (the -worldcache flag): blocks evicted under
+	// the memory budget spill to WorldCacheDir/<graph name>/ and a
+	// restarted worker pointed at the same directory resumes hot.
+	// Tallies are bit-identical with or without the cache.
+	WorldCacheDir string
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -113,11 +121,18 @@ func NewWorker(graphs []WorkerGraph, opts WorkerOptions) (*Worker, error) {
 		if _, dup := w.graphs[gc.Name]; dup {
 			return nil, fmt.Errorf("shard: duplicate worker graph name %q", gc.Name)
 		}
+		store := worldstore.New(gc.Graph, gc.Seed)
+		if w.opts.WorldCacheDir != "" {
+			dir := filepath.Join(w.opts.WorldCacheDir, gc.Name)
+			if err := store.AttachCache(dir); err != nil {
+				return nil, fmt.Errorf("shard: worker graph %q: %w", gc.Name, err)
+			}
+		}
 		w.graphs[gc.Name] = &workerGraph{
 			name:  gc.Name,
 			g:     gc.Graph,
 			seed:  gc.Seed,
-			store: worldstore.New(gc.Graph, gc.Seed),
+			store: store,
 		}
 	}
 	w.mux.HandleFunc("GET "+PathPing, w.handlePing)

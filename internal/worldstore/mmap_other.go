@@ -1,0 +1,15 @@
+//go:build !unix
+
+package worldstore
+
+import "os"
+
+// mmapView is the no-mmap fallback: always empty, so segment reads use
+// pread (os.File.ReadAt) instead.
+type mmapView struct {
+	data []byte
+}
+
+func mmapFile(_ *os.File, _ int64) mmapView { return mmapView{} }
+
+func (m *mmapView) close() { m.data = nil }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package worldstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapView is a read-only memory mapping of the leading size bytes of a
+// segment file. The zero value (no mapping) is valid and empty.
+type mmapView struct {
+	data []byte
+}
+
+// mmapFile maps the first size bytes of f read-only, shared with the page
+// cache, so appended bytes written through the file descriptor before the
+// mapping was taken are visible. A failed or zero-length mapping returns
+// the empty view and the caller falls back to pread.
+func mmapFile(f *os.File, size int64) mmapView {
+	if size <= 0 || int64(int(size)) != size {
+		return mmapView{}
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mmapView{}
+	}
+	return mmapView{data: data}
+}
+
+func (m *mmapView) close() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

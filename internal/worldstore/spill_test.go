@@ -1,0 +1,359 @@
+package worldstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ucgraph/internal/graph"
+)
+
+// The disk-tier invariants: spilled blocks are bit-identical to computed
+// ones, a persisted cache directory warm-restarts a fresh store, and a
+// truncated or bit-flipped payload is detected, dropped and recomputed —
+// never served wrong.
+
+// snapshotBits collects the edge bitmaps of worlds [0, r) into a copy.
+func snapshotBits(s *Store, r int) [][]uint64 {
+	out := make([][]uint64, r)
+	s.ScanBits(0, r, func(i int, bits []uint64) {
+		cp := make([]uint64, len(bits))
+		copy(cp, bits)
+		out[i] = cp
+	})
+	return out
+}
+
+// countsWithin runs a small CountWithinMulti batch and returns the counts.
+func countsWithin(s *Store, cs []graph.NodeID, depth, r int) [][]int32 {
+	counts := make([][]int32, len(cs))
+	lo := make([]int, len(cs))
+	for j := range cs {
+		counts[j] = make([]int32, s.NumNodes())
+	}
+	s.CountWithinMulti(cs, depth, lo, r, counts)
+	return counts
+}
+
+func sameLabels(t *testing.T, tag string, want, got [][]int32) {
+	t.Helper()
+	for i := range want {
+		for u := range want[i] {
+			if got[i][u] != want[i][u] {
+				t.Fatalf("%s: world %d node %d: label %d != %d", tag, i, u, got[i][u], want[i][u])
+			}
+		}
+	}
+}
+
+func sameCounts(t *testing.T, tag string, want, got [][]int32) {
+	t.Helper()
+	for j := range want {
+		for u := range want[j] {
+			if got[j][u] != want[j][u] {
+				t.Fatalf("%s: center %d node %d: count %d != %d", tag, j, u, got[j][u], want[j][u])
+			}
+		}
+	}
+}
+
+// TestSpillBitIdenticalAcrossTiers: the same seed yields bit-identical
+// labels and tallies whether misses are served from RAM (unbounded), from
+// the disk tier (bounded + cache), or by recomputation (bounded, no
+// cache) — the tier only changes the price of a miss.
+func TestSpillBitIdenticalAcrossTiers(t *testing.T) {
+	g := ringGraph(t, 60, 3)
+	const seed, r, depth = 11, 400, 2
+	cs := []graph.NodeID{0, 7, 31}
+
+	ref := New(g, seed)
+	wantLabels := snapshotLabels(ref, r)
+	wantWithin := countsWithin(ref, cs, depth, r)
+
+	spilled := New(g, seed)
+	if err := spilled.AttachCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	spilled.SetBudget(1) // degenerate budget: every block evicts (and spills) immediately
+	for pass := 0; pass < 2; pass++ {
+		sameLabels(t, "spilled labels", wantLabels, snapshotLabels(spilled, r))
+		sameCounts(t, "spilled within", wantWithin, countsWithin(spilled, cs, depth, r))
+	}
+	st := spilled.Stats()
+	if st.SpillWrites == 0 {
+		t.Fatalf("bounded store with a cache never spilled: %+v", st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("second pass never hit the disk tier: %+v", st)
+	}
+	if st.DiskBytes == 0 {
+		t.Fatalf("spilled cache reports no live bytes: %+v", st)
+	}
+	if st.CorruptDropped != 0 || st.PostSpillRecomputes != 0 {
+		t.Fatalf("healthy cache dropped entries: %+v", st)
+	}
+	if st.Recomputes != st.ColdRecomputes+st.PostSpillRecomputes {
+		t.Fatalf("recompute split does not add up: %+v", st)
+	}
+
+	recomputed := New(g, seed)
+	recomputed.SetBudget(1)
+	sameLabels(t, "recomputed labels", wantLabels, snapshotLabels(recomputed, r))
+	sameCounts(t, "recomputed within", wantWithin, countsWithin(recomputed, cs, depth, r))
+	if st := recomputed.Stats(); st.DiskHits != 0 || st.Recomputes == 0 {
+		t.Fatalf("cacheless bounded store should recompute, not disk-hit: %+v", st)
+	}
+}
+
+// spillAll materializes worlds [0, r) of both families and then forces
+// every block out to the disk tier via a degenerate budget.
+func spillAll(t *testing.T, s *Store, r int) {
+	t.Helper()
+	snapshotLabels(s, r)
+	snapshotBits(s, r)
+	s.SetBudget(1)
+	if st := s.Stats(); st.SpillWrites == 0 {
+		t.Fatalf("nothing spilled: %+v", st)
+	}
+	s.SetBudget(0) // lift the bound again; the spilled copies remain
+}
+
+// TestSpillWarmRestart: a fresh store attached to the cache directory a
+// previous store persisted serves its blocks from disk — bit-identical,
+// with zero recomputes — which is the warm-restart contract of -worldcache.
+func TestSpillWarmRestart(t *testing.T) {
+	g := ringGraph(t, 60, 4)
+	const seed, r = 5, 300
+	dir := t.TempDir()
+
+	first := New(g, seed)
+	if err := first.AttachCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := snapshotLabels(first, r)
+	wantBits := snapshotBits(first, r)
+	spillAll(t, first, r)
+
+	second := New(g, seed)
+	if err := second.AttachCache(dir); err != nil {
+		t.Fatalf("warm re-attach failed: %v", err)
+	}
+	sameLabels(t, "restart labels", wantLabels, snapshotLabels(second, r))
+	gotBits := snapshotBits(second, r)
+	for i := range wantBits {
+		for w := range wantBits[i] {
+			if gotBits[i][w] != wantBits[i][w] {
+				t.Fatalf("restart bits: world %d word %d: %#x != %#x", i, w, gotBits[i][w], wantBits[i][w])
+			}
+		}
+	}
+	st := second.Stats()
+	if st.DiskHits == 0 {
+		t.Fatalf("warm restart never hit the disk tier: %+v", st)
+	}
+	if st.Recomputes != 0 {
+		t.Fatalf("warm restart recomputed %d blocks with a full cache: %+v", st.Recomputes, st)
+	}
+	if st.CacheDir != dir {
+		t.Fatalf("CacheDir = %q, want %q", st.CacheDir, dir)
+	}
+
+	// A store with a different identity must reject the directory instead
+	// of serving another stream's worlds.
+	if err := New(g, seed+1).AttachCache(dir); err == nil {
+		t.Fatal("cache for seed 5 attached to a seed-6 store")
+	}
+	other := ringGraph(t, 61, 4)
+	if err := New(other, seed).AttachCache(dir); err == nil {
+		t.Fatal("cache attached to a store over a different graph")
+	}
+}
+
+// TestSpillCorruptPayloadRecomputed: a bit flip in a spilled payload fails
+// the load-time checksum; the entry is dropped and the block recomputed,
+// so answers stay exact and the corruption is visible in the counters.
+func TestSpillCorruptPayloadRecomputed(t *testing.T) {
+	g := ringGraph(t, 60, 6)
+	const seed, r = 9, 300
+	dir := t.TempDir()
+
+	want := snapshotLabels(New(g, seed), r)
+
+	first := New(g, seed)
+	if err := first.AttachCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	snapshotLabels(first, r)
+	first.SetBudget(1)
+
+	seg := filepath.Join(dir, "labels.seg")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second := New(g, seed)
+	if err := second.AttachCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	sameLabels(t, "post-corruption labels", want, snapshotLabels(second, r))
+	st := second.Stats()
+	if st.CorruptDropped == 0 {
+		t.Fatalf("bit flip went undetected: %+v", st)
+	}
+	if st.PostSpillRecomputes == 0 {
+		t.Fatalf("corrupt block was not recomputed: %+v", st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("intact blocks should still load from disk: %+v", st)
+	}
+	if st.Recomputes != st.ColdRecomputes+st.PostSpillRecomputes {
+		t.Fatalf("recompute split does not add up: %+v", st)
+	}
+}
+
+// TestSpillTruncatedSegmentDroppedAtAttach: a segment file cut short
+// behind the directory's back (crash, partial copy) invalidates the
+// entries whose extents outrun it at attach time; the store recomputes
+// those blocks and serves exact answers.
+func TestSpillTruncatedSegmentDroppedAtAttach(t *testing.T) {
+	g := ringGraph(t, 60, 8)
+	const seed, r = 13, 300
+	dir := t.TempDir()
+
+	want := snapshotLabels(New(g, seed), r)
+
+	first := New(g, seed)
+	if err := first.AttachCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	snapshotLabels(first, r)
+	first.SetBudget(1)
+
+	seg := filepath.Join(dir, "labels.seg")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	second := New(g, seed)
+	if err := second.AttachCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Stats(); st.CorruptDropped == 0 {
+		t.Fatalf("truncated segment dropped no entries at attach: %+v", st)
+	}
+	sameLabels(t, "post-truncation labels", want, snapshotLabels(second, r))
+}
+
+// TestSpillTornDirectoryTail: a torn write at the tail of the directory
+// log (half a record) is truncated away on replay; the records before it
+// stay live.
+func TestSpillTornDirectoryTail(t *testing.T) {
+	g := ringGraph(t, 60, 10)
+	const seed, r = 17, 300
+	dir := t.TempDir()
+
+	first := New(g, seed)
+	if err := first.AttachCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	snapshotLabels(first, r)
+	first.SetBudget(1)
+
+	log := filepath.Join(dir, "cache.dir")
+	fi, err := os.Stat(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(log, fi.Size()-spillRecordSize/2); err != nil {
+		t.Fatal(err)
+	}
+
+	second := New(g, seed)
+	if err := second.AttachCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotLabels(New(g, seed), r)
+	sameLabels(t, "torn-tail labels", want, snapshotLabels(second, r))
+	if st := second.Stats(); st.DiskHits == 0 {
+		t.Fatalf("records before the torn tail should still serve: %+v", st)
+	}
+}
+
+// TestAttachCacheOnce: a store accepts at most one cache directory.
+func TestAttachCacheOnce(t *testing.T) {
+	g := ringGraph(t, 40, 2)
+	s := New(g, 3)
+	if err := s.AttachCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachCache(t.TempDir()); err == nil {
+		t.Fatal("second AttachCache succeeded")
+	}
+}
+
+// TestReleaseAfterShrinkRestoresBudget: a pinned block survives a
+// concurrent SetBudget shrink (eviction must skip it), but the moment its
+// last pin drops the store evicts back under the budget — ResidentBytes
+// does not drift above the bound beyond the pin's lifetime.
+func TestReleaseAfterShrinkRestoresBudget(t *testing.T) {
+	g := ringGraph(t, 60, 5)
+	s := New(g, 21)
+	bw := s.BlockWorlds()
+	snapshotLabels(s, 3*bw) // several resident blocks
+
+	b, _ := s.acquire(0, 1) // pin block 0
+	budget := s.blockBytes(famLabels) / 2
+	s.SetBudget(budget)
+	if st := s.Stats(); st.ResidentBytes <= budget {
+		t.Fatalf("pinned block should hold ResidentBytes (%d) above the shrunk budget (%d)",
+			st.ResidentBytes, budget)
+	} else if st.ResidentBlocks != 1 {
+		t.Fatalf("shrink should have evicted every unpinned block: %+v", st)
+	}
+	s.release(b)
+	if st := s.Stats(); st.ResidentBytes > budget {
+		t.Fatalf("ResidentBytes %d still above budget %d after the pin released", st.ResidentBytes, budget)
+	}
+}
+
+// TestBitsWarmDiskTier: BitsWarm extends the residency probe to spilled
+// bitmap blocks — warm after eviction with a cache attached, cold without.
+func TestBitsWarmDiskTier(t *testing.T) {
+	g := ringGraph(t, 60, 7)
+	const seed = 25
+	cold := New(g, seed)
+	bw := cold.BlockWorlds()
+	snapshotBits(cold, bw)
+	if !cold.BitsWarm(0, bw) {
+		t.Fatal("resident bitmap block should be warm")
+	}
+	cold.SetBudget(1)
+	if cold.BitsWarm(0, bw) {
+		t.Fatal("evicted bitmap block with no cache should be cold")
+	}
+
+	spilled := New(g, seed)
+	if err := spilled.AttachCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	snapshotBits(spilled, bw)
+	spilled.SetBudget(1)
+	if spilled.BitsResident(0, bw) {
+		t.Fatal("evicted block should not report RAM-resident")
+	}
+	if !spilled.BitsWarm(0, bw) {
+		t.Fatal("spilled bitmap block should be warm")
+	}
+	if spilled.BitsWarm(0, 2*bw) {
+		t.Fatal("worlds never materialized should not be warm")
+	}
+}

@@ -1,0 +1,71 @@
+package worldstore
+
+import (
+	"testing"
+)
+
+// The tier-order benchmarks behind BENCH_store.json (make bench-store):
+// materializing the same depth-limited bitmap workload cold (hash every
+// edge coin), spilled-warm (load checksummed blocks from the disk tier)
+// and recompute-after-eviction (the price the tier removes). The spilled
+// path reads sequential bytes and verifies a CRC; the recompute paths
+// re-evaluate one hash per edge per world — which is why a warm restart
+// from -worldcache beats recomputation by well over the 5x target.
+
+const (
+	benchNodes  = 4000
+	benchWorlds = 128
+)
+
+// scanAll drives both families over [0, r): the bitmap blocks of a
+// depth-limited workload plus the label blocks of an unlimited one.
+func scanAll(s *Store, r int) {
+	s.ScanBits(0, r, func(int, []uint64) {})
+	s.Scan(0, r, func(int, []int32) {})
+}
+
+func BenchmarkBlockMaterializeCold(b *testing.B) {
+	g := ringGraph(b, benchNodes, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(g, 7)
+		scanAll(s, benchWorlds)
+	}
+	b.ReportMetric(benchWorlds, "worlds/op")
+}
+
+func BenchmarkBlockMaterializeRecompute(b *testing.B) {
+	g := ringGraph(b, benchNodes, 1)
+	s := New(g, 7)
+	scanAll(s, benchWorlds) // prime: later passes are recomputes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetBudget(1) // evict everything
+		s.SetBudget(0)
+		scanAll(s, benchWorlds)
+	}
+	b.ReportMetric(benchWorlds, "worlds/op")
+}
+
+func BenchmarkBlockMaterializeSpilledWarm(b *testing.B) {
+	g := ringGraph(b, benchNodes, 1)
+	s := New(g, 7)
+	if err := s.AttachCache(b.TempDir()); err != nil {
+		b.Fatal(err)
+	}
+	scanAll(s, benchWorlds)
+	s.SetBudget(1) // spill everything once; re-evictions skip the write
+	s.SetBudget(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetBudget(1)
+		s.SetBudget(0)
+		scanAll(s, benchWorlds)
+	}
+	b.StopTimer()
+	st := s.Stats()
+	if st.DiskHits == 0 || st.PostSpillRecomputes != 0 {
+		b.Fatalf("spilled-warm pass did not serve from disk: %+v", st)
+	}
+	b.ReportMetric(benchWorlds, "worlds/op")
+}

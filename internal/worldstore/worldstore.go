@@ -35,6 +35,7 @@ package worldstore
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sort"
 	"sync"
@@ -88,6 +89,20 @@ type Store struct {
 	materialized  uint64
 	recomputed    uint64
 	evicted       uint64
+	pendingSpill  []*block // evicted blocks awaiting a disk-tier write, drained outside mu
+
+	// spill is the optional disk tier (AttachCache): evicted blocks spill
+	// to checksummed segment files and a miss tries RAM → disk → recompute.
+	// Attached at most once; loaded lock-free on the miss path.
+	spill atomic.Pointer[spillCache]
+
+	// Disk-tier counters (atomic: bumped on paths that hold block locks
+	// but not mu).
+	diskHits        atomic.Uint64
+	spillWrites     atomic.Uint64
+	corruptDropped  atomic.Uint64
+	coldRecomputes  atomic.Uint64
+	spillRecomputes atomic.Uint64
 
 	// reachPool recycles the batched BFS scratch CountWithinMulti uses;
 	// sampler.MultiReachCounter is single-goroutine, so each call checks
@@ -116,6 +131,8 @@ type block struct {
 	bits    []uint64   // famBits payload; grows toward bw*wpw, valid up to done*wpw
 	pins    int        // readers currently holding the block; guarded by Store.mu
 	lastUse uint64
+	fresh   bool // no load/compute attempt since insertion (disk probe pending); guarded by mu (the block's)
+	rebuilt bool // this block index was materialized before in this process; set at insertion
 	// ready mirrors done for lock-free residency probes. Only the bitmap
 	// family maintains it (acquireBits stores it after an extension), and
 	// only BitsResident reads it: a probe observing ready >= w knows
@@ -144,15 +161,42 @@ type Stats struct {
 	// Hits counts block acquisitions answered by an already-resident block
 	// (no label computation needed).
 	Hits uint64
-	// Materializations counts block computations, including recomputations
-	// after eviction.
+	// Materializations counts block instantiations — computed fresh,
+	// recomputed after eviction, or loaded back from the disk tier.
 	Materializations uint64
-	// Recomputes counts the subset of Materializations that rebuilt a block
-	// previously dropped by eviction — the price paid for staying under the
-	// memory budget.
+	// Recomputes counts blocks computed again after having been
+	// materialized before (in this process, or — when a load from the disk
+	// tier fails — in the one that wrote the cache): the price paid for a
+	// miss the disk tier could not absorb. Recomputes is split into
+	// ColdRecomputes + PostSpillRecomputes.
 	Recomputes uint64
-	// Evictions counts blocks dropped under memory pressure.
+	// ColdRecomputes counts Recomputes with no spilled copy to try: no
+	// cache attached, or the block was evicted before it ever spilled.
+	ColdRecomputes uint64
+	// PostSpillRecomputes counts Recomputes where a spilled copy existed
+	// but failed validation (truncated or corrupt payload) — each also
+	// increments CorruptDropped. A healthy disk tier keeps this at zero.
+	PostSpillRecomputes uint64
+	// Evictions counts blocks dropped under memory pressure (spilled to
+	// the disk tier first when a cache is attached).
 	Evictions uint64
+	// DiskHits counts block misses answered by the disk tier instead of
+	// recomputation — including blocks persisted by a previous process
+	// (warm restart).
+	DiskHits uint64
+	// DiskBytes is the live payload volume of the disk tier: the bytes a
+	// re-attaching process could load instead of recompute.
+	DiskBytes int64
+	// SpillWrites counts evicted blocks written to the disk tier (blocks
+	// whose spilled copy already covered their worlds are skipped).
+	SpillWrites uint64
+	// CorruptDropped counts spilled entries discarded on checksum or
+	// extent validation failure — at attach (truncated segments) or on
+	// load (bit rot). Dropped entries are recomputed, never served.
+	CorruptDropped uint64
+	// CacheDir is the attached disk-tier directory ("" when the store has
+	// no disk tier).
+	CacheDir string
 }
 
 // defaultBudget is applied to stores created after SetDefaultBudget.
@@ -314,6 +358,49 @@ func (s *Store) BitsResident(lo, hi int) bool {
 	return true
 }
 
+// BitsWarm is BitsResident extended by the disk tier: it reports whether
+// every edge-bitmap block covering worlds [lo, hi) is either resident
+// with the needed prefix or persisted in the attached spill cache — i.e.
+// whether a depth-limited scan can be answered without re-evaluating edge
+// coins (a disk load is a sequential read plus checksum, orders of
+// magnitude cheaper than re-hashing every edge of every world). Like
+// BitsResident it is a performance hint only, never used for correctness.
+func (s *Store) BitsWarm(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return false
+	}
+	type miss struct{ bi, need int }
+	var missing []miss
+	s.mu.Lock()
+	for bi := lo / s.bw; bi*s.bw < hi; bi++ {
+		need := hi - bi*s.bw
+		if need > s.bw {
+			need = s.bw
+		}
+		if b, ok := s.blocks[famBits][bi]; ok && int(b.ready.Load()) >= need {
+			continue
+		}
+		missing = append(missing, miss{bi, need})
+	}
+	s.mu.Unlock()
+	if len(missing) == 0 {
+		return true
+	}
+	c := s.spill.Load()
+	if c == nil {
+		return false
+	}
+	for _, m := range missing {
+		if c.entryDone(famBits, m.bi) < m.need {
+			return false
+		}
+	}
+	return true
+}
+
 // SetBudget bounds the memory spent on materialized blocks — label and
 // edge-bitmap families together — to roughly bytes (a block being acquired
 // is always allowed in even when it alone overshoots, so scans make
@@ -322,20 +409,22 @@ func (s *Store) BitsResident(lo, hi int) bool {
 // are recomputed, not approximated.
 func (s *Store) SetBudget(bytes int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if bytes <= 0 {
 		s.budget = 0
+		s.mu.Unlock()
 		return
 	}
 	s.budget = bytes
 	s.evictLocked(s.budget)
+	victims := s.takePendingLocked()
+	s.mu.Unlock()
+	s.writeSpills(victims)
 }
 
 // Stats returns observability counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Worlds:               int(s.length.Load()),
 		ResidentBlocks:       len(s.blocks[famLabels]) + len(s.blocks[famBits]),
 		ResidentLabelBlocks:  len(s.blocks[famLabels]),
@@ -347,6 +436,58 @@ func (s *Store) Stats() Stats {
 		Recomputes:           s.recomputed,
 		Evictions:            s.evicted,
 	}
+	s.mu.Unlock()
+	st.DiskHits = s.diskHits.Load()
+	st.SpillWrites = s.spillWrites.Load()
+	st.CorruptDropped = s.corruptDropped.Load()
+	st.ColdRecomputes = s.coldRecomputes.Load()
+	st.PostSpillRecomputes = s.spillRecomputes.Load()
+	if c := s.spill.Load(); c != nil {
+		st.DiskBytes = c.bytes()
+		st.CacheDir = c.dir
+	}
+	return st
+}
+
+// AttachCache attaches the disk tier rooted at dir: evicted blocks spill
+// to checksummed segment files under dir and misses try disk before
+// recomputing. An existing directory written by a previous process for
+// the same (graph digest, seed, shape) is re-attached as-is — that is the
+// warm-restart path — while a directory belonging to a different store is
+// rejected. At most one cache can be attached per store; entries dropped
+// while replaying a truncated directory are counted in CorruptDropped.
+func (s *Store) AttachCache(dir string) error {
+	h := spillHeader{
+		digest: s.g.Digest(),
+		seed:   s.seed,
+		n:      s.n,
+		wpw:    s.wpw,
+		bw:     s.bw,
+	}
+	var rows [numFamilies]int64
+	rows[famLabels] = int64(4 * s.n)
+	rows[famBits] = int64(8 * s.wpw)
+	c, dropped, err := openSpillCache(dir, h, rows, s.bw)
+	if err != nil {
+		return err
+	}
+	if !s.spill.CompareAndSwap(nil, c) {
+		c.close()
+		return errors.New("worldstore: store already has a cache attached")
+	}
+	s.corruptDropped.Add(uint64(dropped))
+	// The cache holds OS resources (fds, mmaps) but no reference back to
+	// the store, so it is reclaimed with the store.
+	runtime.AddCleanup(s, func(c *spillCache) { c.close() }, c)
+	return nil
+}
+
+// CacheDir returns the attached disk-tier directory, "" if none.
+func (s *Store) CacheDir() string {
+	if c := s.spill.Load(); c != nil {
+		return c.dir
+	}
+	return ""
 }
 
 // acquireBlock returns family f's block bi, pinned against eviction,
@@ -359,25 +500,26 @@ func (s *Store) acquireBlock(f family, bi int) *block {
 	s.mu.Lock()
 	b, ok := s.blocks[f][bi]
 	if !ok {
-		b = &block{fam: f, idx: bi, bytes: s.blockBytes(f)}
+		// Whether the miss ends up a disk hit or a recompute is decided at
+		// first extension (primeBlock), when the disk tier is probed —
+		// insertion only records whether this index was materialized before.
+		b = &block{fam: f, idx: bi, bytes: s.blockBytes(f), fresh: true, rebuilt: s.built[f][bi]}
 		if s.budget > 0 {
 			s.evictLocked(s.budget - b.bytes)
 		}
 		s.blocks[f][bi] = b
 		s.residentBytes += b.bytes
 		s.materialized++
-		if s.built[f][bi] {
-			s.recomputed++
-		} else {
-			s.built[f][bi] = true
-		}
+		s.built[f][bi] = true
 	} else {
 		s.hits++
 	}
 	b.pins++
 	s.clock++
 	b.lastUse = s.clock
+	victims := s.takePendingLocked()
 	s.mu.Unlock()
+	s.writeSpills(victims)
 	return b
 }
 
@@ -394,6 +536,9 @@ func (s *Store) acquireBlock(f family, bi int) *block {
 func (s *Store) acquire(bi, need int) (*block, []int32) {
 	b := s.acquireBlock(famLabels, bi)
 	b.mu.Lock()
+	if b.fresh {
+		s.primeBlock(b)
+	}
 	if b.done < need {
 		if len(b.labels) < need*s.n {
 			worlds := 2 * b.done
@@ -423,6 +568,9 @@ func (s *Store) acquire(bi, need int) (*block, []int32) {
 func (s *Store) acquireBits(bi, need int) (*block, []uint64) {
 	b := s.acquireBlock(famBits, bi)
 	b.mu.Lock()
+	if b.fresh {
+		s.primeBlock(b)
+	}
 	if b.done < need {
 		if len(b.bits) < need*s.wpw {
 			worlds := 2 * b.done
@@ -443,6 +591,73 @@ func (s *Store) acquireBits(bi, need int) (*block, []uint64) {
 	bits := b.bits
 	b.mu.Unlock()
 	return b, bits
+}
+
+// primeBlock resolves a freshly inserted block's first extension against
+// the disk tier: a valid spilled prefix is loaded (disk hit), a spilled
+// entry that fails validation is dropped and counted (the block falls
+// through to recomputation), and a miss with no entry is classified cold
+// or recompute by whether this index was materialized before. Called
+// under b's mutex, before the compute path looks at b.done.
+func (s *Store) primeBlock(b *block) {
+	b.fresh = false
+	c := s.spill.Load()
+	var loaded, hadEntry bool
+	if c != nil {
+		loaded, hadEntry = c.load(b)
+	}
+	switch {
+	case loaded:
+		s.diskHits.Add(1)
+	case hadEntry:
+		s.corruptDropped.Add(1)
+		s.noteRecompute(true)
+	case b.rebuilt:
+		s.noteRecompute(false)
+	}
+}
+
+// noteRecompute counts one block recomputation, split by whether a
+// spilled copy existed (and failed) or there was nothing on disk to try.
+func (s *Store) noteRecompute(postSpill bool) {
+	s.mu.Lock()
+	s.recomputed++
+	s.mu.Unlock()
+	if postSpill {
+		s.spillRecomputes.Add(1)
+	} else {
+		s.coldRecomputes.Add(1)
+	}
+}
+
+// takePendingLocked claims the evicted blocks queued for a disk-tier
+// write. Caller holds s.mu; the returned blocks are privately owned (out
+// of the block map, zero pins), so the caller writes them after unlocking.
+func (s *Store) takePendingLocked() []*block {
+	if len(s.pendingSpill) == 0 {
+		return nil
+	}
+	victims := s.pendingSpill
+	s.pendingSpill = nil
+	return victims
+}
+
+// writeSpills persists evicted blocks to the disk tier. Runs without
+// store locks: the victims are unreachable, and the spill cache has its
+// own mutex.
+func (s *Store) writeSpills(victims []*block) {
+	if len(victims) == 0 {
+		return
+	}
+	c := s.spill.Load()
+	if c == nil {
+		return
+	}
+	for _, b := range victims {
+		if c.store(b) {
+			s.spillWrites.Add(1)
+		}
+	}
 }
 
 // matSem bounds the extra goroutines spawned by concurrent block
@@ -557,11 +772,20 @@ func (s *Store) computeBitmaps(bi, lo, hi int, bits []uint64) {
 	})
 }
 
-// release unpins a block acquired with acquire.
+// release unpins a block acquired with acquire. When the last pin drops
+// while the store is over budget — a SetBudget shrink that ran while this
+// block was pinned had to skip it — eviction resumes here, so pinned
+// blocks outliving a shrink only overshoot the budget for the duration of
+// the pin, and ResidentBytes settles back under the bound.
 func (s *Store) release(b *block) {
 	s.mu.Lock()
 	b.pins--
+	if b.pins == 0 && s.budget > 0 && s.residentBytes > s.budget {
+		s.evictLocked(s.budget)
+	}
+	victims := s.takePendingLocked()
 	s.mu.Unlock()
+	s.writeSpills(victims)
 }
 
 // evictLocked drops least-recently-used unpinned blocks — across both
@@ -593,6 +817,13 @@ func (s *Store) evictLocked(maxBytes int64) {
 		delete(s.blocks[victim.fam], victim.idx)
 		s.residentBytes -= victim.bytes
 		s.evicted++
+		// With a disk tier attached, the victim spills instead of being
+		// forgotten. The write happens after s.mu is released (the victim is
+		// privately owned once out of the map): callers that can evict drain
+		// the queue via takePendingLocked + writeSpills.
+		if victim.done > 0 && s.spill.Load() != nil {
+			s.pendingSpill = append(s.pendingSpill, victim)
+		}
 	}
 }
 
@@ -832,10 +1063,22 @@ func (s *Store) countWithinGroup(mrc *sampler.MultiReachCounter, cs []graph.Node
 			activeCounts = append(activeCounts, counts[j])
 		}
 		if accum {
-			s.ScanBits(a, b, func(_ int, bits []uint64) {
-				mrc.AccumWorld(bits, activeCs, depth)
-			})
-			mrc.FlushAccum(activeCounts)
+			// Flush on the accumulator's capacity cadence: the bit-sliced
+			// planes hold at most AccumCapacity worlds of counts, so long
+			// segments accumulate in capacity-sized sub-ranges. Flushing
+			// more often only regroups exact integer additions — the counts
+			// are bit-identical for any cadence.
+			capacity := mrc.AccumCapacity()
+			for x := a; x < b; x += capacity {
+				y := x + capacity
+				if y > b {
+					y = b
+				}
+				s.ScanBits(x, y, func(_ int, bits []uint64) {
+					mrc.AccumWorld(bits, activeCs, depth)
+				})
+				mrc.FlushAccum(activeCounts)
+			}
 		} else {
 			s.ScanBits(a, b, func(_ int, bits []uint64) {
 				mrc.CountWithinWorld(bits, activeCs, depth, activeCounts)

@@ -11,7 +11,7 @@ import (
 	"ucgraph/internal/sampler"
 )
 
-func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
+func mustGraph(t testing.TB, n int, edges []graph.Edge) *graph.Uncertain {
 	t.Helper()
 	g, err := graph.FromEdges(n, edges)
 	if err != nil {
@@ -20,7 +20,7 @@ func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Uncertain {
 	return g
 }
 
-func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
+func pathGraph(t testing.TB, n int, p float64) *graph.Uncertain {
 	t.Helper()
 	edges := make([]graph.Edge, 0, n-1)
 	for i := 0; i < n-1; i++ {
@@ -31,7 +31,7 @@ func pathGraph(t *testing.T, n int, p float64) *graph.Uncertain {
 
 // ringGraph builds a ring with a few chords, sized so that several label
 // blocks exist at small block sizes.
-func ringGraph(t *testing.T, n int, seed uint64) *graph.Uncertain {
+func ringGraph(t testing.TB, n int, seed uint64) *graph.Uncertain {
 	t.Helper()
 	x := rng.NewXoshiro256(seed)
 	b := graph.NewBuilder(n)
