@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race bench bench-core bench-depth bench-server bench-shard bench-store bench-dblp bench-smoke fuzz serve docs-check ci
+.PHONY: build fmt vet test short race cover bench bench-core bench-depth bench-server bench-shard bench-store bench-dblp bench-smoke fuzz serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,24 @@ test:
 short:
 	$(GO) test -short ./...
 
-# Race detector over the concurrency-bearing packages.
+# Race detector over the concurrency-bearing packages (the statistical
+# conformance harness exercises server+shard+conn together, so it rides
+# in this gate too).
 race:
-	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server ./internal/shard
+	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server ./internal/shard ./internal/stattest
+
+# Coverage floor on the packages the adaptive path runs through. Fails
+# if either package's total statement coverage drops below $(COVER_MIN)%.
+COVER_MIN ?= 70
+cover:
+	@for pkg in ./internal/conn ./internal/server; do \
+		$(GO) test -short -coverprofile=cover.out $$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_MIN)%)"; \
+		awk -v p="$$pct" -v min="$(COVER_MIN)" 'BEGIN { exit !(p+0 < min+0) }' && \
+			{ echo "FAIL: $$pkg below $(COVER_MIN)% statement coverage"; rm -f cover.out; exit 1; } || true; \
+	done
+	@rm -f cover.out
 
 # Run the query daemon on a built-in dataset (see docs/SERVER.md).
 serve:
@@ -106,9 +121,9 @@ fuzz:
 # Daemon-level benchmarks (cold vs warm world store behind /v1/conn) ->
 # BENCH_server.json.
 bench-server:
-	$(GO) test -bench='ConnColdStore|ConnWarmStore' -benchmem -run='^$$' ./internal/server | tee bench-server.out
+	$(GO) test -bench='ConnColdStore|ConnWarmStore|ConnAdaptive' -benchmem -run='^$$' ./internal/server | tee bench-server.out
 	$(GO) run ./cmd/benchjson -suite server < bench-server.out > BENCH_server.json
 	@rm -f bench-server.out
 	@echo "wrote BENCH_server.json"
 
-ci: build fmt vet short race bench-smoke docs-check
+ci: build fmt vet short race cover bench-smoke docs-check

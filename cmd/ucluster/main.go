@@ -41,6 +41,8 @@ func main() {
 		samples   = flag.Int("samples", 256, "worlds used to score the clustering")
 		par       = flag.Int("par", 0, "worker pool size for mcp/acp (0 = all CPUs, 1 = serial)")
 		worldmem  = flag.Int("worldmem", 0, "world-label memory budget per store in MiB (0 = unbounded); results are identical either way")
+		eps       = flag.Float64("eps", 0, "adaptive candidate scoring: stop refining a selection once its score interval is narrower than eps (mcp, acp; 0 = fixed budget)")
+		delta     = flag.Float64("delta", 0, "confidence for -eps intervals (default 0.05 when -eps is set)")
 		out       = flag.String("out", "", "write clusters to this file")
 	)
 	flag.Parse()
@@ -67,6 +69,13 @@ func main() {
 		opts := core.Options{Seed: *seed, Depth: *depth, Parallelism: *par}
 		if *depth == 0 {
 			opts.Depth = conn.Unlimited
+		}
+		if *eps > 0 {
+			d := *delta
+			if d == 0 {
+				d = 0.05
+			}
+			opts.Adaptive = &core.AdaptiveScoring{Eps: *eps, Delta: d}
 		}
 		if *algo == "mcp" {
 			cl, _, err = core.MCP(oracle, *k, opts)

@@ -73,6 +73,10 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTime    = flag.Duration("max-timeout", 5*time.Minute, "hard cap on per-request deadlines")
 
+		maxCost      = flag.Int64("max-cost", 0, "reject any single request costing more world-extensions (worlds x centers) than this (0 = package default)")
+		clientConc   = flag.Int("client-concurrent", 0, "max concurrent estimating requests per client (0 = unlimited)")
+		clientWorlds = flag.Int64("client-worlds-per-min", 0, "per-client world-extension budget refilled per minute (0 = unlimited)")
+
 		shardWorker = flag.Bool("shard-worker", false, "serve the shard-worker tally protocol instead of the query API")
 		shards      = flag.String("shards", "", "comma-separated shard-worker addresses; the daemon becomes the scatter/gather coordinator")
 
@@ -175,6 +179,9 @@ func main() {
 			ShardHedge:          *shardHedge,
 			ShardPingInterval:   *shardPing,
 			WorldCacheDir:       *worldcache,
+			MaxCost:             *maxCost,
+			ClientConcurrent:    *clientConc,
+			ClientWorldsPerMin:  *clientWorlds,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)

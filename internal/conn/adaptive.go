@@ -20,9 +20,25 @@ import (
 
 // StoppingRuleThreshold returns the success-count threshold Upsilon of the
 // Dagum-Karp-Luby-Ross stopping rule for an (eps, delta) relative-error
-// guarantee: Upsilon = 1 + 4(e-2)(1+eps) ln(2/delta) / eps^2.
+// guarantee:
+//
+//	Upsilon = 1 + 4(e-2)(1+eps) ln(2/delta) / eps^2
+//
+// The constant 4(e-2) ~ 2.873 comes from the generalized Bernstein
+// inequality the DKLR analysis rests on: for zero-mean increments bounded
+// by 1, the moment generating function is controlled via
+// e^x <= 1 + x + (e-2) x^2 on x <= 1, and the resulting tail bound
+// 2 exp(-t^2 eps^2 / (2 (e-2) (1+eps) rho)) needs the leading factor 4 so
+// that both the early-stop and late-stop failure modes stay under delta/2
+// each. Shrinking the constant invalidates the proof; growing it only
+// wastes samples.
+//
+// eps and delta must both lie strictly inside (0, 1); anything else —
+// including NaN, which a plain range comparison would let through since
+// NaN fails every ordered comparison — panics, because a silent garbage
+// threshold would void the guarantee of every caller above.
 func StoppingRuleThreshold(eps, delta float64) int {
-	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+	if !validEpsDelta(eps, delta) {
 		panic("conn: StoppingRuleThreshold needs eps, delta in (0,1)")
 	}
 	const e2 = math.E - 2

@@ -71,6 +71,8 @@ func ACPCtx(ctx context.Context, o conn.Oracle, k int, opt Options) (*Clustering
 			Depth: opt.Depth, DepthSel: depthSel,
 			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
 			ScoreChunk: opt.ScoreChunk,
+			Adaptive:   opt.Adaptive,
+			Progress:   opt.Progress,
 		})
 		if err != nil {
 			return nil, err

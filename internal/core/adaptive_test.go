@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"ucgraph/internal/conn"
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+)
+
+// adaptiveCoreGraph builds three well-separated high-probability cliques
+// joined by weak bridges: the natural k=3 clustering is unambiguous, so
+// candidate racing has clearly separated scores to prune on.
+func adaptiveCoreGraph(t *testing.T) *graph.Uncertain {
+	t.Helper()
+	const per = 6
+	var edges []graph.Edge
+	for c := 0; c < 3; c++ {
+		base := int32(c * per)
+		for i := int32(0); i < per; i++ {
+			for j := i + 1; j < per; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j, P: 0.85})
+			}
+		}
+	}
+	edges = append(edges,
+		graph.Edge{U: 0, V: per, P: 0.05},
+		graph.Edge{U: per, V: 2 * per, P: 0.05},
+	)
+	g, err := graph.FromEdges(3*per, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAdaptiveScoringProducesFullClustering(t *testing.T) {
+	g := adaptiveCoreGraph(t)
+	mc := conn.NewMonteCarlo(g, 7)
+	opt := Options{
+		Seed: 3, Alpha: 8,
+		Adaptive: &AdaptiveScoring{Eps: 0.1, Delta: 0.1},
+	}
+	cl, st, err := MCPCtx(context.Background(), mc, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.IsFull() {
+		t.Fatal("adaptive MCP did not return a full clustering")
+	}
+	if cl.K() != 3 {
+		t.Fatalf("k = %d, want 3", cl.K())
+	}
+	if st.Invocations == 0 || st.OracleCalls == 0 {
+		t.Fatalf("stats not accounted: %+v", st)
+	}
+	// The three cliques must come out as the three clusters: every
+	// within-clique pair shares a cluster.
+	for c := 0; c < 3; c++ {
+		for i := 1; i < 6; i++ {
+			if cl.Assign[c*6+i] != cl.Assign[c*6] {
+				t.Fatalf("clique %d split: assign=%v", c, cl.Assign)
+			}
+		}
+	}
+}
+
+func TestAdaptiveScoringIsDeterministic(t *testing.T) {
+	g := adaptiveCoreGraph(t)
+	run := func() *Clustering {
+		mc := conn.NewMonteCarlo(g, 7)
+		cl, _, err := MCPCtx(context.Background(), mc, 3, Options{
+			Seed: 11, Alpha: 8,
+			Adaptive: &AdaptiveScoring{Eps: 0.1, Delta: 0.1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical adaptive clustering runs differ")
+	}
+}
+
+func TestAdaptiveScoringQualityTracksFixedBudget(t *testing.T) {
+	g := adaptiveCoreGraph(t)
+	fixed, _, err := MCP(conn.NewMonteCarlo(g, 7), 3, Options{Seed: 3, Alpha: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, _, err := MCP(conn.NewMonteCarlo(g, 7), 3, Options{
+		Seed: 3, Alpha: 8,
+		Adaptive: &AdaptiveScoring{Eps: 0.1, Delta: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fixed.MinProb()-adaptive.MinProb()) > 0.15 {
+		t.Fatalf("adaptive min-prob %v strays from fixed-budget %v", adaptive.MinProb(), fixed.MinProb())
+	}
+}
+
+func TestAdaptiveSelectPrunesEarly(t *testing.T) {
+	g := adaptiveCoreGraph(t)
+	mc := conn.NewMonteCarlo(g, 19)
+	n := g.NumNodes()
+	uncovered := make([]graph.NodeID, n)
+	for i := range uncovered {
+		uncovered[i] = graph.NodeID(i)
+	}
+	p := PartialParams{
+		K: 3, Q: 0.5, QBar: 0.5, R: 1 << 14,
+		Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+		Adaptive: &AdaptiveScoring{Eps: 0.1, Delta: 0.1},
+	}
+	// Candidates 0..3: three clique members (ties, score ~6) and one that
+	// is strictly inside the same clique. Racing must stop well before the
+	// 16384-world budget: the score intervals separate or close to eps at
+	// a few hundred worlds.
+	best, est, worlds, calls, err := adaptiveSelect(context.Background(), mc, uncovered, 4, (1-0.05)*0.5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worlds >= p.R {
+		t.Fatalf("racing consumed the full budget (%d worlds)", worlds)
+	}
+	if best < 0 || best >= 4 {
+		t.Fatalf("best = %d out of candidate range", best)
+	}
+	if len(est) != n {
+		t.Fatalf("estimate vector has %d entries, want %d", len(est), n)
+	}
+	if calls == 0 {
+		t.Fatal("no oracle calls accounted")
+	}
+	// The winner's vector is refined to the full budget: bit-identical to
+	// a fixed-budget query for the same center.
+	want := conn.NewMonteCarlo(g, 19).FromCenter(uncovered[best], conn.Unlimited, p.R)
+	if !reflect.DeepEqual(est, want) {
+		t.Fatal("winner's estimate vector not refined to the full budget")
+	}
+}
+
+func TestAdaptiveRejectsBadParams(t *testing.T) {
+	g := adaptiveCoreGraph(t)
+	mc := conn.NewMonteCarlo(g, 7)
+	rnd := rng.NewXoshiro256(1)
+	_, err := MinPartialCtx(context.Background(), mc, rnd, PartialParams{
+		K: 2, Q: 0.5, QBar: 0.5, R: 256,
+		Depth: conn.Unlimited, DepthSel: conn.Unlimited,
+		Adaptive: &AdaptiveScoring{Eps: math.NaN(), Delta: 0.1},
+	})
+	if err == nil {
+		t.Fatal("NaN adaptive eps accepted")
+	}
+}
+
+func TestProgressEventsReportSelections(t *testing.T) {
+	g := adaptiveCoreGraph(t)
+	mc := conn.NewMonteCarlo(g, 7)
+	var events []ProgressEvent
+	cl, _, err := MCPCtx(context.Background(), mc, 3, Options{
+		Seed: 3, Alpha: 8,
+		Progress: func(ev ProgressEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.IsFull() {
+		t.Fatal("not a full clustering")
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	for _, ev := range events {
+		if ev.K < 1 || ev.Centers < 1 || ev.Centers > ev.K {
+			t.Fatalf("implausible event %+v", ev)
+		}
+		if ev.Covered < 0 || ev.Covered > ev.Nodes {
+			t.Fatalf("implausible coverage %+v", ev)
+		}
+		if ev.ScoreWorlds <= 0 {
+			t.Fatalf("missing score worlds %+v", ev)
+		}
+	}
+}

@@ -58,6 +58,15 @@ type Options struct {
 	ScoreChunk int
 	// Seed drives candidate selection; estimator seeds are independent.
 	Seed uint64
+	// Adaptive, when non-nil, switches min-partial candidate scoring to
+	// confidence-target racing (see AdaptiveScoring): candidates whose
+	// score intervals already separate stop consuming worlds. nil keeps
+	// the fixed-budget path bit-identical to previous releases.
+	Adaptive *AdaptiveScoring
+	// Progress, when non-nil, receives one ProgressEvent per selected
+	// center across all min-partial invocations of a run — the hook the
+	// server streams progressive clustering frames from.
+	Progress func(ProgressEvent)
 }
 
 // withDefaults fills in the documented defaults.
@@ -137,6 +146,8 @@ func mcpRun(ctx context.Context, o conn.Oracle, k int, opt Options, rnd *rng.Xos
 			Depth: opt.Depth, DepthSel: depthSel,
 			R: r, Eps: opt.Eps, Parallelism: opt.Parallelism,
 			ScoreChunk: opt.ScoreChunk,
+			Adaptive:   opt.Adaptive,
+			Progress:   opt.Progress,
 		})
 		if err != nil {
 			return nil, err

@@ -53,6 +53,16 @@ type PartialParams struct {
 	// a shard coordinator whose per-query cost includes a network
 	// scatter. The chunk size never affects results.
 	ScoreChunk int
+	// Adaptive, when non-nil, replaces fixed-budget candidate scoring with
+	// confidence-target racing (see AdaptiveScoring): candidates race on a
+	// doubling world schedule capped at R and are pruned once their score
+	// intervals separate. nil preserves the fixed-budget path bit for bit.
+	Adaptive *AdaptiveScoring
+	// Progress, when non-nil, is called after every center selection with
+	// that selection's ProgressEvent — the hook the server's progressive
+	// clustering mode streams from. It is called on the driver goroutine;
+	// it must not block for long.
+	Progress func(ProgressEvent)
 }
 
 // scoreChunk bounds how many candidate centers are handed to one batched
@@ -135,6 +145,11 @@ func MinPartial(o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) *PartialRes
 // run mid-estimation and returns ctx's error. A nil-error run is
 // bit-identical to MinPartial with the same oracle, rnd and params.
 func MinPartialCtx(ctx context.Context, o conn.Oracle, rnd *rng.Xoshiro256, p PartialParams) (*PartialResult, error) {
+	if p.Adaptive != nil {
+		if err := (conn.AdaptiveParams{Eps: p.Adaptive.Eps, Delta: p.Adaptive.Delta}).Validate(); err != nil {
+			return nil, err
+		}
+	}
 	n := o.NumNodes()
 	k := p.K
 	if k < 1 {
@@ -225,61 +240,74 @@ func MinPartialCtx(ctx context.Context, o conn.Oracle, rnd *rng.Xoshiro256, p Pa
 		// for every worker count and chunking is invisible (FromCenters
 		// itself matches a serial FromCenter loop). OracleCalls counts
 		// per-center answers, matching the serial loop's accounting.
-		scores := make([]int, tsize)
 		best := -1
 		var bestSelEst []float64
-		for base := 0; base < tsize; base += p.chunk() {
-			end := base + p.chunk()
-			if end > tsize {
-				end = tsize
-			}
-			ests, err := fromCentersCtx(ctx, o, uncovered[base:end:end], p.DepthSel, p.R)
+		scoreWorlds := p.R
+		if p.Adaptive != nil {
+			// Confidence-target racing instead of fixed-budget scoring: see
+			// adaptiveSelect for the pruning rule and the determinism note.
+			var calls int
+			var err error
+			best, bestSelEst, scoreWorlds, calls, err = adaptiveSelect(ctx, o, uncovered, tsize, selThresh, p)
 			if err != nil {
 				return nil, err
 			}
-			scoreAt := func(i int) {
-				est := ests[i-base]
-				score := 0
-				for _, u := range uncovered {
-					if est[u] >= selThresh {
-						score++
+			res.OracleCalls += calls
+		} else {
+			scores := make([]int, tsize)
+			for base := 0; base < tsize; base += p.chunk() {
+				end := base + p.chunk()
+				if end > tsize {
+					end = tsize
+				}
+				ests, err := fromCentersCtx(ctx, o, uncovered[base:end:end], p.DepthSel, p.R)
+				if err != nil {
+					return nil, err
+				}
+				scoreAt := func(i int) {
+					est := ests[i-base]
+					score := 0
+					for _, u := range uncovered {
+						if est[u] >= selThresh {
+							score++
+						}
+					}
+					scores[i] = score
+				}
+				if workers := p.workers(); workers > 1 && end-base > 1 {
+					if workers > end-base {
+						workers = end - base
+					}
+					var next atomic.Int64
+					next.Store(int64(base))
+					var wg sync.WaitGroup
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for {
+								i := int(next.Add(1)) - 1
+								if i >= end {
+									return
+								}
+								scoreAt(i)
+							}
+						}()
+					}
+					wg.Wait()
+				} else {
+					for i := base; i < end; i++ {
+						scoreAt(i)
 					}
 				}
-				scores[i] = score
-			}
-			if workers := p.workers(); workers > 1 && end-base > 1 {
-				if workers > end-base {
-					workers = end - base
-				}
-				var next atomic.Int64
-				next.Store(int64(base))
-				var wg sync.WaitGroup
-				for w := 0; w < workers; w++ {
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						for {
-							i := int(next.Add(1)) - 1
-							if i >= end {
-								return
-							}
-							scoreAt(i)
-						}
-					}()
-				}
-				wg.Wait()
-			} else {
 				for i := base; i < end; i++ {
-					scoreAt(i)
+					if best < 0 || scores[i] > scores[best] {
+						best, bestSelEst = i, ests[i-base]
+					}
 				}
 			}
-			for i := base; i < end; i++ {
-				if best < 0 || scores[i] > scores[best] {
-					best, bestSelEst = i, ests[i-base]
-				}
-			}
+			res.OracleCalls += tsize
 		}
-		res.OracleCalls += tsize
 		ci := uncovered[best]
 		clusterIdx := int32(len(cl.Centers))
 		cl.Centers = append(cl.Centers, ci)
@@ -306,6 +334,14 @@ func MinPartialCtx(ctx context.Context, o conn.Oracle, rnd *rng.Xoshiro256, p Pa
 			if remEst[u] >= remThresh || u == ci {
 				remove(u)
 			}
+		}
+		if p.Progress != nil {
+			p.Progress(ProgressEvent{
+				Centers: len(cl.Centers), K: k,
+				Covered: n - len(uncovered), Nodes: n,
+				OracleCalls: res.OracleCalls,
+				ScoreWorlds: scoreWorlds,
+			})
 		}
 	}
 
@@ -339,6 +375,14 @@ func MinPartialCtx(ctx context.Context, o conn.Oracle, rnd *rng.Xoshiro256, p Pa
 		res.OracleCalls++
 		absorb(clusterIdx, est)
 		remove(extra)
+		if p.Progress != nil {
+			p.Progress(ProgressEvent{
+				Centers: len(cl.Centers), K: k,
+				Covered: n - len(uncovered), Nodes: n,
+				OracleCalls: res.OracleCalls,
+				ScoreWorlds: p.R,
+			})
+		}
 	}
 
 	// Line 12: assign covered nodes (V - V') to their best center.

@@ -27,6 +27,7 @@ package sampler
 
 import (
 	bitsops "math/bits"
+	"sync/atomic"
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/rng"
@@ -355,6 +356,12 @@ const maxAccumBytes = 64 << 20
 // CountWithinWorld: both add the same per-world reach indicators, just
 // grouped differently.
 func (mrc *MultiReachCounter) BeginAccum() bool {
+	switch accumKernelOverride.Load() {
+	case 1:
+		mrc.flatAccum = true
+	case 2:
+		mrc.flatAccum = false
+	}
 	n := mrc.g.NumNodes()
 	if mrc.flatAccum {
 		if mrc.flatAcc == nil {
@@ -379,6 +386,28 @@ func (mrc *MultiReachCounter) BeginAccum() bool {
 // accumulator. Test/benchmark hook only: the two kernels add identical
 // integer indicators, so estimates never depend on the mode.
 func (mrc *MultiReachCounter) setFlatAccum(on bool) { mrc.flatAccum = on }
+
+// accumKernelOverride forces every counter in the process onto one
+// accumulate kernel: 0 = per-counter default (bit-sliced planes), 1 =
+// legacy flat, 2 = bit-sliced. BeginAccum consults it on every call, so
+// the override reaches counters that already sit in worldstore's reach
+// pool, not just freshly constructed ones.
+var accumKernelOverride atomic.Int32
+
+// OverrideAccumKernel forces the accumulate kernel for the whole package
+// until the returned restore func runs. It exists so end-to-end tests can
+// pin the estimator stack onto the legacy flat kernel and assert the
+// bit-sliced planes produce bit-identical results through the full
+// batched depth-limited path; production code never calls it. Overrides
+// do not nest meaningfully — restore returns to the state at call time.
+func OverrideAccumKernel(flat bool) (restore func()) {
+	v := int32(2)
+	if flat {
+		v = 1
+	}
+	prev := accumKernelOverride.Swap(v)
+	return func() { accumKernelOverride.Store(prev) }
+}
 
 // AccumCapacity returns how many worlds may be accumulated between
 // FlushAccum calls before a bit-sliced counter could overflow its planes.

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Cost-based admission and per-client quotas — the layers above the
+// per-graph concurrency gate. Every estimating request is priced in
+// world-extensions (its world budget times the centers it drives) before
+// any store work happens:
+//
+//  1. a single request above Options.MaxCost is rejected with 400 — it
+//     could never be admitted, so queueing it would only hold a slot;
+//  2. a client already running Options.ClientConcurrent estimating
+//     requests gets 429 until one finishes;
+//  3. a client whose summed request cost outruns the
+//     Options.ClientWorldsPerMin token refill gets 429 until tokens
+//     return.
+//
+// Adaptive requests are priced at their world BUDGET, not their (unknown
+// in advance) consumption: admission must bound the worst case, and the
+// early-stopping refund shows up in the worlds_saved counter instead.
+
+// requestCost prices an estimating request.
+func requestCost(worlds, centers int) int64 {
+	if centers < 1 {
+		centers = 1
+	}
+	return int64(worlds) * int64(centers)
+}
+
+// clientQuotas tracks per-client concurrency and cost-token buckets.
+// A zero limit disables the corresponding check.
+type clientQuotas struct {
+	maxConcurrent int
+	worldsPerMin  int64
+
+	mu      sync.Mutex
+	running map[string]int
+	buckets map[string]*costBucket
+	now     func() time.Time // test hook
+}
+
+type costBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newClientQuotas(maxConcurrent int, worldsPerMin int64) *clientQuotas {
+	return &clientQuotas{
+		maxConcurrent: maxConcurrent,
+		worldsPerMin:  worldsPerMin,
+		running:       make(map[string]int),
+		buckets:       make(map[string]*costBucket),
+		now:           time.Now,
+	}
+}
+
+// enabled reports whether any quota is configured.
+func (q *clientQuotas) enabled() bool {
+	return q.maxConcurrent > 0 || q.worldsPerMin > 0
+}
+
+// admit charges one request to the client's quotas. On success the
+// returned release must be called when the request finishes; on rejection
+// it returns a 429 apiError and no release.
+func (q *clientQuotas) admit(client string, cost int64) (func(), *apiError) {
+	if !q.enabled() {
+		return func() {}, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.maxConcurrent > 0 && q.running[client] >= q.maxConcurrent {
+		return nil, &apiError{http.StatusTooManyRequests,
+			fmt.Sprintf("client %q already has %d estimating requests running (quota %d)", client, q.running[client], q.maxConcurrent)}
+	}
+	if q.worldsPerMin > 0 {
+		b, ok := q.buckets[client]
+		now := q.now()
+		if !ok {
+			b = &costBucket{tokens: float64(q.worldsPerMin), last: now}
+			q.buckets[client] = b
+		} else {
+			b.tokens += now.Sub(b.last).Minutes() * float64(q.worldsPerMin)
+			if b.tokens > float64(q.worldsPerMin) {
+				b.tokens = float64(q.worldsPerMin)
+			}
+			b.last = now
+		}
+		if b.tokens < float64(cost) {
+			return nil, &apiError{http.StatusTooManyRequests,
+				fmt.Sprintf("client %q cost quota exhausted: request costs %d world-extensions, %d available (refill %d/min)", client, cost, int64(b.tokens), q.worldsPerMin)}
+		}
+		b.tokens -= float64(cost)
+	}
+	q.running[client]++
+	return func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.running[client] <= 1 {
+			delete(q.running, client)
+		} else {
+			q.running[client]--
+		}
+	}, nil
+}
+
+// clientKey identifies the requesting client: the X-API-Client header when
+// present (how multi-tenant deployments separate tenants behind one
+// gateway), else the remote host.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-API-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admitCost runs the cost cap and the client quotas for one estimating
+// request. The returned release is non-nil exactly when the error is nil.
+func (s *Server) admitCost(r *http.Request, worlds, centers int) (func(), *apiError) {
+	cost := requestCost(worlds, centers)
+	if cost > s.opts.MaxCost {
+		return nil, badRequest(fmt.Sprintf(
+			"request cost %d world-extensions (%d worlds x %d centers) exceeds the server cap %d; lower \"samples\" or split the centers",
+			cost, worlds, centers, s.opts.MaxCost))
+	}
+	return s.quotas.admit(clientKey(r), cost)
+}

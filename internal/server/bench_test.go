@@ -73,6 +73,93 @@ func BenchmarkConnWarmStore(b *testing.B) {
 	b.ReportMetric(float64(benchR), "worlds/query")
 }
 
+// benchAdaptiveBudget caps the adaptive benchmarks. The confidence target
+// (eps = delta = 0.05) converges well before the cap on the benchmark
+// ring — the gap between the two, reported as worlds-saved/query, is the
+// point of the adaptive mode.
+const benchAdaptiveBudget = 4096
+
+func adaptivePairBody(b *testing.B) []byte {
+	b.Helper()
+	body, err := json.Marshal(map[string]any{
+		"graph": "ring", "source": 0, "target": benchN / 2,
+		"samples": benchAdaptiveBudget, "eps": 0.05, "delta": 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// serveConnWorlds serves one /v1/conn request and returns the world count
+// the response reports it consumed.
+func serveConnWorlds(b *testing.B, s *Server, body []byte) int {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/conn", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Worlds int `json:"worlds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		b.Fatal(err)
+	}
+	return out.Worlds
+}
+
+// BenchmarkConnAdaptiveWarmStore measures the adaptive (eps, delta) pair
+// query against a warm store: block-aligned doubling rounds until the
+// empirical-Bernstein/Hoeffding interval closes to eps = 0.05 at
+// confidence 0.95. worlds/query reports the worlds actually consumed,
+// worlds-saved/query the early-stopping refund against the budget —
+// compare with BenchmarkConnAdaptiveFixedBudget below.
+func BenchmarkConnAdaptiveWarmStore(b *testing.B) {
+	g := testGraph(b, benchN, 1)
+	s, err := New([]GraphConfig{{Name: "ring", Graph: g, Seed: 1}}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := adaptivePairBody(b)
+	worlds := serveConnWorlds(b, s, body) // warm the store
+	if worlds >= benchAdaptiveBudget {
+		b.Fatalf("adaptive run consumed the full budget (%d worlds); nothing to measure", worlds)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		worlds = serveConnWorlds(b, s, body)
+	}
+	b.ReportMetric(float64(worlds), "worlds/query")
+	b.ReportMetric(float64(benchAdaptiveBudget-worlds), "worlds-saved/query")
+}
+
+// BenchmarkConnAdaptiveFixedBudget is the control: the same pair query
+// spending the adaptive benchmark's full world budget unconditionally.
+// The worlds/query ratio against BenchmarkConnAdaptiveWarmStore is the
+// world savings the confidence target buys at identical accuracy
+// guarantees.
+func BenchmarkConnAdaptiveFixedBudget(b *testing.B) {
+	g := testGraph(b, benchN, 1)
+	s, err := New([]GraphConfig{{Name: "ring", Graph: g, Seed: 1}}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"graph": "ring", "source": 0, "target": benchN / 2, "samples": benchAdaptiveBudget,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveConn(b, s, body) // warm the store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveConn(b, s, body)
+	}
+	b.ReportMetric(float64(benchAdaptiveBudget), "worlds/query")
+}
+
 // BenchmarkConnWarmStoreParallel measures warm-store queries under client
 // concurrency — the serving regime the admission gate and the store's
 // reader pinning are designed for.

@@ -170,11 +170,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		graphs[name] = gm
 	}
 	s.writeJSON(w, map[string]any{
-		"uptime_ms": time.Since(s.start).Milliseconds(),
-		"requests":  s.requests.Load(),
-		"failures":  s.failures.Load(),
-		"jobs":      s.jobs.counts(),
-		"graphs":    graphs,
+		"uptime_ms":        time.Since(s.start).Milliseconds(),
+		"requests":         s.requests.Load(),
+		"failures":         s.failures.Load(),
+		"adaptive_queries": s.adaptiveQueries.Load(),
+		"worlds_saved":     s.worldsSaved.Load(),
+		"jobs":             s.jobs.counts(),
+		"graphs":           graphs,
 	})
 }
 
@@ -264,13 +266,21 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 // ---- /v1/conn ----------------------------------------------------------
 
 type connRequest struct {
-	Graph     string  `json:"graph"`
-	Source    *int32  `json:"source,omitempty"`
-	Target    *int32  `json:"target,omitempty"`
-	Centers   []int32 `json:"centers,omitempty"`
-	Targets   []int32 `json:"targets,omitempty"`
-	Depth     int     `json:"depth,omitempty"` // <= 0 means unlimited
-	Samples   int     `json:"samples,omitempty"`
+	Graph   string  `json:"graph"`
+	Source  *int32  `json:"source,omitempty"`
+	Target  *int32  `json:"target,omitempty"`
+	Centers []int32 `json:"centers,omitempty"`
+	Targets []int32 `json:"targets,omitempty"`
+	Depth   int     `json:"depth,omitempty"` // <= 0 means unlimited
+	Samples int     `json:"samples,omitempty"`
+	// Eps/Delta switch the request to confidence-target mode: stop as
+	// soon as every estimate is within eps with confidence 1-delta,
+	// consuming at most Samples worlds. Stream additionally turns the
+	// response into SSE refinement frames (and implies the default
+	// target when eps is omitted). See docs/API.md.
+	Eps       float64 `json:"eps,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	Stream    bool    `json:"stream,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 }
 
@@ -304,6 +314,13 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 	if depth <= 0 {
 		depth = conn.Unlimited
 	}
+	// Confidence-target mode? The request's sample budget caps the
+	// adaptive run, so admission prices both modes identically.
+	ad, e := parseAdaptive(req.Eps, req.Delta, req.Stream, req.Samples)
+	if e != nil {
+		s.writeError(w, e)
+		return
+	}
 
 	switch {
 	case len(req.Centers) > 0:
@@ -319,6 +336,12 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		release, e := s.admitCost(r, req.Samples, len(req.Centers))
+		if e != nil {
+			s.writeError(w, e)
+			return
+		}
+		defer release()
 		ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
 		if e != nil {
 			s.writeError(w, e)
@@ -330,21 +353,17 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer h.release()
+		if ad != nil {
+			s.adaptiveConnCenters(ctx, w, h, req, depth, ad)
+			return
+		}
 		ests, err := h.coord.FromCentersCtx(ctx, req.Centers, depth, req.Samples)
 		if err != nil {
 			s.writeError(w, estimationError(err))
 			return
 		}
-		if len(req.Targets) > 0 {
-			// Project each estimate vector onto the requested targets.
-			for i, est := range ests {
-				proj := make([]float64, len(req.Targets))
-				for j, t := range req.Targets {
-					proj[j] = est[t]
-				}
-				ests[i] = proj
-			}
-		}
+		// Project each estimate vector onto the requested targets.
+		ests = project(ests, req.Targets)
 		s.writeJSON(w, map[string]any{
 			"graph":     h.name,
 			"samples":   req.Samples,
@@ -363,6 +382,12 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, e)
 			return
 		}
+		release, e := s.admitCost(r, req.Samples, 1)
+		if e != nil {
+			s.writeError(w, e)
+			return
+		}
+		defer release()
 		ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
 		if e != nil {
 			s.writeError(w, e)
@@ -374,6 +399,10 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer h.release()
+		if ad != nil {
+			s.adaptiveConnPair(ctx, w, h, req, depth, ad)
+			return
+		}
 		var p float64
 		var err error
 		if depth == conn.Unlimited {
@@ -416,6 +445,14 @@ type clusterRequest struct {
 	Inflation float64 `json:"inflation,omitempty"`
 	Async     bool    `json:"async,omitempty"`
 	Samples   int     `json:"samples,omitempty"` // unused by mcp/acp (schedule-driven); reserved
+	// Eps/Delta switch MCP/ACP candidate scoring to confidence-target
+	// racing (core.AdaptiveScoring): candidates whose score intervals
+	// separate stop consuming worlds. Stream turns the response into SSE
+	// progress frames, one per selected center, ending in the full
+	// result. See docs/API.md.
+	Eps       float64 `json:"eps,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	Stream    bool    `json:"stream,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 }
 
@@ -482,25 +519,64 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("\"timeout_ms\" must be positive"))
 		return
 	}
+	if req.Eps != 0 || req.Delta != 0 {
+		if req.Algo != "mcp" && req.Algo != "acp" {
+			s.writeError(w, badRequest(fmt.Sprintf("\"eps\"/\"delta\" apply to the sampling algorithms (mcp, acp), not %q", req.Algo)))
+			return
+		}
+		// Reuse the conn-side validation and delta defaulting; the budget
+		// for cluster scoring is schedule-driven, so only the target
+		// matters here.
+		ad, e := parseAdaptive(req.Eps, req.Delta, false, 0)
+		if e != nil {
+			s.writeError(w, e)
+			return
+		}
+		req.Eps, req.Delta = ad.params.Eps, ad.params.Delta
+	}
+	if req.Stream && req.Async {
+		s.writeError(w, badRequest("\"stream\" and \"async\" are mutually exclusive: poll /v1/jobs for async runs"))
+		return
+	}
+	if req.Stream && req.Algo != "mcp" && req.Algo != "acp" {
+		s.writeError(w, badRequest(fmt.Sprintf("\"stream\" applies to the sampling algorithms (mcp, acp), not %q", req.Algo)))
+		return
+	}
+
+	// Cost-based admission: a clustering's world demand is schedule-driven,
+	// so price it at the default sample budget per center driven. An async
+	// job holds its client-quota slot until the job finishes, not until
+	// the 202 goes out.
+	release := func() {}
+	if req.Algo == "mcp" || req.Algo == "acp" {
+		var e *apiError
+		if release, e = s.admitCost(r, s.opts.DefaultSamples, req.K); e != nil {
+			s.writeError(w, e)
+			return
+		}
+	}
 
 	if req.Async {
 		// The job's deadline runs against the background context: the
 		// client disconnects after the 202, the job keeps computing.
 		ctx, cancel, e := s.deadline(context.Background(), req.TimeoutMS)
 		if e != nil {
+			release()
 			s.writeError(w, e)
 			return
 		}
 		j := s.jobs.create(h.name, req.Algo, cancel)
 		go func() {
 			defer cancel()
-			res, err := s.runCluster(ctx, h, req)
+			defer release()
+			res, err := s.runCluster(ctx, h, req, nil)
 			j.finish(res, err)
 			s.jobs.noteFinished(j.id)
 		}()
 		s.writeJSONStatus(w, http.StatusAccepted, j.view())
 		return
 	}
+	defer release()
 
 	ctx, cancel, e := s.deadline(r.Context(), req.TimeoutMS)
 	if e != nil {
@@ -508,7 +584,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	res, err := s.runCluster(ctx, h, req)
+	if req.Stream {
+		s.streamCluster(ctx, w, h, req)
+		return
+	}
+	res, err := s.runCluster(ctx, h, req, nil)
 	if err != nil {
 		s.writeError(w, estimationError(err))
 		return
@@ -533,7 +613,7 @@ const shardScoreChunk = 256
 // conn.NewMonteCarlo(g, seed) — never on which center queries other
 // clients happened to warm first. In a sharded deployment the fork keeps
 // scattering to the same workers; only the cache is fresh.
-func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequest) (*clusterResponse, error) {
+func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequest, progress func(core.ProgressEvent)) (*clusterResponse, error) {
 	// Only the sampling algorithms drive world materialization; the
 	// deterministic baselines (mcl/gmm/kpt) never touch the store, so they
 	// bypass the admission gate instead of occupying the slots it reserves
@@ -561,9 +641,13 @@ func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequ
 		opt := core.Options{
 			Seed: req.Seed, Depth: depth, Alpha: req.Alpha,
 			Parallelism: s.opts.Parallelism,
+			Progress:    progress,
 		}
 		if oracle.Sharded() {
 			opt.ScoreChunk = shardScoreChunk
+		}
+		if req.Eps > 0 {
+			opt.Adaptive = &core.AdaptiveScoring{Eps: req.Eps, Delta: req.Delta}
 		}
 		var cst core.Stats
 		if req.Algo == "acp" {

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sseFrames posts a JSON body and reads the SSE response, returning every
+// decoded "data:" frame plus the terminal error event's payload (nil when
+// the stream ended cleanly).
+func sseFrames(t *testing.T, url string, body any) (frames []map[string]any, errEvent map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream request: code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inError := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: error":
+			inError = true
+		case strings.HasPrefix(line, "data: "):
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &m); err != nil {
+				t.Fatalf("bad frame %q: %v", line, err)
+			}
+			if inError {
+				errEvent = m
+				inError = false
+			} else {
+				frames = append(frames, m)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return frames, errEvent
+}
+
+func TestAdaptiveConnPairJSON(t *testing.T) {
+	g := testGraph(t, 64, 1)
+	_, ts := newTestServer(t, g, Options{})
+
+	var out struct {
+		Probability float64 `json:"probability"`
+		HalfWidth   float64 `json:"half_width"`
+		Worlds      int     `json:"worlds"`
+		Budget      int     `json:"budget"`
+		Converged   bool    `json:"converged"`
+		Final       bool    `json:"final"`
+	}
+	code, body := post(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "ring", "source": 0, "target": 1, "samples": 4096,
+		"eps": 0.05, "delta": 0.05,
+	}, &out)
+	if code != 200 {
+		t.Fatalf("code %d body %s", code, body)
+	}
+	if !out.Final || !out.Converged {
+		t.Fatalf("adaptive pair did not converge: %+v", out)
+	}
+	if out.Worlds <= 0 || out.Worlds >= 4096 {
+		t.Fatalf("worlds = %d, want early stop inside (0, 4096)", out.Worlds)
+	}
+	if out.HalfWidth > 0.05 || out.HalfWidth <= 0 {
+		t.Fatalf("half_width = %v, want in (0, eps]", out.HalfWidth)
+	}
+	if out.Probability < 0 || out.Probability > 1 {
+		t.Fatalf("probability = %v out of range", out.Probability)
+	}
+}
+
+func TestAdaptiveConnCentersStreamMatchesFixedBudget(t *testing.T) {
+	g := testGraph(t, 64, 1)
+	_, ts := newTestServer(t, g, Options{})
+
+	frames, errEvent := sseFrames(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "ring", "centers": []int{0, 10}, "targets": []int{1, 11, 32},
+		"samples": 4096, "eps": 0.05, "delta": 0.05, "stream": true,
+	})
+	if errEvent != nil {
+		t.Fatalf("stream errored: %v", errEvent)
+	}
+	if len(frames) < 2 {
+		t.Fatalf("want at least 2 refinement frames, got %d", len(frames))
+	}
+	// Worlds must strictly increase and the half-width strictly shrink
+	// frame over frame (deterministic on a fixed seed, so no flake).
+	for i := 1; i < len(frames); i++ {
+		if frames[i]["worlds"].(float64) <= frames[i-1]["worlds"].(float64) {
+			t.Fatalf("worlds not increasing at frame %d: %v -> %v", i, frames[i-1]["worlds"], frames[i]["worlds"])
+		}
+		if frames[i]["half_width"].(float64) >= frames[i-1]["half_width"].(float64) {
+			t.Fatalf("half-width not shrinking at frame %d: %v -> %v", i, frames[i-1]["half_width"], frames[i]["half_width"])
+		}
+	}
+	last := frames[len(frames)-1]
+	if last["final"] != true || last["converged"] != true {
+		t.Fatalf("last frame not converged+final: %v", last)
+	}
+	worlds := int(last["worlds"].(float64))
+	if worlds >= 4096 {
+		t.Fatalf("no early stop: consumed %d of 4096", worlds)
+	}
+
+	// The final frame must equal the fixed-budget answer at the same
+	// consumed-world count — adaptive rounds reuse the shared tallies, so
+	// the numbers are bit-identical, not merely close.
+	var fixed struct {
+		Estimates [][]float64 `json:"estimates"`
+	}
+	code, body := post(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "ring", "centers": []int{0, 10}, "targets": []int{1, 11, 32},
+		"samples": worlds,
+	}, &fixed)
+	if code != 200 {
+		t.Fatalf("fixed query: code %d body %s", code, body)
+	}
+	got, err := json.Marshal(last["estimates"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(fixed.Estimates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("final frame estimates %s != fixed-budget %s at %d worlds", got, want, worlds)
+	}
+}
+
+func TestAdaptiveConnValidation(t *testing.T) {
+	g := testGraph(t, 32, 1)
+	_, ts := newTestServer(t, g, Options{})
+
+	// delta without eps is ambiguous.
+	if code, _ := post(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "ring", "source": 0, "target": 1, "samples": 256, "delta": 0.1,
+	}, nil); code != 400 {
+		t.Fatalf("delta without eps: code %d, want 400", code)
+	}
+	// eps out of range.
+	if code, _ := post(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "ring", "source": 0, "target": 1, "samples": 256, "eps": 1.5,
+	}, nil); code != 400 {
+		t.Fatalf("eps out of range: code %d, want 400", code)
+	}
+	// stream alone implies an adaptive run with default targets.
+	frames, errEvent := sseFrames(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "ring", "source": 0, "target": 1, "samples": 2048, "stream": true,
+	})
+	if errEvent != nil || len(frames) == 0 {
+		t.Fatalf("bare stream=true: frames=%d err=%v", len(frames), errEvent)
+	}
+	last := frames[len(frames)-1]
+	if last["eps"].(float64) != defaultEpsDelta || last["delta"].(float64) != defaultEpsDelta {
+		t.Fatalf("bare stream defaults: %v", last)
+	}
+}
+
+func TestClusterStream(t *testing.T) {
+	g := testGraph(t, 48, 1)
+	_, ts := newTestServer(t, g, Options{})
+
+	frames, errEvent := sseFrames(t, ts.URL+"/v1/cluster", map[string]any{
+		"graph": "ring", "algo": "mcp", "k": 3, "seed": 5, "stream": true,
+		"eps": 0.1, "delta": 0.1,
+	})
+	if errEvent != nil {
+		t.Fatalf("stream errored: %v", errEvent)
+	}
+	if len(frames) < 2 {
+		t.Fatalf("want progress + final frames, got %d", len(frames))
+	}
+	final := frames[len(frames)-1]
+	if final["final"] != true {
+		t.Fatalf("last frame not final: %v", final)
+	}
+	res, ok := final["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("final frame carries no result: %v", final)
+	}
+	if res["k"].(float64) != 3 {
+		t.Fatalf("result k = %v", res["k"])
+	}
+	for _, f := range frames[:len(frames)-1] {
+		if f["final"] != false {
+			t.Fatalf("non-terminal frame marked final: %v", f)
+		}
+		if f["centers"].(float64) < 1 || f["score_worlds"].(float64) <= 0 {
+			t.Fatalf("implausible progress frame: %v", f)
+		}
+	}
+}
+
+func TestClusterStreamValidation(t *testing.T) {
+	g := testGraph(t, 32, 1)
+	_, ts := newTestServer(t, g, Options{})
+
+	// stream+async cannot both hold: a job has no response stream.
+	if code, _ := post(t, ts.URL+"/v1/cluster", map[string]any{
+		"graph": "ring", "algo": "mcp", "k": 2, "stream": true, "async": true,
+	}, nil); code != 400 {
+		t.Fatalf("stream+async: code %d, want 400", code)
+	}
+	// eps/delta only make sense for the sampling algorithms.
+	if code, _ := post(t, ts.URL+"/v1/cluster", map[string]any{
+		"graph": "ring", "algo": "mcl", "k": 2, "eps": 0.1,
+	}, nil); code != 400 {
+		t.Fatalf("eps on mcl: code %d, want 400", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/cluster", map[string]any{
+		"graph": "ring", "algo": "gmm", "k": 2, "stream": true,
+	}, nil); code != 400 {
+		t.Fatalf("stream on gmm: code %d, want 400", code)
+	}
+}
+
+func TestStatszAdaptiveCounters(t *testing.T) {
+	g := testGraph(t, 64, 1)
+	_, ts := newTestServer(t, g, Options{})
+
+	var stats struct {
+		AdaptiveQueries uint64 `json:"adaptive_queries"`
+		WorldsSaved     uint64 `json:"worlds_saved"`
+	}
+	if code := get(t, ts.URL+"/statsz", &stats); code != 200 {
+		t.Fatalf("statsz: code %d", code)
+	}
+	if stats.AdaptiveQueries != 0 || stats.WorldsSaved != 0 {
+		t.Fatalf("fresh daemon has adaptive counters: %+v", stats)
+	}
+
+	var out struct {
+		Worlds int `json:"worlds"`
+	}
+	if code, body := post(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "ring", "source": 0, "target": 1, "samples": 4096,
+		"eps": 0.05, "delta": 0.05,
+	}, &out); code != 200 {
+		t.Fatalf("adaptive conn: code %d body %s", code, body)
+	}
+	if code := get(t, ts.URL+"/statsz", &stats); code != 200 {
+		t.Fatal("statsz after adaptive query")
+	}
+	if stats.AdaptiveQueries != 1 {
+		t.Fatalf("adaptive_queries = %d, want 1", stats.AdaptiveQueries)
+	}
+	if want := uint64(4096 - out.Worlds); stats.WorldsSaved != want {
+		t.Fatalf("worlds_saved = %d, want budget-consumed = %d", stats.WorldsSaved, want)
+	}
+}

@@ -108,6 +108,21 @@ type Options struct {
 	// misses load persisted blocks instead of recomputing them. Answers
 	// are bit-identical with or without the cache.
 	WorldCacheDir string
+	// MaxCost caps the estimated cost of one estimating request, measured
+	// in world-extensions: the sample (or adaptive world) budget times the
+	// number of centers it drives (a pair query counts one center, a
+	// clustering request its k). Requests above the cap are rejected with
+	// 400 before touching the store — the cost-based admission layer on
+	// top of the concurrency gate. <= 0 selects 1 << 28.
+	MaxCost int64
+	// ClientConcurrent caps how many estimating requests one client (the
+	// X-API-Client header, else the remote host) may have running at once;
+	// excess requests are rejected with 429. 0 disables the quota.
+	ClientConcurrent int
+	// ClientWorldsPerMin refills each client's cost-token bucket at this
+	// rate (burst = one minute's worth): a client whose requests' summed
+	// cost outruns the refill gets 429 until tokens return. 0 disables.
+	ClientWorldsPerMin int64
 }
 
 // withDefaults fills in the documented defaults.
@@ -126,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Gate <= 0 {
 		o.Gate = 2
+	}
+	if o.MaxCost <= 0 {
+		o.MaxCost = 1 << 28
 	}
 	return o
 }
@@ -186,8 +204,15 @@ type Server struct {
 	start  time.Time
 	stops  []func() // background ping refreshers, stopped by Close
 
+	quotas *clientQuotas
+
 	requests atomic.Uint64
 	failures atomic.Uint64
+	// adaptiveQueries counts completed confidence-target requests;
+	// worldsSaved sums their budget - consumed gaps — the observable
+	// early-stopping win reported by /statsz.
+	adaptiveQueries atomic.Uint64
+	worldsSaved     atomic.Uint64
 }
 
 // New builds a Server over the given graphs. Every graph gets its shared
@@ -205,6 +230,7 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 		jobs:   newJobTable(),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		quotas: newClientQuotas(opts.ClientConcurrent, opts.ClientWorldsPerMin),
 	}
 	for _, gc := range graphs {
 		if gc.Name == "" {

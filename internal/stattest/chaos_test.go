@@ -1,0 +1,195 @@
+package stattest
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ucgraph/internal/server"
+)
+
+// killableProxy is a minimal TCP forwarder between the coordinator and
+// one shard worker: it can throttle backend responses (so an adaptive
+// query spans observable wall-clock) and kill the worker (sever every
+// live connection and refuse new ones — the connection-layer shape of a
+// real worker crash). Faults are injected below HTTP on purpose: the
+// shard fabric's persistent streams die the way production workers die.
+type killableProxy struct {
+	ln      net.Listener
+	backend string
+	down    atomic.Bool
+	delay   atomic.Int64 // response throttle, ns per read
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newKillableProxy(t testing.TB, backend string) *killableProxy {
+	t.Helper()
+	backend = strings.TrimPrefix(backend, "http://")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killableProxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	go p.accept()
+	t.Cleanup(func() {
+		ln.Close()
+		p.kill()
+	})
+	return p
+}
+
+func (p *killableProxy) url() string { return "http://" + p.ln.Addr().String() }
+
+func (p *killableProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.down.Load() {
+			c.Close()
+			continue
+		}
+		b, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns[c] = struct{}{}
+		p.conns[b] = struct{}{}
+		p.mu.Unlock()
+		go p.pipe(c, b, false)
+		go p.pipe(b, c, true)
+	}
+}
+
+func (p *killableProxy) pipe(src, dst net.Conn, throttled bool) {
+	defer src.Close()
+	defer dst.Close()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if throttled {
+				if d := p.delay.Load(); d > 0 {
+					time.Sleep(time.Duration(d))
+				}
+			}
+			if p.down.Load() {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// kill severs every live connection and refuses new ones.
+func (p *killableProxy) kill() {
+	p.down.Store(true)
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// TestAdaptiveSurvivesWorkerKillMidQuery is the chaos half of the
+// conformance contract: a 2-worker sharded daemon loses one worker in the
+// middle of an adaptive streaming query, and the stream must still end in
+// a CONVERGED final frame bit-identical to the unsharded adaptive answer.
+// Early stopping may never launder the failure into a short, unconverged
+// "answer" — the acceptable outcomes are the right answer or an explicit
+// error event, and with a surviving worker holding the same deterministic
+// world stream it must be the right answer.
+func TestAdaptiveSurvivesWorkerKillMidQuery(t *testing.T) {
+	g := e2eGraph(t, 64, 3)
+
+	// Ground truth: the unsharded adaptive run.
+	plain := startServer(t, g, server.Options{})
+	wantFrames, errEvent := streamFrames(t, plain.URL+"/v1/conn", progressiveConnBody())
+	if errEvent != nil {
+		t.Fatalf("unsharded stream errored: %v", errEvent)
+	}
+	want := checkRefinement(t, wantFrames, 4096)
+
+	// Sharded daemon: worker A direct, worker B behind the killable
+	// proxy, throttled so each tally response costs ~15ms and the
+	// adaptive rounds stretch over real wall-clock.
+	addrs := startWorkers(t, g, 2)
+	proxy := newKillableProxy(t, addrs[1])
+	proxy.delay.Store(int64(15 * time.Millisecond))
+	sharded := startServer(t, g, server.Options{
+		Shards: []string{addrs[0], proxy.url()},
+	})
+
+	// Kill the proxied worker as soon as the first refinement frame is
+	// out — squarely mid-query, with later rounds still to scatter.
+	killed := make(chan struct{})
+	frames, errEvent := streamFramesWithHook(t, sharded.URL+"/v1/conn", progressiveConnBody(), func(frameNo int) {
+		if frameNo == 1 {
+			proxy.kill()
+			close(killed)
+		}
+	})
+	select {
+	case <-killed:
+	default:
+		t.Fatal("worker was never killed: query finished before the first frame hook fired")
+	}
+	if errEvent != nil {
+		t.Fatalf("stream errored instead of failing over: %v", errEvent)
+	}
+	got := checkRefinement(t, frames, 4096)
+
+	// The surviving worker serves the same deterministic world stream, so
+	// the final frame — estimate, half-width, worlds — matches the
+	// unsharded run exactly.
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if string(a) != string(b) {
+		t.Fatalf("post-kill final frame differs from unsharded run:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestAdaptiveAllWorkersDeadFailsLoudly is the complementary guarantee:
+// when no worker survives, the stream must end in an explicit error
+// event, never a fabricated final frame.
+func TestAdaptiveAllWorkersDeadFailsLoudly(t *testing.T) {
+	g := e2eGraph(t, 64, 3)
+	addrs := startWorkers(t, g, 2)
+	proxyA := newKillableProxy(t, addrs[0])
+	proxyB := newKillableProxy(t, addrs[1])
+	proxyA.delay.Store(int64(15 * time.Millisecond))
+	proxyB.delay.Store(int64(15 * time.Millisecond))
+	sharded := startServer(t, g, server.Options{
+		Shards: []string{proxyA.url(), proxyB.url()},
+	})
+
+	frames, errEvent := streamFramesWithHook(t, sharded.URL+"/v1/conn", progressiveConnBody(), func(frameNo int) {
+		if frameNo == 1 {
+			proxyA.kill()
+			proxyB.kill()
+		}
+	})
+	if errEvent == nil {
+		t.Fatalf("no error event after losing every worker; got %d frames", len(frames))
+	}
+	for _, f := range frames {
+		if f["final"] == true || f["converged"] == true {
+			t.Fatalf("fabricated converged/final frame after total worker loss: %v", f)
+		}
+	}
+}

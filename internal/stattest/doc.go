@@ -1,0 +1,28 @@
+// Package stattest is the statistical conformance harness for the
+// adaptive (eps, delta) estimation stack.
+//
+// Unit tests elsewhere pin determinism: same seed, same answer, bit for
+// bit. The tests in this package check the other half of the contract —
+// that the answers mean what the confidence parameters claim:
+//
+//   - Conformance sweeps run the adaptive estimator across many world
+//     seeds against exact ground truth (conn.Exact enumerates all 2^m
+//     worlds of tiny fixtures) and assert the empirical violation rate
+//     |estimate - truth| > eps stays within delta plus binomial
+//     tolerance. The guarantee is distribution-free, so if these fail the
+//     half-width math is wrong, not unlucky.
+//
+//   - Progressive end-to-end tests drive the daemon's SSE surface and
+//     assert the refinement stream is well-formed: intervals shrink
+//     monotonically, worlds consumed grow, and the final frame equals
+//     the fixed-budget answer at the same consumed-world count.
+//
+//   - Chaos tests kill a shard worker mid-adaptive-round through a TCP
+//     proxy and assert early stopping never launders a failure into an
+//     unconverged answer: the stream either ends in a converged frame
+//     bit-identical to the unsharded run, or an explicit error event.
+//
+// The package contains no production code; it exists so `go test
+// ./internal/stattest` is the one command that re-validates the
+// statistical claims after any estimator change.
+package stattest

@@ -1,0 +1,240 @@
+package stattest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ucgraph/internal/graph"
+	"ucgraph/internal/rng"
+	"ucgraph/internal/server"
+	"ucgraph/internal/shard"
+)
+
+// e2eGraph builds the moderate ring-with-chords graph the end-to-end
+// suites query.
+func e2eGraph(t testing.TB, n int, seed uint64) *graph.Uncertain {
+	t.Helper()
+	x := rng.NewXoshiro256(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(int32(i), int32((i+1)%n), 0.3+0.65*x.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n/4; i++ {
+		u, v := int32(x.Intn(n)), int32(x.Intn(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 0.2+0.5*x.Float64())
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func startServer(t testing.TB, g *graph.Uncertain, opts server.Options) *httptest.Server {
+	t.Helper()
+	s, err := server.New([]server.GraphConfig{{Name: "g", Graph: g, Seed: 11}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func startWorkers(t testing.TB, g *graph.Uncertain, count int) []string {
+	t.Helper()
+	addrs := make([]string, count)
+	for i := 0; i < count; i++ {
+		w, err := shard.NewWorker([]shard.WorkerGraph{{Name: "g", Graph: g, Seed: 11}}, shard.WorkerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := httptest.NewServer(w)
+		t.Cleanup(ws.Close)
+		addrs[i] = ws.URL
+	}
+	return addrs
+}
+
+func postJSON(t testing.TB, url string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("decoding %q: %v", raw.String(), err)
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+// streamFrames posts a request and collects the SSE response: the decoded
+// data frames plus the terminal error event, if any.
+func streamFrames(t testing.TB, url string, body any) (frames []map[string]any, errEvent map[string]any) {
+	t.Helper()
+	return streamFramesWithHook(t, url, body, nil)
+}
+
+// streamFramesWithHook is streamFrames with a callback fired after every
+// decoded data frame (1-based frame number) — the chaos tests use it to
+// inject faults at a precise point mid-stream.
+func streamFramesWithHook(t testing.TB, url string, body any, onFrame func(frameNo int)) (frames []map[string]any, errEvent map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream request: code %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inError := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: error":
+			inError = true
+		case strings.HasPrefix(line, "data: "):
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &m); err != nil {
+				t.Fatalf("bad frame %q: %v", line, err)
+			}
+			if inError {
+				errEvent = m
+				inError = false
+			} else {
+				frames = append(frames, m)
+				if onFrame != nil {
+					onFrame(len(frames))
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return frames, errEvent
+}
+
+// progressiveConnBody is the canonical adaptive streaming query of the
+// e2e suites.
+func progressiveConnBody() map[string]any {
+	return map[string]any{
+		"graph": "g", "centers": []int{0, 21}, "targets": []int{1, 20, 36},
+		"samples": 4096, "eps": 0.05, "delta": 0.05, "stream": true,
+	}
+}
+
+// checkRefinement asserts a well-formed refinement stream: at least two
+// frames, worlds strictly increasing, half-width strictly shrinking, last
+// frame converged+final inside the budget. Returns the final frame.
+func checkRefinement(t *testing.T, frames []map[string]any, budget int) map[string]any {
+	t.Helper()
+	if len(frames) < 2 {
+		t.Fatalf("want >= 2 refinement frames, got %d", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i]["worlds"].(float64) <= frames[i-1]["worlds"].(float64) {
+			t.Fatalf("worlds not increasing at frame %d", i)
+		}
+		if frames[i]["half_width"].(float64) >= frames[i-1]["half_width"].(float64) {
+			t.Fatalf("half-width not shrinking at frame %d: %v -> %v",
+				i, frames[i-1]["half_width"], frames[i]["half_width"])
+		}
+	}
+	last := frames[len(frames)-1]
+	if last["final"] != true {
+		t.Fatalf("last frame not final: %v", last)
+	}
+	if last["converged"] != true {
+		t.Fatalf("stream ended unconverged: %v", last)
+	}
+	if int(last["worlds"].(float64)) >= budget {
+		t.Fatalf("no early stop: %v of %d worlds", last["worlds"], budget)
+	}
+	return last
+}
+
+// TestProgressiveStreamEndToEnd drives /v1/conn streaming against a real
+// daemon: monotone refinement, early stop, and a final frame equal to the
+// fixed-budget endpoint at the same consumed-world count.
+func TestProgressiveStreamEndToEnd(t *testing.T) {
+	g := e2eGraph(t, 64, 3)
+	ts := startServer(t, g, server.Options{})
+
+	frames, errEvent := streamFrames(t, ts.URL+"/v1/conn", progressiveConnBody())
+	if errEvent != nil {
+		t.Fatalf("stream errored: %v", errEvent)
+	}
+	last := checkRefinement(t, frames, 4096)
+	worlds := int(last["worlds"].(float64))
+
+	var fixed struct {
+		Estimates [][]float64 `json:"estimates"`
+	}
+	if code, raw := postJSON(t, ts.URL+"/v1/conn", map[string]any{
+		"graph": "g", "centers": []int{0, 21}, "targets": []int{1, 20, 36},
+		"samples": worlds,
+	}, &fixed); code != 200 {
+		t.Fatalf("fixed query: code %d: %s", code, raw)
+	}
+	gotJSON, _ := json.Marshal(last["estimates"])
+	wantJSON, _ := json.Marshal(fixed.Estimates)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("final frame != fixed budget at %d worlds:\n%s\nvs\n%s", worlds, gotJSON, wantJSON)
+	}
+}
+
+// TestProgressiveStreamShardedMatchesLocal runs the identical adaptive
+// stream against an unsharded daemon and a 2-worker coordinator: the
+// refinement sequences — every frame, not just the final one — must be
+// byte-identical, because adaptive rounds ride the same deterministic
+// world stream no matter where tallies are computed.
+func TestProgressiveStreamShardedMatchesLocal(t *testing.T) {
+	g := e2eGraph(t, 64, 3)
+	plain := startServer(t, g, server.Options{})
+	sharded := startServer(t, g, server.Options{Shards: startWorkers(t, g, 2)})
+
+	plainFrames, err1 := streamFrames(t, plain.URL+"/v1/conn", progressiveConnBody())
+	shardFrames, err2 := streamFrames(t, sharded.URL+"/v1/conn", progressiveConnBody())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("stream errored: plain=%v sharded=%v", err1, err2)
+	}
+	checkRefinement(t, plainFrames, 4096)
+	if len(plainFrames) != len(shardFrames) {
+		t.Fatalf("frame counts differ: %d local vs %d sharded", len(plainFrames), len(shardFrames))
+	}
+	for i := range plainFrames {
+		a, _ := json.Marshal(plainFrames[i])
+		b, _ := json.Marshal(shardFrames[i])
+		if string(a) != string(b) {
+			t.Fatalf("frame %d differs:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 
 	"ucgraph/internal/conn"
+	"ucgraph/internal/core"
 	"ucgraph/internal/graph"
 	"ucgraph/internal/influence"
 	"ucgraph/internal/knn"
@@ -159,6 +160,25 @@ func AllTerminalReliability(g *Graph, seed uint64, r int) float64 {
 // AdaptiveResult reports an adaptive (stopping-rule) estimation outcome.
 type AdaptiveResult = conn.AdaptiveResult
 
+// AdaptiveParams is an additive (eps, delta) confidence target for
+// adaptive estimation: with probability at least 1-Delta, every tracked
+// estimate lands within Eps of the truth.
+type AdaptiveParams = conn.AdaptiveParams
+
+// AdaptiveStats accounts an adaptive run: worlds consumed vs budget,
+// rounds, the final certified half-width, and whether the run converged.
+type AdaptiveStats = conn.AdaptiveStats
+
+// AdaptiveSnapshot is one refinement round of an adaptive run, delivered
+// to the progress callback of AdaptiveFromCenters.
+type AdaptiveSnapshot = conn.AdaptiveSnapshot
+
+// AdaptiveScoring switches MCP/ACP candidate scoring to adaptive racing:
+// set it on Options.Adaptive to prune dominated candidate centers early
+// instead of spending the full sample budget on each (see
+// Options.Adaptive for the determinism contract).
+type AdaptiveScoring = core.AdaptiveScoring
+
 // AdaptiveConnectionProbability estimates Pr(u ~ v) to relative error eps
 // with confidence 1-delta using the Dagum-Karp-Luby-Ross stopping rule —
 // the pL-free progressive sampling sketched at the end of Section 4.2 of
@@ -166,4 +186,28 @@ type AdaptiveResult = conn.AdaptiveResult
 // (~ln(1/delta)/(eps^2 Pr)), capped at maxSamples (<= 0 for the default).
 func AdaptiveConnectionProbability(g *Graph, u, v NodeID, eps, delta float64, seed uint64, maxSamples int) AdaptiveResult {
 	return conn.NewMonteCarlo(g, seed).AdaptivePair(u, v, eps, delta, maxSamples)
+}
+
+// ConnectionProbabilityInterval estimates Pr(u ~ v) to ADDITIVE error eps
+// with confidence 1-delta: worlds are consumed in block-aligned doubling
+// rounds from the shared store and the run stops as soon as the
+// Hoeffding/empirical-Bernstein interval closes to eps. Unlike the
+// relative-error AdaptiveConnectionProbability, the additive target never
+// needs many worlds for rare events — extreme probabilities converge
+// FASTER (the empirical variance vanishes). Deterministic for fixed
+// (graph, seed, params); the estimate at the stopping point is
+// bit-identical to a fixed-budget run of the same world count.
+func ConnectionProbabilityInterval(ctx context.Context, g *Graph, u, v NodeID, p AdaptiveParams, seed uint64) (float64, AdaptiveStats, error) {
+	return conn.AdaptivePairInterval(ctx, conn.NewMonteCarlo(g, seed), u, v, conn.Unlimited, p, nil)
+}
+
+// AdaptiveFromCenters answers "Pr(c ~ u) for every u" for each center to
+// an additive (eps, delta) target, refining all centers together over
+// doubling world rounds until the widest tracked interval closes (targets
+// restricts which nodes count; nil tracks all). The progress callback, if
+// non-nil, observes every refinement round; returning an error from it
+// aborts the run. est may be shared — rounds extend its per-center tally
+// cache exactly like fixed-budget queries do.
+func AdaptiveFromCenters(ctx context.Context, est *Estimator, cs []NodeID, depth int, targets []NodeID, p AdaptiveParams, progress func(AdaptiveSnapshot) error) ([][]float64, AdaptiveStats, error) {
+	return conn.AdaptiveFromCenters(ctx, est, cs, depth, targets, p, progress)
 }

@@ -1,6 +1,7 @@
 package ucgraph
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -148,5 +149,47 @@ func TestPublicAdaptiveEstimation(t *testing.T) {
 	}
 	if res.Samples < 100 {
 		t.Fatalf("suspiciously few samples: %d", res.Samples)
+	}
+}
+
+func TestPublicConnectionProbabilityInterval(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, st, err := ConnectionProbabilityInterval(context.Background(), g, 0, 2,
+		AdaptiveParams{Eps: 0.05, Delta: 0.05, MaxWorlds: 1 << 16}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.HalfWidth > 0.05 {
+		t.Fatalf("interval did not close: %+v", st)
+	}
+	if math.Abs(p-0.48) > 0.05 {
+		t.Fatalf("estimate %v, want 0.48 +- 0.05", p)
+	}
+
+	// The batched form tracks every node by default and reports each
+	// refinement round through the callback.
+	rounds := 0
+	ests, st2, err := AdaptiveFromCenters(context.Background(), NewEstimator(g, 5),
+		[]NodeID{0}, Unlimited, nil,
+		AdaptiveParams{Eps: 0.05, Delta: 0.05, MaxWorlds: 1 << 16},
+		func(AdaptiveSnapshot) error { rounds++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 || !st2.Converged {
+		t.Fatalf("no refinement rounds observed (%d) or unconverged: %+v", rounds, st2)
+	}
+	if math.Abs(ests[0][2]-0.48) > 0.05 {
+		t.Fatalf("batched estimate %v, want 0.48 +- 0.05", ests[0][2])
 	}
 }
