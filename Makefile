@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race cover bench bench-core bench-depth bench-server bench-shard bench-store bench-dblp bench-smoke fuzz serve docs-check ci
+.PHONY: build fmt vet test short race chaos cover bench bench-core bench-depth bench-server bench-shard bench-store bench-dblp bench-smoke fuzz serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,17 @@ short:
 # conformance harness exercises server+shard+conn together, so it rides
 # in this gate too).
 race:
-	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server ./internal/shard ./internal/stattest
+	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server ./internal/shard ./internal/stattest ./internal/faultinject
+
+# Seeded chaos suite under the race detector: fault-injection proxies
+# (internal/faultinject) kill, delay and corrupt the coordinator-worker
+# path while the suite asserts every query either fails loudly or
+# answers bit-identically to a fault-free run. Each run logs its seed;
+# replay any failure exactly with CHAOS_SEED=<seed> make chaos.
+chaos:
+	$(GO) test -race -v -count=1 ./internal/faultinject
+	$(GO) test -race -v -count=1 ./internal/shard -run 'TestChaos|TestBreaker|TestFlapQuarantine|TestCorruptFrame|TestAudit|TestWorkerDrain'
+	$(GO) test -race -v -count=1 ./internal/stattest -run 'TestAdaptiveSurvives|TestAdaptiveAllWorkersDead|TestDrainCompletes'
 
 # Coverage floor on the packages the adaptive path runs through. Fails
 # if either package's total statement coverage drops below $(COVER_MIN)%.

@@ -37,8 +37,10 @@
 // -shard-ping sets the membership-refresh cadence, and POST /v1/shards
 // adds or removes workers at runtime without a restart.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /healthz flips to
+// 503 "draining", in-flight requests — including open SSE refinement
+// streams and hijacked shard v2 streams — finish under -drain-timeout,
+// and only then are connections severed.
 package main
 
 import (
@@ -84,6 +86,11 @@ func main() {
 		shardPing    = flag.Duration("shard-ping", 5*time.Second, "background worker ping/membership-refresh interval (0 = on-demand only)")
 		shardRetries = flag.Int("shard-retries", 0, "scatter retry rounds against re-striped workers (0 = package default)")
 		shardTimeout = flag.Duration("shard-timeout", 0, "per-worker-request deadline (0 = package default)")
+
+		shardBreaker = flag.Int("shard-breaker", 0, "consecutive tally failures tripping a worker's circuit breaker (0 = package default)")
+		shardBudget  = flag.Int("shard-retry-budget", 0, "total block re-scatters one query may spend (0 = package default)")
+		shardAudit   = flag.Float64("shard-audit", 0, "fraction of scatter groups re-executed on a second worker and compared byte-for-byte (0 = no auditing); results are identical either way")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight queries, SSE streams and shard streams to finish")
 	)
 	var graphs []server.GraphConfig
 	flag.Func("graph", "serve a graph from an edge-list file, as name=path (repeatable)", func(v string) error {
@@ -148,12 +155,15 @@ func main() {
 
 	var handler http.Handler
 	var closeServer func()
+	var wrk *shard.Worker
+	var srv *server.Server
 	if *shardWorker {
 		wgs := make([]shard.WorkerGraph, len(graphs))
 		for i, gc := range graphs {
 			wgs[i] = shard.WorkerGraph{Name: gc.Name, Graph: gc.Graph, Seed: gc.Seed}
 		}
-		wrk, err := shard.NewWorker(wgs, shard.WorkerOptions{MaxWorlds: *maxSamp, WorldCacheDir: *worldcache})
+		var err error
+		wrk, err = shard.NewWorker(wgs, shard.WorkerOptions{MaxWorlds: *maxSamp, WorldCacheDir: *worldcache})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
 			os.Exit(1)
@@ -166,22 +176,26 @@ func main() {
 				shardAddrs = append(shardAddrs, a)
 			}
 		}
-		srv, err := server.New(graphs, server.Options{
-			DefaultSamples:      *samples,
-			MaxSamples:          *maxSamp,
-			DefaultTimeout:      *timeout,
-			MaxTimeout:          *maxTime,
-			Gate:                *gate,
-			Parallelism:         *par,
-			Shards:              shardAddrs,
-			ShardRetries:        *shardRetries,
-			ShardRequestTimeout: *shardTimeout,
-			ShardHedge:          *shardHedge,
-			ShardPingInterval:   *shardPing,
-			WorldCacheDir:       *worldcache,
-			MaxCost:             *maxCost,
-			ClientConcurrent:    *clientConc,
-			ClientWorldsPerMin:  *clientWorlds,
+		var err error
+		srv, err = server.New(graphs, server.Options{
+			DefaultSamples:        *samples,
+			MaxSamples:            *maxSamp,
+			DefaultTimeout:        *timeout,
+			MaxTimeout:            *maxTime,
+			Gate:                  *gate,
+			Parallelism:           *par,
+			Shards:                shardAddrs,
+			ShardRetries:          *shardRetries,
+			ShardRequestTimeout:   *shardTimeout,
+			ShardHedge:            *shardHedge,
+			ShardPingInterval:     *shardPing,
+			ShardBreakerThreshold: *shardBreaker,
+			ShardRetryBudget:      *shardBudget,
+			ShardAuditFraction:    *shardAudit,
+			WorldCacheDir:         *worldcache,
+			MaxCost:               *maxCost,
+			ClientConcurrent:      *clientConc,
+			ClientWorldsPerMin:    *clientWorlds,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
@@ -214,15 +228,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
 		os.Exit(1)
 	case <-ctx.Done():
-		fmt.Println("shutting down...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Println("draining...")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		// Shutdown drains regular requests but does not wait for hijacked
-		// shard-stream connections; the coordinator's Close (and a worker's
-		// process exit) severs those explicitly. See docs/OPERATIONS.md.
-		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Graceful drain under -drain-timeout: /healthz flips to 503
+		// "draining" immediately so load balancers route away, in-flight
+		// work — regular requests, open SSE refinement streams, and the
+		// hijacked shard v2 streams — runs to completion, and only then
+		// are connections severed. See docs/OPERATIONS.md.
+		if wrk != nil {
+			// Worker: stop admitting stream requests, flush in-flight
+			// tallies, sever the (hijacked) streams Shutdown cannot see.
+			if err := wrk.Drain(drainCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "ucserve: drain: %v\n", err)
+			}
+		}
+		if srv != nil {
+			srv.StartDrain()
+		}
+		if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "ucserve: shutdown: %v\n", err)
 			os.Exit(1)
+		}
+		if srv != nil {
+			if err := srv.Drain(drainCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "ucserve: drain: %v\n", err)
+			}
 		}
 		if closeServer != nil {
 			closeServer()

@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic is the replayability contract: a schedule's
+// entire fault sequence is a pure function of its seed, so a chaos
+// failure replays from the one logged number.
+func TestScheduleDeterministic(t *testing.T) {
+	mk := func(seed uint64) Schedule {
+		return Schedule{
+			Seed:           seed,
+			KillEvery:      97,
+			DelayEvery:     13,
+			Delay:          time.Millisecond,
+			CorruptEvery:   31,
+			PartitionEvery: 11,
+		}
+	}
+	a, b := mk(42), mk(42)
+	for conn := uint64(0); conn < 8; conn++ {
+		if a.Partitioned(conn) != b.Partitioned(conn) {
+			t.Fatalf("partition decision differs for conn %d under the same seed", conn)
+		}
+		for i := uint64(0); i < 512; i++ {
+			fa, fb := a.Chunk(conn, i), b.Chunk(conn, i)
+			if fa != fb {
+				t.Fatalf("conn %d chunk %d: %v vs %v under the same seed", conn, i, fa, fb)
+			}
+		}
+	}
+}
+
+// TestScheduleSeedSensitivity: different seeds must give different
+// sequences (a constant schedule would trivially pass the determinism
+// test while testing nothing).
+func TestScheduleSeedSensitivity(t *testing.T) {
+	mk := func(seed uint64) Schedule {
+		return Schedule{Seed: seed, KillEvery: 7, CorruptEvery: 5, DelayEvery: 3, Delay: time.Millisecond}
+	}
+	a, b := mk(1), mk(2)
+	diff := 0
+	for i := uint64(0); i < 512; i++ {
+		if a.Chunk(0, i) != b.Chunk(0, i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("512 chunk decisions identical across different seeds")
+	}
+}
+
+// TestScheduleRates sanity-checks that 1/N knobs fire at roughly 1/N —
+// catching a hash bug that makes a fault never (or always) fire.
+func TestScheduleRates(t *testing.T) {
+	s := Schedule{Seed: 9, CorruptEvery: 8}
+	hits := 0
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		if s.Chunk(3, i).Kind == FaultCorrupt {
+			hits++
+		}
+	}
+	// Expect ~n/8 = 512; accept a generous 2x band.
+	if hits < n/16 || hits > n/4 {
+		t.Fatalf("corrupt rate way off: %d hits of %d at 1/8", hits, n)
+	}
+}
+
+// echoBackend accepts one connection at a time and echoes bytes back.
+func echoBackend(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestProxyForwardsAndCorrupts drives the proxy against an echo backend:
+// clean pass-through first, then CorruptNext flips exactly one bit of the
+// next response chunk, and the corruption counter records it.
+func TestProxyForwardsAndCorrupts(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	c := dialProxy(t, p)
+	msg := []byte("tally-frame-payload")
+	roundTrip := func() []byte {
+		if _, err := c.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(c, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	if got := roundTrip(); !bytes.Equal(got, msg) {
+		t.Fatalf("clean forward mangled: %q vs %q", got, msg)
+	}
+
+	p.CorruptNext(1)
+	got := roundTrip()
+	if bytes.Equal(got, msg) {
+		t.Fatal("CorruptNext(1) did not corrupt the next chunk")
+	}
+	want := append([]byte(nil), msg...)
+	want[len(want)-1] ^= 1
+	if !bytes.Equal(got, want) {
+		t.Fatalf("corruption not a single final-byte bit flip: %q", got)
+	}
+	if got := roundTrip(); !bytes.Equal(got, msg) {
+		t.Fatal("corruption budget did not expire after one chunk")
+	}
+	if n := p.Counters().Corruptions; n != 1 {
+		t.Fatalf("Corruptions = %d, want 1", n)
+	}
+}
+
+// TestProxyKillAndRevive: SetDown severs live connections and refuses new
+// ones; revival restores service.
+func TestProxyKillAndRevive(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(c, one); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Kill()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(one); err == nil {
+		t.Fatal("read succeeded on a killed connection")
+	}
+
+	p.SetDown(false)
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, one); err != nil {
+		t.Fatalf("revived proxy not forwarding: %v", err)
+	}
+}
+
+// TestProxyScheduledKill installs a kill-every-chunk schedule and checks
+// the connection dies on its first response chunk, with the kill counted.
+func TestProxyScheduledKill(t *testing.T) {
+	ln := echoBackend(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	p.SetSchedule(Schedule{Seed: 5, KillEvery: 1})
+
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(one); err == nil {
+		t.Fatal("scheduled kill did not sever the response path")
+	}
+	if n := p.Counters().Kills; n == 0 {
+		t.Fatal("kill not counted")
+	}
+}

@@ -1,0 +1,223 @@
+package faultinject
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is a snapshot of the faults a Proxy has actually injected.
+// Chaos tests assert against these to prove a run exercised what it
+// claimed to (a schedule that never fired proves nothing).
+type Counters struct {
+	// Conns is the number of client connections accepted and forwarded.
+	Conns uint64
+	// Kills counts connections severed by a scheduled kill fault
+	// (imperative SetDown/KillConns severs are not counted here).
+	Kills uint64
+	// Delays counts chunks delayed by a scheduled delay fault.
+	Delays uint64
+	// Corruptions counts chunks with a bit flipped — scheduled or via
+	// CorruptNext.
+	Corruptions uint64
+	// Partitioned counts connections the schedule black-holed.
+	Partitioned uint64
+}
+
+// Proxy is a TCP forwarder between a client and one backend that injects
+// faults at the connection layer — below HTTP, where real worker deaths,
+// stragglers, partitions, and bit rot manifest against the shard fabric's
+// persistent streams. Scheduled faults apply to the backend->client
+// direction (the response path, where corruption must be caught before a
+// tally is merged); imperative kills sever both directions.
+type Proxy struct {
+	ln      net.Listener
+	backend string
+	down    atomic.Bool
+	delay   atomic.Int64 // extra latency per backend->client chunk, ns
+	corrupt atomic.Int64 // CorruptNext budget: chunks left to bit-flip
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	schedule Schedule
+
+	connSeq atomic.Uint64
+	counts  struct {
+		kills, delays, corruptions, partitioned atomic.Uint64
+	}
+}
+
+// New starts a proxy forwarding to backend (a base URL or host:port) on
+// an ephemeral localhost port. Callers own shutdown: pair with
+// t.Cleanup(p.Close) in tests.
+func New(backend string) (*Proxy, error) {
+	backend = strings.TrimPrefix(backend, "http://")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	go p.run()
+	return p, nil
+}
+
+// URL returns the proxy's base URL, to hand to a coordinator as the
+// worker address.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// SetSchedule installs a seeded fault schedule; faults apply to
+// connections accepted from now on. The zero Schedule disables scheduled
+// faults.
+func (p *Proxy) SetSchedule(s Schedule) {
+	p.mu.Lock()
+	p.schedule = s
+	p.mu.Unlock()
+}
+
+// SetDelay throttles every backend->client chunk by d (0 disables) — the
+// shape of a straggling worker.
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// CorruptNext flips one bit in the final byte of each of the next n
+// backend->client chunks. Small tally frames arrive as a single chunk, so
+// the flip lands in the frame payload/CRC trailer while the length header
+// stays intact — the bit-rot case wire integrity must catch, as opposed
+// to a mangled header, which kills the stream outright (a different,
+// also-handled fault).
+func (p *Proxy) CorruptNext(n int) { p.corrupt.Add(int64(n)) }
+
+// SetDown kills (or revives) the proxied backend; going down severs every
+// live connection and refuses new ones, modelling a crash mid-query.
+func (p *Proxy) SetDown(down bool) {
+	p.down.Store(down)
+	if down {
+		p.KillConns()
+	}
+}
+
+// Kill is SetDown(true): sever everything, refuse new connections.
+func (p *Proxy) Kill() { p.SetDown(true) }
+
+// KillConns severs every live connection without marking the backend
+// down: established streams die, reconnects succeed — the shape of a
+// network blip or an idle-timeout middlebox.
+func (p *Proxy) KillConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// Counters returns a snapshot of injected-fault counts.
+func (p *Proxy) Counters() Counters {
+	p.mu.Lock()
+	nconns := p.connSeq.Load()
+	p.mu.Unlock()
+	return Counters{
+		Conns:       nconns,
+		Kills:       p.counts.kills.Load(),
+		Delays:      p.counts.delays.Load(),
+		Corruptions: p.counts.corruptions.Load(),
+		Partitioned: p.counts.partitioned.Load(),
+	}
+}
+
+// Close stops accepting and severs every live connection.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	p.KillConns()
+	return err
+}
+
+func (p *Proxy) run() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.down.Load() {
+			c.Close()
+			continue
+		}
+		connID := p.connSeq.Add(1) - 1
+		p.mu.Lock()
+		sched := p.schedule
+		p.mu.Unlock()
+		if sched.Partitioned(connID) {
+			// Black hole: hold the connection open, forward nothing. The
+			// peer sees silence until its own deadline fires — the
+			// distinguishing mark of a partition versus a crash.
+			p.counts.partitioned.Add(1)
+			p.track(c)
+			continue
+		}
+		b, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.track(c)
+		p.track(b)
+		go p.pipe(c, b, connID, false, sched)
+		go p.pipe(b, c, connID, true, sched)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+// pipe forwards src->dst. Faults — the imperative delay/corrupt controls
+// and the seeded schedule — apply only on the backend->client direction
+// (faulted == true), chunk by chunk.
+func (p *Proxy) pipe(src, dst net.Conn, connID uint64, faulted bool, sched Schedule) {
+	defer src.Close()
+	defer dst.Close()
+	buf := make([]byte, 4096)
+	var chunk uint64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if faulted {
+				if d := p.delay.Load(); d > 0 {
+					time.Sleep(time.Duration(d))
+				}
+				if p.corrupt.Load() > 0 {
+					if p.corrupt.Add(-1) >= 0 {
+						buf[n-1] ^= 1
+						p.counts.corruptions.Add(1)
+					} else {
+						p.corrupt.Add(1) // lost the race; restore
+					}
+				}
+				switch f := sched.Chunk(connID, chunk); f.Kind {
+				case FaultKill:
+					p.counts.kills.Add(1)
+					return
+				case FaultDelay:
+					p.counts.delays.Add(1)
+					time.Sleep(f.Delay)
+				case FaultCorrupt:
+					buf[n-1] ^= 1 << f.Bit
+					p.counts.corruptions.Add(1)
+				}
+				chunk++
+			}
+			if p.down.Load() {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

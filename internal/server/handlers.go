@@ -28,6 +28,15 @@ const healthPingTimeout = 2 * time.Second
 // not_ready with a 503 so load balancers keep traffic away from a
 // coordinator whose workers are still coming up.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{
+			"status":    "draining",
+			"uptime_ms": time.Since(s.start).Milliseconds(),
+			// Exclude this probe from the count the operator watches.
+			"inflight": s.inflight.Load() - 1,
+		})
+		return
+	}
 	body := map[string]any{
 		"status":    "ok",
 		"uptime_ms": time.Since(s.start).Milliseconds(),
@@ -78,6 +87,9 @@ type storeStats struct {
 	DiskBytes            int64  `json:"disk_bytes"`
 	SpillWrites          uint64 `json:"spill_writes"`
 	CorruptDropped       uint64 `json:"corrupt_dropped"`
+	AccumWorlds          uint64 `json:"accum_worlds"`
+	AccumFlushes         uint64 `json:"accum_flushes"`
+	DirectWorlds         uint64 `json:"direct_worlds"`
 	CacheDir             string `json:"cache_dir,omitempty"`
 }
 
@@ -100,6 +112,9 @@ func (h *graphHandle) storeStats() storeStats {
 		DiskBytes:            st.DiskBytes,
 		SpillWrites:          st.SpillWrites,
 		CorruptDropped:       st.CorruptDropped,
+		AccumWorlds:          st.AccumWorlds,
+		AccumFlushes:         st.AccumFlushes,
+		DirectWorlds:         st.DirectWorlds,
 		CacheDir:             st.CacheDir,
 	}
 }
@@ -107,16 +122,19 @@ func (h *graphHandle) storeStats() storeStats {
 // shardStats mirrors shard.WorkerStats with stable JSON names — the
 // per-graph shard health block of /statsz.
 type shardStats struct {
-	Addr         string `json:"addr"`
-	State        string `json:"state"`
-	Requests     uint64 `json:"requests"`
-	Failures     uint64 `json:"failures"`
-	Duplicates   uint64 `json:"duplicates"`
-	RangesServed uint64 `json:"ranges_served"`
-	WorldsServed uint64 `json:"worlds_served"`
-	LastRTTMS    int64  `json:"last_rtt_ms"`
-	LastOKMS     int64  `json:"last_ok_unix_ms,omitempty"`
-	LastErr      string `json:"last_err,omitempty"`
+	Addr             string `json:"addr"`
+	State            string `json:"state"`
+	Requests         uint64 `json:"requests"`
+	Failures         uint64 `json:"failures"`
+	Duplicates       uint64 `json:"duplicates"`
+	RangesServed     uint64 `json:"ranges_served"`
+	WorldsServed     uint64 `json:"worlds_served"`
+	BreakerTrips     uint64 `json:"breaker_trips,omitempty"`
+	BreakerOpen      bool   `json:"breaker_open,omitempty"`
+	IntegrityRejects uint64 `json:"integrity_rejects,omitempty"`
+	LastRTTMS        int64  `json:"last_rtt_ms"`
+	LastOKMS         int64  `json:"last_ok_unix_ms,omitempty"`
+	LastErr          string `json:"last_err,omitempty"`
 }
 
 func (h *graphHandle) shardStats() []shardStats {
@@ -124,15 +142,18 @@ func (h *graphHandle) shardStats() []shardStats {
 	out := make([]shardStats, len(ws))
 	for i, st := range ws {
 		out[i] = shardStats{
-			Addr:         st.Addr,
-			State:        st.State,
-			Requests:     st.Requests,
-			Failures:     st.Failures,
-			Duplicates:   st.Duplicates,
-			RangesServed: st.RangesServed,
-			WorldsServed: st.WorldsServed,
-			LastRTTMS:    st.LastRTT.Milliseconds(),
-			LastErr:      st.LastErr,
+			Addr:             st.Addr,
+			State:            st.State,
+			Requests:         st.Requests,
+			Failures:         st.Failures,
+			Duplicates:       st.Duplicates,
+			RangesServed:     st.RangesServed,
+			WorldsServed:     st.WorldsServed,
+			BreakerTrips:     st.BreakerTrips,
+			BreakerOpen:      st.BreakerOpen,
+			IntegrityRejects: st.IntegrityRejects,
+			LastRTTMS:        st.LastRTT.Milliseconds(),
+			LastErr:          st.LastErr,
 		}
 		if !st.LastOK.IsZero() {
 			out[i].LastOKMS = st.LastOK.UnixMilli()
@@ -144,14 +165,28 @@ func (h *graphHandle) shardStats() []shardStats {
 // fabricStats mirrors shard.FabricStats — coordinator-wide hedging and
 // re-scatter counters for one graph.
 type fabricStats struct {
-	Hedges     uint64 `json:"hedges"`
-	Duplicates uint64 `json:"duplicates"`
-	Rescatters uint64 `json:"rescatters"`
+	Hedges           uint64 `json:"hedges"`
+	Duplicates       uint64 `json:"duplicates"`
+	Rescatters       uint64 `json:"rescatters"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
+	Quarantines      uint64 `json:"quarantines"`
+	IntegrityRejects uint64 `json:"integrity_rejects"`
+	Audits           uint64 `json:"audits"`
+	AuditDivergences uint64 `json:"audit_divergences"`
 }
 
 func (h *graphHandle) fabricStats() fabricStats {
 	fs := h.coord.FabricStats()
-	return fabricStats{Hedges: fs.Hedges, Duplicates: fs.Duplicates, Rescatters: fs.Rescatters}
+	return fabricStats{
+		Hedges:           fs.Hedges,
+		Duplicates:       fs.Duplicates,
+		Rescatters:       fs.Rescatters,
+		BreakerTrips:     fs.BreakerTrips,
+		Quarantines:      fs.Quarantines,
+		IntegrityRejects: fs.IntegrityRejects,
+		Audits:           fs.Audits,
+		AuditDivergences: fs.AuditDivergences,
+	}
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -171,6 +206,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, map[string]any{
 		"uptime_ms":        time.Since(s.start).Milliseconds(),
+		"draining":         s.draining.Load(),
 		"requests":         s.requests.Load(),
 		"failures":         s.failures.Load(),
 		"adaptive_queries": s.adaptiveQueries.Load(),

@@ -87,6 +87,21 @@ type Options struct {
 	// package defaults.
 	ShardRetries        int
 	ShardRequestTimeout time.Duration
+	// ShardBreakerThreshold and ShardBreakerBackoff tune the per-worker
+	// circuit breakers: a worker failing this many consecutive tallies is
+	// taken out of assignment for an exponentially growing (seeded-jitter)
+	// backoff. Zero selects the shard package defaults. Breaker state is
+	// surfaced per worker at /statsz.
+	ShardBreakerThreshold int
+	ShardBreakerBackoff   time.Duration
+	// ShardRetryBudget caps the total block re-scatters one query may
+	// spend across its retry rounds (0 = package default): a melting fleet
+	// fails queries crisply instead of retrying forever.
+	ShardRetryBudget int
+	// ShardAuditFraction, in [0, 1], samples completed scatter groups for
+	// audit re-execution on a second worker with byte-for-byte tally
+	// comparison; divergent workers are quarantined. 0 disables.
+	ShardAuditFraction float64
 	// ShardHedge, when positive, arms hedged requests: a scatter group
 	// unanswered after this delay is duplicated to another live worker and
 	// the first answer wins (the loser is a suppressed duplicate, never a
@@ -206,6 +221,13 @@ type Server struct {
 
 	quotas *clientQuotas
 
+	// draining is set by StartDrain: /healthz answers 503 "draining" so
+	// load balancers route away while in-flight requests — including open
+	// SSE streams — run to completion. inflight counts every request the
+	// mux is currently serving; Drain waits for it to hit zero.
+	draining atomic.Bool
+	inflight atomic.Int64
+
 	requests atomic.Uint64
 	failures atomic.Uint64
 	// adaptiveQueries counts completed confidence-target requests;
@@ -243,10 +265,14 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: duplicate graph name %q", gc.Name)
 		}
 		coord := shard.NewCoordinator(gc.Name, gc.Graph, gc.Seed, opts.Shards, shard.CoordinatorOptions{
-			Parallelism:    opts.Parallelism,
-			Retries:        opts.ShardRetries,
-			RequestTimeout: opts.ShardRequestTimeout,
-			HedgeDelay:     opts.ShardHedge,
+			Parallelism:      opts.Parallelism,
+			Retries:          opts.ShardRetries,
+			RequestTimeout:   opts.ShardRequestTimeout,
+			HedgeDelay:       opts.ShardHedge,
+			BreakerThreshold: opts.ShardBreakerThreshold,
+			BreakerBackoff:   opts.ShardBreakerBackoff,
+			RetryBudget:      opts.ShardRetryBudget,
+			AuditFraction:    opts.ShardAuditFraction,
 		})
 		if coord.Sharded() && opts.ShardPingInterval > 0 {
 			s.stops = append(s.stops, coord.StartPings(opts.ShardPingInterval))
@@ -285,9 +311,9 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 }
 
 // Close stops the background membership refreshers and tears down the
-// coordinators' persistent worker streams. The HTTP listener is the
-// caller's to shut down (note that http.Server.Shutdown does not wait for
-// hijacked shard-stream connections; Close severs them explicitly).
+// coordinators' persistent worker streams. For a graceful exit call
+// StartDrain first and Drain (alongside http.Server.Shutdown) before
+// Close, so open queries finish before their streams are severed.
 func (s *Server) Close() {
 	for _, stop := range s.stops {
 		stop()
@@ -297,9 +323,34 @@ func (s *Server) Close() {
 	}
 }
 
+// StartDrain flips the daemon into draining: /healthz immediately answers
+// 503 {"status":"draining"} so load balancers stop routing here, while
+// every in-flight request — including open SSE refinement streams — keeps
+// running. Pair with Drain to wait for them.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain blocks until every in-flight request has completed, or ctx
+// expires (returning its error). Call after StartDrain; the HTTP
+// listener's own Shutdown covers connection teardown, Drain covers the
+// requests themselves.
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %d request(s) still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	s.mux.ServeHTTP(w, r)
 }
 

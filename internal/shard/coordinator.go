@@ -19,6 +19,7 @@ import (
 	"ucgraph/internal/influence"
 	"ucgraph/internal/knn"
 	"ucgraph/internal/metrics"
+	"ucgraph/internal/rng"
 	"ucgraph/internal/worldstore"
 )
 
@@ -48,6 +49,42 @@ type CoordinatorOptions struct {
 	// Parallelism is handed to the local fallback estimator (<= 0 selects
 	// GOMAXPROCS). Results do not depend on it.
 	Parallelism int
+
+	// BreakerThreshold is the consecutive tally-failure count that trips a
+	// worker's circuit breaker (default 3). While open, the worker gets no
+	// new block assignments, hedges or audits; the breaker half-opens when
+	// the backoff expires (or immediately when no alternative worker is
+	// available — a one-worker fleet never deadlocks on its own breaker).
+	// A successful tally or ping closes it.
+	BreakerThreshold int
+	// BreakerBackoff is the base open interval (default 100ms). Each
+	// further consecutive failure doubles it, up to BreakerMaxBackoff, and
+	// a deterministic jitter in [0, backoff/2] — seeded from the
+	// coordinator seed and the worker address, never the clock — spreads
+	// reconnect storms without breaking replayability.
+	BreakerBackoff time.Duration
+	// BreakerMaxBackoff caps the exponential backoff (default 30s).
+	BreakerMaxBackoff time.Duration
+	// RetryBudget caps the total block re-scatters a single query may
+	// spend across all its retry rounds (default 4096): a query against a
+	// melting fleet fails crisply instead of grinding through rounds of
+	// full-rate retries.
+	RetryBudget int
+	// QuarantineTrips and QuarantineWindow define flap quarantine: a
+	// worker whose breaker trips QuarantineTrips times within
+	// QuarantineWindow (defaults 8 trips in 1 minute) is quarantined —
+	// taken out of assignment until an operator re-adds it via AddWorker
+	// (POST /v1/shards). QuarantineTrips <= 0 disables flap quarantine;
+	// audit divergence quarantines unconditionally.
+	QuarantineTrips  int
+	QuarantineWindow time.Duration
+	// AuditFraction, in [0, 1], samples completed scatter groups for an
+	// audit: the group's ranges are re-executed on a second worker and the
+	// raw tallies compared byte-for-byte; on divergence the coordinator
+	// recomputes locally as referee, merges the verified tallies, and
+	// quarantines whichever worker diverged. Selection is seeded and
+	// deterministic. 0 (the default) disables auditing.
+	AuditFraction float64
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -60,6 +97,24 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 60 * time.Second
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerBackoff <= 0 {
+		o.BreakerBackoff = 100 * time.Millisecond
+	}
+	if o.BreakerMaxBackoff <= 0 {
+		o.BreakerMaxBackoff = 30 * time.Second
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 4096
+	}
+	if o.QuarantineTrips == 0 {
+		o.QuarantineTrips = 8
+	}
+	if o.QuarantineWindow <= 0 {
+		o.QuarantineWindow = time.Minute
+	}
 	return o
 }
 
@@ -69,7 +124,9 @@ type WorkerStats struct {
 	// Addr is the worker's base URL.
 	Addr string
 	// State is the membership state: "up", "down" (pings failing; blocks
-	// re-striped to the survivors) or "removed" (administratively left).
+	// re-striped to the survivors), "quarantined" (flapping or divergent;
+	// sidelined until an operator re-adds it) or "removed"
+	// (administratively left).
 	State string
 	// Requests and Failures count tally/ping round-trips issued and
 	// failed. Duplicates counts hedged answers that lost the race and
@@ -78,6 +135,14 @@ type WorkerStats struct {
 	// RangesServed and WorldsServed count the world ranges (and worlds)
 	// whose tallies this worker successfully returned.
 	RangesServed, WorldsServed uint64
+	// BreakerTrips counts circuit-breaker trips; BreakerOpen reports
+	// whether the breaker is currently open (the worker is being backed
+	// off, not assigned new blocks).
+	BreakerTrips uint64
+	BreakerOpen  bool
+	// IntegrityRejects counts responses from this worker rejected for a
+	// CRC32-C mismatch before decoding (the range was re-scattered).
+	IntegrityRejects uint64
 	// LastRTT is the round-trip time of the last successful request;
 	// LastOK is when it completed. LastErr is the most recent failure
 	// (empty if none).
@@ -143,6 +208,14 @@ func (wc *workerClient) noteDuplicate() {
 	wc.mu.Lock()
 	wc.stats.Requests++
 	wc.stats.Duplicates++
+	wc.mu.Unlock()
+}
+
+// noteIntegrityReject annotates the current failure as a CRC rejection
+// (noteFailure separately counts the request and failure).
+func (wc *workerClient) noteIntegrityReject() {
+	wc.mu.Lock()
+	wc.stats.IntegrityRejects++
 	wc.mu.Unlock()
 }
 
@@ -220,6 +293,7 @@ const (
 	memberUp memberState = iota
 	memberDown
 	memberRemoved
+	memberQuarantined
 )
 
 func (s memberState) String() string {
@@ -228,6 +302,8 @@ func (s memberState) String() string {
 		return "up"
 	case memberDown:
 		return "down"
+	case memberQuarantined:
+		return "quarantined"
 	default:
 		return "removed"
 	}
@@ -237,11 +313,84 @@ func (s memberState) String() string {
 // its slot (so owner bookkeeping stays valid) and re-adding the same
 // address revives it.
 type member struct {
-	wc    *workerClient
-	state atomic.Int32
+	wc *workerClient
+	// jitterKey is a stable per-address hash mixed into the backoff
+	// jitter, so a fleet of coordinators restarted together does not
+	// reopen every breaker in lockstep.
+	jitterKey uint64
+	state     atomic.Int32
+
+	// Circuit-breaker state. Failures here are tally failures (the
+	// traffic-bearing path); the ping loop manages up/down separately, and
+	// a successful ping also closes the breaker (recovery evidence).
+	bmu         sync.Mutex
+	consecFails int
+	trips       uint64
+	openUntil   time.Time
+	tripTimes   []time.Time // recent trips inside the quarantine window
 }
 
 func (m *member) up() bool { return memberState(m.state.Load()) == memberUp }
+
+// breakerOpen reports whether the breaker holds the member out of
+// assignment at now.
+func (m *member) breakerOpen(now time.Time) bool {
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	return now.Before(m.openUntil)
+}
+
+// breakerReset closes the breaker on success (a served tally or a passing
+// ping).
+func (m *member) breakerReset() {
+	m.bmu.Lock()
+	m.consecFails = 0
+	m.openUntil = time.Time{}
+	m.bmu.Unlock()
+}
+
+// recordFailure registers one tally failure against the breaker. At
+// BreakerThreshold consecutive failures it trips: the member is held out
+// for an exponentially growing backoff (doubling per further consecutive
+// failure, capped at BreakerMaxBackoff) plus a deterministic jitter in
+// [0, backoff/2] seeded from (seed, address, trip count) — reproducible
+// under a chaos seed, yet de-synchronized across workers. Reports whether
+// this failure tripped the breaker, and whether the trip rate inside
+// QuarantineWindow crossed the flap-quarantine bar.
+func (m *member) recordFailure(opts *CoordinatorOptions, seed uint64) (tripped, quarantine bool) {
+	now := time.Now()
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	m.consecFails++
+	if m.consecFails < opts.BreakerThreshold {
+		return false, false
+	}
+	m.trips++
+	exp := m.consecFails - opts.BreakerThreshold
+	if exp > 20 {
+		exp = 20
+	}
+	backoff := opts.BreakerBackoff << exp
+	if backoff <= 0 || backoff > opts.BreakerMaxBackoff {
+		backoff = opts.BreakerMaxBackoff
+	}
+	jitter := time.Duration(rng.Mix64(seed^m.jitterKey^m.trips) % uint64(backoff/2+1))
+	m.openUntil = now.Add(backoff + jitter)
+	m.tripTimes = append(m.tripTimes, now)
+	cut := now.Add(-opts.QuarantineWindow)
+	for len(m.tripTimes) > 0 && m.tripTimes[0].Before(cut) {
+		m.tripTimes = m.tripTimes[1:]
+	}
+	return true, opts.QuarantineTrips > 0 && len(m.tripTimes) >= opts.QuarantineTrips
+}
+
+// breakerSnapshot reports the trip count and open state for /statsz.
+func (m *member) breakerSnapshot() (trips uint64, open bool) {
+	now := time.Now()
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	return m.trips, now.Before(m.openUntil)
+}
 
 // fleet is the membership table shared by a Coordinator and all its
 // forks: the member slots, the sticky block-ownership map, and the
@@ -257,9 +406,24 @@ type fleet struct {
 	members []*member
 	owners  map[int]int // block index → member slot
 
-	hedges     atomic.Uint64
-	duplicates atomic.Uint64
-	rescatters atomic.Uint64
+	hedges           atomic.Uint64
+	duplicates       atomic.Uint64
+	rescatters       atomic.Uint64
+	breakerTrips     atomic.Uint64
+	quarantines      atomic.Uint64
+	integrityRejects atomic.Uint64
+	audits           atomic.Uint64
+	auditDivergences atomic.Uint64
+}
+
+// addrHash is the stable per-address key of the breaker jitter (FNV-1a).
+func addrHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 func newFleet(addrs []string, client *http.Client) *fleet {
@@ -280,11 +444,15 @@ func (f *fleet) add(addr string) string {
 	defer f.mu.Unlock()
 	for _, m := range f.members {
 		if m.wc.base == base {
+			// Revival is also the operator's quarantine-clear: AddWorker on
+			// a quarantined or removed address returns it to service with a
+			// closed breaker.
 			m.state.Store(int32(memberUp))
+			m.breakerReset()
 			return base
 		}
 	}
-	m := &member{wc: newWorkerClient(base, f.client)}
+	m := &member{wc: newWorkerClient(base, f.client), jitterKey: addrHash(base)}
 	m.state.Store(int32(memberUp))
 	f.members = append(f.members, m)
 	return base
@@ -333,22 +501,47 @@ func (f *fleet) liveSlotsLocked() []int {
 	return live
 }
 
+// availableSlotsLocked is liveSlotsLocked minus breaker-open members: the
+// slots a new block may be assigned to at full confidence.
+func (f *fleet) availableSlotsLocked(now time.Time) []int {
+	var avail []int
+	for s, m := range f.members {
+		if m.up() && !m.breakerOpen(now) {
+			avail = append(avail, s)
+		}
+	}
+	return avail
+}
+
 // assign maps each block index to its owning slot, keeping live sticky
 // owners and striping unowned blocks across the live members
 // (live[bi % len(live)] — with every member live and no history, exactly
 // the round-robin striping of Partition). exclude[bi] names a slot the
 // block must avoid when any alternative exists: retry rounds use it to
-// move a failed worker's blocks. Returns slot → ascending block indices.
+// move a failed worker's blocks. Breaker-open members are skipped — their
+// blocks re-stripe onto healthy workers for the duration of the backoff —
+// unless every live member is open, in which case all of them are forced
+// half-open (a fleet must never starve itself on its own breakers; the
+// next attempt is the probe). Returns slot → ascending block indices.
 func (f *fleet) assign(bis []int, exclude map[int]int, rot int) (map[int][]int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	live := f.liveSlotsLocked()
+	now := time.Now()
+	live := f.availableSlotsLocked(now)
+	forced := len(live) == 0
+	if forced {
+		live = f.liveSlotsLocked()
+	}
 	if len(live) == 0 {
 		return nil, errors.New("shard: no live workers")
 	}
+	usable := func(s int) bool {
+		m := f.members[s]
+		return m.up() && (forced || !m.breakerOpen(now))
+	}
 	out := make(map[int][]int)
 	for _, bi := range bis {
-		if s, owned := f.owners[bi]; owned && f.members[s].up() {
+		if s, owned := f.owners[bi]; owned && usable(s) {
 			if ex, excluded := exclude[bi]; !excluded || ex != s || len(live) == 1 {
 				out[s] = append(out[s], bi)
 				continue
@@ -365,14 +558,17 @@ func (f *fleet) assign(bis []int, exclude map[int]int, rot int) (map[int][]int, 
 }
 
 // hedgeTarget picks a live member other than slot (cyclically next), or
-// nil when the fleet has no alternative to hedge against.
+// nil when the fleet has no alternative to hedge against. Breaker-open
+// members are never hedged against — a hedge exists to beat a straggler,
+// not to probe a failing worker.
 func (f *fleet) hedgeTarget(slot int) *member {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	now := time.Now()
 	n := len(f.members)
 	for i := 1; i <= n; i++ {
 		m := f.members[(slot+i)%n]
-		if m.up() && m != f.members[slot%n] {
+		if m.up() && !m.breakerOpen(now) && m != f.members[slot%n] {
 			return m
 		}
 	}
@@ -404,6 +600,19 @@ type FabricStats struct {
 	// Rescatters counts world blocks repooled onto another worker after
 	// a failed attempt.
 	Rescatters uint64
+	// BreakerTrips counts circuit-breaker trips across the fleet.
+	BreakerTrips uint64
+	// Quarantines counts workers moved into the quarantined state
+	// (flapping past the trip bar, or diverging under audit).
+	Quarantines uint64
+	// IntegrityRejects counts frames rejected for a CRC32-C mismatch —
+	// every one was re-scattered, never merged.
+	IntegrityRejects uint64
+	// Audits counts sampled audit re-executions; AuditDivergences counts
+	// the ones whose byte-for-byte tally comparison failed (each triggers
+	// a local referee recompute and a quarantine).
+	Audits           uint64
+	AuditDivergences uint64
 }
 
 // coTally is one cached center tally of the coordinator: per-node counts
@@ -545,6 +754,7 @@ func (c *Coordinator) WorkerStats() []WorkerStats {
 	for i, m := range members {
 		out[i] = m.wc.snapshot()
 		out[i].State = memberState(m.state.Load()).String()
+		out[i].BreakerTrips, out[i].BreakerOpen = m.breakerSnapshot()
 	}
 	return out
 }
@@ -552,10 +762,114 @@ func (c *Coordinator) WorkerStats() []WorkerStats {
 // FabricStats returns the fabric-level hedge/duplicate/rescatter counters.
 func (c *Coordinator) FabricStats() FabricStats {
 	return FabricStats{
-		Hedges:     c.fleet.hedges.Load(),
-		Duplicates: c.fleet.duplicates.Load(),
-		Rescatters: c.fleet.rescatters.Load(),
+		Hedges:           c.fleet.hedges.Load(),
+		Duplicates:       c.fleet.duplicates.Load(),
+		Rescatters:       c.fleet.rescatters.Load(),
+		BreakerTrips:     c.fleet.breakerTrips.Load(),
+		Quarantines:      c.fleet.quarantines.Load(),
+		IntegrityRejects: c.fleet.integrityRejects.Load(),
+		Audits:           c.fleet.audits.Load(),
+		AuditDivergences: c.fleet.auditDivergences.Load(),
 	}
+}
+
+// recordFault feeds one genuine tally failure into the worker's breaker
+// and the fleet counters, quarantining a flapper when its trip rate
+// crosses the bar. Integrity failures are additionally counted — they are
+// the wire's bit-rot signal and operators alert on them separately.
+func (c *Coordinator) recordFault(m *member, err error) {
+	if errors.Is(err, errIntegrity) {
+		c.fleet.integrityRejects.Add(1)
+		m.wc.noteIntegrityReject()
+	}
+	tripped, quarantine := m.recordFailure(&c.opts, c.seed)
+	if tripped {
+		c.fleet.breakerTrips.Add(1)
+	}
+	if quarantine {
+		c.quarantineMember(m)
+	}
+}
+
+// quarantineMember sidelines a worker until an operator re-adds it:
+// quarantined members receive no assignments, hedges or audits, and the
+// ping loop does not revive them. Removed members stay removed.
+func (c *Coordinator) quarantineMember(m *member) {
+	if m.state.CompareAndSwap(int32(memberUp), int32(memberQuarantined)) ||
+		m.state.CompareAndSwap(int32(memberDown), int32(memberQuarantined)) {
+		c.fleet.quarantines.Add(1)
+		if m.wc.stream != nil {
+			m.wc.stream.close()
+		}
+	}
+}
+
+// auditPick decides — deterministically, from the coordinator seed and
+// the group's leading world index — whether a completed scatter group is
+// sampled for an audit re-execution. Clock- and schedule-free selection
+// keeps chaos runs replayable: the same seed audits the same groups.
+func (c *Coordinator) auditPick(g *scatterGroup) bool {
+	if len(g.ranges) == 0 {
+		return false
+	}
+	h := rng.Mix64(c.seed ^ uint64(g.ranges[0].Lo)*0x9e3779b97f4a7c15)
+	return float64(h>>11)/(1<<53) < c.opts.AuditFraction
+}
+
+// auditGroup re-executes a sampled group's ranges on a second worker and
+// compares the raw tallies byte-for-byte (via the canonical v2 response
+// encoding — the same bytes that cross the wire). Agreement returns nil
+// and the original answer is merged. On divergence the coordinator
+// recomputes the ranges locally as referee, quarantines whichever
+// worker(s) disagree with the referee, and returns the verified tallies
+// for merging — a diverging worker's answer never reaches an estimate.
+// Any audit infrastructure failure (no second worker, auditor error)
+// also returns nil: audits must never fail a query that already has a
+// well-formed answer.
+func (c *Coordinator) auditGroup(ctx context.Context, base *TallyRequest, g *scatterGroup, resp *TallyResponse) *TallyResponse {
+	auditor := c.fleet.hedgeTarget(g.ownerSlot)
+	if auditor == nil {
+		return nil // one-worker fleet: nothing independent to compare
+	}
+	c.fleet.audits.Add(1)
+	wreq := *base
+	wreq.Ranges = g.ranges
+	aresp, err := auditor.wc.call(ctx, c.opts.RequestTimeout, &wreq)
+	if err == nil {
+		if cerr := c.checkResponse(&wreq, aresp); cerr != nil {
+			err = fmt.Errorf("%s: malformed audit response: %w", auditor.wc.base, cerr)
+		}
+	}
+	if err != nil {
+		auditor.wc.noteFailure(err)
+		c.recordFault(auditor, err)
+		return nil
+	}
+	canon := func(r *TallyResponse) []byte { return encodeResponseFrame(0, wreq.Kind, false, r) }
+	ownerBytes, auditBytes := canon(resp), canon(aresp)
+	if bytes.Equal(ownerBytes, auditBytes) {
+		return nil // independent agreement; merge the original
+	}
+	c.fleet.auditDivergences.Add(1)
+	// Referee: recompute the disputed ranges locally from the shared
+	// (seed, index) world definition — the ground truth both workers
+	// were supposed to tally.
+	ref := &TallyResponse{}
+	for _, rg := range g.ranges {
+		rt, rerr := rangeTally(ctx, c.g, c.store, &wreq, rg)
+		if rerr != nil {
+			return nil // referee interrupted (ctx done); keep the original
+		}
+		mergeTally(ref, rt, wreq.Kind)
+	}
+	refBytes := canon(ref)
+	if !bytes.Equal(ownerBytes, refBytes) {
+		c.quarantineMember(g.owner)
+	}
+	if !bytes.Equal(auditBytes, refBytes) {
+		c.quarantineMember(auditor)
+	}
+	return ref
 }
 
 // AddWorker registers (or revives) a worker — the join half of elastic
@@ -654,7 +968,10 @@ func (c *Coordinator) pingMember(ctx context.Context, m *member) error {
 			werr = fmt.Errorf("%s: worker does not serve graph %q", wc.base, c.name)
 		}
 	}
-	if memberState(m.state.Load()) != memberRemoved {
+	// Quarantine is sticky against pings on purpose: a flapping worker
+	// passes plenty of pings between its failures, and a divergent worker
+	// pings perfectly — only the operator (AddWorker) clears it.
+	if st := memberState(m.state.Load()); st != memberRemoved && st != memberQuarantined {
 		if werr != nil {
 			m.state.Store(int32(memberDown))
 		} else {
@@ -666,6 +983,7 @@ func (c *Coordinator) pingMember(ctx context.Context, m *member) error {
 		return werr
 	}
 	wc.noteSuccess(time.Since(t0), 0, 0)
+	m.breakerReset() // a passing ping is recovery evidence: close the breaker
 	return nil
 }
 
@@ -768,12 +1086,18 @@ func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int,
 	}
 	exclude := make(map[int]int)
 	mergedWorlds := 0
+	rescattered := 0
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries && len(pool) > 0; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		if attempt > 0 {
+			rescattered += len(pool)
+			if rescattered > c.opts.RetryBudget {
+				return fmt.Errorf("shard: retry budget exhausted (%d block re-scatters > %d): %w",
+					rescattered, c.opts.RetryBudget, lastErr)
+			}
 			c.fleet.rescatters.Add(uint64(len(pool)))
 		}
 		assign, err := c.fleet.assign(pool, exclude, attempt)
@@ -811,8 +1135,14 @@ func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int,
 				}
 				continue
 			}
-			mergedWorlds += out.resp.Worlds
-			merge(out.resp)
+			resp := out.resp
+			if c.opts.AuditFraction > 0 && c.auditPick(out.g) {
+				if v := c.auditGroup(ctx, &req, out.g, resp); v != nil {
+					resp = v
+				}
+			}
+			mergedWorlds += resp.Worlds
+			merge(resp)
 		}
 		sort.Ints(pool)
 	}
@@ -892,16 +1222,19 @@ func (c *Coordinator) attemptWorker(ctx context.Context, g *scatterGroup, m *mem
 	if err == nil {
 		if g.won.CompareAndSwap(false, true) {
 			m.wc.noteSuccess(time.Since(t0), len(req.Ranges), g.worlds)
+			m.breakerReset()
 			return attemptResult{resp: resp}
 		}
 		m.wc.noteDuplicate()
 		c.fleet.duplicates.Add(1)
+		m.breakerReset() // a correct duplicate is still proof of health
 		return attemptResult{err: errDuplicate}
 	}
 	if g.won.Load() {
 		return attemptResult{err: err} // moot: the race is already settled
 	}
 	m.wc.noteFailure(err)
+	c.recordFault(m, err)
 	return attemptResult{err: err}
 }
 

@@ -7,122 +7,28 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"ucgraph/internal/conn"
+	"ucgraph/internal/faultinject"
 	"ucgraph/internal/graph"
 	"ucgraph/internal/metrics"
 	"ucgraph/internal/worldstore"
 )
 
-// chaosProxy is a TCP forwarder between the coordinator and one worker,
-// able to kill the worker (drop every connection, refuse new ones) and to
-// throttle its responses (a straggler). The v2 transport is a persistent
-// byte stream, so faults are injected at the connection layer — the layer
-// real worker deaths and stragglers live at — instead of wrapping HTTP
-// handlers.
-type chaosProxy struct {
-	ln      net.Listener
-	backend string
-	down    atomic.Bool
-	delay   atomic.Int64 // extra latency per worker->coordinator chunk, ns
-
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-}
-
-// newChaosProxy forwards to backend (a base URL or host:port).
-func newChaosProxy(t testing.TB, backend string) *chaosProxy {
+// newChaosProxy puts a faultinject.Proxy between the coordinator and one
+// worker: the v2 transport is a persistent byte stream, so faults are
+// injected at the connection layer — the layer real worker deaths and
+// stragglers live at — instead of wrapping HTTP handlers.
+func newChaosProxy(t testing.TB, backend string) *faultinject.Proxy {
 	t.Helper()
-	backend = strings.TrimPrefix(backend, "http://")
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	p, err := faultinject.New(backend)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &chaosProxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
-	go p.run()
-	t.Cleanup(func() {
-		ln.Close()
-		p.killConns()
-	})
+	t.Cleanup(func() { p.Close() })
 	return p
-}
-
-func (p *chaosProxy) url() string { return "http://" + p.ln.Addr().String() }
-
-func (p *chaosProxy) run() {
-	for {
-		c, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		if p.down.Load() {
-			c.Close()
-			continue
-		}
-		b, err := net.Dial("tcp", p.backend)
-		if err != nil {
-			c.Close()
-			continue
-		}
-		p.track(c)
-		p.track(b)
-		go p.pipe(c, b, false)
-		go p.pipe(b, c, true)
-	}
-}
-
-func (p *chaosProxy) track(c net.Conn) {
-	p.mu.Lock()
-	p.conns[c] = struct{}{}
-	p.mu.Unlock()
-}
-
-func (p *chaosProxy) pipe(src, dst net.Conn, throttled bool) {
-	defer src.Close()
-	defer dst.Close()
-	buf := make([]byte, 4096)
-	for {
-		n, err := src.Read(buf)
-		if n > 0 {
-			if throttled {
-				if d := p.delay.Load(); d > 0 {
-					time.Sleep(time.Duration(d))
-				}
-			}
-			if p.down.Load() {
-				return
-			}
-			if _, werr := dst.Write(buf[:n]); werr != nil {
-				return
-			}
-		}
-		if err != nil {
-			return
-		}
-	}
-}
-
-// setDown kills (or revives) the proxied worker; going down severs every
-// live connection, modelling a crash mid-query.
-func (p *chaosProxy) setDown(down bool) {
-	p.down.Store(down)
-	if down {
-		p.killConns()
-	}
-}
-
-func (p *chaosProxy) killConns() {
-	p.mu.Lock()
-	for c := range p.conns {
-		c.Close()
-	}
-	p.conns = make(map[net.Conn]struct{})
-	p.mu.Unlock()
 }
 
 // ---- hedging -------------------------------------------------------------
@@ -165,10 +71,10 @@ func TestCoordinatorHedgedRoundsBitIdentical(t *testing.T) {
 	const seed = 21
 	workers := startWorkers(t, "tg", g, seed, 2)
 	proxy := newChaosProxy(t, workers[0])
-	proxy.delay.Store(int64(300 * time.Millisecond))
+	proxy.SetDelay(300 * time.Millisecond)
 
 	local := conn.NewMonteCarlo(g, seed)
-	coord := NewCoordinator("tg", g, seed, []string{proxy.url(), workers[1]}, CoordinatorOptions{
+	coord := NewCoordinator("tg", g, seed, []string{proxy.URL(), workers[1]}, CoordinatorOptions{
 		HedgeDelay:     25 * time.Millisecond,
 		RequestTimeout: 10 * time.Second,
 	})
@@ -263,10 +169,10 @@ func TestMembershipLeaveMidQuery(t *testing.T) {
 	const seed = 31
 	workers := startWorkers(t, "tg", g, seed, 2)
 	proxy := newChaosProxy(t, workers[0])
-	proxy.delay.Store(int64(150 * time.Millisecond))
+	proxy.SetDelay(150 * time.Millisecond)
 
 	local := conn.NewMonteCarlo(g, seed)
-	coord := NewCoordinator("tg", g, seed, []string{proxy.url(), workers[1]}, CoordinatorOptions{
+	coord := NewCoordinator("tg", g, seed, []string{proxy.URL(), workers[1]}, CoordinatorOptions{
 		Retries:        3,
 		RequestTimeout: 10 * time.Second,
 	})
@@ -281,8 +187,8 @@ func TestMembershipLeaveMidQuery(t *testing.T) {
 		done <- err
 	}()
 	time.Sleep(40 * time.Millisecond) // let the scatter take flight
-	coord.RemoveWorker(proxy.url())   // the slow worker leaves mid-query
-	proxy.setDown(true)               // and its process dies
+	coord.RemoveWorker(proxy.URL())   // the slow worker leaves mid-query
+	proxy.SetDown(true)               // and its process dies
 	if err := <-done; err != nil {
 		t.Fatalf("query with mid-flight leave: %v", err)
 	}
@@ -301,7 +207,7 @@ func TestMembershipFlappyPings(t *testing.T) {
 	proxy := newChaosProxy(t, workers[0])
 
 	local := conn.NewMonteCarlo(g, seed)
-	coord := NewCoordinator("tg", g, seed, []string{proxy.url(), workers[1]}, CoordinatorOptions{
+	coord := NewCoordinator("tg", g, seed, []string{proxy.URL(), workers[1]}, CoordinatorOptions{
 		Retries:        2,
 		RequestTimeout: 5 * time.Second,
 	})
@@ -318,11 +224,11 @@ func TestMembershipFlappyPings(t *testing.T) {
 	r := 0
 	for flap := 0; flap < 3; flap++ {
 		// Down: the refresher marks the worker down; scatters avoid it.
-		proxy.setDown(true)
+		proxy.SetDown(true)
 		if err := coord.RefreshMembership(context.Background()); err == nil {
 			t.Fatal("expected a refresh error while down")
 		}
-		if got := stateOf(proxy.url()); got != "down" {
+		if got := stateOf(proxy.URL()); got != "down" {
 			t.Fatalf("flap %d: state = %q, want down", flap, got)
 		}
 		r += 300
@@ -336,11 +242,11 @@ func TestMembershipFlappyPings(t *testing.T) {
 		}
 
 		// Up: the refresher revives it; it serves fresh blocks again.
-		proxy.setDown(false)
+		proxy.SetDown(false)
 		if err := coord.RefreshMembership(context.Background()); err != nil {
 			t.Fatalf("flap %d: refresh after revive: %v", flap, err)
 		}
-		if got := stateOf(proxy.url()); got != "up" {
+		if got := stateOf(proxy.URL()); got != "up" {
 			t.Fatalf("flap %d: state = %q, want up", flap, got)
 		}
 		r += 300
@@ -363,7 +269,7 @@ func TestStreamReconnects(t *testing.T) {
 	workers := startWorkers(t, "tg", g, seed, 1)
 	proxy := newChaosProxy(t, workers[0])
 	local := conn.NewMonteCarlo(g, seed)
-	coord := NewCoordinator("tg", g, seed, []string{proxy.url()}, CoordinatorOptions{
+	coord := NewCoordinator("tg", g, seed, []string{proxy.URL()}, CoordinatorOptions{
 		Retries:        3,
 		RequestTimeout: 5 * time.Second,
 	})
@@ -371,7 +277,7 @@ func TestStreamReconnects(t *testing.T) {
 	sameFloats(t, "before cut",
 		coord.FromCenter(1, conn.Unlimited, 300),
 		local.FromCenter(1, conn.Unlimited, 300))
-	proxy.killConns() // sever the stream, worker itself stays healthy
+	proxy.KillConns() // sever the stream, worker itself stays healthy
 	sameFloats(t, "after cut",
 		coord.FromCenter(2, conn.Unlimited, 300),
 		local.FromCenter(2, conn.Unlimited, 300))

@@ -217,12 +217,12 @@ func TestCoordinatorRetriesWithoutDoubleCounting(t *testing.T) {
 	proxy := newChaosProxy(t, workers[0])
 
 	local := conn.NewMonteCarlo(g, seed)
-	coord := NewCoordinator("tg", g, seed, []string{proxy.url(), workers[1]}, CoordinatorOptions{
+	coord := NewCoordinator("tg", g, seed, []string{proxy.URL(), workers[1]}, CoordinatorOptions{
 		Retries:        3,
 		RequestTimeout: 5 * time.Second,
 	})
 
-	proxy.setDown(true) // the worker dies before the query
+	proxy.SetDown(true) // the worker dies before the query
 	centers := []graph.NodeID{2, 17, 44}
 	want := local.FromCenters(centers, conn.Unlimited, 900)
 	got, err := coord.FromCentersCtx(context.Background(), centers, conn.Unlimited, 900)
@@ -242,7 +242,7 @@ func TestCoordinatorRetriesWithoutDoubleCounting(t *testing.T) {
 	}
 	// After the restart, the worker serves again: a follow-up query uses
 	// both workers and still matches.
-	proxy.setDown(false)
+	proxy.SetDown(false)
 	want2 := local.FromCenters(centers, 2, 400)
 	got2 := coord.FromCenters(centers, 2, 400)
 	for i := range want2 {

@@ -31,6 +31,18 @@ const streamDialTimeout = 10 * time.Second
 // attempt re-dials.
 var errStreamClosed = errors.New("shard: stream closed")
 
+// errIntegrity reports a frame rejected by its CRC32-C check: bits
+// changed between the worker's encoder and our decoder. The payload is
+// never decoded, never merged — the attempt fails and the range is
+// re-scattered.
+var errIntegrity = errors.New("shard: frame failed integrity check")
+
+// checksumHeader is the negotiation header of the stream upgrade: the
+// worker advertises it on the 101 response, and a coordinator that sees
+// the expected algorithm seals its REQ frames (the worker then mirrors
+// the seal on each response). Old peers simply never set the flag.
+const checksumHeader = "X-Ucgraph-Checksum"
+
 // streamResult is the outcome of one multiplexed request.
 type streamResult struct {
 	resp   *TallyResponse
@@ -43,6 +55,11 @@ type streamResult struct {
 type streamConn struct {
 	nc net.Conn
 	bw *bufio.Writer
+
+	// sum records the checksum negotiation outcome of this connection's
+	// handshake: when set, outgoing frames are sealed with a CRC32-C
+	// trailer and incoming checksummed frames are verified.
+	sum bool
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -138,6 +155,7 @@ func (sc *streamClient) dial(ctx context.Context) (*streamConn, error) {
 	conn := &streamConn{
 		nc:      nc,
 		bw:      bufio.NewWriter(nc),
+		sum:     resp.Header.Get(checksumHeader) == ChecksumAlgorithm,
 		pending: make(map[uint64]chan streamResult),
 	}
 	// The demultiplexer: one goroutine per connection reads frames and
@@ -152,6 +170,15 @@ func (sc *streamClient) dial(ctx context.Context) (*streamConn, error) {
 				conn.fail(fmt.Errorf("%w: %v", errStreamClosed, err))
 				return
 			}
+			if body, err = verifyBody(h, body); err != nil {
+				// A corrupt body fails only its own request: the frame
+				// header delimited the stream correctly, so later frames
+				// are still in sync. The waiter's attempt errors and the
+				// coordinator re-scatters the range — the payload is
+				// never decoded, let alone merged.
+				conn.deliver(h.id, streamResult{err: fmt.Errorf("%w: %v", errIntegrity, err)})
+				continue
+			}
 			var res streamResult
 			switch h.ftype {
 			case frameResp:
@@ -161,6 +188,8 @@ func (sc *streamClient) dial(ctx context.Context) (*streamConn, error) {
 				code, msg, err := decodeErrorBody(body)
 				if err != nil {
 					res = streamResult{err: err}
+				} else if code == errCodeIntegrity {
+					res = streamResult{err: fmt.Errorf("%w: worker rejected request: %s", errIntegrity, msg)}
 				} else {
 					res = streamResult{err: fmt.Errorf("shard: worker error %d: %s", code, msg)}
 				}
@@ -264,6 +293,7 @@ func (sc *streamClient) call(ctx context.Context, req *TallyRequest) (*TallyResp
 	if err != nil {
 		return nil, false, err
 	}
+	frame = sealFrame(frame, conn.sum)
 	ch, err := conn.register(id)
 	if err != nil {
 		return nil, false, err
@@ -316,6 +346,10 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 		w.fail(rw, http.StatusBadRequest, fmt.Sprintf("stream endpoint requires Upgrade: %s", StreamProtocol))
 		return
 	}
+	if w.draining.Load() {
+		w.fail(rw, http.StatusServiceUnavailable, "worker draining")
+		return
+	}
 	hj, ok := rw.(http.Hijacker)
 	if !ok {
 		w.fail(rw, http.StatusInternalServerError, "server does not support connection upgrades")
@@ -328,12 +362,18 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 	}
 	defer nc.Close()
 	_ = nc.SetDeadline(time.Time{}) // the hijacked conn may carry server deadlines
-	fmt.Fprintf(buf, "HTTP/1.1 101 Switching Protocols\r\nConnection: Upgrade\r\nUpgrade: %s\r\n\r\n", StreamProtocol)
+	fmt.Fprintf(buf, "HTTP/1.1 101 Switching Protocols\r\nConnection: Upgrade\r\nUpgrade: %s\r\n%s: %s\r\n\r\n",
+		StreamProtocol, checksumHeader, ChecksumAlgorithm)
 	if err := buf.Flush(); err != nil {
 		return
 	}
 
 	conn := &streamConn{nc: nc, bw: buf.Writer}
+	// Register the hijacked stream so Drain can find and close it after
+	// in-flight requests complete — http.Server.Shutdown never sees
+	// hijacked connections.
+	w.trackStream(conn)
+	defer w.untrackStream(conn)
 	// Per-connection context: closing the stream cancels every in-flight
 	// request spawned from it.
 	ctx, cancelAll := context.WithCancel(context.Background())
@@ -351,9 +391,28 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 		}
 		switch h.ftype {
 		case frameReq:
+			// sum: mirror the request's checksum choice on every frame we
+			// send back for it — per-request, so one stream can serve
+			// peers rolled out before and after the negotiation change.
+			sum := h.flags&flagChecksum != 0
+			body, verr := verifyBody(h, body)
+			if verr != nil {
+				w.integrityRejects.Add(1)
+				_ = conn.writeFrame(sealFrame(encodeErrorFrame(h.id, errCodeIntegrity, verr.Error()), sum))
+				continue
+			}
 			req, err := decodeRequestBody(body)
 			if err != nil {
-				_ = conn.writeFrame(encodeErrorFrame(h.id, errCodeBadRequest, err.Error()))
+				_ = conn.writeFrame(sealFrame(encodeErrorFrame(h.id, errCodeBadRequest, err.Error()), sum))
+				continue
+			}
+			// Track in-flight work BEFORE the drain check: once counted, a
+			// request is guaranteed to finish (and flush its response)
+			// before Drain severs the stream.
+			w.inflight.Add(1)
+			if w.draining.Load() {
+				w.inflight.Add(-1)
+				_ = conn.writeFrame(sealFrame(encodeErrorFrame(h.id, errCodeInternal, "worker draining"), sum))
 				continue
 			}
 			rctx, cancel := context.WithCancel(ctx)
@@ -361,8 +420,9 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 			cancels[h.id] = cancel
 			cmu.Unlock()
 			wg.Add(1)
-			go func(id uint64, req *TallyRequest) {
+			go func(id uint64, req *TallyRequest, sum bool) {
 				defer wg.Done()
+				defer w.inflight.Add(-1)
 				defer func() {
 					cmu.Lock()
 					delete(cancels, id)
@@ -376,10 +436,10 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 				} else {
 					frame = encodeResponseFrame(id, req.Kind, cached, resp)
 				}
-				if err := conn.writeFrame(frame); err != nil {
+				if err := conn.writeFrame(sealFrame(frame, sum)); err != nil {
 					cancelAll() // writer broken: stop everything on this stream
 				}
-			}(h.id, req)
+			}(h.id, req, sum)
 		case frameCancel:
 			cmu.Lock()
 			if cancel, ok := cancels[h.id]; ok {

@@ -43,6 +43,7 @@ package shard
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -201,11 +202,18 @@ const (
 	frameCancel = 4 // coordinator -> worker: abandon the request id
 )
 
-// Response frame flags.
+// Frame flags.
 const (
 	// flagCached marks a RESP frame whose every range was served from the
 	// worker's tally cache (no world was recomputed).
 	flagCached = 1 << 0
+	// flagChecksum marks a frame carrying a CRC32-C (Castagnoli) trailer:
+	// the last 4 bytes of the body are the little-endian checksum of every
+	// body byte before them. Flag-gated for version compat — the worker
+	// advertises support in its 101 upgrade response and each side seals
+	// frames only for peers that negotiated it, so old and new binaries
+	// interoperate mid-rollout.
+	flagChecksum = 1 << 1
 )
 
 // Error frame codes.
@@ -214,7 +222,19 @@ const (
 	errCodeUnknownGraph = 2 // worker does not serve the named graph
 	errCodeCanceled     = 3 // the request's context was cancelled
 	errCodeInternal     = 4 // anything else
+	errCodeIntegrity    = 5 // frame failed its CRC32-C check
 )
+
+// ChecksumAlgorithm is the value of the checksum-negotiation header
+// (X-Ucgraph-Checksum) the worker sends on its 101 upgrade response; a
+// coordinator seeing it seals REQ frames, and the worker mirrors the seal
+// on each response.
+const ChecksumAlgorithm = "crc32c"
+
+// wireCRC is the Castagnoli table — the same polynomial the world store's
+// disk tier uses, closing the one unprotected hop (the network) between
+// checksummed storage and the merge step.
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Wire limits. Decoders reject frames past these bounds before allocating,
 // so a corrupt or adversarial peer cannot make either side allocate
@@ -387,6 +407,41 @@ func encodeErrorFrame(id uint64, code uint16, msg string) []byte {
 // encodeCancelFrame encodes a CANCEL frame (empty body).
 func encodeCancelFrame(id uint64) []byte {
 	return finishFrame(appendHeader(nil, frameCancel, 0, id), 0)
+}
+
+// sealFrame appends a CRC32-C trailer to a finished frame and sets
+// flagChecksum, when sum is true; otherwise it returns the frame
+// untouched. Sealing happens after encoding so every encoder keeps its
+// checksum-free signature (and the canonical request bytes used as cache
+// keys stay trailer-free on both sides).
+func sealFrame(frame []byte, sum bool) []byte {
+	if !sum {
+		return frame
+	}
+	frame = appendU32(frame, crc32.Checksum(frame[16:], wireCRC))
+	flags := binary.LittleEndian.Uint16(frame[6:8])
+	binary.LittleEndian.PutUint16(frame[6:8], flags|flagChecksum)
+	return finishFrame(frame, 0)
+}
+
+// verifyBody checks and strips the CRC32-C trailer of a frame body when
+// the header carries flagChecksum; bodies without the flag pass through
+// (the peer did not negotiate checksums). A mismatch is the wire-level
+// bit-rot signal: the caller must reject the frame — never decode, never
+// merge.
+func verifyBody(h frameHeader, body []byte) ([]byte, error) {
+	if h.flags&flagChecksum == 0 {
+		return body, nil
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("shard: checksummed frame body too short (%d bytes)", len(body))
+	}
+	payload, trailer := body[:len(body)-4], body[len(body)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(payload, wireCRC); got != want {
+		return nil, fmt.Errorf("shard: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return payload, nil
 }
 
 // readFrame reads one length-prefixed frame from r, returning the header

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ucgraph/internal/graph"
 	"ucgraph/internal/influence"
@@ -88,11 +89,21 @@ type Worker struct {
 	mux    *http.ServeMux
 	cache  *tallyCache
 
-	requests  atomic.Uint64
-	failures  atomic.Uint64
-	worlds    atomic.Uint64 // worlds actually tallied (cache hits excluded)
-	cacheHits atomic.Uint64
-	cacheMiss atomic.Uint64
+	requests         atomic.Uint64
+	failures         atomic.Uint64
+	worlds           atomic.Uint64 // worlds actually tallied (cache hits excluded)
+	cacheHits        atomic.Uint64
+	cacheMiss        atomic.Uint64
+	integrityRejects atomic.Uint64 // REQ frames failing their CRC32-C check
+
+	// Drain state: once draining flips, new streams and new tally work are
+	// refused while counted in-flight requests run to completion; Drain
+	// then severs the registered hijacked streams (which
+	// http.Server.Shutdown cannot see).
+	draining atomic.Bool
+	inflight atomic.Int64
+	smu      sync.Mutex
+	streams  map[*streamConn]struct{}
 }
 
 // NewWorker builds a Worker over the given graphs. Each graph gets a
@@ -104,9 +115,10 @@ func NewWorker(graphs []WorkerGraph, opts WorkerOptions) (*Worker, error) {
 		return nil, errors.New("shard: worker with no graphs to serve")
 	}
 	w := &Worker{
-		opts:   opts.withDefaults(),
-		graphs: make(map[string]*workerGraph, len(graphs)),
-		mux:    http.NewServeMux(),
+		opts:    opts.withDefaults(),
+		graphs:  make(map[string]*workerGraph, len(graphs)),
+		mux:     http.NewServeMux(),
+		streams: make(map[*streamConn]struct{}),
 	}
 	if w.opts.TallyCacheBytes > 0 {
 		w.cache = &tallyCache{max: w.opts.TallyCacheBytes, entries: make(map[string]*TallyResponse)}
@@ -139,9 +151,62 @@ func NewWorker(graphs []WorkerGraph, opts WorkerOptions) (*Worker, error) {
 	w.mux.HandleFunc("POST "+PathTally, w.handleTally)
 	w.mux.HandleFunc("POST "+PathStream, w.handleStream)
 	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		if w.draining.Load() {
+			writeJSON(rw, http.StatusServiceUnavailable, map[string]any{"status": "draining", "graphs": len(w.graphs)})
+			return
+		}
 		writeJSON(rw, http.StatusOK, map[string]any{"status": "ok", "graphs": len(w.graphs)})
 	})
 	return w, nil
+}
+
+// trackStream registers a hijacked v2 stream for drain-time teardown.
+func (w *Worker) trackStream(c *streamConn) {
+	w.smu.Lock()
+	w.streams[c] = struct{}{}
+	w.smu.Unlock()
+}
+
+func (w *Worker) untrackStream(c *streamConn) {
+	w.smu.Lock()
+	delete(w.streams, c)
+	w.smu.Unlock()
+}
+
+// Drain performs a graceful shutdown of the worker's tally surface:
+// /healthz flips to 503 "draining" (so load balancers stop routing), new
+// streams and new tally frames are refused, in-flight requests — the open
+// scatter rounds the coordinator is waiting on — run to completion and
+// flush their response frames, and only then are the hijacked v2 streams
+// severed. Returns ctx.Err() if the deadline expires first, with the
+// streams severed regardless: a drain timeout degrades to today's hard
+// close, never a hang.
+func (w *Worker) Drain(ctx context.Context) error {
+	w.draining.Store(true)
+	err := awaitZero(ctx, &w.inflight)
+	w.smu.Lock()
+	for c := range w.streams {
+		c.nc.Close()
+	}
+	w.streams = make(map[*streamConn]struct{})
+	w.smu.Unlock()
+	return err
+}
+
+// awaitZero polls an in-flight counter down to zero. Polling (rather than
+// a WaitGroup) sidesteps the Add-while-Wait race: requests keep arriving
+// and being refused while the counter drains.
+func awaitZero(ctx context.Context, n *atomic.Int64) error {
+	for {
+		if n.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -217,6 +282,10 @@ func validNodes(g *graph.Uncertain, field string, nodes []int32) error {
 // handleTally is the frozen v1 JSON endpoint; it shares serveTally with
 // the v2 stream, so both transports compute identical tallies.
 func (w *Worker) handleTally(rw http.ResponseWriter, r *http.Request) {
+	if w.draining.Load() {
+		writeJSON(rw, http.StatusServiceUnavailable, errorResponse{Error: "worker draining"})
+		return
+	}
 	var req TallyRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -367,10 +436,19 @@ func validTally(wg *workerGraph, req *TallyRequest) error {
 // of [lo, hi) into ranges, workers, retries and hedges folds to the same
 // totals.
 func (w *Worker) rangeTally(ctx context.Context, wg *workerGraph, req *TallyRequest, rg Range) (*TallyResponse, error) {
+	return rangeTally(ctx, wg.g, wg.store, req, rg)
+}
+
+// rangeTally is the transport-free tally kernel: one kind over one world
+// range of the (graph, seed) stream behind store. It is shared by the
+// worker (both wire versions) and by the coordinator's audit referee,
+// which recomputes a divergent group locally over the same stream — the
+// two sides agreeing byte-for-byte is the audit's ground truth.
+func rangeTally(ctx context.Context, g *graph.Uncertain, store *worldstore.Store, req *TallyRequest, rg Range) (*TallyResponse, error) {
 	resp := &TallyResponse{Worlds: rg.Worlds()}
 	switch req.Kind {
 	case KindConnected, KindWithin:
-		n := wg.g.NumNodes()
+		n := g.NumNodes()
 		counts := make([][]int32, len(req.Centers))
 		buf := make([]int32, len(req.Centers)*n)
 		lo := make([]int, len(req.Centers))
@@ -382,14 +460,14 @@ func (w *Worker) rangeTally(ctx context.Context, wg *workerGraph, req *TallyRequ
 			return nil, err
 		}
 		if req.Kind == KindConnected {
-			wg.store.CountConnectedFromMulti(req.Centers, lo, rg.Hi, counts)
+			store.CountConnectedFromMulti(req.Centers, lo, rg.Hi, counts)
 		} else {
-			wg.store.CountWithinMulti(req.Centers, req.Depth, lo, rg.Hi, counts)
+			store.CountWithinMulti(req.Centers, req.Depth, lo, rg.Hi, counts)
 		}
 		resp.Counts = counts
 	case KindPair:
 		var cnt int64
-		if err := wg.store.ScanCtx(ctx, rg.Lo, rg.Hi, func(_ int, lab []int32) {
+		if err := store.ScanCtx(ctx, rg.Lo, rg.Hi, func(_ int, lab []int32) {
 			if lab[req.U] == lab[req.V] {
 				cnt++
 			}
@@ -398,11 +476,11 @@ func (w *Worker) rangeTally(ctx context.Context, wg *workerGraph, req *TallyRequ
 		}
 		resp.Count = cnt
 	case KindDistances:
-		dd, err := knn.SampleRangeCtx(ctx, wg.store, req.Source, rg.Lo, rg.Hi)
+		dd, err := knn.SampleRangeCtx(ctx, store, req.Source, rg.Lo, rg.Hi)
 		if err != nil {
 			return nil, err
 		}
-		n := wg.g.NumNodes()
+		n := g.NumNodes()
 		resp.Hist = make([][]DistCount, n)
 		resp.Unreachable = make([]int64, n)
 		for v := 0; v < n; v++ {
@@ -415,7 +493,7 @@ func (w *Worker) rangeTally(ctx context.Context, wg *workerGraph, req *TallyRequ
 			resp.Unreachable[v] = int64(dd.Unreachable[v])
 		}
 	case KindSpread:
-		total, err := influence.SpreadTallyCtx(ctx, wg.store, req.Seeds, rg.Lo, rg.Hi)
+		total, err := influence.SpreadTallyCtx(ctx, store, req.Seeds, rg.Lo, rg.Hi)
 		if err != nil {
 			return nil, err
 		}
@@ -426,12 +504,12 @@ func (w *Worker) rangeTally(ctx context.Context, wg *workerGraph, req *TallyRequ
 			// Empty candidates means "all nodes" (see KindMarginal): the
 			// initial greedy round asks about every node, and the
 			// convention keeps n node IDs off the wire.
-			candidates = make([]graph.NodeID, wg.g.NumNodes())
+			candidates = make([]graph.NodeID, g.NumNodes())
 			for v := range candidates {
 				candidates[v] = graph.NodeID(v)
 			}
 		}
-		totals, err := influence.MarginalTallyCtx(ctx, wg.store, req.Seeds, candidates, rg.Lo, rg.Hi)
+		totals, err := influence.MarginalTallyCtx(ctx, store, req.Seeds, candidates, rg.Lo, rg.Hi)
 		if err != nil {
 			return nil, err
 		}
@@ -442,22 +520,22 @@ func (w *Worker) rangeTally(ctx context.Context, wg *workerGraph, req *TallyRequ
 			err   error
 		)
 		if len(req.Seeds) == 0 {
-			tally, err = metrics.AllTerminalReliabilityTallyCtx(ctx, wg.store, rg.Lo, rg.Hi)
+			tally, err = metrics.AllTerminalReliabilityTallyCtx(ctx, store, rg.Lo, rg.Hi)
 		} else {
-			tally, err = metrics.SetReliabilityTallyCtx(ctx, wg.store, req.Seeds, rg.Lo, rg.Hi)
+			tally, err = metrics.SetReliabilityTallyCtx(ctx, store, req.Seeds, rg.Lo, rg.Hi)
 		}
 		if err != nil {
 			return nil, err
 		}
 		resp.Totals = []int64{tally}
 	case KindComponents:
-		tally, err := metrics.ComponentsTallyCtx(ctx, wg.store, rg.Lo, rg.Hi)
+		tally, err := metrics.ComponentsTallyCtx(ctx, store, rg.Lo, rg.Hi)
 		if err != nil {
 			return nil, err
 		}
 		resp.Totals = []int64{tally}
 	case KindLargest:
-		tally, err := metrics.LargestComponentTallyCtx(ctx, wg.store, rg.Lo, rg.Hi)
+		tally, err := metrics.LargestComponentTallyCtx(ctx, store, rg.Lo, rg.Hi)
 		if err != nil {
 			return nil, err
 		}
@@ -604,15 +682,20 @@ type WorkerCounters struct {
 	Worlds    uint64 // worlds tallied by scanning (cache hits excluded)
 	CacheHits uint64
 	CacheMiss uint64
+	// IntegrityRejects counts REQ frames rejected for a CRC32-C mismatch
+	// before decoding (each was answered with an integrity error frame, so
+	// the coordinator re-sent rather than trusting mangled parameters).
+	IntegrityRejects uint64
 }
 
 // Counters returns the worker's request counters.
 func (w *Worker) Counters() WorkerCounters {
 	return WorkerCounters{
-		Requests:  w.requests.Load(),
-		Failures:  w.failures.Load(),
-		Worlds:    w.worlds.Load(),
-		CacheHits: w.cacheHits.Load(),
-		CacheMiss: w.cacheMiss.Load(),
+		Requests:         w.requests.Load(),
+		Failures:         w.failures.Load(),
+		Worlds:           w.worlds.Load(),
+		CacheHits:        w.cacheHits.Load(),
+		CacheMiss:        w.cacheMiss.Load(),
+		IntegrityRejects: w.integrityRejects.Load(),
 	}
 }

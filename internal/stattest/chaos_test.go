@@ -2,108 +2,24 @@ package stattest
 
 import (
 	"encoding/json"
-	"net"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
+	"ucgraph/internal/faultinject"
 	"ucgraph/internal/server"
 )
 
-// killableProxy is a minimal TCP forwarder between the coordinator and
-// one shard worker: it can throttle backend responses (so an adaptive
-// query spans observable wall-clock) and kill the worker (sever every
-// live connection and refuse new ones — the connection-layer shape of a
-// real worker crash). Faults are injected below HTTP on purpose: the
-// shard fabric's persistent streams die the way production workers die.
-type killableProxy struct {
-	ln      net.Listener
-	backend string
-	down    atomic.Bool
-	delay   atomic.Int64 // response throttle, ns per read
-
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-}
-
-func newKillableProxy(t testing.TB, backend string) *killableProxy {
+// newKillableProxy puts a faultinject.Proxy between the coordinator and
+// one shard worker. Faults are injected below HTTP on purpose: the shard
+// fabric's persistent streams die the way production workers die.
+func newKillableProxy(t testing.TB, backend string) *faultinject.Proxy {
 	t.Helper()
-	backend = strings.TrimPrefix(backend, "http://")
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	p, err := faultinject.New(backend)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &killableProxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
-	go p.accept()
-	t.Cleanup(func() {
-		ln.Close()
-		p.kill()
-	})
+	t.Cleanup(func() { p.Close() })
 	return p
-}
-
-func (p *killableProxy) url() string { return "http://" + p.ln.Addr().String() }
-
-func (p *killableProxy) accept() {
-	for {
-		c, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		if p.down.Load() {
-			c.Close()
-			continue
-		}
-		b, err := net.Dial("tcp", p.backend)
-		if err != nil {
-			c.Close()
-			continue
-		}
-		p.mu.Lock()
-		p.conns[c] = struct{}{}
-		p.conns[b] = struct{}{}
-		p.mu.Unlock()
-		go p.pipe(c, b, false)
-		go p.pipe(b, c, true)
-	}
-}
-
-func (p *killableProxy) pipe(src, dst net.Conn, throttled bool) {
-	defer src.Close()
-	defer dst.Close()
-	buf := make([]byte, 4096)
-	for {
-		n, err := src.Read(buf)
-		if n > 0 {
-			if throttled {
-				if d := p.delay.Load(); d > 0 {
-					time.Sleep(time.Duration(d))
-				}
-			}
-			if p.down.Load() {
-				return
-			}
-			if _, werr := dst.Write(buf[:n]); werr != nil {
-				return
-			}
-		}
-		if err != nil {
-			return
-		}
-	}
-}
-
-// kill severs every live connection and refuses new ones.
-func (p *killableProxy) kill() {
-	p.down.Store(true)
-	p.mu.Lock()
-	for c := range p.conns {
-		c.Close()
-	}
-	p.conns = make(map[net.Conn]struct{})
-	p.mu.Unlock()
 }
 
 // TestAdaptiveSurvivesWorkerKillMidQuery is the chaos half of the
@@ -130,9 +46,9 @@ func TestAdaptiveSurvivesWorkerKillMidQuery(t *testing.T) {
 	// adaptive rounds stretch over real wall-clock.
 	addrs := startWorkers(t, g, 2)
 	proxy := newKillableProxy(t, addrs[1])
-	proxy.delay.Store(int64(15 * time.Millisecond))
+	proxy.SetDelay(15 * time.Millisecond)
 	sharded := startServer(t, g, server.Options{
-		Shards: []string{addrs[0], proxy.url()},
+		Shards: []string{addrs[0], proxy.URL()},
 	})
 
 	// Kill the proxied worker as soon as the first refinement frame is
@@ -140,7 +56,7 @@ func TestAdaptiveSurvivesWorkerKillMidQuery(t *testing.T) {
 	killed := make(chan struct{})
 	frames, errEvent := streamFramesWithHook(t, sharded.URL+"/v1/conn", progressiveConnBody(), func(frameNo int) {
 		if frameNo == 1 {
-			proxy.kill()
+			proxy.Kill()
 			close(killed)
 		}
 	})
@@ -172,16 +88,16 @@ func TestAdaptiveAllWorkersDeadFailsLoudly(t *testing.T) {
 	addrs := startWorkers(t, g, 2)
 	proxyA := newKillableProxy(t, addrs[0])
 	proxyB := newKillableProxy(t, addrs[1])
-	proxyA.delay.Store(int64(15 * time.Millisecond))
-	proxyB.delay.Store(int64(15 * time.Millisecond))
+	proxyA.SetDelay(15 * time.Millisecond)
+	proxyB.SetDelay(15 * time.Millisecond)
 	sharded := startServer(t, g, server.Options{
-		Shards: []string{proxyA.url(), proxyB.url()},
+		Shards: []string{proxyA.URL(), proxyB.URL()},
 	})
 
 	frames, errEvent := streamFramesWithHook(t, sharded.URL+"/v1/conn", progressiveConnBody(), func(frameNo int) {
 		if frameNo == 1 {
-			proxyA.kill()
-			proxyB.kill()
+			proxyA.Kill()
+			proxyB.Kill()
 		}
 	})
 	if errEvent == nil {

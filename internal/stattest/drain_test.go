@@ -1,0 +1,80 @@
+package stattest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ucgraph/internal/server"
+)
+
+// TestDrainCompletesOpenStreamedQuery is the graceful-shutdown contract
+// end to end: a drain initiated while an SSE refinement stream is open
+// must flip /healthz to 503 "draining" immediately, let the stream run
+// every remaining round to completion, and only then report drained —
+// with the final frame bit-identical to an undisturbed run. A shutdown
+// may slow a query down; it may never change or truncate its answer.
+func TestDrainCompletesOpenStreamedQuery(t *testing.T) {
+	g := e2eGraph(t, 64, 3)
+
+	// Ground truth: the same streamed query against an undisturbed server.
+	plain := startServer(t, g, server.Options{})
+	wantFrames, errEvent := streamFrames(t, plain.URL+"/v1/conn", progressiveConnBody())
+	if errEvent != nil {
+		t.Fatalf("undisturbed stream errored: %v", errEvent)
+	}
+	want := checkRefinement(t, wantFrames, 4096)
+
+	s, err := server.New([]server.GraphConfig{{Name: "g", Graph: g, Seed: 11}}, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Begin the drain as soon as the first refinement frame is out —
+	// squarely mid-stream, with later rounds still to run.
+	drained := make(chan error, 1)
+	frames, errEvent := streamFramesWithHook(t, ts.URL+"/v1/conn", progressiveConnBody(), func(frameNo int) {
+		if frameNo != 1 {
+			return
+		}
+		s.StartDrain()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Errorf("healthz during drain: %v", err)
+			return
+		}
+		var health struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Errorf("healthz body: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+			t.Errorf("draining healthz = %d %q, want 503 draining", resp.StatusCode, health.Status)
+		}
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			drained <- s.Drain(ctx)
+		}()
+	})
+	if errEvent != nil {
+		t.Fatalf("stream errored during drain: %v", errEvent)
+	}
+	got := checkRefinement(t, frames, 4096)
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain did not complete after the stream finished: %v", err)
+	}
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if string(a) != string(b) {
+		t.Fatalf("drained stream's final frame differs from the undisturbed run:\n%s\nvs\n%s", a, b)
+	}
+}

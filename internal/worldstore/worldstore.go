@@ -104,6 +104,13 @@ type Store struct {
 	coldRecomputes  atomic.Uint64
 	spillRecomputes atomic.Uint64
 
+	// Batched depth-limited kernel counters (atomic: bumped outside mu on
+	// the CountWithinMulti path): which mode tallied how many worlds, and
+	// how many bit-sliced plane flushes the accumulate mode performed.
+	accumWorlds  atomic.Uint64
+	accumFlushes atomic.Uint64
+	directWorlds atomic.Uint64
+
 	// reachPool recycles the batched BFS scratch CountWithinMulti uses;
 	// sampler.MultiReachCounter is single-goroutine, so each call checks
 	// one out for its duration.
@@ -194,6 +201,17 @@ type Stats struct {
 	// extent validation failure — at attach (truncated segments) or on
 	// load (bit rot). Dropped entries are recomputed, never served.
 	CorruptDropped uint64
+	// AccumWorlds counts worlds tallied by the accumulate-mode bit-sliced
+	// reach kernel on the batched depth-limited path (CountWithinMulti);
+	// DirectWorlds counts worlds the same path tallied through the
+	// per-world direct fallback (graphs too large for the flat
+	// accumulator). Both modes add identical per-world reach indicators,
+	// so the split is an observability fact, never a results fact.
+	AccumWorlds  uint64
+	DirectWorlds uint64
+	// AccumFlushes counts bit-sliced plane flushes (one per
+	// capacity-sized sub-range per active segment).
+	AccumFlushes uint64
 	// CacheDir is the attached disk-tier directory ("" when the store has
 	// no disk tier).
 	CacheDir string
@@ -442,6 +460,9 @@ func (s *Store) Stats() Stats {
 	st.CorruptDropped = s.corruptDropped.Load()
 	st.ColdRecomputes = s.coldRecomputes.Load()
 	st.PostSpillRecomputes = s.spillRecomputes.Load()
+	st.AccumWorlds = s.accumWorlds.Load()
+	st.AccumFlushes = s.accumFlushes.Load()
+	st.DirectWorlds = s.directWorlds.Load()
 	if c := s.spill.Load(); c != nil {
 		st.DiskBytes = c.bytes()
 		st.CacheDir = c.dir
@@ -1078,11 +1099,14 @@ func (s *Store) countWithinGroup(mrc *sampler.MultiReachCounter, cs []graph.Node
 					mrc.AccumWorld(bits, activeCs, depth)
 				})
 				mrc.FlushAccum(activeCounts)
+				s.accumWorlds.Add(uint64(y - x))
+				s.accumFlushes.Add(1)
 			}
 		} else {
 			s.ScanBits(a, b, func(_ int, bits []uint64) {
 				mrc.CountWithinWorld(bits, activeCs, depth, activeCounts)
 			})
+			s.directWorlds.Add(uint64(b - a))
 		}
 	}
 }

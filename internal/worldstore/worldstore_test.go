@@ -335,6 +335,39 @@ func TestCountWithinMultiMatchesReachCounter(t *testing.T) {
 	}
 }
 
+// TestCountWithinMultiUsesAccumKernel pins the wiring of the
+// accumulate-mode bit-sliced kernel into the production batched
+// depth-limited path: on a graph small enough for the flat accumulator,
+// CountWithinMulti tallies every world through accumulate mode — the
+// Stats counters prove it, and the direct fallback stays untouched. A
+// regression here (the kernel silently unhooked) would cost the batched
+// path its main speedup without failing any correctness test, since both
+// modes produce bit-identical counts.
+func TestCountWithinMultiUsesAccumKernel(t *testing.T) {
+	g := ringGraph(t, 35, 13)
+	const seed, hi = 17, 300
+	s := New(g, seed)
+	centers := []graph.NodeID{0, 5, 12}
+	lo := []int{0, 40, 0}
+	counts := make([][]int32, len(centers))
+	for j := range counts {
+		counts[j] = make([]int32, g.NumNodes())
+	}
+	s.CountWithinMulti(centers, 2, lo, hi, counts)
+	st := s.Stats()
+	// The distinct-lo segments partition [0, hi) and each world is
+	// accumulated exactly once, so the counter equals the range length.
+	if st.AccumWorlds != hi {
+		t.Fatalf("AccumWorlds = %d, want %d (accumulate-mode kernel not driving the batched path)", st.AccumWorlds, hi)
+	}
+	if st.AccumFlushes == 0 {
+		t.Fatal("AccumFlushes = 0: accumulate mode never flushed its planes")
+	}
+	if st.DirectWorlds != 0 {
+		t.Fatalf("DirectWorlds = %d: direct fallback used on an accumulator-sized graph", st.DirectWorlds)
+	}
+}
+
 func TestCountWithinMultiEmptyRanges(t *testing.T) {
 	g := pathGraph(t, 6, 0.5)
 	s := New(g, 1)
