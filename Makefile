@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet test short race chaos cover bench bench-core bench-depth bench-server bench-shard bench-store bench-dblp bench-smoke fuzz serve docs-check ci
+.PHONY: build fmt vet test short race chaos cover bench bench-core bench-depth bench-server bench-shard bench-store bench-dblp bench-obs bench-smoke fuzz serve docs-check ci
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ short:
 # conformance harness exercises server+shard+conn together, so it rides
 # in this gate too).
 race:
-	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server ./internal/shard ./internal/stattest ./internal/faultinject
+	$(GO) test -race -short ./internal/worldstore ./internal/conn ./internal/sampler ./internal/core ./internal/server ./internal/shard ./internal/stattest ./internal/faultinject ./internal/obs
 
 # Seeded chaos suite under the race detector: fault-injection proxies
 # (internal/faultinject) kill, delay and corrupt the coordinator-worker
@@ -101,6 +101,16 @@ bench-shard:
 	$(GO) run ./cmd/benchjson -suite shard -update BENCH_shard.json < bench-shard.out
 	@rm -f bench-shard.out
 	@echo "merged scatter suite into BENCH_shard.json"
+
+# Tracing-overhead benchmark: the warm 4-worker scatter with a live
+# trace per query (span tree + wire trace sections) next to the
+# untraced ScatterWorkers/workers=4 baseline, merged into
+# BENCH_shard.json. The acceptance bar is <5% overhead.
+bench-obs:
+	$(GO) test -bench='ScatterWorkers' -benchmem -run='^$$' ./internal/shard | tee bench-obs.out
+	$(GO) run ./cmd/benchjson -suite shard -update BENCH_shard.json < bench-obs.out
+	@rm -f bench-obs.out
+	@echo "merged tracing-overhead suite into BENCH_shard.json"
 
 # Storage-tier benchmarks (cold vs spilled-warm vs recompute block
 # materialization, bit-sliced vs flat accumulate kernels) ->

@@ -48,7 +48,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +59,7 @@ import (
 
 	"ucgraph/internal/datasets"
 	"ucgraph/internal/gio"
+	"ucgraph/internal/obs"
 	"ucgraph/internal/server"
 	"ucgraph/internal/shard"
 	"ucgraph/internal/worldstore"
@@ -91,6 +94,10 @@ func main() {
 		shardBudget  = flag.Int("shard-retry-budget", 0, "total block re-scatters one query may spend (0 = package default)")
 		shardAudit   = flag.Float64("shard-audit", 0, "fraction of scatter groups re-executed on a second worker and compared byte-for-byte (0 = no auditing); results are identical either way")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight queries, SSE streams and shard streams to finish")
+
+		version   = flag.Bool("version", false, "print build information and exit")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off); applies to coordinators and shard workers")
+		slowQuery = flag.Duration("slow-query", 0, "log any query (or worker tally) slower than this as one-line JSON via slog (0 = off)")
 	)
 	var graphs []server.GraphConfig
 	flag.Func("graph", "serve a graph from an edge-list file, as name=path (repeatable)", func(v string) error {
@@ -117,6 +124,11 @@ func main() {
 		return fmt.Errorf("unknown synthetic dataset %q", v)
 	})
 	flag.Parse()
+	if *version {
+		b := obs.BuildInfo()
+		fmt.Printf("ucserve %s (commit %s, %s)\n", b.Version, b.Commit, b.GoVersion)
+		return
+	}
 	for _, v := range synthetics {
 		var (
 			ds  *datasets.Dataset
@@ -152,6 +164,24 @@ func main() {
 	for i := range graphs {
 		graphs[i].Seed = *seed
 	}
+	slowLog := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	// -debug-addr serves pprof on its own listener (and mux, so the
+	// profiling surface never leaks onto the query port) for both roles.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				fmt.Fprintf(os.Stderr, "ucserve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof on %s/debug/pprof/\n", *debugAddr)
+	}
 
 	var handler http.Handler
 	var closeServer func()
@@ -163,7 +193,12 @@ func main() {
 			wgs[i] = shard.WorkerGraph{Name: gc.Name, Graph: gc.Graph, Seed: gc.Seed}
 		}
 		var err error
-		wrk, err = shard.NewWorker(wgs, shard.WorkerOptions{MaxWorlds: *maxSamp, WorldCacheDir: *worldcache})
+		wrk, err = shard.NewWorker(wgs, shard.WorkerOptions{
+			MaxWorlds:     *maxSamp,
+			WorldCacheDir: *worldcache,
+			SlowTally:     *slowQuery,
+			SlowLog:       slowLog,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)
 			os.Exit(1)
@@ -196,6 +231,8 @@ func main() {
 			MaxCost:               *maxCost,
 			ClientConcurrent:      *clientConc,
 			ClientWorldsPerMin:    *clientWorlds,
+			SlowQuery:             *slowQuery,
+			SlowLog:               slowLog,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ucserve: %v\n", err)

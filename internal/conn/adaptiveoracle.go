@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"ucgraph/internal/graph"
+	"ucgraph/internal/obs"
 	"ucgraph/internal/worldstore"
 )
 
@@ -229,9 +230,19 @@ func AdaptiveFromCenters(ctx context.Context, o ContextOracle, cs []graph.NodeID
 	st := AdaptiveStats{Budget: budget}
 	var ests [][]float64
 	for _, r := range sched {
+		// One trace span per adaptive round (a no-op on untraced
+		// queries): the estimator's doubling loop is where adaptive
+		// latency lives, and the round's convergence state is the fact an
+		// operator reading the trace needs. Observation only — the
+		// schedule and estimates are untouched.
+		rctx, sp := obs.StartSpan(ctx, "adaptive_round")
+		sp.Set("round", int64(st.Rounds))
+		sp.Set("worlds", int64(r))
 		var err error
-		ests, err = o.FromCentersCtx(ctx, cs, depth, r)
+		ests, err = o.FromCentersCtx(rctx, cs, depth, r)
 		if err != nil {
+			sp.Set("error", err.Error())
+			sp.End()
 			return nil, st, err
 		}
 		st.Rounds++
@@ -255,6 +266,9 @@ func AdaptiveFromCenters(ctx context.Context, o ContextOracle, cs []graph.NodeID
 		st.HalfWidth = hw
 		st.Converged = hw <= p.Eps
 		final := st.Converged || r >= budget
+		sp.Set("half_width", hw)
+		sp.Set("converged", st.Converged)
+		sp.End()
 		if progress != nil {
 			snap := AdaptiveSnapshot{
 				Estimates: ests,

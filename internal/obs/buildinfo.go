@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build describes the running binary: main-module version, VCS
+// revision (plus a "-dirty" suffix for modified checkouts), and the Go
+// toolchain that compiled it. Fields are "unknown" when the binary was
+// built without module or VCS stamping (e.g. `go test`).
+type Build struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+}
+
+// BuildInfo reads the binary's embedded build information once; the
+// result is immutable for the process lifetime.
+func BuildInfo() Build {
+	b := Build{Version: "unknown", Commit: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := bi.Main.Version; v != "" {
+		b.Version = v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		b.Commit = rev
+	}
+	return b
+}

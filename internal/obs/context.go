@@ -1,0 +1,35 @@
+package obs
+
+import "context"
+
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span. A nil sp
+// returns ctx unchanged, so disabled tracing costs nothing downstream.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil when the request is
+// untraced. All Span methods are nil-safe, so callers use the result
+// unconditionally.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// derived context carrying it. When the context is untraced it returns
+// (ctx, nil) without allocating: the single context lookup is the whole
+// cost of disabled tracing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.StartChild(name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

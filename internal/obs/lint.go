@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates Prometheus text-format exposition: HELP/TYPE
+// comment shape, sample syntax (metric names, label quoting/escaping,
+// float values), TYPE-before-sample ordering, and histogram invariants
+// (an le label on every _bucket, a +Inf bucket whose cumulative count
+// equals _count, counts non-decreasing in le). CI runs it over live
+// /metricsz output so a malformed scrape fails the build rather than a
+// dashboard.
+func LintPrometheus(r io.Reader) error {
+	types := make(map[string]string)
+	seenSample := make(map[string]bool)
+	// histogram bookkeeping: family -> series key -> le -> count,
+	// plus the _count sample per series.
+	buckets := make(map[string]map[string]map[float64]float64)
+	counts := make(map[string]map[string]float64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, types, seenSample); err != nil {
+				return fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineno, err)
+		}
+		fam := familyOf(name, types)
+		if t, ok := types[fam]; ok {
+			seenSample[fam] = true
+			if t == "histogram" {
+				recordHistogramSample(fam, name, labels, value, buckets, counts)
+			}
+		} else {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineno, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return lintHistograms(buckets, counts)
+}
+
+func lintComment(line string, types map[string]string, seenSample map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP: %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if seenSample[fields[2]] {
+			return fmt.Errorf("TYPE for %s after its samples", fields[2])
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family, unwrapping the
+// histogram suffixes.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !metricNameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// An optional timestamp may follow the value.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		if _, terr := strconv.ParseInt(strings.TrimSpace(rest[sp+1:]), 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("malformed timestamp in %q", line)
+		}
+		rest = rest[:sp]
+	}
+	value, err = parseFloat(rest)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("malformed value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	s = s[1:] // consume '{'
+	for {
+		s = strings.TrimLeft(s, " ")
+		if len(s) > 0 && s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed labels near %q", s)
+		}
+		ln := strings.TrimSpace(s[:eq])
+		if !labelNameRE.MatchString(ln) {
+			return nil, "", fmt.Errorf("invalid label name %q", ln)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", ln)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, "", fmt.Errorf("label %s: unterminated value", ln)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return nil, "", fmt.Errorf("label %s: dangling escape", ln)
+				}
+				switch s[0] {
+				case '\\', '"':
+					val.WriteByte(s[0])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", ln, s[0])
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels = append(labels, Label{ln, val.String()})
+		s = strings.TrimLeft(s, " ")
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func recordHistogramSample(fam, name string, labels []Label, value float64,
+	buckets map[string]map[string]map[float64]float64, counts map[string]map[string]float64) {
+	var le string
+	series := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.Name == "le" {
+			le = l.Value
+			continue
+		}
+		series = append(series, l.Name+"="+l.Value)
+	}
+	sort.Strings(series)
+	key := strings.Join(series, ",")
+	switch name {
+	case fam + "_bucket":
+		ub, err := parseFloat(le)
+		if le == "" || err != nil {
+			ub = math.NaN() // flagged in lintHistograms
+		}
+		if buckets[fam] == nil {
+			buckets[fam] = make(map[string]map[float64]float64)
+		}
+		if buckets[fam][key] == nil {
+			buckets[fam][key] = make(map[float64]float64)
+		}
+		buckets[fam][key][ub] = value
+	case fam + "_count":
+		if counts[fam] == nil {
+			counts[fam] = make(map[string]float64)
+		}
+		counts[fam][key] = value
+	}
+}
+
+func lintHistograms(buckets map[string]map[string]map[float64]float64, counts map[string]map[string]float64) error {
+	for fam, series := range buckets {
+		for key, bs := range series {
+			ubs := make([]float64, 0, len(bs))
+			hasInf := false
+			for ub := range bs {
+				if math.IsNaN(ub) {
+					return fmt.Errorf("histogram %s{%s}: _bucket without a parseable le label", fam, key)
+				}
+				if math.IsInf(ub, 1) {
+					hasInf = true
+				}
+				ubs = append(ubs, ub)
+			}
+			if !hasInf {
+				return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", fam, key)
+			}
+			sort.Float64s(ubs)
+			prev := 0.0
+			for _, ub := range ubs {
+				if bs[ub] < prev {
+					return fmt.Errorf("histogram %s{%s}: bucket counts decrease at le=%g", fam, key, ub)
+				}
+				prev = bs[ub]
+			}
+			if c, ok := counts[fam][key]; ok && c != bs[math.Inf(1)] {
+				return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", fam, key, c, bs[math.Inf(1)])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Prometheus text exposition, hand-rolled: the repo is zero-dependency,
+// and the subset we need — counters, gauges, fixed-bucket histograms,
+// label vectors — fits in a page. The format is the Prometheus
+// text-based exposition format v0.0.4 (HELP/TYPE comments, samples with
+// escaped label values, cumulative le buckets with a mandatory +Inf).
+// internal/obs/metrics_test.go carries a strict parser that CI runs
+// against real /metricsz output.
+
+// DefSecondsBuckets is the default latency bucket layout, in seconds:
+// half a millisecond to ten seconds on a rough 1-2.5-5 ladder. The same
+// layout is used for every duration histogram so panels line up.
+var DefSecondsBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// A Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// A Writer emits Prometheus text format with correct escaping. Errors
+// are sticky: the first write failure suppresses the rest and surfaces
+// from Err.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w for Prometheus text output.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err reports the first underlying write error, if any.
+func (pw *Writer) Err() error { return pw.err }
+
+func (pw *Writer) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// Family writes the # HELP and # TYPE header for a metric family. typ
+// is "counter", "gauge" or "histogram".
+func (pw *Writer) Family(name, help, typ string) {
+	if !metricNameRE.MatchString(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	pw.printf("# HELP %s %s\n", name, helpEscaper.Replace(help))
+	pw.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line. labels may be nil.
+func (pw *Writer) Sample(name string, labels []Label, value float64) {
+	pw.printf("%s%s %s\n", name, formatLabels(labels), formatFloat(value))
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if !labelNameRE.MatchString(l.Name) {
+			panic("obs: invalid label name " + l.Name)
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// A Registry holds histogram vectors registered once at startup and
+// renders them on scrape. Scrape-time gauges (mirrors of /statsz
+// counters) are written by the caller directly through a Writer — the
+// registry only owns state that must accumulate between scrapes.
+type Registry struct {
+	mu    sync.Mutex
+	hists []*HistogramVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Histogram registers (or returns, name being the identity) a histogram
+// vector with fixed upper-bound buckets and the given label names. An
+// implicit +Inf bucket is always appended.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if !metricNameRE.MatchString(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, ln := range labelNames {
+		if !labelNameRE.MatchString(ln) {
+			panic("obs: invalid label name " + ln)
+		}
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets must be strictly increasing")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range r.hists {
+		if h.name == name {
+			return h
+		}
+	}
+	h := &HistogramVec{
+		name:       name,
+		help:       help,
+		buckets:    append([]float64(nil), buckets...),
+		labelNames: append([]string(nil), labelNames...),
+		children:   make(map[string]*histogram),
+	}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// WriteTo renders every registered family, in registration order, with
+// children sorted by label values so scrapes are deterministic.
+func (r *Registry) WriteTo(pw *Writer) {
+	r.mu.Lock()
+	hists := append([]*HistogramVec(nil), r.hists...)
+	r.mu.Unlock()
+	for _, h := range hists {
+		h.writeTo(pw)
+	}
+}
+
+// A HistogramVec is a family of fixed-bucket histograms keyed by label
+// values. Observations are lock-cheap: an RLock on the child map plus
+// atomic adds; child creation (first observation per label set) takes
+// the write lock once.
+type HistogramVec struct {
+	name       string
+	help       string
+	buckets    []float64 // upper bounds, strictly increasing; +Inf implicit
+	labelNames []string
+
+	mu       sync.RWMutex
+	children map[string]*histogram
+}
+
+type histogram struct {
+	labelValues []string
+	counts      []atomic.Uint64 // len(buckets)+1, last is +Inf
+	sum         atomic.Uint64   // float64 bits, CAS-accumulated
+	count       atomic.Uint64
+}
+
+// Observe records v under the given label values (which must match the
+// registered label names in number and order).
+func (hv *HistogramVec) Observe(v float64, labelValues ...string) {
+	if len(labelValues) != len(hv.labelNames) {
+		panic(fmt.Sprintf("obs: %s: got %d label values, want %d", hv.name, len(labelValues), len(hv.labelNames)))
+	}
+	h := hv.child(labelValues)
+	i := sort.SearchFloat64s(hv.buckets, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+func (hv *HistogramVec) child(labelValues []string) *histogram {
+	key := strings.Join(labelValues, "\x00")
+	hv.mu.RLock()
+	h := hv.children[key]
+	hv.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	if h = hv.children[key]; h != nil {
+		return h
+	}
+	h = &histogram{
+		labelValues: append([]string(nil), labelValues...),
+		counts:      make([]atomic.Uint64, len(hv.buckets)+1),
+	}
+	hv.children[key] = h
+	return h
+}
+
+func (hv *HistogramVec) writeTo(pw *Writer) {
+	hv.mu.RLock()
+	children := make([]*histogram, 0, len(hv.children))
+	for _, h := range hv.children {
+		children = append(children, h)
+	}
+	hv.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].labelValues, "\x00") < strings.Join(children[j].labelValues, "\x00")
+	})
+	pw.Family(hv.name, hv.help, "histogram")
+	for _, h := range children {
+		base := make([]Label, len(hv.labelNames))
+		for i, ln := range hv.labelNames {
+			base[i] = Label{ln, h.labelValues[i]}
+		}
+		var cum uint64
+		for i, ub := range hv.buckets {
+			cum += h.counts[i].Load()
+			pw.Sample(hv.name+"_bucket", append(base[:len(base):len(base)], Label{"le", formatFloat(ub)}), float64(cum))
+		}
+		cum += h.counts[len(hv.buckets)].Load()
+		pw.Sample(hv.name+"_bucket", append(base[:len(base):len(base)], Label{"le", "+Inf"}), float64(cum))
+		pw.Sample(hv.name+"_sum", base, math.Float64frombits(h.sum.Load()))
+		pw.Sample(hv.name+"_count", base, float64(cum))
+	}
+}

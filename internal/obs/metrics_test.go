@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndRender(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", "request latency", []float64{0.01, 0.1, 1}, "endpoint")
+	h.Observe(0.005, "/v1/conn")
+	h.Observe(0.05, "/v1/conn")
+	h.Observe(0.5, "/v1/conn")
+	h.Observe(5, "/v1/conn")
+	h.Observe(0.05, "/v1/cluster")
+
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	reg.WriteTo(pw)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{endpoint="/v1/conn",le="0.01"} 1`,
+		`req_seconds_bucket{endpoint="/v1/conn",le="0.1"} 2`,
+		`req_seconds_bucket{endpoint="/v1/conn",le="1"} 3`,
+		`req_seconds_bucket{endpoint="/v1/conn",le="+Inf"} 4`,
+		`req_seconds_count{endpoint="/v1/conn"} 4`,
+		`req_seconds_count{endpoint="/v1/cluster"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint: %v", err)
+	}
+}
+
+func TestHistogramSumIsExact(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x_seconds", "", DefSecondsBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	reg.WriteTo(pw)
+	want := "x_seconds_count 8000"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, buf.String())
+	}
+	// The CAS loop must not lose updates: 8000 additions of 0.001 land
+	// within float association error of 8.
+	var sum float64
+	found := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, "x_seconds_sum "); ok {
+			var err error
+			if sum, err = parseFloat(v); err != nil {
+				t.Fatal(err)
+			}
+			found = true
+		}
+	}
+	if !found || math.Abs(sum-8) > 1e-6 {
+		t.Fatalf("sum = %v (found=%v), want ~8", sum, found)
+	}
+}
+
+func TestWriterEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.Family("m", "help with \\ and\nnewline", "gauge")
+	pw.Sample("m", []Label{{"l", `quo"te\slash` + "\nnl"}}, 1)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP m help with \\ and\nnewline`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `m{l="quo\"te\\slash\nnl"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint round-trip: %v", err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0.0005, "0.0005"}, {1, "1"}, {2.5, "2.5"},
+		{math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"no type":           "orphan 1\n",
+		"bad name":          "# TYPE 9bad counter\n",
+		"bad type":          "# TYPE m histo\n",
+		"type after sample": "# TYPE m counter\nm 1\n# TYPE m counter\n",
+		"bad value":         "# TYPE m counter\nm xyz\n",
+		"unquoted label":    "# TYPE m counter\nm{l=v} 1\n",
+		"missing inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"decreasing buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n",
+	} {
+		if err := LintPrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted malformed input", name)
+		}
+	}
+}
+
+func TestLintAcceptsValid(t *testing.T) {
+	text := "# HELP m a counter\n# TYPE m counter\nm 1\n" +
+		"# TYPE g gauge\n" + `g{a="x",b="y"} 2.5 1700000000000` + "\n" +
+		"# TYPE h histogram\n" +
+		`h_bucket{le="0.1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\n" +
+		"h_sum 0.3\nh_count 2\n"
+	if err := LintPrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint rejected valid input: %v", err)
+	}
+}
+
+func TestBuildInfoPopulated(t *testing.T) {
+	b := BuildInfo()
+	if b.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+	if b.Version == "" || b.Commit == "" {
+		t.Fatal("build fields must never be empty (use \"unknown\")")
+	}
+}

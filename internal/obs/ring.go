@@ -1,0 +1,60 @@
+package obs
+
+import "sync"
+
+// A Ring holds the N most recent finished traces for /debug/traces.
+// Insertion overwrites the oldest entry; Snapshot returns newest-first.
+// Entries are TraceViews (immutable snapshots), so holding one costs a
+// few KB and never pins a live query's state.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceView
+	next int
+	n    int
+}
+
+// NewRing returns a ring holding up to capacity traces (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]TraceView, capacity)}
+}
+
+// Add snapshots tr into the ring, evicting the oldest entry when full.
+func (r *Ring) Add(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	v := tr.View()
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the held traces, newest first.
+func (r *Ring) Snapshot() []TraceView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceView, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)*2) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Get returns the trace with the given ID, newest first on duplicate
+// IDs (which random 64-bit IDs make vanishingly unlikely).
+func (r *Ring) Get(id string) (TraceView, bool) {
+	for _, v := range r.Snapshot() {
+		if v.TraceID == id {
+			return v, true
+		}
+	}
+	return TraceView{}, false
+}

@@ -1,0 +1,324 @@
+// Package obs is the zero-dependency observability layer: per-query
+// traces with hierarchical spans (trace.go), Prometheus text-format
+// metrics with lock-cheap fixed-bucket histograms (metrics.go), a
+// bounded ring of recent traces (ring.go), and build-info discovery
+// (buildinfo.go).
+//
+// The package holds one standing invariant for the whole repository:
+// observation never alters estimation. Spans record wall-clock time and
+// counters that already exist; they never reorder work, never consume
+// randomness from an estimator stream, and never change a code path.
+// Every entry point is nil-safe — a nil *Span no-ops — so callers thread
+// spans unconditionally and pay only a context lookup when tracing is
+// off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A Trace is one query's worth of spans. Spans form a tree via parent
+// IDs but are stored flat, in creation order, so concurrent branches
+// (per-worker scatter attempts) append without coordination beyond the
+// trace mutex. A Trace is safe for concurrent use.
+type Trace struct {
+	ID    string    `json:"trace_id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+
+	idNum  uint64
+	mu     sync.Mutex
+	nextID uint64
+	spans  []*Span
+	end    time.Time
+	root   *Span
+}
+
+// A Span is one timed step inside a Trace, annotated with ordered
+// key/value attributes. All methods are nil-safe: a nil receiver no-ops,
+// so instrumented code never branches on whether tracing is enabled.
+type Span struct {
+	tr       *Trace
+	id       uint64
+	parentID uint64
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+}
+
+// An Attr is one span annotation. Values are kept as supplied and
+// rendered through encoding/json.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// NewTrace starts a trace rooted at a span named name. The trace ID is
+// random (not derived from any estimator seed) so concurrent queries
+// are distinguishable in logs and the /debug/traces ring.
+func NewTrace(name string) *Trace {
+	id := rand.Uint64() | 1
+	tr := &Trace{
+		ID:    fmt.Sprintf("%016x", id),
+		Name:  name,
+		Start: time.Now(),
+		idNum: id,
+	}
+	tr.root = tr.newSpan(0, name)
+	return tr
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (if still open) and stamps the trace end
+// time. It is idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// Duration reports end-start for a finished trace, or time-since-start
+// for one still in flight.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.end.IsZero() {
+		return time.Since(t.Start)
+	}
+	return t.end.Sub(t.Start)
+}
+
+func (t *Trace) newSpan(parent uint64, name string) *Span {
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{tr: t, id: t.nextID, parentID: parent, name: name, start: time.Now()}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartChild opens a child span under s. Safe to call from any
+// goroutine; nil-safe.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s.id, name)
+}
+
+// End closes the span. Idempotent; nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// Set attaches (or overwrites) an attribute on the span.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.tr.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// SetAll attaches (or overwrites) several attributes under one lock
+// acquisition — the batch counterpart of Set for hot paths (per-worker
+// scatter attempts) that annotate many keys at once.
+func (s *Span) SetAll(attrs ...Attr) {
+	if s == nil || len(attrs) == 0 {
+		return
+	}
+	s.tr.mu.Lock()
+outer:
+	for _, a := range attrs {
+		for i := range s.attrs {
+			if s.attrs[i].Key == a.Key {
+				s.attrs[i].Value = a.Value
+				continue outer
+			}
+		}
+		s.attrs = append(s.attrs, a)
+	}
+	s.tr.mu.Unlock()
+}
+
+// Add increments an integer attribute on the span (creating it at
+// delta). Useful for counters accumulated across retries.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			if v, ok := s.attrs[i].Value.(int64); ok {
+				s.attrs[i].Value = v + delta
+				s.tr.mu.Unlock()
+				return
+			}
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: delta})
+	s.tr.mu.Unlock()
+}
+
+// Name returns the span's name; nil-safe (empty for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// WireIDs returns the numeric (trace ID, span ID) pair for propagating a
+// span across a wire protocol. A nil span returns (0, 0) — zero means
+// "untraced" on every wire that carries these.
+func (s *Span) WireIDs() (traceID, spanID uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.tr.idNum, s.id
+}
+
+// Trace returns the owning trace; nil for a nil span.
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// SpanView is the JSON rendering of one span: times are relative to the
+// trace start in milliseconds so an operator reads offsets, not clocks.
+type SpanView struct {
+	ID         uint64         `json:"id"`
+	ParentID   uint64         `json:"parent_id"`
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceView is the JSON rendering of a whole trace, stable enough to be
+// returned from the explain API and the /debug/traces ring.
+type TraceView struct {
+	TraceID    string     `json:"trace_id"`
+	Name       string     `json:"name"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"duration_ms"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// View snapshots the trace for rendering. Open spans report duration up
+// to now. The snapshot is deep: mutating the trace afterwards does not
+// affect it.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	v := TraceView{
+		TraceID:    t.ID,
+		Name:       t.Name,
+		Start:      t.Start,
+		DurationMS: float64(end.Sub(t.Start)) / float64(time.Millisecond),
+		Spans:      make([]SpanView, 0, len(t.spans)),
+	}
+	for _, s := range t.spans {
+		se := s.end
+		if se.IsZero() {
+			se = end
+		}
+		sv := SpanView{
+			ID:         s.id,
+			ParentID:   s.parentID,
+			Name:       s.name,
+			StartMS:    float64(s.start.Sub(t.Start)) / float64(time.Millisecond),
+			DurationMS: float64(se.Sub(s.start)) / float64(time.Millisecond),
+		}
+		if len(s.attrs) > 0 {
+			sv.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				sv.Attrs[a.Key] = a.Value
+			}
+		}
+		v.Spans = append(v.Spans, sv)
+	}
+	return v
+}
+
+// SpanDurations reports, per span name, the observed durations of a
+// finished trace — the feed for per-stage latency histograms. Names are
+// returned sorted for deterministic iteration.
+func (t *Trace) SpanDurations() []struct {
+	Name string
+	D    time.Duration
+} {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]struct {
+		Name string
+		D    time.Duration
+	}, 0, len(t.spans))
+	for _, s := range t.spans {
+		if s.end.IsZero() {
+			continue
+		}
+		out = append(out, struct {
+			Name string
+			D    time.Duration
+		}{s.name, s.end.Sub(s.start)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MarshalJSON renders the trace through View so a *Trace can be dropped
+// straight into a JSON response.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.View())
+}

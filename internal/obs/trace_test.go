@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	s.Set("k", 1)
+	s.Add("n", 2)
+	if c := s.StartChild("c"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if s.Name() != "" || s.Trace() != nil {
+		t.Fatal("nil span leaked state")
+	}
+	var tr *Trace
+	tr.Finish()
+	if tr.Root() != nil || tr.Duration() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	if v := tr.View(); len(v.Spans) != 0 {
+		t.Fatal("nil trace rendered spans")
+	}
+}
+
+func TestUntracedContextCostsNothing(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatal("untraced context produced a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan allocated a new context")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("phantom span in fresh context")
+	}
+}
+
+func TestSpanTreeAndView(t *testing.T) {
+	tr := NewTrace("query")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	ctx, outer := StartSpan(ctx, "scatter")
+	outer.Set("round", int64(1))
+	outer.Add("retries", 1)
+	outer.Add("retries", 2)
+	_, inner := StartSpan(ctx, "worker")
+	inner.Set("addr", "w1")
+	inner.End()
+	outer.End()
+	tr.Finish()
+	tr.Finish() // idempotent
+
+	v := tr.View()
+	if v.TraceID != tr.ID || len(v.Spans) != 3 {
+		t.Fatalf("view: id %q spans %d", v.TraceID, len(v.Spans))
+	}
+	root, sc, wk := v.Spans[0], v.Spans[1], v.Spans[2]
+	if root.ParentID != 0 || sc.ParentID != root.ID || wk.ParentID != sc.ID {
+		t.Fatalf("bad parent chain: %+v", v.Spans)
+	}
+	if sc.Attrs["round"] != int64(1) || sc.Attrs["retries"] != int64(3) {
+		t.Fatalf("scatter attrs: %v", sc.Attrs)
+	}
+	if wk.Attrs["addr"] != "w1" {
+		t.Fatalf("worker attrs: %v", wk.Attrs)
+	}
+	if _, err := json.Marshal(tr); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if tr.Duration() <= 0 {
+		t.Fatal("finished trace has nonpositive duration")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := tr.Root().StartChild("attempt")
+			sp.Set("n", int64(1))
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.View().Spans); got != 33 {
+		t.Fatalf("spans = %d, want 33", got)
+	}
+	durs := tr.SpanDurations()
+	if len(durs) != 33 {
+		t.Fatalf("durations = %d, want 33", len(durs))
+	}
+	for _, d := range durs {
+		if d.D < 0 {
+			t.Fatalf("negative duration for %s", d.Name)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	ids := make([]string, 5)
+	for i := range ids {
+		tr := NewTrace("q")
+		tr.Finish()
+		ids[i] = tr.ID
+		r.Add(tr)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(snap))
+	}
+	// Newest first: ids[4], ids[3], ids[2].
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if snap[i].TraceID != want {
+			t.Fatalf("snap[%d] = %s, want %s", i, snap[i].TraceID, want)
+		}
+	}
+	if _, ok := r.Get(ids[0]); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if v, ok := r.Get(ids[4]); !ok || v.TraceID != ids[4] {
+		t.Fatal("recent trace not retrievable")
+	}
+	r.Add(nil) // no-op
+}
+
+func TestOpenSpanDurationRunsToNow(t *testing.T) {
+	tr := NewTrace("q")
+	sp := tr.Root().StartChild("open")
+	_ = sp
+	time.Sleep(2 * time.Millisecond)
+	v := tr.View()
+	for _, s := range v.Spans {
+		if s.DurationMS <= 0 {
+			t.Fatalf("open span %s has nonpositive duration %v", s.Name, s.DurationMS)
+		}
+	}
+	// Unfinished spans are excluded from histogram feeds.
+	if n := len(tr.SpanDurations()); n != 0 {
+		t.Fatalf("SpanDurations saw %d unfinished spans", n)
+	}
+}

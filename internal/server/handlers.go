@@ -15,6 +15,7 @@ import (
 	"ucgraph/internal/knn"
 	"ucgraph/internal/kpt"
 	"ucgraph/internal/mcl"
+	"ucgraph/internal/obs"
 )
 
 // ---- /healthz, /statsz, /v1/graphs ------------------------------------
@@ -206,6 +207,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, map[string]any{
 		"uptime_ms":        time.Since(s.start).Milliseconds(),
+		"build":            obs.BuildInfo(),
 		"draining":         s.draining.Load(),
 		"requests":         s.requests.Load(),
 		"failures":         s.failures.Load(),
@@ -318,6 +320,10 @@ type connRequest struct {
 	Delta     float64 `json:"delta,omitempty"`
 	Stream    bool    `json:"stream,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	// Explain returns the request's finished trace inline: a "trace"
+	// field on the JSON response, or one trailing SSE frame after the
+	// final estimate frame in streaming mode. The answer is unchanged.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // handleConn answers connection-probability queries: a pair query
@@ -384,7 +390,12 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer cancel()
-		if err := h.admit(ctx); err != nil {
+		ctx, tr := s.startTrace(ctx, "/v1/conn", h.name)
+		defer s.finishTrace(tr)
+		tr.Root().Set("kind", "centers")
+		tr.Root().Set("centers", len(req.Centers))
+		tr.Root().Set("samples", req.Samples)
+		if err := h.admitTraced(ctx); err != nil {
 			s.writeError(w, estimationError(err))
 			return
 		}
@@ -393,21 +404,27 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			s.adaptiveConnCenters(ctx, w, h, req, depth, ad)
 			return
 		}
-		ests, err := h.coord.FromCentersCtx(ctx, req.Centers, depth, req.Samples)
+		ectx, fin := h.estimateSpan(ctx)
+		ests, err := h.coord.FromCentersCtx(ectx, req.Centers, depth, req.Samples)
+		fin(err)
 		if err != nil {
 			s.writeError(w, estimationError(err))
 			return
 		}
 		// Project each estimate vector onto the requested targets.
 		ests = project(ests, req.Targets)
-		s.writeJSON(w, map[string]any{
+		body := map[string]any{
 			"graph":     h.name,
 			"samples":   req.Samples,
 			"depth":     req.Depth,
 			"centers":   req.Centers,
 			"targets":   req.Targets,
 			"estimates": ests,
-		})
+		}
+		if req.Explain {
+			body["trace"] = explainView(tr)
+		}
+		s.writeJSON(w, body)
 
 	case req.Source != nil && req.Target != nil:
 		if e := validNode(h, "source", *req.Source); e != nil {
@@ -430,7 +447,11 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer cancel()
-		if err := h.admit(ctx); err != nil {
+		ctx, tr := s.startTrace(ctx, "/v1/conn", h.name)
+		defer s.finishTrace(tr)
+		tr.Root().Set("kind", "pair")
+		tr.Root().Set("samples", req.Samples)
+		if err := h.admitTraced(ctx); err != nil {
 			s.writeError(w, estimationError(err))
 			return
 		}
@@ -439,30 +460,36 @@ func (s *Server) handleConn(w http.ResponseWriter, r *http.Request) {
 			s.adaptiveConnPair(ctx, w, h, req, depth, ad)
 			return
 		}
+		ectx, fin := h.estimateSpan(ctx)
 		var p float64
 		var err error
 		if depth == conn.Unlimited {
-			p, err = h.coord.PairCtx(ctx, *req.Source, *req.Target, req.Samples)
+			p, err = h.coord.PairCtx(ectx, *req.Source, *req.Target, req.Samples)
 		} else {
 			// Depth-limited pairs route through the cached center tallies.
 			var est []float64
-			est, err = h.coord.FromCenterCtx(ctx, *req.Source, depth, req.Samples)
+			est, err = h.coord.FromCenterCtx(ectx, *req.Source, depth, req.Samples)
 			if err == nil {
 				p = est[*req.Target]
 			}
 		}
+		fin(err)
 		if err != nil {
 			s.writeError(w, estimationError(err))
 			return
 		}
-		s.writeJSON(w, map[string]any{
+		body := map[string]any{
 			"graph":       h.name,
 			"samples":     req.Samples,
 			"depth":       req.Depth,
 			"source":      *req.Source,
 			"target":      *req.Target,
 			"probability": p,
-		})
+		}
+		if req.Explain {
+			body["trace"] = explainView(tr)
+		}
+		s.writeJSON(w, body)
 
 	default:
 		s.writeError(w, badRequest("need either \"centers\" or both \"source\" and \"target\""))
@@ -490,6 +517,10 @@ type clusterRequest struct {
 	Delta     float64 `json:"delta,omitempty"`
 	Stream    bool    `json:"stream,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	// Explain returns the run's finished trace inline (a "trace" field
+	// on the response, or on the final SSE frame when streaming).
+	// Incompatible with async — poll jobs carry no trace.
+	Explain bool `json:"explain,omitempty"`
 }
 
 type clusterStats struct {
@@ -511,6 +542,9 @@ type clusterResponse struct {
 	AvgProb   float64       `json:"avg_prob"`
 	ElapsedMS int64         `json:"elapsed_ms"`
 	Stats     *clusterStats `json:"stats,omitempty"`
+	// Trace is the run's finished trace when the request asked for
+	// "explain": true; omitted otherwise.
+	Trace *obs.TraceView `json:"trace,omitempty"`
 }
 
 // handleCluster runs a clustering synchronously, or — with "async": true —
@@ -574,6 +608,10 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("\"stream\" and \"async\" are mutually exclusive: poll /v1/jobs for async runs"))
 		return
 	}
+	if req.Explain && req.Async {
+		s.writeError(w, badRequest("\"explain\" and \"async\" are mutually exclusive: traces attach to the request that ran the query"))
+		return
+	}
 	if req.Stream && req.Algo != "mcp" && req.Algo != "acp" {
 		s.writeError(w, badRequest(fmt.Sprintf("\"stream\" applies to the sampling algorithms (mcp, acp), not %q", req.Algo)))
 		return
@@ -620,6 +658,10 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	ctx, tr := s.startTrace(ctx, "/v1/cluster", h.name)
+	defer s.finishTrace(tr)
+	tr.Root().Set("algo", req.Algo)
+	tr.Root().Set("k", req.K)
 	if req.Stream {
 		s.streamCluster(ctx, w, h, req)
 		return
@@ -628,6 +670,10 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, estimationError(err))
 		return
+	}
+	if req.Explain {
+		v := explainView(tr)
+		res.Trace = &v
 	}
 	s.writeJSON(w, res)
 }
@@ -655,7 +701,7 @@ func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequ
 	// bypass the admission gate instead of occupying the slots it reserves
 	// for store traffic.
 	if req.Algo == "mcp" || req.Algo == "acp" {
-		if err := h.admit(ctx); err != nil {
+		if err := h.admitTraced(ctx); err != nil {
 			return nil, err
 		}
 		defer h.release()
@@ -666,6 +712,7 @@ func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequ
 		depth = conn.Unlimited
 	}
 	t0 := time.Now()
+	ctx, fin := h.estimateSpan(ctx)
 	var (
 		cl  *core.Clustering
 		st  *clusterStats
@@ -710,6 +757,7 @@ func (s *Server) runCluster(ctx context.Context, h *graphHandle, req clusterRequ
 			cl = kpt.Cluster(h.g, req.Seed)
 		}
 	}
+	fin(err)
 	if err != nil {
 		return nil, err
 	}

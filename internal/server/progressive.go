@@ -8,6 +8,7 @@ import (
 
 	"ucgraph/internal/conn"
 	"ucgraph/internal/core"
+	"ucgraph/internal/obs"
 )
 
 // Progressive mode: /v1/conn and /v1/cluster requests that carry a
@@ -149,17 +150,24 @@ func (s *Server) adaptiveConnCenters(ctx context.Context, w http.ResponseWriter,
 		f["final"] = snap.Final
 		return f
 	}
+	tr := obs.SpanFromContext(ctx).Trace()
 	if !ad.stream {
-		ests, st, err := conn.AdaptiveFromCenters(ctx, h.coord, req.Centers, depth, req.Targets, ad.params, nil)
+		ectx, fin := h.estimateSpan(ctx)
+		ests, st, err := conn.AdaptiveFromCenters(ectx, h.coord, req.Centers, depth, req.Targets, ad.params, nil)
+		fin(err)
 		if err != nil {
 			s.writeError(w, estimationError(err))
 			return
 		}
 		s.noteAdaptive(st)
-		s.writeJSON(w, frame(conn.AdaptiveSnapshot{
+		f := frame(conn.AdaptiveSnapshot{
 			Estimates: ests, HalfWidth: st.HalfWidth, Worlds: st.Worlds,
 			Converged: st.Converged, Final: true,
-		}))
+		})
+		if req.Explain {
+			f["trace"] = explainView(tr)
+		}
+		s.writeJSON(w, f)
 		return
 	}
 	stream, e := startSSE(w)
@@ -167,14 +175,21 @@ func (s *Server) adaptiveConnCenters(ctx context.Context, w http.ResponseWriter,
 		s.writeError(w, e)
 		return
 	}
-	_, st, err := conn.AdaptiveFromCenters(ctx, h.coord, req.Centers, depth, req.Targets, ad.params,
+	ectx, fin := h.estimateSpan(ctx)
+	_, st, err := conn.AdaptiveFromCenters(ectx, h.coord, req.Centers, depth, req.Targets, ad.params,
 		func(snap conn.AdaptiveSnapshot) error { return stream.frame(frame(snap)) })
+	fin(err)
 	if err != nil {
 		s.failures.Add(1)
 		stream.errorFrame(estimationError(err))
 		return
 	}
 	s.noteAdaptive(st)
+	// With "explain": true one trailing frame carries the finished trace
+	// after the final estimate frame.
+	if req.Explain {
+		_ = stream.frame(map[string]any{"explain": true, "trace": explainView(tr)})
+	}
 }
 
 // adaptiveConnPair answers a pair /v1/conn request carrying a confidence
@@ -215,7 +230,10 @@ func (s *Server) adaptiveConnPair(ctx context.Context, w http.ResponseWriter, h 
 			return stream.frame(frame(snap.Estimates[0][*req.Target], snap.HalfWidth, snap.Worlds, snap.Converged, snap.Final))
 		}
 	}
-	p, st, err := conn.AdaptivePairInterval(ctx, h.coord, *req.Source, *req.Target, depth, ad.params, progress)
+	tr := obs.SpanFromContext(ctx).Trace()
+	ectx, fin := h.estimateSpan(ctx)
+	p, st, err := conn.AdaptivePairInterval(ectx, h.coord, *req.Source, *req.Target, depth, ad.params, progress)
+	fin(err)
 	if err != nil {
 		if stream != nil {
 			s.failures.Add(1)
@@ -227,7 +245,15 @@ func (s *Server) adaptiveConnPair(ctx context.Context, w http.ResponseWriter, h 
 	}
 	s.noteAdaptive(st)
 	if stream == nil {
-		s.writeJSON(w, frame(p, st.HalfWidth, st.Worlds, st.Converged, true))
+		f := frame(p, st.HalfWidth, st.Worlds, st.Converged, true)
+		if req.Explain {
+			f["trace"] = explainView(tr)
+		}
+		s.writeJSON(w, f)
+		return
+	}
+	if req.Explain {
+		_ = stream.frame(map[string]any{"explain": true, "trace": explainView(tr)})
 	}
 }
 
@@ -280,5 +306,8 @@ func (s *Server) streamCluster(ctx context.Context, w http.ResponseWriter, h *gr
 		return
 	}
 	final := map[string]any{"final": true, "result": o.res}
+	if req.Explain {
+		final["trace"] = explainView(obs.SpanFromContext(ctx).Trace())
+	}
 	_ = stream.frame(final)
 }

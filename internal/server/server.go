@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"sort"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"ucgraph/internal/graph"
+	"ucgraph/internal/obs"
 	"ucgraph/internal/shard"
 	"ucgraph/internal/worldstore"
 )
@@ -138,6 +140,15 @@ type Options struct {
 	// rate (burst = one minute's worth): a client whose requests' summed
 	// cost outruns the refill gets 429 until tokens return. 0 disables.
 	ClientWorldsPerMin int64
+	// SlowQuery, when positive, logs every traced request whose total
+	// latency crosses it as a one-line JSON record (the full trace, via
+	// log/slog) — the -slow-query flag. 0 disables.
+	SlowQuery time.Duration
+	// SlowLog receives the slow-query records; nil selects slog.Default().
+	SlowLog *slog.Logger
+	// TraceRing bounds how many recent finished traces /debug/traces
+	// retains (default 64).
+	TraceRing int
 }
 
 // withDefaults fills in the documented defaults.
@@ -159,6 +170,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxCost <= 0 {
 		o.MaxCost = 1 << 28
+	}
+	if o.TraceRing <= 0 {
+		o.TraceRing = 64
 	}
 	return o
 }
@@ -221,6 +235,13 @@ type Server struct {
 
 	quotas *clientQuotas
 
+	// metrics holds the /metricsz latency histograms; traces the
+	// /debug/traces ring of recent finished query traces; slowLog the
+	// slow-query logger (Options.SlowLog or slog.Default()).
+	metrics *serverMetrics
+	traces  *obs.Ring
+	slowLog *slog.Logger
+
 	// draining is set by StartDrain: /healthz answers 503 "draining" so
 	// load balancers route away while in-flight requests — including open
 	// SSE streams — run to completion. inflight counts every request the
@@ -247,12 +268,18 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:   opts,
-		graphs: make(map[string]*graphHandle, len(graphs)),
-		jobs:   newJobTable(),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
-		quotas: newClientQuotas(opts.ClientConcurrent, opts.ClientWorldsPerMin),
+		opts:    opts,
+		graphs:  make(map[string]*graphHandle, len(graphs)),
+		jobs:    newJobTable(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		quotas:  newClientQuotas(opts.ClientConcurrent, opts.ClientWorldsPerMin),
+		metrics: newServerMetrics(),
+		traces:  obs.NewRing(opts.TraceRing),
+		slowLog: opts.SlowLog,
+	}
+	if s.slowLog == nil {
+		s.slowLog = slog.Default()
 	}
 	for _, gc := range graphs {
 		if gc.Name == "" {
@@ -273,6 +300,9 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 			BreakerBackoff:   opts.ShardBreakerBackoff,
 			RetryBudget:      opts.ShardRetryBudget,
 			AuditFraction:    opts.ShardAuditFraction,
+			OnWorkerRTT: func(addr string, rtt time.Duration) {
+				s.metrics.workerRTT.Observe(rtt.Seconds(), addr)
+			},
 		})
 		if coord.Sharded() && opts.ShardPingInterval > 0 {
 			s.stops = append(s.stops, coord.StartPings(opts.ShardPingInterval))
@@ -307,6 +337,9 @@ func New(graphs []GraphConfig, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/reliability", s.handleReliability)
 	s.mux.HandleFunc("GET /v1/shards", s.handleShardsGet)
 	s.mux.HandleFunc("POST /v1/shards", s.handleShardsPost)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	return s, nil
 }
 
@@ -351,7 +384,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	t0 := time.Now()
 	s.mux.ServeHTTP(w, r)
+	s.metrics.request.Observe(time.Since(t0).Seconds(), endpointLabel(r.URL.Path))
 }
 
 // handle resolves the graph named in a request.

@@ -1,11 +1,13 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"ucgraph/internal/conn"
 	"ucgraph/internal/graph"
+	"ucgraph/internal/obs"
 )
 
 // The bench-shard suite records the scatter/gather overhead of the
@@ -60,5 +62,26 @@ func BenchmarkScatterWorkers(b *testing.B) {
 				coord.Fork().FromCenters(cs, conn.Unlimited, benchWorlds)
 			}
 		})
+	}
+}
+
+// BenchmarkScatterWorkersTraced is the 4-worker scatter with a live
+// trace per iteration: span tree on the coordinator, flagTrace ref +
+// annotation sections on the wire, worker-side Stats diffing. Compared
+// against ScatterWorkers/workers=4 it is the end-to-end cost of
+// tracing a query (the acceptance bar is <5% on this warm path).
+func BenchmarkScatterWorkersTraced(b *testing.B) {
+	g := testGraph(b, benchNodes, 2)
+	cs := benchCenters(benchNodes)
+	coord := NewCoordinator("bg", g, benchSeed, startWorkers(b, "bg", g, benchSeed, 4), CoordinatorOptions{})
+	coord.FromCenters(cs, conn.Unlimited, benchWorlds) // warm the worker stores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace("bench-query")
+		ctx := obs.ContextWithSpan(context.Background(), tr.Root())
+		if _, err := coord.Fork().FromCentersCtx(ctx, cs, conn.Unlimited, benchWorlds); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
 	}
 }

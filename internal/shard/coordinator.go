@@ -19,6 +19,7 @@ import (
 	"ucgraph/internal/influence"
 	"ucgraph/internal/knn"
 	"ucgraph/internal/metrics"
+	"ucgraph/internal/obs"
 	"ucgraph/internal/rng"
 	"ucgraph/internal/worldstore"
 )
@@ -85,6 +86,13 @@ type CoordinatorOptions struct {
 	// quarantines whichever worker diverged. Selection is seeded and
 	// deterministic. 0 (the default) disables auditing.
 	AuditFraction float64
+
+	// OnWorkerRTT, when non-nil, receives the round-trip time of every
+	// successful worker tally attempt (wins, duplicates and audits alike)
+	// — the feed for the daemon's per-worker RTT histograms. Called from
+	// scatter goroutines; must be cheap and safe for concurrent use. Pure
+	// observation: it never affects scheduling or results.
+	OnWorkerRTT func(addr string, rtt time.Duration)
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -262,12 +270,15 @@ func (wc *workerClient) do(ctx context.Context, path string, in, out any) error 
 }
 
 // call runs one tally request over the worker's stream, bounded by the
-// per-attempt timeout, and cross-checks the answered world count. It
-// records no stats — the scatter attempt that issued it decides whether
-// the outcome was a win, a suppressed duplicate or a failure.
-func (wc *workerClient) call(ctx context.Context, timeout time.Duration, req *TallyRequest) (*TallyResponse, error) {
+// per-attempt timeout, and cross-checks the answered world count. sp,
+// when non-nil, supplies the trace ref that rides the REQ frame
+// (flagTrace) and receives no annotation itself — the worker's
+// annotation comes back as the second result for the caller to attach.
+// It records no stats — the scatter attempt that issued it decides
+// whether the outcome was a win, a suppressed duplicate or a failure.
+func (wc *workerClient) call(ctx context.Context, timeout time.Duration, req *TallyRequest, sp *obs.Span) (*TallyResponse, *workerAnnot, error) {
 	if wc.streamErr != nil {
-		return nil, wc.streamErr
+		return nil, nil, wc.streamErr
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
@@ -275,14 +286,18 @@ func (wc *workerClient) call(ctx context.Context, timeout time.Duration, req *Ta
 	for _, rg := range req.Ranges {
 		worlds += rg.Worlds()
 	}
-	resp, _, err := wc.stream.call(ctx, req)
+	var ref *traceRef
+	if tid, sid := sp.WireIDs(); tid != 0 {
+		ref = &traceRef{TraceID: tid, SpanID: sid}
+	}
+	resp, _, annot, err := wc.stream.call(ctx, req, ref)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.Worlds != worlds {
-		return nil, fmt.Errorf("%s: tallied %d worlds, asked for %d", wc.base, resp.Worlds, worlds)
+		return nil, nil, fmt.Errorf("%s: tallied %d worlds, asked for %d", wc.base, resp.Worlds, worlds)
 	}
-	return resp, nil
+	return resp, annot, nil
 }
 
 // ---- fleet: elastic membership -------------------------------------------
@@ -832,15 +847,22 @@ func (c *Coordinator) auditGroup(ctx context.Context, base *TallyRequest, g *sca
 		return nil // one-worker fleet: nothing independent to compare
 	}
 	c.fleet.audits.Add(1)
+	sp := obs.SpanFromContext(ctx).StartChild("audit")
+	defer sp.End()
+	sp.Set("owner", g.owner.wc.base)
+	sp.Set("auditor", auditor.wc.base)
+	sp.Set("worlds", int64(g.worlds))
 	wreq := *base
 	wreq.Ranges = g.ranges
-	aresp, err := auditor.wc.call(ctx, c.opts.RequestTimeout, &wreq)
+	aresp, _, err := auditor.wc.call(ctx, c.opts.RequestTimeout, &wreq, sp)
 	if err == nil {
 		if cerr := c.checkResponse(&wreq, aresp); cerr != nil {
 			err = fmt.Errorf("%s: malformed audit response: %w", auditor.wc.base, cerr)
 		}
 	}
 	if err != nil {
+		sp.Set("outcome", "auditor_failed")
+		sp.Set("error", err.Error())
 		auditor.wc.noteFailure(err)
 		c.recordFault(auditor, err)
 		return nil
@@ -848,8 +870,10 @@ func (c *Coordinator) auditGroup(ctx context.Context, base *TallyRequest, g *sca
 	canon := func(r *TallyResponse) []byte { return encodeResponseFrame(0, wreq.Kind, false, r) }
 	ownerBytes, auditBytes := canon(resp), canon(aresp)
 	if bytes.Equal(ownerBytes, auditBytes) {
+		sp.Set("outcome", "agreement")
 		return nil // independent agreement; merge the original
 	}
+	sp.Set("outcome", "divergence")
 	c.fleet.auditDivergences.Add(1)
 	// Referee: recompute the disputed ranges locally from the shared
 	// (seed, index) world definition — the ground truth both workers
@@ -1068,6 +1092,10 @@ func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int,
 	if hi <= lo {
 		return nil
 	}
+	ctx, ssp := obs.StartSpan(ctx, "scatter")
+	defer ssp.End()
+	ssp.Set("kind", req.Kind)
+	ssp.Set("worlds", int64(hi-lo))
 	req.Graph = c.name
 	bw := c.store.BlockWorlds()
 	blockRange := func(bi int) Range {
@@ -1104,6 +1132,13 @@ func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int,
 		if err != nil {
 			return err // no live workers
 		}
+		// One span per scatter round (the retry loop's iteration): round 0
+		// is the primary fan-out, later rounds re-scatter failed blocks.
+		// Per-worker attempts hang off it as child spans via rctx.
+		rctx, rsp := obs.StartSpan(ctx, "scatter_round")
+		rsp.Set("round", int64(attempt))
+		rsp.Set("blocks", int64(len(pool)))
+		rsp.Set("workers", int64(len(assign)))
 		slots := make([]int, 0, len(assign))
 		for s := range assign {
 			slots = append(slots, s)
@@ -1122,7 +1157,7 @@ func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int,
 				}
 				g.worlds += rg.Worlds()
 			}
-			go c.runGroup(ctx, &req, g, results)
+			go c.runGroup(rctx, &req, g, results)
 		}
 		pool = pool[:0]
 		for range slots {
@@ -1137,7 +1172,7 @@ func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int,
 			}
 			resp := out.resp
 			if c.opts.AuditFraction > 0 && c.auditPick(out.g) {
-				if v := c.auditGroup(ctx, &req, out.g, resp); v != nil {
+				if v := c.auditGroup(rctx, &req, out.g, resp); v != nil {
 					resp = v
 				}
 			}
@@ -1145,6 +1180,13 @@ func (c *Coordinator) scatter(ctx context.Context, req TallyRequest, lo, hi int,
 			merge(resp)
 		}
 		sort.Ints(pool)
+		if len(pool) > 0 {
+			rsp.Set("failed_blocks", int64(len(pool)))
+			if lastErr != nil {
+				rsp.Set("error", lastErr.Error())
+			}
+		}
+		rsp.End()
 	}
 	if len(pool) > 0 {
 		return fmt.Errorf("shard: %d world block(s) unserved after %d attempts: %w",
@@ -1168,7 +1210,7 @@ func (c *Coordinator) runGroup(ctx context.Context, base *TallyRequest, g *scatt
 	defer cancel()
 	resCh := make(chan attemptResult, 2)
 	launched := 1
-	go func() { resCh <- c.attemptWorker(actx, g, g.owner, &wreq) }()
+	go func() { resCh <- c.attemptWorker(actx, g, g.owner, &wreq, false) }()
 	var hedgeC <-chan time.Time
 	var hedge *member
 	if c.opts.HedgeDelay > 0 {
@@ -1187,7 +1229,7 @@ func (c *Coordinator) runGroup(ctx context.Context, base *TallyRequest, g *scatt
 			hedgeC = nil
 			c.fleet.hedges.Add(1)
 			launched++
-			go func() { resCh <- c.attemptWorker(actx, g, hedge, &wreq) }()
+			go func() { resCh <- c.attemptWorker(actx, g, hedge, &wreq, true) }()
 		case r := <-resCh:
 			done++
 			if r.resp != nil {
@@ -1210,29 +1252,66 @@ func (c *Coordinator) runGroup(ctx context.Context, base *TallyRequest, g *scatt
 // stats: the race winner records a success, a losing duplicate records a
 // duplicate (never a failure — that was the /statsz double-count bug), a
 // post-win error (the winner cancelled us) records nothing, and only a
-// genuine pre-win fault records a failure.
-func (c *Coordinator) attemptWorker(ctx context.Context, g *scatterGroup, m *member, req *TallyRequest) attemptResult {
+// genuine pre-win fault records a failure. On a traced query the attempt
+// is a child span of the scatter round, carrying the worker's wire-borne
+// annotation (cache hits, worlds scanned, store tier) — the span's own
+// duration is the coordinator-observed RTT, so no clock agreement with
+// the worker is needed.
+func (c *Coordinator) attemptWorker(ctx context.Context, g *scatterGroup, m *member, req *TallyRequest, hedged bool) attemptResult {
+	sp := obs.SpanFromContext(ctx).StartChild("worker")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAll(
+			obs.Attr{Key: "addr", Value: m.wc.base},
+			obs.Attr{Key: "blocks", Value: int64(len(g.bis))},
+			obs.Attr{Key: "worlds", Value: int64(g.worlds)},
+		)
+		if hedged {
+			sp.Set("hedged", true)
+		}
+	}
 	t0 := time.Now()
-	resp, err := m.wc.call(ctx, c.opts.RequestTimeout, req)
+	resp, annot, err := m.wc.call(ctx, c.opts.RequestTimeout, req, sp)
+	rtt := time.Since(t0)
+	if annot != nil && sp != nil {
+		sp.SetAll(
+			obs.Attr{Key: "worker_elapsed_ms", Value: float64(annot.ElapsedNS) / 1e6},
+			obs.Attr{Key: "worker_worlds_scanned", Value: int64(annot.Worlds)},
+			obs.Attr{Key: "worker_cache_hits", Value: int64(annot.CacheHits)},
+			obs.Attr{Key: "worker_cache_miss", Value: int64(annot.CacheMiss)},
+			obs.Attr{Key: "store_ram_hits", Value: int64(annot.StoreHits)},
+			obs.Attr{Key: "store_disk_hits", Value: int64(annot.DiskHits)},
+			obs.Attr{Key: "store_recomputes", Value: int64(annot.Recomputes)},
+			obs.Attr{Key: "store_materializations", Value: int64(annot.Materializations)},
+		)
+	}
 	if err == nil {
 		if cerr := c.checkResponse(req, resp); cerr != nil {
 			err = fmt.Errorf("%s: malformed tally response: %w", m.wc.base, cerr)
 		}
 	}
 	if err == nil {
+		if f := c.opts.OnWorkerRTT; f != nil {
+			f(m.wc.base, rtt)
+		}
 		if g.won.CompareAndSwap(false, true) {
-			m.wc.noteSuccess(time.Since(t0), len(req.Ranges), g.worlds)
+			sp.Set("outcome", "won")
+			m.wc.noteSuccess(rtt, len(req.Ranges), g.worlds)
 			m.breakerReset()
 			return attemptResult{resp: resp}
 		}
+		sp.Set("outcome", "duplicate")
 		m.wc.noteDuplicate()
 		c.fleet.duplicates.Add(1)
 		m.breakerReset() // a correct duplicate is still proof of health
 		return attemptResult{err: errDuplicate}
 	}
+	sp.Set("error", err.Error())
 	if g.won.Load() {
+		sp.Set("outcome", "moot")
 		return attemptResult{err: err} // moot: the race is already settled
 	}
+	sp.Set("outcome", "failed")
 	m.wc.noteFailure(err)
 	c.recordFault(m, err)
 	return attemptResult{err: err}
@@ -1404,6 +1483,13 @@ func (c *Coordinator) FromCentersCtx(ctx context.Context, cs []graph.NodeID, dep
 		if err != nil {
 			return nil, err
 		}
+		// The fold of the round's scratch into the cached tallies — the
+		// "merge" step of the scatter/gather pipeline, separate from the
+		// scatter span so an operator sees gather time and fold time
+		// apart.
+		_, msp := obs.StartSpan(ctx, "merge")
+		msp.Set("centers", int64(len(group)))
+		msp.Set("worlds", int64(r-lo))
 		for j, sl := range group {
 			row := scratch[j*n : (j+1)*n]
 			for u, cnt := range row {
@@ -1411,6 +1497,7 @@ func (c *Coordinator) FromCentersCtx(ctx context.Context, cs []graph.NodeID, dep
 			}
 			sl.tally.rDone = r
 		}
+		msp.End()
 	}
 
 	out := make([][]float64, len(cs))

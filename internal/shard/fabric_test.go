@@ -46,7 +46,7 @@ func TestHedgedDuplicateNotAFailure(t *testing.T) {
 	m := coord.fleet.member(0)
 	res := coord.attemptWorker(context.Background(), grp, m, &TallyRequest{
 		Graph: "tg", Kind: KindPair, Ranges: []Range{{Lo: 0, Hi: 64}}, U: 0, V: 1,
-	})
+	}, true)
 	if !errors.Is(res.err, errDuplicate) {
 		t.Fatalf("result = %+v, want errDuplicate", res)
 	}

@@ -43,11 +43,20 @@ var errIntegrity = errors.New("shard: frame failed integrity check")
 // the seal on each response). Old peers simply never set the flag.
 const checksumHeader = "X-Ucgraph-Checksum"
 
+// traceHeader is the trace-negotiation header of the stream upgrade,
+// advertised exactly like checksumHeader: a coordinator that sees it may
+// set flagTrace on REQ frames of traced queries, and the worker mirrors
+// the flag (with its annotation section) on each such response. Old
+// peers on either side simply never set the flag — mixed fleets
+// interoperate, untraced.
+const traceHeader = "X-Ucgraph-Trace"
+
 // streamResult is the outcome of one multiplexed request.
 type streamResult struct {
 	resp   *TallyResponse
 	kind   string
 	cached bool
+	annot  *workerAnnot // non-nil only on flagTrace responses
 	err    error
 }
 
@@ -60,6 +69,9 @@ type streamConn struct {
 	// handshake: when set, outgoing frames are sealed with a CRC32-C
 	// trailer and incoming checksummed frames are verified.
 	sum bool
+	// trace records the trace negotiation outcome: when set, REQ frames
+	// of traced queries carry a trace ref and flagTrace.
+	trace bool
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -156,6 +168,7 @@ func (sc *streamClient) dial(ctx context.Context) (*streamConn, error) {
 		nc:      nc,
 		bw:      bufio.NewWriter(nc),
 		sum:     resp.Header.Get(checksumHeader) == ChecksumAlgorithm,
+		trace:   resp.Header.Get(traceHeader) == TraceVersion,
 		pending: make(map[uint64]chan streamResult),
 	}
 	// The demultiplexer: one goroutine per connection reads frames and
@@ -182,8 +195,18 @@ func (sc *streamClient) dial(ctx context.Context) (*streamConn, error) {
 			var res streamResult
 			switch h.ftype {
 			case frameResp:
+				// The worker-annotation section (if negotiated and the
+				// request was traced) sits between the canonical body and
+				// the checksum trailer; verifyBody already stripped the
+				// trailer, so strip the annotation next, then decode the
+				// canonical bytes.
+				body, annot, aerr := splitWorkerAnnot(h, body)
+				if aerr != nil {
+					res = streamResult{err: aerr}
+					break
+				}
 				kind, resp, err := decodeResponseBody(body)
-				res = streamResult{resp: resp, kind: kind, cached: h.flags&flagCached != 0, err: err}
+				res = streamResult{resp: resp, kind: kind, cached: h.flags&flagCached != 0, annot: annot, err: err}
 			case frameErr:
 				code, msg, err := decodeErrorBody(body)
 				if err != nil {
@@ -279,46 +302,57 @@ func (c *streamConn) writeFrame(frame []byte) error {
 }
 
 // call performs one multiplexed tally request: encode, write one frame,
-// wait for the matching response frame. On ctx expiry it sends a
-// best-effort CANCEL so the worker can stop computing, and returns ctx's
-// error. Transport failures surface as errStreamClosed-wrapped errors; the
-// next call re-dials.
-func (sc *streamClient) call(ctx context.Context, req *TallyRequest) (*TallyResponse, bool, error) {
+// wait for the matching response frame. ref, when non-nil and the worker
+// negotiated tracing, rides as a flagTrace trailer on the REQ; the
+// matching response then carries the worker's annotation (returned
+// alongside the tallies, nil for untraced or old-peer responses). On ctx
+// expiry it sends a best-effort CANCEL so the worker can stop computing,
+// and returns ctx's error. Transport failures surface as
+// errStreamClosed-wrapped errors; the next call re-dials.
+func (sc *streamClient) call(ctx context.Context, req *TallyRequest, ref *traceRef) (*TallyResponse, bool, *workerAnnot, error) {
 	conn, err := sc.get(ctx)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	id := sc.nextID.Add(1)
 	frame, err := encodeRequestFrame(id, req)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
+	}
+	if ref != nil && conn.trace {
+		// The trace ref is appended AFTER the canonical request bytes
+		// (which double as worker cache keys and must stay byte-identical
+		// for traced and untraced queries) and BEFORE the checksum
+		// trailer (sealFrame runs last, so the CRC covers it).
+		frame = appendTraceRef(frame, *ref)
+		frame = setFlag(frame, flagTrace)
 	}
 	frame = sealFrame(frame, conn.sum)
 	ch, err := conn.register(id)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	if err := conn.writeFrame(frame); err != nil {
 		conn.fail(fmt.Errorf("%w: %v", errStreamClosed, err))
 		<-ch // fail delivered an error (or deliver raced; either way drain)
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	select {
 	case res := <-ch:
 		if res.err != nil {
-			return nil, false, res.err
+			return nil, false, nil, res.err
 		}
 		if res.kind != req.Kind {
-			return nil, false, fmt.Errorf("shard: response kind %q for a %q request", res.kind, req.Kind)
+			return nil, false, nil, fmt.Errorf("shard: response kind %q for a %q request", res.kind, req.Kind)
 		}
-		return res.resp, res.cached, nil
+		return res.resp, res.cached, res.annot, nil
 	case <-ctx.Done():
 		if conn.deregister(id) {
 			// Best effort: tell the worker to stop computing. A write
 			// failure just means the stream is already dead.
 			_ = conn.writeFrame(encodeCancelFrame(id))
 		}
-		return nil, false, ctx.Err()
+		return nil, false, nil, ctx.Err()
 	}
 }
 
@@ -362,8 +396,8 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 	}
 	defer nc.Close()
 	_ = nc.SetDeadline(time.Time{}) // the hijacked conn may carry server deadlines
-	fmt.Fprintf(buf, "HTTP/1.1 101 Switching Protocols\r\nConnection: Upgrade\r\nUpgrade: %s\r\n%s: %s\r\n\r\n",
-		StreamProtocol, checksumHeader, ChecksumAlgorithm)
+	fmt.Fprintf(buf, "HTTP/1.1 101 Switching Protocols\r\nConnection: Upgrade\r\nUpgrade: %s\r\n%s: %s\r\n%s: %s\r\n\r\n",
+		StreamProtocol, checksumHeader, ChecksumAlgorithm, traceHeader, TraceVersion)
 	if err := buf.Flush(); err != nil {
 		return
 	}
@@ -401,6 +435,16 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 				_ = conn.writeFrame(sealFrame(encodeErrorFrame(h.id, errCodeIntegrity, verr.Error()), sum))
 				continue
 			}
+			// traced/ref: mirror the request's trace choice like the
+			// checksum choice — per-request, negotiated per-connection.
+			// The trace ref trailer must come off before decode (the
+			// decoder enforces exact consumption of the canonical bytes).
+			body, ref, terr := splitTraceRef(h, body)
+			if terr != nil {
+				_ = conn.writeFrame(sealFrame(encodeErrorFrame(h.id, errCodeBadRequest, terr.Error()), sum))
+				continue
+			}
+			traced := h.flags&flagTrace != 0
 			req, err := decodeRequestBody(body)
 			if err != nil {
 				_ = conn.writeFrame(sealFrame(encodeErrorFrame(h.id, errCodeBadRequest, err.Error()), sum))
@@ -420,7 +464,7 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 			cancels[h.id] = cancel
 			cmu.Unlock()
 			wg.Add(1)
-			go func(id uint64, req *TallyRequest, sum bool) {
+			go func(id uint64, req *TallyRequest, sum, traced bool, ref traceRef) {
 				defer wg.Done()
 				defer w.inflight.Add(-1)
 				defer func() {
@@ -429,17 +473,25 @@ func (w *Worker) handleStream(rw http.ResponseWriter, r *http.Request) {
 					cmu.Unlock()
 					cancel()
 				}()
-				resp, cached, err := w.serveTally(rctx, req)
+				start := time.Now()
+				resp, cached, annot, err := w.serveTallyAnnot(rctx, req, traced)
+				w.noteSlowTally(req, ref, time.Since(start), err)
 				var frame []byte
 				if err != nil {
 					frame = encodeErrorFrame(id, errCode(err), err.Error())
 				} else {
 					frame = encodeResponseFrame(id, req.Kind, cached, resp)
+					if traced {
+						// Annotation after the canonical body, before the
+						// seal — the mirror of the REQ layout.
+						frame = appendWorkerAnnot(frame, annot)
+						frame = setFlag(frame, flagTrace)
+					}
 				}
 				if err := conn.writeFrame(sealFrame(frame, sum)); err != nil {
 					cancelAll() // writer broken: stop everything on this stream
 				}
-			}(h.id, req, sum)
+			}(h.id, req, sum, traced, ref)
 		case frameCancel:
 			cmu.Lock()
 			if cancel, ok := cancels[h.id]; ok {

@@ -214,6 +214,17 @@ const (
 	// frames only for peers that negotiated it, so old and new binaries
 	// interoperate mid-rollout.
 	flagChecksum = 1 << 1
+	// flagTrace marks a frame carrying trace sections, negotiated exactly
+	// like flagChecksum (the worker advertises X-Ucgraph-Trace on its 101
+	// upgrade response) so mixed fleets interoperate. On a REQ the body
+	// ends with a 16-byte trace ref (trace ID + parent span ID); on a RESP
+	// it ends with a fixed worker-annotation section (timing, cache and
+	// world-store tier attribution). Both sections sit BEFORE the checksum
+	// trailer (sealFrame runs last, so the CRC covers them) and AFTER the
+	// canonical body — the canonical request bytes double as worker cache
+	// keys and must stay byte-identical whether or not a query is traced:
+	// tracing observes, never alters.
+	flagTrace = 1 << 2
 )
 
 // Error frame codes.
@@ -230,6 +241,13 @@ const (
 // coordinator seeing it seals REQ frames, and the worker mirrors the seal
 // on each response.
 const ChecksumAlgorithm = "crc32c"
+
+// TraceVersion is the value of the trace-negotiation header
+// (X-Ucgraph-Trace) the worker sends on its 101 upgrade response. A
+// coordinator seeing it may set flagTrace on REQ frames of traced
+// queries; the worker mirrors the flag on each such response, attaching
+// its annotation section.
+const TraceVersion = "1"
 
 // wireCRC is the Castagnoli table — the same polynomial the world store's
 // disk tier uses, closing the one unprotected hop (the network) between
@@ -668,6 +686,115 @@ func decodeResponseBody(body []byte) (kind string, resp *TallyResponse, err erro
 		return "", nil, err
 	}
 	return kind, resp, nil
+}
+
+// ---- flagTrace sections --------------------------------------------------
+
+// traceRefLen is the size of the REQ trace ref: u64 trace ID, u64 parent
+// span ID.
+const traceRefLen = 16
+
+// workerAnnotLen is the size of the RESP worker-annotation section; see
+// workerAnnot for the field layout.
+const workerAnnotLen = 56
+
+// traceRef identifies, on the wire, which coordinator trace (and which
+// span within it) a REQ belongs to, so worker-side logs correlate with
+// coordinator traces without any clock agreement.
+type traceRef struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// workerAnnot is the worker's self-reported execution annotation for one
+// traced request: wall time, worlds tallied, per-request tally-cache
+// hits/misses, and the world-store tier activity observed while serving
+// it (a Stats snapshot diff — approximate under concurrent requests on
+// the same store, and documented as such; the numbers inform operators,
+// never estimates). All fields are little-endian on the wire, in
+// declaration order.
+type workerAnnot struct {
+	ElapsedNS        uint64 // worker-side wall time for the request
+	Worlds           uint64 // worlds tallied (resp.Worlds)
+	CacheHits        uint32 // ranges served from the worker tally cache
+	CacheMiss        uint32 // ranges recomputed
+	StoreHits        uint64 // RAM-resident world-store block hits
+	DiskHits         uint64 // disk-tier block loads
+	Recomputes       uint64 // evicted blocks rebuilt from the stream
+	Materializations uint64 // first-time block materializations
+}
+
+// appendTraceRef appends the 16-byte REQ trace ref.
+func appendTraceRef(buf []byte, ref traceRef) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, ref.TraceID)
+	return binary.LittleEndian.AppendUint64(buf, ref.SpanID)
+}
+
+// appendWorkerAnnot appends the fixed RESP annotation section.
+func appendWorkerAnnot(buf []byte, a workerAnnot) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, a.ElapsedNS)
+	buf = binary.LittleEndian.AppendUint64(buf, a.Worlds)
+	buf = binary.LittleEndian.AppendUint32(buf, a.CacheHits)
+	buf = binary.LittleEndian.AppendUint32(buf, a.CacheMiss)
+	buf = binary.LittleEndian.AppendUint64(buf, a.StoreHits)
+	buf = binary.LittleEndian.AppendUint64(buf, a.DiskHits)
+	buf = binary.LittleEndian.AppendUint64(buf, a.Recomputes)
+	return binary.LittleEndian.AppendUint64(buf, a.Materializations)
+}
+
+// splitTrailer cuts the last n bytes off a (checksum-stripped) body,
+// returning the canonical prefix and the trailer.
+func splitTrailer(body []byte, n int, what string) (payload, trailer []byte, err error) {
+	if len(body) < n {
+		return nil, nil, fmt.Errorf("shard: traced frame body too short for %s (%d < %d bytes)", what, len(body), n)
+	}
+	return body[:len(body)-n], body[len(body)-n:], nil
+}
+
+// splitTraceRef strips and decodes the REQ trace ref when h carries
+// flagTrace; untraced requests pass through with a zero ref.
+func splitTraceRef(h frameHeader, body []byte) ([]byte, traceRef, error) {
+	if h.flags&flagTrace == 0 {
+		return body, traceRef{}, nil
+	}
+	payload, tr, err := splitTrailer(body, traceRefLen, "trace ref")
+	if err != nil {
+		return nil, traceRef{}, err
+	}
+	return payload, traceRef{
+		TraceID: binary.LittleEndian.Uint64(tr[0:8]),
+		SpanID:  binary.LittleEndian.Uint64(tr[8:16]),
+	}, nil
+}
+
+// splitWorkerAnnot strips and decodes the RESP annotation section when h
+// carries flagTrace; untraced responses pass through with a nil annot.
+func splitWorkerAnnot(h frameHeader, body []byte) ([]byte, *workerAnnot, error) {
+	if h.flags&flagTrace == 0 {
+		return body, nil, nil
+	}
+	payload, tr, err := splitTrailer(body, workerAnnotLen, "worker annotation")
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, &workerAnnot{
+		ElapsedNS:        binary.LittleEndian.Uint64(tr[0:8]),
+		Worlds:           binary.LittleEndian.Uint64(tr[8:16]),
+		CacheHits:        binary.LittleEndian.Uint32(tr[16:20]),
+		CacheMiss:        binary.LittleEndian.Uint32(tr[20:24]),
+		StoreHits:        binary.LittleEndian.Uint64(tr[24:32]),
+		DiskHits:         binary.LittleEndian.Uint64(tr[32:40]),
+		Recomputes:       binary.LittleEndian.Uint64(tr[40:48]),
+		Materializations: binary.LittleEndian.Uint64(tr[48:56]),
+	}, nil
+}
+
+// setFlag sets a flag bit in a finished frame's header and re-finishes
+// the length (a no-op for the length, kept for symmetry with sealFrame).
+func setFlag(frame []byte, flag uint16) []byte {
+	flags := binary.LittleEndian.Uint16(frame[6:8])
+	binary.LittleEndian.PutUint16(frame[6:8], flags|flag)
+	return finishFrame(frame, 0)
 }
 
 // decodeErrorBody parses an ERR frame body.

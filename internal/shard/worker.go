@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"sort"
@@ -50,6 +51,16 @@ type WorkerOptions struct {
 	// restarted worker pointed at the same directory resumes hot.
 	// Tallies are bit-identical with or without the cache.
 	WorldCacheDir string
+
+	// SlowTally, when positive, logs any tally request that takes at
+	// least this long as a structured one-line JSON record (via SlowLog),
+	// carrying the coordinator's trace ID when the request arrived with
+	// flagTrace — so a slow worker correlates with the coordinator's
+	// trace across machine boundaries. The -slow-query flag.
+	SlowTally time.Duration
+
+	// SlowLog receives slow-tally records; nil uses slog.Default().
+	SlowLog *slog.Logger
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -326,16 +337,36 @@ func badReq(format string, args ...any) error {
 // range was served from cache. Both transports (v1 JSON, v2 stream) funnel
 // through here; failure accounting happens here exactly once per request.
 func (w *Worker) serveTally(ctx context.Context, req *TallyRequest) (*TallyResponse, bool, error) {
-	w.requests.Add(1)
-	resp, cached, err := w.tally(ctx, req)
-	if err != nil {
-		w.failures.Add(1)
-		return nil, false, err
-	}
-	return resp, cached, nil
+	resp, cached, _, err := w.serveTallyAnnot(ctx, req, false)
+	return resp, cached, err
 }
 
-func (w *Worker) tally(ctx context.Context, req *TallyRequest) (*TallyResponse, bool, error) {
+// serveTallyAnnot is serveTally plus, when traced, the worker-side
+// execution annotation shipped back on a flagTrace response: wall time,
+// worlds tallied, per-request cache hits/misses and the store tier
+// activity observed while serving the request. The annotation is pure
+// observation — traced and untraced requests run the identical code
+// path and produce byte-identical tallies.
+func (w *Worker) serveTallyAnnot(ctx context.Context, req *TallyRequest, traced bool) (*TallyResponse, bool, workerAnnot, error) {
+	w.requests.Add(1)
+	var annot workerAnnot
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	resp, cached, err := w.tally(ctx, req, traced, &annot)
+	if err != nil {
+		w.failures.Add(1)
+		return nil, false, annot, err
+	}
+	if traced {
+		annot.ElapsedNS = uint64(time.Since(start))
+		annot.Worlds = uint64(resp.Worlds)
+	}
+	return resp, cached, annot, nil
+}
+
+func (w *Worker) tally(ctx context.Context, req *TallyRequest, traced bool, annot *workerAnnot) (*TallyResponse, bool, error) {
 	wg, ok := w.graphs[req.Graph]
 	if !ok {
 		return nil, false, fmt.Errorf("%w %q", errUnknownGraph, req.Graph)
@@ -345,6 +376,21 @@ func (w *Worker) tally(ctx context.Context, req *TallyRequest) (*TallyResponse, 
 	}
 	if err := validTally(wg, req); err != nil {
 		return nil, false, err
+	}
+	if traced {
+		// Tier attribution by Stats snapshot diff. On a store shared by
+		// concurrent requests the delta covers the whole window, not just
+		// this request's share — approximate by design, and documented as
+		// such (docs/OPERATIONS.md); it informs operators, never
+		// estimates.
+		pre := wg.store.Stats()
+		defer func() {
+			d := wg.store.Stats().TierDelta(pre)
+			annot.StoreHits = d.Hits
+			annot.DiskHits = d.DiskHits
+			annot.Recomputes = d.Recomputes
+			annot.Materializations = d.Materializations
+		}()
 	}
 
 	resp := &TallyResponse{}
@@ -363,10 +409,12 @@ func (w *Worker) tally(ctx context.Context, req *TallyRequest) (*TallyResponse, 
 			key = string(kb)
 			if part := w.cache.get(key); part != nil {
 				w.cacheHits.Add(1)
+				annot.CacheHits++
 				mergeTally(resp, part, req.Kind)
 				continue
 			}
 			w.cacheMiss.Add(1)
+			annot.CacheMiss++
 		}
 		cached = false
 		part, err := w.rangeTally(ctx, wg, req, rg)
@@ -380,6 +428,34 @@ func (w *Worker) tally(ctx context.Context, req *TallyRequest) (*TallyResponse, 
 		mergeTally(resp, part, req.Kind)
 	}
 	return resp, cached, nil
+}
+
+// noteSlowTally emits the structured slow-tally record when the request
+// crossed the SlowTally threshold. ref is the coordinator's trace ref
+// (zero when the request was untraced).
+func (w *Worker) noteSlowTally(req *TallyRequest, ref traceRef, elapsed time.Duration, err error) {
+	if w.opts.SlowTally <= 0 || elapsed < w.opts.SlowTally {
+		return
+	}
+	lg := w.opts.SlowLog
+	if lg == nil {
+		lg = slog.Default()
+	}
+	attrs := []any{
+		slog.String("graph", req.Graph),
+		slog.String("kind", req.Kind),
+		slog.Int("ranges", len(req.Ranges)),
+		slog.Duration("elapsed", elapsed),
+	}
+	if ref.TraceID != 0 {
+		attrs = append(attrs,
+			slog.String("trace_id", fmt.Sprintf("%016x", ref.TraceID)),
+			slog.Uint64("parent_span", ref.SpanID))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	lg.Warn("slow tally", attrs...)
 }
 
 // validTally checks the kind-specific request fields, once per request.

@@ -470,6 +470,32 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// TierDelta is the tier-activity difference between two Stats snapshots:
+// which storage tier (resident RAM block, disk-tier load, recompute from
+// the stream) served the block acquisitions in between. It exists for
+// per-request trace attribution — a shard worker snapshots Stats around
+// one tally and ships the delta back to the coordinator. On a store
+// shared by concurrent requests the delta attributes the store's total
+// activity during the window, not the single request's share; it informs
+// operators, never estimates.
+type TierDelta struct {
+	Hits             uint64 // acquisitions served by resident blocks
+	DiskHits         uint64 // block misses answered by the disk tier
+	Recomputes       uint64 // blocks rebuilt from the stream after eviction
+	Materializations uint64 // block instantiations (fresh, recomputed or disk-loaded)
+}
+
+// TierDelta reports the tier-activity counters of s relative to the
+// earlier snapshot prev.
+func (s Stats) TierDelta(prev Stats) TierDelta {
+	return TierDelta{
+		Hits:             s.Hits - prev.Hits,
+		DiskHits:         s.DiskHits - prev.DiskHits,
+		Recomputes:       s.Recomputes - prev.Recomputes,
+		Materializations: s.Materializations - prev.Materializations,
+	}
+}
+
 // AttachCache attaches the disk tier rooted at dir: evicted blocks spill
 // to checksummed segment files under dir and misses try disk before
 // recomputing. An existing directory written by a previous process for
